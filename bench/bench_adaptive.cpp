@@ -1,0 +1,92 @@
+// Section 3/5 ablation: adaptive re-splitting vs static assignment.
+//
+// "Each sequence can be adaptively subdivided such that a faster processor
+//  can receive more work once it completes its sequence" — and the future
+// work calls for "refinement of adaptive partitioning schemes".
+//
+// Compares static vs adaptive sequence division across heterogeneity
+// levels, with coherence on and off — exposing the interplay the Table-1
+// numbers hint at: adaptive stealing always helps without coherence, but
+// with coherence every steal pays a full-render restart on the stolen
+// range, so the benefit depends on the imbalance being large enough.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/par/render_farm.h"
+
+namespace now {
+namespace {
+
+struct Row {
+  double static_time = 0.0;
+  double adaptive_time = 0.0;
+  std::int64_t splits = 0;
+};
+
+Row run_pair(const AnimatedScene& scene, const std::vector<double>& speeds,
+             bool coherence) {
+  Row row;
+  for (const bool adaptive : {false, true}) {
+    FarmConfig config;
+    config.backend = FarmBackend::kSim;
+    config.worker_speeds = speeds;
+    config.coherence.enabled = coherence;
+    config.partition.scheme = PartitionScheme::kSequenceDivision;
+    config.partition.adaptive = adaptive;
+    const FarmResult r = render_farm(scene, config);
+    if (adaptive) {
+      row.adaptive_time = r.elapsed_seconds;
+      row.splits = r.master.adaptive_splits;
+    } else {
+      row.static_time = r.elapsed_seconds;
+    }
+  }
+  return row;
+}
+
+int run(bool quick) {
+  CradleParams params;
+  params.frames = quick ? 12 : 45;
+  params.width = quick ? 160 : 320;
+  params.height = quick ? 120 : 240;
+  const AnimatedScene scene = newton_cradle_scene(params);
+
+  std::printf("adaptive vs static sequence division — Newton, %d frames\n\n",
+              scene.frame_count());
+  std::printf("%-26s %-10s %12s %12s %8s %8s\n", "cluster", "coherence",
+              "static", "adaptive", "gain", "splits");
+  bench::print_rule(82);
+
+  const std::vector<std::pair<const char*, std::vector<double>>> mixes = {
+      {"{1.0, 1.0, 1.0}", {1.0, 1.0, 1.0}},
+      {"{1.0, 0.5, 0.5} (paper)", {1.0, 0.5, 0.5}},
+      {"{1.0, 0.25, 0.25}", {1.0, 0.25, 0.25}},
+      {"{2.0, 0.25}", {2.0, 0.25}},
+  };
+  for (const auto& [label, speeds] : mixes) {
+    for (const bool coherence : {false, true}) {
+      const Row row = run_pair(scene, speeds, coherence);
+      std::printf("%-26s %-10s %12s %12s %7.2fx %8lld\n", label,
+                  coherence ? "on" : "off",
+                  bench::hms(row.static_time).c_str(),
+                  bench::hms(row.adaptive_time).c_str(),
+                  row.static_time / row.adaptive_time,
+                  static_cast<long long>(row.splits));
+    }
+  }
+  std::printf("\ngain > 1 means adaptive wins. With coherence on, small "
+              "imbalances can make\nstealing counterproductive (each steal "
+              "full-renders its first frame) — the\neffect that caps the "
+              "paper's sequence-division speedup at 5 vs frame\n"
+              "division's 7.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace now
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  return now::run(quick);
+}

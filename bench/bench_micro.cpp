@@ -1,0 +1,182 @@
+// Google-benchmark microbenchmarks for the hot inner loops: primitive
+// intersection, DDA grid traversal, coherence marking/collection, the
+// pixel codec and the wire format.
+#include <benchmark/benchmark.h>
+
+#include "src/core/coherence_grid.h"
+#include "src/geom/cylinder.h"
+#include "src/geom/sphere.h"
+#include "src/geom/voxel_grid.h"
+#include "src/image/pixel_codec.h"
+#include "src/math/rng.h"
+#include "src/par/protocol.h"
+#include "src/scene/builtin_scenes.h"
+#include "src/trace/render.h"
+#include "src/trace/uniform_grid.h"
+
+namespace now {
+namespace {
+
+void BM_SphereIntersect(benchmark::State& state) {
+  const Sphere sphere({0, 0, 0}, 1.0);
+  Rng rng(1);
+  std::vector<Ray> rays;
+  for (int i = 0; i < 1024; ++i) {
+    rays.push_back({rng.point_in_box({-3, -3, -3}, {3, 3, 3}),
+                    rng.unit_vector()});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Hit hit;
+    benchmark::DoNotOptimize(
+        sphere.intersect(rays[i++ & 1023], 1e-9, 1e9, &hit));
+  }
+}
+BENCHMARK(BM_SphereIntersect);
+
+void BM_CylinderIntersect(benchmark::State& state) {
+  const Cylinder cyl({0, 0, 0}, {0, 2, 0}, 0.5);
+  Rng rng(2);
+  std::vector<Ray> rays;
+  for (int i = 0; i < 1024; ++i) {
+    rays.push_back({rng.point_in_box({-3, -3, -3}, {3, 3, 3}),
+                    rng.unit_vector()});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Hit hit;
+    benchmark::DoNotOptimize(cyl.intersect(rays[i++ & 1023], 1e-9, 1e9, &hit));
+  }
+}
+BENCHMARK(BM_CylinderIntersect);
+
+void BM_GridWalk(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const VoxelGrid grid({{-2, -2, -2}, {2, 2, 2}}, n, n, n);
+  Rng rng(3);
+  std::vector<Ray> rays;
+  for (int i = 0; i < 256; ++i) {
+    rays.push_back({rng.point_in_box({-4, -4, -4}, {4, 4, 4}),
+                    rng.unit_vector()});
+  }
+  std::size_t i = 0;
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    grid.walk(rays[i++ & 255], 0.0, kRayInfinity,
+              [&](int, int, int, double, double) {
+                ++cells;
+                return true;
+              });
+  }
+  benchmark::DoNotOptimize(cells);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridWalk)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AccelClosestHit(benchmark::State& state) {
+  const AnimatedScene scene = orbit_scene(20, 1);
+  const World world = scene.world_at(0);
+  const UniformGridAccelerator accel(world);
+  Rng rng(4);
+  std::vector<Ray> rays;
+  for (int i = 0; i < 1024; ++i) {
+    rays.push_back({rng.point_in_box({-4, 0, -4}, {4, 4, 4}),
+                    rng.unit_vector()});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Hit hit;
+    benchmark::DoNotOptimize(
+        accel.closest_hit(rays[i++ & 1023], 1e-9, kRayInfinity, &hit));
+  }
+}
+BENCHMARK(BM_AccelClosestHit);
+
+void BM_CoherenceMark(benchmark::State& state) {
+  const VoxelGrid vg({{-2, -2, -2}, {2, 2, 2}}, 32, 32, 32);
+  CoherenceGrid grid(vg, {0, 0, 320, 240});
+  Rng rng(5);
+  int x = 0, y = 0;
+  for (auto _ : state) {
+    grid.mark(static_cast<int>(rng.next_below(32 * 32 * 32)), x, y);
+    x = (x + 7) % 320;
+    y = (y + 3) % 240;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceMark);
+
+void BM_CoherenceCollect(benchmark::State& state) {
+  const VoxelGrid vg({{-2, -2, -2}, {2, 2, 2}}, 16, 16, 16);
+  CoherenceGrid grid(vg, {0, 0, 320, 240});
+  Rng rng(6);
+  for (int i = 0; i < 200000; ++i) {
+    grid.mark(static_cast<int>(rng.next_below(16 * 16 * 16)),
+              static_cast<int>(rng.next_below(320)),
+              static_cast<int>(rng.next_below(240)));
+  }
+  std::vector<std::uint32_t> cells;
+  for (std::uint32_t c = 0; c < 16 * 16 * 16; c += 7) cells.push_back(c);
+  for (auto _ : state) {
+    PixelMask mask(320, 240);
+    grid.collect_pixels(cells, &mask);
+    benchmark::DoNotOptimize(mask.count());
+  }
+}
+BENCHMARK(BM_CoherenceCollect);
+
+void BM_PixelCodecSparse(benchmark::State& state) {
+  Framebuffer fb(320, 240);
+  Rng rng(7);
+  PixelMask updated(320, 240);
+  for (int i = 0; i < 5000; ++i) {
+    updated.set(static_cast<int>(rng.next_below(320)),
+                static_cast<int>(rng.next_below(240)), true);
+  }
+  const PixelRect rect{0, 0, 320, 240};
+  for (auto _ : state) {
+    const PixelPayload payload = make_sparse_payload(fb, rect, updated);
+    const std::string bytes = encode_payload(payload);
+    PixelPayload decoded;
+    decode_payload(&decoded, bytes);
+    benchmark::DoNotOptimize(decoded.carried_pixels());
+  }
+}
+BENCHMARK(BM_PixelCodecSparse);
+
+void BM_FrameResultRoundTrip(benchmark::State& state) {
+  Framebuffer fb(80, 80);
+  FrameResult result;
+  result.payload = make_dense_payload(fb, {0, 0, 80, 80});
+  for (auto _ : state) {
+    FrameResult out;
+    decode_frame_result(&out, encode_frame_result(result));
+    benchmark::DoNotOptimize(out.frame);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 80 * 80 * 3);
+}
+BENCHMARK(BM_FrameResultRoundTrip);
+
+void BM_RenderNewtonFrame(benchmark::State& state) {
+  CradleParams params;
+  params.frames = 1;
+  const AnimatedScene scene = newton_cradle_scene(params);
+  const World world = scene.world_at(0);
+  const UniformGridAccelerator accel(world);
+  const int w = static_cast<int>(state.range(0));
+  const int h = w * 3 / 4;
+  for (auto _ : state) {
+    Tracer tracer(world, accel);
+    Framebuffer fb(w, h);
+    render_frame(&tracer, &fb);
+    benchmark::DoNotOptimize(fb.at(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * w * h);
+}
+BENCHMARK(BM_RenderNewtonFrame)->Arg(80)->Arg(160)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace now
+
+BENCHMARK_MAIN();

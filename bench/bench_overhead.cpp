@@ -1,0 +1,89 @@
+// Section 4 overhead measurement: "The measurements for the first frame
+// rendering are provided to show the overhead associated with the
+// algorithm. Here, overhead constitutes a reasonable 12% of the total
+// generation time."
+//
+// Renders the first Newton frame with and without coherence bookkeeping and
+// breaks the cost model's virtual time into its components; also reports
+// the real (wall-clock) bookkeeping overhead of the implementation.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/par/cost_model.h"
+
+namespace now {
+namespace {
+
+int run(bool quick) {
+  CradleParams params;
+  params.frames = 2;
+  params.width = quick ? 160 : 320;
+  params.height = quick ? 120 : 240;
+  const AnimatedScene scene = newton_cradle_scene(params);
+  const PixelRect full{0, 0, scene.width(), scene.height()};
+  const CostModel cost;
+
+  const auto render_first = [&](bool coherence, FrameRenderResult* out) {
+    CoherenceOptions options;
+    options.enabled = coherence;
+    CoherentRenderer renderer(scene, full, options);
+    Framebuffer fb(scene.width(), scene.height());
+    const auto t0 = std::chrono::steady_clock::now();
+    *out = renderer.render_frame(0, &fb);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  FrameRenderResult with_fc, without_fc;
+  const double wall_fc = render_first(true, &with_fc);
+  const double wall_plain = render_first(false, &without_fc);
+
+  const double ray_cost =
+      static_cast<double>(with_fc.stats.total_rays()) * cost.seconds_per_ray;
+  const double mark_cost =
+      static_cast<double>(with_fc.voxels_marked) * cost.seconds_per_voxel_mark;
+  const double pixel_cost =
+      static_cast<double>(with_fc.pixels_total) * cost.seconds_per_pixel_touch;
+  const double total =
+      cost.frame_compute_seconds(with_fc) + cost.master_frame_write_seconds;
+
+  std::printf("first-frame coherence overhead — Newton at %dx%d\n\n",
+              scene.width(), scene.height());
+  std::printf("rays traced:           %s (same with and without coherence)\n",
+              bench::with_commas(with_fc.stats.total_rays()).c_str());
+  std::printf("voxels marked by DDA:  %s\n",
+              bench::with_commas(
+                  static_cast<std::uint64_t>(with_fc.voxels_marked)).c_str());
+  std::printf("\nvirtual-time breakdown (reference machine):\n");
+  std::printf("  ray tracing       %8s  (%5.1f%%)\n",
+              bench::hms(ray_cost).c_str(), 100.0 * ray_cost / total);
+  std::printf("  coherence marking %8s  (%5.1f%%)  <- the paper's ~12%%\n",
+              bench::hms(mark_cost).c_str(), 100.0 * mark_cost / total);
+  std::printf("  pixel bookkeeping %8s  (%5.1f%%)\n",
+              bench::hms(pixel_cost).c_str(), 100.0 * pixel_cost / total);
+  std::printf("  frame setup+write %8s\n",
+              bench::hms(cost.seconds_per_frame_setup +
+                         cost.master_frame_write_seconds).c_str());
+  std::printf("  total first frame %8s (without coherence: %8s)\n",
+              bench::hms(total).c_str(),
+              bench::hms(cost.frame_compute_seconds(without_fc) +
+                         cost.master_frame_write_seconds).c_str());
+
+  std::printf("\nactual wall clock on this machine:\n");
+  std::printf("  with coherence    %7.3f s\n", wall_fc);
+  std::printf("  without           %7.3f s\n", wall_plain);
+  std::printf("  real overhead     %6.1f%%\n",
+              100.0 * (wall_fc - wall_plain) / wall_fc);
+  std::printf("\npaper reference: 12%% of first-frame generation time\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace now
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  return now::run(quick);
+}

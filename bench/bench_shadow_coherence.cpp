@@ -1,0 +1,122 @@
+// Section 2 feature: "we are also exploring the use of frame coherence in
+// the generation of shadows" (and future work: "development of frame
+// coherence algorithms with shadow generation").
+//
+// Measures what shadow-ray marking costs and buys:
+//   1. shadows on,  shadow marking on   — the paper's full algorithm
+//   2. shadows off, shadow marking n/a  — how much of the marking volume
+//                                         and dirty traffic shadows cause
+//   3. correctness probe: with shadows on, disabling shadow marking MUST
+//      break coherence (an occluder's motion goes unnoticed) — the harness
+//      demonstrates the resulting false negatives on a crafted scene.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+#include "src/par/serial.h"
+
+namespace now {
+namespace {
+
+void report(const char* label, const SerialResult& r) {
+  std::printf("%-34s %14s %14s %12s %10s\n", label,
+              bench::with_commas(r.stats.total_rays()).c_str(),
+              bench::with_commas(
+                  static_cast<std::uint64_t>(r.voxels_marked)).c_str(),
+              bench::with_commas(
+                  static_cast<std::uint64_t>(r.pixels_recomputed)).c_str(),
+              bench::hms(r.virtual_seconds).c_str());
+}
+
+/// A scene built so that the ONLY thing changing a pixel is an occluder
+/// moving across a light: camera sees a wall; a ball slides between the
+/// light and the wall, off-camera.
+AnimatedScene occluder_scene() {
+  AnimatedScene scene;
+  scene.set_resolution(96, 72);
+  scene.set_frames(6, 10.0);
+  scene.set_background(Color::black());
+  scene.set_camera(Camera{{0, 1, 5}, {0, 1, 0}, {0, 1, 0}, 40.0, 96.0 / 72.0});
+  const int wall_mat = scene.add_material(Material::matte(Color::gray(0.8)));
+  const int ball_mat = scene.add_material(Material::matte(Color::gray(0.3)));
+  scene.add_object("wall", std::make_unique<Plane>(Vec3{0, 0, 1}, -1.0),
+                   wall_mat);
+  // The occluder slides between the light (above/right of camera) and the
+  // wall, staying outside the camera frustum's view of itself.
+  Spline path(InterpMode::kLinear);
+  path.add_key(0.0, {0, 0, 0});
+  path.add_key(0.5, {3.0, 0, 0});
+  scene.add_object("occluder",
+                   std::make_unique<Sphere>(Vec3{-1.5, 4.0, 1.5}, 1.0),
+                   ball_mat, std::make_unique<KeyframeAnimator>(std::move(path)));
+  scene.add_light(Light::point({0, 8, 4}, Color::white(), 1.0));
+  return scene;
+}
+
+int run(bool quick) {
+  CradleParams params;
+  params.frames = quick ? 10 : 45;
+  params.width = quick ? 160 : 320;
+  params.height = quick ? 120 : 240;
+  const AnimatedScene scene = newton_cradle_scene(params);
+
+  std::printf("shadow coherence — Newton, %d frames at %dx%d\n\n",
+              scene.frame_count(), scene.width(), scene.height());
+  std::printf("%-34s %14s %14s %12s %10s\n", "configuration", "rays",
+              "voxel marks", "recomputed", "total");
+  bench::print_rule(90);
+
+  {
+    CoherenceOptions options;  // shadows on, shadow marking on
+    report("shadows on, shadow marking on", render_serial(scene, options));
+  }
+  {
+    CoherenceOptions options;
+    options.trace.shadows = false;
+    options.record_shadow_rays = false;
+    report("shadows off (no shadow work)", render_serial(scene, options));
+  }
+
+  // Correctness probe.
+  std::printf("\ncorrectness probe: occluder moving outside every camera ray "
+              "path\n");
+  const AnimatedScene probe = occluder_scene();
+  for (const bool mark_shadows : {true, false}) {
+    CoherenceOptions options;
+    options.record_shadow_rays = mark_shadows;
+    CoherentRenderer renderer(
+        probe, {0, 0, probe.width(), probe.height()}, options);
+    Framebuffer fb(probe.width(), probe.height());
+    std::int64_t mismatched_frames = 0;
+    for (int f = 0; f < probe.frame_count(); ++f) {
+      renderer.render_frame(f, &fb);
+      const Framebuffer ref =
+          render_world(probe.world_at(f), probe.width(), probe.height(),
+                       options.trace);
+      if (!(fb == ref)) ++mismatched_frames;
+    }
+    std::printf("  shadow marking %-3s -> %lld/%d frames wrong%s\n",
+                mark_shadows ? "on" : "off",
+                static_cast<long long>(mismatched_frames),
+                probe.frame_count(),
+                mark_shadows ? "  (correct: shadow rays tracked)"
+                             : "  (broken: occluder motion missed)");
+    if (mark_shadows && mismatched_frames != 0) {
+      std::fprintf(stderr, "FATAL: shadow marking on but output wrong\n");
+      return 1;
+    }
+  }
+  std::printf("\nshadow-ray marking is mandatory whenever shadows are "
+              "rendered; its cost is\nthe voxel-marks delta above\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace now
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  return now::run(quick);
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the experiment-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/par/serial.h"
+#include "src/scene/builtin_scenes.h"
+
+namespace now::bench {
+
+/// The paper's workload: the first Newton rendering run — 45 frames at
+/// 76,800 pixels per frame (we use 320×240), 24-bit targa, ray depth 5.
+inline AnimatedScene paper_newton_scene() {
+  CradleParams params;
+  params.frames = 45;
+  params.width = 320;
+  params.height = 240;
+  return newton_cradle_scene(params);
+}
+
+/// The paper's cluster: one 200 MHz Indigo2 (speed 1.0) and two 100 MHz
+/// machines (speed 0.5) on shared 10 Mb/s Ethernet.
+inline std::vector<double> paper_cluster_speeds() { return {1.0, 0.5, 0.5}; }
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline std::string hms(double seconds) { return format_hms(seconds); }
+
+/// "x.xx" speedup formatting.
+inline std::string speedup(double base_seconds, double this_seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", base_seconds / this_seconds);
+  return buf;
+}
+
+inline std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace now::bench

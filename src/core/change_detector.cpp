@@ -1,0 +1,63 @@
+#include "src/core/change_detector.h"
+
+namespace now {
+namespace {
+
+const Primitive* find_object(const World& world, int object_id) {
+  // Scene-built worlds store object id == index; fall back to a scan.
+  if (object_id >= 0 && object_id < world.object_count() &&
+      world.object(object_id).object_id == object_id) {
+    return world.object(object_id).primitive.get();
+  }
+  for (const WorldObject& obj : world.objects()) {
+    if (obj.object_id == object_id) return obj.primitive.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void add_footprint(const VoxelGrid& grid, const Primitive& prim,
+                   std::vector<std::uint32_t>* cells,
+                   std::vector<std::uint8_t>* seen) {
+  int ix0, iy0, iz0, ix1, iy1, iz1;
+  if (!grid.cell_range(prim.bounds(), &ix0, &iy0, &iz0, &ix1, &iy1, &iz1)) {
+    return;
+  }
+  for (int iz = iz0; iz <= iz1; ++iz) {
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      for (int ix = ix0; ix <= ix1; ++ix) {
+        const int cell = grid.cell_index(ix, iy, iz);
+        if ((*seen)[cell]) continue;
+        if (prim.overlaps_box(grid.cell_bounds(ix, iy, iz))) {
+          (*seen)[cell] = 1;
+          cells->push_back(static_cast<std::uint32_t>(cell));
+        }
+      }
+    }
+  }
+}
+
+DirtyVoxels find_dirty_voxels(const VoxelGrid& grid, const World& prev,
+                              const World& next,
+                              const std::vector<int>& changed_ids) {
+  DirtyVoxels out;
+  if (changed_ids.empty()) return out;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(grid.cell_count()), 0);
+  for (const int id : changed_ids) {
+    for (const World* world : {&prev, &next}) {
+      const Primitive* prim = find_object(*world, id);
+      if (prim == nullptr) continue;  // object absent in this frame
+      if (!prim->is_bounded()) {
+        // A moving plane can sweep anywhere: dirty everything.
+        out.all_dirty = true;
+        out.cells.clear();
+        return out;
+      }
+      add_footprint(grid, *prim, &out.cells, &seen);
+    }
+  }
+  return out;
+}
+
+}  // namespace now

@@ -1,0 +1,43 @@
+// ChangeDetector: "find the voxels in which change occurs in the next frame
+// as compared with this one" (Figure 3).
+//
+// For every object whose transform changed between the frames, the voxels
+// overlapped by its geometry in the *old* frame (it left them) and in the
+// *new* frame (it entered them) are dirty. Overlap uses each primitive's
+// conservative overlaps_box() test, so the dirty voxel set is a superset of
+// the truth — required for correctness, never for tightness.
+//
+// Moves of unbounded primitives (planes) dirty the entire grid, as does a
+// light-set or camera change (callers normally handle those by full
+// re-render instead).
+#pragma once
+
+#include <vector>
+
+#include "src/geom/voxel_grid.h"
+#include "src/trace/world.h"
+
+namespace now {
+
+struct DirtyVoxels {
+  /// Cell indices, each listed once, unordered.
+  std::vector<std::uint32_t> cells;
+  bool all_dirty = false;  // a conservative full invalidation
+
+  bool empty() const { return !all_dirty && cells.empty(); }
+};
+
+/// Compute the dirty voxels for the transition prev → next. `changed_ids`
+/// are the scene object ids whose transforms differ between the frames
+/// (AnimatedScene::changed_objects); both worlds must carry those ids.
+DirtyVoxels find_dirty_voxels(const VoxelGrid& grid, const World& prev,
+                              const World& next,
+                              const std::vector<int>& changed_ids);
+
+/// Rasterize one primitive's voxel footprint into `cells` (deduplicated via
+/// `seen`, a bitset of grid.cell_count() entries).
+void add_footprint(const VoxelGrid& grid, const Primitive& prim,
+                   std::vector<std::uint32_t>* cells,
+                   std::vector<std::uint8_t>* seen);
+
+}  // namespace now

@@ -1,0 +1,84 @@
+#include "src/core/coherence_grid.h"
+
+#include <cassert>
+
+namespace now {
+
+CoherenceGrid::CoherenceGrid(const VoxelGrid& grid, const PixelRect& region)
+    : grid_(grid),
+      region_(region),
+      cells_(static_cast<std::size_t>(grid.cell_count())),
+      pixel_epoch_(static_cast<std::size_t>(region.area()), 0),
+      pixel_marks_(static_cast<std::size_t>(region.area()), 0) {}
+
+void CoherenceGrid::mark(int cell, int x, int y) {
+  assert(region_.contains(x, y));
+  const std::uint32_t pixel = local_index(x, y);
+  const std::uint32_t epoch = pixel_epoch_[pixel];
+  std::vector<Mark>& list = cells_[cell];
+  // Successive rays of one pixel often pierce the same voxel; skipping the
+  // immediate duplicate removes most of that redundancy for free.
+  if (!list.empty() && list.back().pixel == pixel &&
+      list.back().epoch == epoch) {
+    return;
+  }
+  list.push_back({pixel, epoch});
+  ++stats_.total_marks;
+  ++stats_.live_marks;
+  ++pixel_marks_[pixel];
+}
+
+void CoherenceGrid::begin_pixel(int x, int y) {
+  const std::uint32_t pixel = local_index(x, y);
+  ++pixel_epoch_[pixel];
+  stats_.live_marks -= pixel_marks_[pixel];
+  pixel_marks_[pixel] = 0;
+}
+
+void CoherenceGrid::reset() {
+  for (auto& list : cells_) list.clear();
+  std::fill(pixel_epoch_.begin(), pixel_epoch_.end(), 0);
+  std::fill(pixel_marks_.begin(), pixel_marks_.end(), 0);
+  stats_.live_marks = 0;
+  stats_.total_marks = 0;
+}
+
+void CoherenceGrid::collect_pixels(const std::vector<std::uint32_t>& cells,
+                                   PixelMask* out) {
+  for (const std::uint32_t cell : cells) {
+    std::vector<Mark>& list = cells_[cell];
+    std::size_t keep = 0;
+    for (const Mark& m : list) {
+      if (m.epoch != pixel_epoch_[m.pixel]) continue;  // stale: drop
+      list[keep++] = m;
+      const int x = region_.x0 + static_cast<int>(m.pixel) % region_.width;
+      const int y = region_.y0 + static_cast<int>(m.pixel) / region_.width;
+      out->set(x, y, true);
+    }
+    stats_.total_marks -= static_cast<std::int64_t>(list.size() - keep);
+    list.resize(keep);
+  }
+}
+
+void CoherenceGrid::compact_cell(std::vector<Mark>& list) {
+  std::size_t keep = 0;
+  for (const Mark& m : list) {
+    if (m.epoch == pixel_epoch_[m.pixel]) list[keep++] = m;
+  }
+  stats_.total_marks -= static_cast<std::int64_t>(list.size() - keep);
+  list.resize(keep);
+}
+
+bool CoherenceGrid::maybe_compact(double stale_fraction) {
+  const std::int64_t stale = stats_.total_marks - stats_.live_marks;
+  if (stats_.total_marks == 0 ||
+      static_cast<double>(stale) <
+          stale_fraction * static_cast<double>(stats_.total_marks)) {
+    return false;
+  }
+  for (auto& list : cells_) compact_cell(list);
+  ++stats_.compactions;
+  return true;
+}
+
+}  // namespace now

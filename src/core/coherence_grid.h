@@ -1,0 +1,87 @@
+// CoherenceGrid: the voxel → pixel-list data structure at the heart of the
+// paper's frame-coherence algorithm (Figure 3).
+//
+// "As rays are fired during the rendering process, the frame coherence
+//  algorithm tracks their paths and marks all of the voxels that they pass
+//  through. ... If a particular voxel experiences some sort of change in the
+//  next frame, all of the pixels whose rays pass through that voxel must be
+//  updated."
+//
+// Marks are retired lazily with per-pixel epochs: when a pixel is about to
+// be recomputed its epoch is bumped, which invalidates every mark it left
+// behind; the new computation re-marks its (possibly different) ray paths.
+// Stale entries are dropped whenever a voxel's list is scanned, plus in a
+// global compaction pass when the stale fraction grows too large. Memory is
+// proportional to the tracked pixel region — the property that makes frame
+// division cheaper per worker than sequence division (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/voxel_grid.h"
+#include "src/image/framebuffer.h"
+#include "src/image/image_diff.h"
+
+namespace now {
+
+struct CoherenceGridStats {
+  std::int64_t live_marks = 0;
+  std::int64_t total_marks = 0;  // live + stale currently stored
+  std::int64_t compactions = 0;
+  std::int64_t bytes() const {
+    return total_marks * static_cast<std::int64_t>(2 * sizeof(std::uint32_t));
+  }
+};
+
+class CoherenceGrid {
+ public:
+  /// Track pixels of `region` (a subarea of the full image) against `grid`.
+  CoherenceGrid(const VoxelGrid& grid, const PixelRect& region);
+
+  const VoxelGrid& grid() const { return grid_; }
+  const PixelRect& region() const { return region_; }
+
+  /// Append pixel (x, y) — full-image coordinates, must lie in the region —
+  /// to the pixel list of the given voxel cell.
+  void mark(int cell, int x, int y);
+
+  /// The pixel is about to be recomputed: retire all marks it left.
+  void begin_pixel(int x, int y);
+
+  /// Forget everything (used when a full re-render invalidates all state).
+  void reset();
+
+  /// Union of the live pixels of the given voxel cells into `out` (mask in
+  /// full-image coordinates). Scanned lists are compacted in passing.
+  void collect_pixels(const std::vector<std::uint32_t>& cells,
+                      PixelMask* out);
+
+  /// Drop stale marks everywhere when they exceed `stale_fraction` of all
+  /// stored marks. Returns true if a compaction ran.
+  bool maybe_compact(double stale_fraction = 0.5);
+
+  const CoherenceGridStats& stats() const { return stats_; }
+
+ private:
+  struct Mark {
+    std::uint32_t pixel;  // region-local index
+    std::uint32_t epoch;
+  };
+
+  std::uint32_t local_index(int x, int y) const {
+    return static_cast<std::uint32_t>((y - region_.y0) * region_.width +
+                                      (x - region_.x0));
+  }
+
+  void compact_cell(std::vector<Mark>& list);
+
+  VoxelGrid grid_;
+  PixelRect region_;
+  std::vector<std::vector<Mark>> cells_;
+  std::vector<std::uint32_t> pixel_epoch_;  // per region-local pixel
+  std::vector<std::uint32_t> pixel_marks_;  // live marks held per pixel
+  CoherenceGridStats stats_;
+};
+
+}  // namespace now

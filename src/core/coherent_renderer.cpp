@@ -1,0 +1,168 @@
+#include "src/core/coherent_renderer.h"
+
+#include <cassert>
+
+namespace now {
+
+Aabb animation_extent(const AnimatedScene& scene) {
+  Aabb extent;
+  for (int frame = 0; frame < scene.frame_count(); ++frame) {
+    extent.absorb(scene.world_at(frame).bounded_extent());
+  }
+  return extent;
+}
+
+CoherentRenderer::CoherentRenderer(const AnimatedScene& scene,
+                                   const PixelRect& region,
+                                   const CoherenceOptions& options)
+    : scene_(scene), region_(region), options_(options) {
+  const VoxelGrid voxels =
+      options_.grid_override.has_value()
+          ? *options_.grid_override
+          : VoxelGrid::heuristic(animation_extent(scene), scene.object_count(),
+                                 options_.grid_density,
+                                 options_.grid_max_axis);
+  grid_ = std::make_unique<CoherenceGrid>(voxels, region);
+  recorder_ =
+      std::make_unique<RayRecorder>(grid_.get(), options_.record_shadow_rays);
+}
+
+void CoherentRenderer::rebuild_frame_state(int frame) {
+  world_ = scene_.world_at(frame);
+  accel_ = std::make_unique<UniformGridAccelerator>(world_);
+  tracer_ = std::make_unique<Tracer>(world_, *accel_, options_.trace);
+  tracer_->set_listener(options_.enabled ? recorder_.get() : nullptr);
+}
+
+FrameRenderResult CoherentRenderer::render_frame(int frame, Framebuffer* fb) {
+  assert(fb->width() >= region_.x0 + region_.width &&
+         fb->height() >= region_.y0 + region_.height);
+  // A camera or light move invalidates everything the grid knows: restart
+  // with a full render (lights are outside the voxel change model).
+  const bool continues_sequence =
+      options_.enabled && last_frame_ >= 0 && frame == last_frame_ + 1 &&
+      !scene_.camera_changed(last_frame_, frame) &&
+      !scene_.lights_changed(last_frame_, frame);
+
+  FrameRenderResult result;
+  if (continues_sequence) {
+    result = incremental_render(frame, fb);
+  } else {
+    grid_->reset();
+    rebuild_frame_state(frame);
+    result = full_render(fb);
+  }
+  last_frame_ = frame;
+  return result;
+}
+
+FrameRenderResult CoherentRenderer::full_render(Framebuffer* fb) {
+  FrameRenderResult result;
+  result.full_render = true;
+  result.pixels_total = region_.area();
+  result.pixels_recomputed = region_.area();
+  result.recomputed = PixelMask(fb->width(), fb->height());
+  const std::uint64_t marks_before = recorder_->stats().voxels_visited;
+  result.stats = render_region(tracer_.get(), fb, region_);
+  result.voxels_marked = static_cast<std::int64_t>(
+      recorder_->stats().voxels_visited - marks_before);
+  for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
+    for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+      result.recomputed.set(x, y, true);
+    }
+  }
+  return result;
+}
+
+FrameRenderResult CoherentRenderer::incremental_render(int frame,
+                                                       Framebuffer* fb) {
+  FrameRenderResult result;
+  result.pixels_total = region_.area();
+  result.recomputed = PixelMask(fb->width(), fb->height());
+
+  // 1. Which voxels change between the previous frame and this one?
+  World next = scene_.world_at(frame);
+  const std::vector<int> changed = scene_.changed_objects(last_frame_, frame);
+  const DirtyVoxels dirty =
+      find_dirty_voxels(grid_->grid(), world_, next, changed);
+
+  // 2. Which pixels had rays through those voxels?
+  if (dirty.all_dirty) {
+    for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
+      for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+        result.recomputed.set(x, y, true);
+      }
+    }
+    result.dirty_voxels = grid_->grid().cell_count();
+  } else {
+    grid_->collect_pixels(dirty.cells, &result.recomputed);
+    result.dirty_voxels = static_cast<std::int64_t>(dirty.cells.size());
+  }
+  if (options_.block_size > 0) expand_to_blocks(&result.recomputed);
+
+  // 3. Advance to the new frame's geometry and recompute only those pixels.
+  const std::uint64_t marks_before = recorder_->stats().voxels_visited;
+  world_ = std::move(next);
+  accel_ = std::make_unique<UniformGridAccelerator>(world_);
+  tracer_ = std::make_unique<Tracer>(world_, *accel_, options_.trace);
+  tracer_->set_listener(recorder_.get());
+
+  for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
+    for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+      if (!result.recomputed.at(x, y)) continue;
+      grid_->begin_pixel(x, y);
+      fb->set(x, y, tracer_->shade_pixel(x, y, fb->width(), fb->height()));
+      ++result.pixels_recomputed;
+    }
+  }
+  result.stats = tracer_->stats();  // fresh tracer: stats started at zero
+  result.voxels_marked = static_cast<std::int64_t>(
+      recorder_->stats().voxels_visited - marks_before);
+
+  grid_->maybe_compact();
+  return result;
+}
+
+void CoherentRenderer::expand_to_blocks(PixelMask* mask) const {
+  const int bs = options_.block_size;
+  const int bx = (region_.width + bs - 1) / bs;
+  const int by = (region_.height + bs - 1) / bs;
+  std::vector<std::uint8_t> block_dirty(static_cast<std::size_t>(bx) * by, 0);
+  for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
+    for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+      if (mask->at(x, y)) {
+        const int b = ((y - region_.y0) / bs) * bx + (x - region_.x0) / bs;
+        block_dirty[b] = 1;
+      }
+    }
+  }
+  for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
+    for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+      const int b = ((y - region_.y0) / bs) * bx + (x - region_.x0) / bs;
+      if (block_dirty[b]) mask->set(x, y, true);
+    }
+  }
+}
+
+PixelMask CoherentRenderer::predict_dirty(int next_frame) const {
+  assert(last_frame_ >= 0 && next_frame == last_frame_ + 1);
+  PixelMask mask(scene_.width(), scene_.height());
+  const World next = scene_.world_at(next_frame);
+  const std::vector<int> changed =
+      scene_.changed_objects(last_frame_, next_frame);
+  const DirtyVoxels dirty =
+      find_dirty_voxels(grid_->grid(), world_, next, changed);
+  if (dirty.all_dirty) {
+    for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
+      for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+        mask.set(x, y, true);
+      }
+    }
+  } else {
+    grid_->collect_pixels(dirty.cells, &mask);
+  }
+  if (options_.block_size > 0) expand_to_blocks(&mask);
+  return mask;
+}
+
+}  // namespace now

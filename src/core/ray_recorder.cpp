@@ -1,0 +1,21 @@
+#include "src/core/ray_recorder.h"
+
+namespace now {
+
+void RayRecorder::on_segment(int px, int py, const Ray& ray, double t_end,
+                             RayKind kind) {
+  if (kind == RayKind::kShadow && !record_shadow_rays_) return;
+  ++stats_.segments;
+  const VoxelGrid& vg = grid_->grid();
+  // Extend fractionally past the hit so the voxel containing the hit point
+  // is marked even when the hit lies exactly on a cell boundary.
+  const double limit =
+      t_end >= kRayInfinity ? kRayInfinity : t_end * (1.0 + 1e-9) + 1e-12;
+  vg.walk(ray, 0.0, limit, [&](int ix, int iy, int iz, double, double) {
+    grid_->mark(vg.cell_index(ix, iy, iz), px, py);
+    ++stats_.voxels_visited;
+    return true;
+  });
+}
+
+}  // namespace now

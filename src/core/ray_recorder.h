@@ -1,0 +1,40 @@
+// RayRecorder: the RayListener that implements the inner loop of Figure 3 —
+//   "for each voxel that a ray associated with this pixel intersects,
+//    add the pixel to the voxel's pixel list."
+//
+// Each reported ray segment is walked through the coherence grid with the
+// 3D-DDA (the paper's "modified 3D-DDA algorithm"), clipped at the segment's
+// termination parameter: objects behind a hit point cannot affect the pixel,
+// so voxels beyond it are not marked. Shadow-ray marking can be disabled to
+// measure the cost/benefit of the paper's shadow-coherence feature (only
+// valid with shadows off, otherwise occluder motion would be missed).
+#pragma once
+
+#include "src/core/coherence_grid.h"
+#include "src/trace/tracer.h"
+
+namespace now {
+
+struct RayRecorderStats {
+  std::uint64_t segments = 0;
+  std::uint64_t voxels_visited = 0;
+};
+
+class RayRecorder final : public RayListener {
+ public:
+  explicit RayRecorder(CoherenceGrid* grid, bool record_shadow_rays = true)
+      : grid_(grid), record_shadow_rays_(record_shadow_rays) {}
+
+  void on_segment(int px, int py, const Ray& ray, double t_end,
+                  RayKind kind) override;
+
+  const RayRecorderStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  CoherenceGrid* grid_;
+  bool record_shadow_rays_;
+  RayRecorderStats stats_;
+};
+
+}  // namespace now

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "src/geom/primitive.h"
+
+namespace now {
+
+/// Capped cylinder between endpoints p0 and p1 with the given radius.
+/// The Newton cradle's frame and strings are built from these.
+class Cylinder final : public Primitive {
+ public:
+  Cylinder(const Vec3& p0, const Vec3& p1, double radius)
+      : p0_(p0), p1_(p1), radius_(radius) {}
+
+  ShapeType type() const override { return ShapeType::kCylinder; }
+  bool intersect(const Ray& ray, double t_min, double t_max,
+                 Hit* hit) const override;
+  Aabb bounds() const override;
+
+  /// Conservative: capsule (cylinder + spherical caps) vs box. A superset of
+  /// the capped cylinder, as the change detector requires.
+  bool overlaps_box(const Aabb& box) const override;
+
+  std::unique_ptr<Primitive> transformed(const Transform& t) const override;
+  std::unique_ptr<Primitive> clone() const override;
+
+  const Vec3& p0() const { return p0_; }
+  const Vec3& p1() const { return p1_; }
+  double radius() const { return radius_; }
+
+ private:
+  Vec3 p0_;
+  Vec3 p1_;
+  double radius_;
+};
+
+}  // namespace now

@@ -1,0 +1,39 @@
+#include "src/geom/disc.h"
+
+#include <algorithm>
+
+namespace now {
+
+bool Disc::intersect(const Ray& ray, double t_min, double t_max,
+                     Hit* hit) const {
+  const double denom = dot(normal_, ray.direction);
+  if (std::fabs(denom) < 1e-12) return false;
+  const double t = dot(center_ - ray.origin, normal_) / denom;
+  if (t <= t_min || t >= t_max) return false;
+  const Vec3 p = ray.at(t);
+  if ((p - center_).length_squared() > radius_ * radius_) return false;
+  hit->t = t;
+  hit->point = p;
+  hit->set_normal(ray, normal_);
+  return true;
+}
+
+Aabb Disc::bounds() const {
+  Vec3 pad;
+  for (int i = 0; i < 3; ++i) {
+    const double s = 1.0 - normal_[i] * normal_[i];
+    pad[i] = radius_ * std::sqrt(std::max(0.0, s)) + 1e-9;
+  }
+  return {center_ - pad, center_ + pad};
+}
+
+std::unique_ptr<Primitive> Disc::transformed(const Transform& t) const {
+  return std::make_unique<Disc>(t.apply_point(center_),
+                                t.apply_direction(normal_), radius_ * t.scale);
+}
+
+std::unique_ptr<Primitive> Disc::clone() const {
+  return std::make_unique<Disc>(*this);
+}
+
+}  // namespace now

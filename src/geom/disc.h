@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/geom/primitive.h"
+
+namespace now {
+
+/// Flat disc: center, unit normal, radius.
+class Disc final : public Primitive {
+ public:
+  Disc(const Vec3& center, const Vec3& unit_normal, double radius)
+      : center_(center), normal_(unit_normal), radius_(radius) {}
+
+  ShapeType type() const override { return ShapeType::kDisc; }
+  bool intersect(const Ray& ray, double t_min, double t_max,
+                 Hit* hit) const override;
+  Aabb bounds() const override;
+  std::unique_ptr<Primitive> transformed(const Transform& t) const override;
+  std::unique_ptr<Primitive> clone() const override;
+
+  const Vec3& center() const { return center_; }
+  const Vec3& normal() const { return normal_; }
+  double radius() const { return radius_; }
+
+ private:
+  Vec3 center_;
+  Vec3 normal_;
+  double radius_;
+};
+
+}  // namespace now

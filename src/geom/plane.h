@@ -1,0 +1,33 @@
+#pragma once
+
+#include "src/geom/primitive.h"
+
+namespace now {
+
+/// Infinite plane n·x = d with unit normal n. The only unbounded primitive;
+/// the grid accelerator keeps planes on a separate always-tested list.
+class Plane final : public Primitive {
+ public:
+  Plane(const Vec3& unit_normal, double d) : normal_(unit_normal), d_(d) {}
+
+  /// Plane through `point` with the given (not necessarily unit) normal.
+  static Plane through(const Vec3& point, const Vec3& normal);
+
+  ShapeType type() const override { return ShapeType::kPlane; }
+  bool intersect(const Ray& ray, double t_min, double t_max,
+                 Hit* hit) const override;
+  Aabb bounds() const override { return {}; }
+  bool is_bounded() const override { return false; }
+  bool overlaps_box(const Aabb& box) const override;
+  std::unique_ptr<Primitive> transformed(const Transform& t) const override;
+  std::unique_ptr<Primitive> clone() const override;
+
+  const Vec3& normal() const { return normal_; }
+  double d() const { return d_; }
+
+ private:
+  Vec3 normal_;
+  double d_;
+};
+
+}  // namespace now

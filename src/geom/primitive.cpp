@@ -1,0 +1,18 @@
+#include "src/geom/primitive.h"
+
+namespace now {
+
+const char* to_string(ShapeType type) {
+  switch (type) {
+    case ShapeType::kSphere: return "sphere";
+    case ShapeType::kPlane: return "plane";
+    case ShapeType::kBox: return "box";
+    case ShapeType::kCylinder: return "cylinder";
+    case ShapeType::kDisc: return "disc";
+    case ShapeType::kTriangle: return "triangle";
+    case ShapeType::kMesh: return "mesh";
+  }
+  return "unknown";
+}
+
+}  // namespace now

@@ -1,0 +1,44 @@
+#include "src/geom/sphere.h"
+
+#include "src/geom/overlap.h"
+
+namespace now {
+
+bool Sphere::intersect(const Ray& ray, double t_min, double t_max,
+                       Hit* hit) const {
+  const Vec3 oc = ray.origin - center_;
+  const double a = ray.direction.length_squared();
+  const double half_b = dot(oc, ray.direction);
+  const double c = oc.length_squared() - radius_ * radius_;
+  const double disc = half_b * half_b - a * c;
+  if (disc < 0.0) return false;
+  const double sqrt_disc = std::sqrt(disc);
+  double root = (-half_b - sqrt_disc) / a;
+  if (root <= t_min || root >= t_max) {
+    root = (-half_b + sqrt_disc) / a;
+    if (root <= t_min || root >= t_max) return false;
+  }
+  hit->t = root;
+  hit->point = ray.at(root);
+  hit->set_normal(ray, (hit->point - center_) / radius_);
+  return true;
+}
+
+Aabb Sphere::bounds() const {
+  const Vec3 r{radius_, radius_, radius_};
+  return {center_ - r, center_ + r};
+}
+
+bool Sphere::overlaps_box(const Aabb& box) const {
+  return point_box_distance_squared(center_, box) <= radius_ * radius_;
+}
+
+std::unique_ptr<Primitive> Sphere::transformed(const Transform& t) const {
+  return std::make_unique<Sphere>(t.apply_point(center_), radius_ * t.scale);
+}
+
+std::unique_ptr<Primitive> Sphere::clone() const {
+  return std::make_unique<Sphere>(*this);
+}
+
+}  // namespace now

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "src/geom/primitive.h"
+
+namespace now {
+
+class Sphere final : public Primitive {
+ public:
+  Sphere(const Vec3& center, double radius) : center_(center), radius_(radius) {}
+
+  ShapeType type() const override { return ShapeType::kSphere; }
+  bool intersect(const Ray& ray, double t_min, double t_max,
+                 Hit* hit) const override;
+  Aabb bounds() const override;
+  bool overlaps_box(const Aabb& box) const override;
+  std::unique_ptr<Primitive> transformed(const Transform& t) const override;
+  std::unique_ptr<Primitive> clone() const override;
+
+  const Vec3& center() const { return center_; }
+  double radius() const { return radius_; }
+
+ private:
+  Vec3 center_;
+  double radius_;
+};
+
+}  // namespace now

@@ -1,0 +1,186 @@
+#include "src/geom/triangle.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/geom/overlap.h"
+
+namespace now {
+namespace {
+
+/// Moller-Trumbore intersection. Reports the geometric (unoriented) normal.
+bool intersect_triangle(const Vec3& v0, const Vec3& v1, const Vec3& v2,
+                        const Ray& ray, double t_min, double t_max,
+                        double* t_out, Vec3* normal_out) {
+  const Vec3 e1 = v1 - v0;
+  const Vec3 e2 = v2 - v0;
+  const Vec3 p = cross(ray.direction, e2);
+  const double det = dot(e1, p);
+  if (std::fabs(det) < 1e-14) return false;
+  const double inv_det = 1.0 / det;
+  const Vec3 s = ray.origin - v0;
+  const double u = dot(s, p) * inv_det;
+  if (u < 0.0 || u > 1.0) return false;
+  const Vec3 q = cross(s, e1);
+  const double v = dot(ray.direction, q) * inv_det;
+  if (v < 0.0 || u + v > 1.0) return false;
+  const double t = dot(e2, q) * inv_det;
+  if (t <= t_min || t >= t_max) return false;
+  *t_out = t;
+  *normal_out = cross(e1, e2).normalized();
+  return true;
+}
+
+}  // namespace
+
+bool Triangle::intersect(const Ray& ray, double t_min, double t_max,
+                         Hit* hit) const {
+  double t;
+  Vec3 normal;
+  if (!intersect_triangle(v0_, v1_, v2_, ray, t_min, t_max, &t, &normal)) {
+    return false;
+  }
+  hit->t = t;
+  hit->point = ray.at(t);
+  hit->set_normal(ray, normal);
+  return true;
+}
+
+Aabb Triangle::bounds() const {
+  const Vec3 pts[3] = {v0_, v1_, v2_};
+  return Aabb::of_points(pts, 3).padded(1e-9);
+}
+
+bool Triangle::overlaps_box(const Aabb& box) const {
+  return triangle_overlaps_box(v0_, v1_, v2_, box);
+}
+
+std::unique_ptr<Primitive> Triangle::transformed(const Transform& t) const {
+  return std::make_unique<Triangle>(t.apply_point(v0_), t.apply_point(v1_),
+                                    t.apply_point(v2_));
+}
+
+std::unique_ptr<Primitive> Triangle::clone() const {
+  return std::make_unique<Triangle>(*this);
+}
+
+Mesh::Mesh(std::vector<Vec3> vertices, std::vector<int> indices)
+    : vertices_(std::move(vertices)), indices_(std::move(indices)) {
+  assert(indices_.size() % 3 == 0);
+  const int tri_count = triangle_count();
+  order_.resize(tri_count);
+  for (int i = 0; i < tri_count; ++i) order_[i] = i;
+  for (const Vec3& v : vertices_) bounds_.absorb(v);
+  bounds_ = bounds_.padded(1e-9);
+  if (tri_count > 0) {
+    nodes_.reserve(static_cast<std::size_t>(2 * tri_count));
+    std::vector<int> tris = order_;
+    build_node(tris, 0, tri_count);
+    order_ = tris;
+  }
+}
+
+void Mesh::tri_vertices(int tri, Vec3* a, Vec3* b, Vec3* c) const {
+  *a = vertices_[indices_[3 * tri + 0]];
+  *b = vertices_[indices_[3 * tri + 1]];
+  *c = vertices_[indices_[3 * tri + 2]];
+}
+
+Aabb Mesh::tri_bounds(int tri) const {
+  Vec3 a, b, c;
+  tri_vertices(tri, &a, &b, &c);
+  const Vec3 pts[3] = {a, b, c};
+  return Aabb::of_points(pts, 3);
+}
+
+int Mesh::build_node(std::vector<int>& tris, int begin, int end) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  Aabb box;
+  for (int i = begin; i < end; ++i) box.absorb(tri_bounds(tris[i]));
+  nodes_[node_index].box = box.padded(1e-9);
+
+  constexpr int kLeafSize = 4;
+  if (end - begin <= kLeafSize) {
+    nodes_[node_index].first = begin;
+    nodes_[node_index].count = end - begin;
+    return node_index;
+  }
+  // Median split along the widest axis of the centroid bounds.
+  Aabb centroid_box;
+  for (int i = begin; i < end; ++i) {
+    centroid_box.absorb(tri_bounds(tris[i]).center());
+  }
+  const Vec3 ext = centroid_box.extent();
+  int axis = 0;
+  if (ext.y > ext.x) axis = 1;
+  if (ext.z > ext[axis]) axis = 2;
+  const int mid = (begin + end) / 2;
+  std::nth_element(tris.begin() + begin, tris.begin() + mid,
+                   tris.begin() + end, [&](int a, int b) {
+                     return tri_bounds(a).center()[axis] <
+                            tri_bounds(b).center()[axis];
+                   });
+  const int left = build_node(tris, begin, mid);
+  const int right = build_node(tris, mid, end);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+bool Mesh::intersect(const Ray& ray, double t_min, double t_max,
+                     Hit* hit) const {
+  if (nodes_.empty()) return false;
+  double limit = t_max;
+  return intersect_node(0, ray, t_min, limit, hit);
+}
+
+bool Mesh::intersect_node(int node_index, const Ray& ray, double t_min,
+                          double& t_max, Hit* hit) const {
+  const BvhNode& node = nodes_[node_index];
+  if (!node.box.intersect(ray, t_min, t_max, nullptr, nullptr)) return false;
+  if (node.left < 0) {
+    bool found = false;
+    for (int i = 0; i < node.count; ++i) {
+      const int tri = order_[node.first + i];
+      Vec3 a, b, c;
+      tri_vertices(tri, &a, &b, &c);
+      double t;
+      Vec3 normal;
+      if (intersect_triangle(a, b, c, ray, t_min, t_max, &t, &normal)) {
+        t_max = t;
+        hit->t = t;
+        hit->point = ray.at(t);
+        hit->set_normal(ray, normal);
+        found = true;
+      }
+    }
+    return found;
+  }
+  const bool hit_left = intersect_node(node.left, ray, t_min, t_max, hit);
+  const bool hit_right = intersect_node(node.right, ray, t_min, t_max, hit);
+  return hit_left || hit_right;
+}
+
+bool Mesh::overlaps_box(const Aabb& box) const {
+  if (!bounds_.overlaps(box)) return false;
+  for (int tri = 0; tri < triangle_count(); ++tri) {
+    Vec3 a, b, c;
+    tri_vertices(tri, &a, &b, &c);
+    if (triangle_overlaps_box(a, b, c, box)) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Primitive> Mesh::transformed(const Transform& t) const {
+  std::vector<Vec3> verts;
+  verts.reserve(vertices_.size());
+  for (const Vec3& v : vertices_) verts.push_back(t.apply_point(v));
+  return std::make_unique<Mesh>(std::move(verts), indices_);
+}
+
+std::unique_ptr<Primitive> Mesh::clone() const {
+  return std::make_unique<Mesh>(vertices_, indices_);
+}
+
+}  // namespace now

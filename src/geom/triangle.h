@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geom/primitive.h"
+
+namespace now {
+
+class Triangle final : public Primitive {
+ public:
+  Triangle(const Vec3& v0, const Vec3& v1, const Vec3& v2)
+      : v0_(v0), v1_(v1), v2_(v2) {}
+
+  ShapeType type() const override { return ShapeType::kTriangle; }
+  bool intersect(const Ray& ray, double t_min, double t_max,
+                 Hit* hit) const override;
+  Aabb bounds() const override;
+  bool overlaps_box(const Aabb& box) const override;
+  std::unique_ptr<Primitive> transformed(const Transform& t) const override;
+  std::unique_ptr<Primitive> clone() const override;
+
+  const Vec3& v0() const { return v0_; }
+  const Vec3& v1() const { return v1_; }
+  const Vec3& v2() const { return v2_; }
+
+ private:
+  Vec3 v0_, v1_, v2_;
+};
+
+/// Indexed triangle mesh with an internal median-split BVH so large meshes
+/// don't degrade the tracer to per-triangle linear scans.
+class Mesh final : public Primitive {
+ public:
+  Mesh(std::vector<Vec3> vertices, std::vector<int> indices);
+
+  ShapeType type() const override { return ShapeType::kMesh; }
+  bool intersect(const Ray& ray, double t_min, double t_max,
+                 Hit* hit) const override;
+  Aabb bounds() const override { return bounds_; }
+  bool overlaps_box(const Aabb& box) const override;
+  std::unique_ptr<Primitive> transformed(const Transform& t) const override;
+  std::unique_ptr<Primitive> clone() const override;
+
+  int triangle_count() const { return static_cast<int>(indices_.size()) / 3; }
+  const std::vector<Vec3>& vertices() const { return vertices_; }
+  const std::vector<int>& indices() const { return indices_; }
+
+ private:
+  struct BvhNode {
+    Aabb box;
+    int left = -1;    // child node index, or -1 for leaf
+    int right = -1;
+    int first = 0;    // leaf: first triangle in order_
+    int count = 0;    // leaf: triangle count
+  };
+
+  void tri_vertices(int tri, Vec3* a, Vec3* b, Vec3* c) const;
+  Aabb tri_bounds(int tri) const;
+  int build_node(std::vector<int>& tris, int begin, int end);
+  bool intersect_node(int node, const Ray& ray, double t_min, double& t_max,
+                      Hit* hit) const;
+
+  std::vector<Vec3> vertices_;
+  std::vector<int> indices_;
+  std::vector<int> order_;  // triangle order referenced by BVH leaves
+  std::vector<BvhNode> nodes_;
+  Aabb bounds_;
+};
+
+}  // namespace now

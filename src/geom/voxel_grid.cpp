@@ -1,0 +1,28 @@
+#include "src/geom/voxel_grid.h"
+
+#include <algorithm>
+
+namespace now {
+
+VoxelGrid VoxelGrid::heuristic(const Aabb& extent, int object_count,
+                               double density, int max_axis) {
+  Aabb box = extent;
+  if (box.empty()) box = Aabb{{-1, -1, -1}, {1, 1, 1}};
+  // Pad slightly so geometry sitting exactly on the boundary is interior.
+  box = box.padded(1e-6 * (1.0 + box.extent().length()));
+
+  const Vec3 ext = box.extent();
+  const double volume = std::max(ext.x * ext.y * ext.z, 1e-12);
+  const double cells_target =
+      density * std::cbrt(std::max(object_count, 1) + 0.0);
+  // Cells per axis proportional to the axis length, so voxels stay roughly
+  // cubical regardless of the extent's aspect ratio.
+  const double k = cells_target / std::cbrt(volume);
+  const auto axis_cells = [&](double len) {
+    return std::clamp(static_cast<int>(std::ceil(k * len)), 1, max_axis);
+  };
+  return VoxelGrid(box, axis_cells(ext.x), axis_cells(ext.y),
+                   axis_cells(ext.z));
+}
+
+}  // namespace now

@@ -1,0 +1,139 @@
+// Uniform spatial subdivision: the voxel lattice shared by the grid ray
+// accelerator and the frame-coherence grid (the paper uses one uniform
+// subdivision of object space for both acceleration and coherence marking).
+//
+// Traversal is the Amanatides & Woo 3D-DDA; the paper's "modified 3D-DDA"
+// corresponds to walk() clipped to a ray segment [t_min, t_end].
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+#include "src/math/aabb.h"
+#include "src/math/ray.h"
+
+namespace now {
+
+class VoxelGrid {
+ public:
+  VoxelGrid() = default;
+
+  VoxelGrid(const Aabb& bounds, int nx, int ny, int nz)
+      : bounds_(bounds), nx_(nx), ny_(ny), nz_(nz) {
+    assert(nx > 0 && ny > 0 && nz > 0);
+    const Vec3 ext = bounds.extent();
+    cell_size_ = {ext.x / nx, ext.y / ny, ext.z / nz};
+  }
+
+  /// Grid over `extent` with resolution chosen by the Cleary/Woo heuristic:
+  /// roughly `density * cbrt(object_count)` cells per axis, shaped to the
+  /// extent's aspect ratio, clamped to [1, max_axis].
+  static VoxelGrid heuristic(const Aabb& extent, int object_count,
+                             double density = 3.0, int max_axis = 128);
+
+  bool valid() const { return nx_ > 0; }
+  const Aabb& bounds() const { return bounds_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::int64_t cell_count() const {
+    return std::int64_t{nx_} * ny_ * nz_;
+  }
+  const Vec3& cell_size() const { return cell_size_; }
+
+  int cell_index(int ix, int iy, int iz) const {
+    return (iz * ny_ + iy) * nx_ + ix;
+  }
+
+  Aabb cell_bounds(int ix, int iy, int iz) const {
+    const Vec3 lo{bounds_.lo.x + ix * cell_size_.x,
+                  bounds_.lo.y + iy * cell_size_.y,
+                  bounds_.lo.z + iz * cell_size_.z};
+    return {lo, lo + cell_size_};
+  }
+
+  /// Cell containing `p`, clamped to the grid.
+  void locate(const Vec3& p, int* ix, int* iy, int* iz) const {
+    *ix = clamp_axis((p.x - bounds_.lo.x) / cell_size_.x, nx_);
+    *iy = clamp_axis((p.y - bounds_.lo.y) / cell_size_.y, ny_);
+    *iz = clamp_axis((p.z - bounds_.lo.z) / cell_size_.z, nz_);
+  }
+
+  /// Inclusive cell index range overlapped by `box` (clamped to the grid).
+  /// Returns false when the box misses the grid entirely.
+  bool cell_range(const Aabb& box, int* ix0, int* iy0, int* iz0, int* ix1,
+                  int* iy1, int* iz1) const {
+    if (!bounds_.overlaps(box)) return false;
+    locate(box.lo, ix0, iy0, iz0);
+    locate(box.hi, ix1, iy1, iz1);
+    return true;
+  }
+
+  /// Walk the cells pierced by ray parameter range [t_min, t_max] in order.
+  /// Visitor signature: bool(int ix, int iy, int iz, double t_enter,
+  /// double t_exit); returning false stops the walk early.
+  template <typename Visitor>
+  void walk(const Ray& ray, double t_min, double t_max, Visitor&& visit) const {
+    double t_enter, t_exit;
+    if (!bounds_.intersect(ray, t_min, t_max, &t_enter, &t_exit)) return;
+
+    // Start cell: nudge inside to avoid landing exactly on a face.
+    const double t_start = t_enter + 1e-12 * (1.0 + std::fabs(t_enter));
+    int cell[3];
+    locate(ray.at(t_start), &cell[0], &cell[1], &cell[2]);
+
+    const int n[3] = {nx_, ny_, nz_};
+    int step[3];
+    double t_next[3];
+    double t_delta[3];
+    for (int axis = 0; axis < 3; ++axis) {
+      const double d = ray.direction[axis];
+      if (d > 0.0) {
+        step[axis] = 1;
+        const double edge = bounds_.lo[axis] + (cell[axis] + 1) * cell_size_[axis];
+        t_next[axis] = (edge - ray.origin[axis]) / d;
+        t_delta[axis] = cell_size_[axis] / d;
+      } else if (d < 0.0) {
+        step[axis] = -1;
+        const double edge = bounds_.lo[axis] + cell[axis] * cell_size_[axis];
+        t_next[axis] = (edge - ray.origin[axis]) / d;
+        t_delta[axis] = -cell_size_[axis] / d;
+      } else {
+        step[axis] = 0;
+        t_next[axis] = kRayInfinity;
+        t_delta[axis] = kRayInfinity;
+      }
+    }
+
+    double t = t_enter;
+    for (;;) {
+      // Exit parameter of the current cell.
+      int exit_axis = 0;
+      if (t_next[1] < t_next[exit_axis]) exit_axis = 1;
+      if (t_next[2] < t_next[exit_axis]) exit_axis = 2;
+      const double cell_exit = t_next[exit_axis] < t_exit ? t_next[exit_axis] : t_exit;
+
+      if (!visit(cell[0], cell[1], cell[2], t, cell_exit)) return;
+
+      if (t_next[exit_axis] >= t_exit) return;  // left the t range
+      t = t_next[exit_axis];
+      cell[exit_axis] += step[exit_axis];
+      if (cell[exit_axis] < 0 || cell[exit_axis] >= n[exit_axis]) return;
+      t_next[exit_axis] += t_delta[exit_axis];
+    }
+  }
+
+ private:
+  static int clamp_axis(double v, int n) {
+    const int i = static_cast<int>(std::floor(v));
+    return i < 0 ? 0 : (i >= n ? n - 1 : i);
+  }
+
+  Aabb bounds_;
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  Vec3 cell_size_;
+};
+
+}  // namespace now

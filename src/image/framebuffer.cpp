@@ -1,0 +1,46 @@
+#include "src/image/framebuffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now {
+
+PixelRect PixelRect::intersect(const PixelRect& a, const PixelRect& b) {
+  const int x0 = std::max(a.x0, b.x0);
+  const int y0 = std::max(a.y0, b.y0);
+  const int x1 = std::min(a.x0 + a.width, b.x0 + b.width);
+  const int y1 = std::min(a.y0 + a.height, b.y0 + b.height);
+  return {x0, y0, std::max(0, x1 - x0), std::max(0, y1 - y0)};
+}
+
+Framebuffer::Framebuffer(int width, int height, Rgb8 fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill) {
+  assert(width >= 0 && height >= 0);
+}
+
+void Framebuffer::fill(Rgb8 c) {
+  std::fill(pixels_.begin(), pixels_.end(), c);
+}
+
+void Framebuffer::blit(const PixelRect& rect, const std::vector<Rgb8>& src) {
+  assert(static_cast<int>(src.size()) == rect.area());
+  assert(rect.x0 >= 0 && rect.y0 >= 0);
+  assert(rect.x0 + rect.width <= width_ && rect.y0 + rect.height <= height_);
+  for (int row = 0; row < rect.height; ++row) {
+    std::copy_n(src.begin() + static_cast<std::size_t>(row) * rect.width,
+                rect.width, pixels_.begin() + index(rect.x0, rect.y0 + row));
+  }
+}
+
+std::vector<Rgb8> Framebuffer::extract(const PixelRect& rect) const {
+  std::vector<Rgb8> out(static_cast<std::size_t>(rect.area()));
+  for (int row = 0; row < rect.height; ++row) {
+    std::copy_n(pixels_.begin() + index(rect.x0, rect.y0 + row), rect.width,
+                out.begin() + static_cast<std::size_t>(row) * rect.width);
+  }
+  return out;
+}
+
+}  // namespace now

@@ -1,0 +1,80 @@
+// Framebuffer: the 24-bit image the renderer produces.
+//
+// Pixels are stored as quantized 8-bit RGB (matching the paper's 24-bit targa
+// output) rather than floats: the frame-coherence guarantee is byte-identical
+// output, and quantizing at write time makes "identical" well defined.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/math/vec3.h"
+
+namespace now {
+
+struct Rgb8 {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  bool operator==(const Rgb8&) const = default;
+};
+
+/// A rectangular pixel region [x0, x0+width) × [y0, y0+height) in image
+/// coordinates. Used for frame-division work assignment and pixel returns.
+struct PixelRect {
+  int x0 = 0;
+  int y0 = 0;
+  int width = 0;
+  int height = 0;
+
+  int area() const { return width * height; }
+  bool empty() const { return width <= 0 || height <= 0; }
+  bool contains(int x, int y) const {
+    return x >= x0 && x < x0 + width && y >= y0 && y < y0 + height;
+  }
+  bool operator==(const PixelRect&) const = default;
+
+  /// Intersection of two rects (possibly empty).
+  static PixelRect intersect(const PixelRect& a, const PixelRect& b);
+};
+
+class Framebuffer {
+ public:
+  Framebuffer() = default;
+  Framebuffer(int width, int height, Rgb8 fill = {});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int pixel_count() const { return width_ * height_; }
+  PixelRect full_rect() const { return {0, 0, width_, height_}; }
+
+  Rgb8 at(int x, int y) const { return pixels_[index(x, y)]; }
+  void set(int x, int y, Rgb8 c) { pixels_[index(x, y)] = c; }
+  void set(int x, int y, const Color& c) {
+    set(x, y, Rgb8{to_byte(c.r), to_byte(c.g), to_byte(c.b)});
+  }
+
+  const std::vector<Rgb8>& pixels() const { return pixels_; }
+
+  void fill(Rgb8 c);
+
+  /// Copy `src` (sized rect.width × rect.height) into this buffer at `rect`.
+  void blit(const PixelRect& rect, const std::vector<Rgb8>& src);
+
+  /// Extract the pixels of `rect` in row-major order.
+  std::vector<Rgb8> extract(const PixelRect& rect) const;
+
+  bool operator==(const Framebuffer& o) const {
+    return width_ == o.width_ && height_ == o.height_ && pixels_ == o.pixels_;
+  }
+
+  int index(int x, int y) const { return y * width_ + x; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb8> pixels_;
+};
+
+}  // namespace now

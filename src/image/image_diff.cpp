@@ -1,0 +1,88 @@
+#include "src/image/image_diff.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+namespace now {
+
+PixelMask::PixelMask(int width, int height, bool value)
+    : width_(width),
+      height_(height),
+      bits_(static_cast<std::size_t>(width) * height, value ? 1 : 0) {}
+
+std::int64_t PixelMask::count() const {
+  return std::accumulate(bits_.begin(), bits_.end(), std::int64_t{0});
+}
+
+PixelMask PixelMask::minus(const PixelMask& other) const {
+  assert(width_ == other.width_ && height_ == other.height_);
+  PixelMask out(width_, height_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = bits_[i] && !other.bits_[i];
+  }
+  return out;
+}
+
+PixelMask PixelMask::union_with(const PixelMask& other) const {
+  assert(width_ == other.width_ && height_ == other.height_);
+  PixelMask out(width_, height_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = bits_[i] || other.bits_[i];
+  }
+  return out;
+}
+
+bool PixelMask::subset_of(const PixelMask& other) const {
+  assert(width_ == other.width_ && height_ == other.height_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] && !other.bits_[i]) return false;
+  }
+  return true;
+}
+
+Framebuffer PixelMask::to_image() const {
+  Framebuffer fb(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const std::uint8_t v = at(x, y) ? 255 : 0;
+      fb.set(x, y, Rgb8{v, v, v});
+    }
+  }
+  return fb;
+}
+
+PixelMask actual_diff_mask(const Framebuffer& prev, const Framebuffer& next) {
+  assert(prev.width() == next.width() && prev.height() == next.height());
+  PixelMask mask(prev.width(), prev.height());
+  for (int y = 0; y < prev.height(); ++y) {
+    for (int x = 0; x < prev.width(); ++x) {
+      mask.set(x, y, !(prev.at(x, y) == next.at(x, y)));
+    }
+  }
+  return mask;
+}
+
+DiffStats diff_stats(const Framebuffer& prev, const Framebuffer& next) {
+  DiffStats stats;
+  stats.total_pixels = prev.pixel_count();
+  stats.changed_pixels = actual_diff_mask(prev, next).count();
+  return stats;
+}
+
+double mean_absolute_error(const Framebuffer& a, const Framebuffer& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  if (a.pixel_count() == 0) return 0.0;
+  std::int64_t sum = 0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      const Rgb8 pa = a.at(x, y);
+      const Rgb8 pb = b.at(x, y);
+      sum += std::abs(int(pa.r) - int(pb.r)) + std::abs(int(pa.g) - int(pb.g)) +
+             std::abs(int(pa.b) - int(pb.b));
+    }
+  }
+  return static_cast<double>(sum) / (3.0 * a.pixel_count());
+}
+
+}  // namespace now

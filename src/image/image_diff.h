@@ -1,0 +1,70 @@
+// Pixel-difference analysis between successive frames.
+//
+// Reproduces Figure 2 of the paper: (a) the *actual* per-pixel difference
+// between two rendered frames and (b) the *predicted* difference computed by
+// the frame-coherence algorithm. Also provides the statistics used by the
+// coherence-accuracy benchmark (false negatives must be zero).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/image/framebuffer.h"
+
+namespace now {
+
+struct DiffStats {
+  std::int64_t total_pixels = 0;
+  std::int64_t changed_pixels = 0;
+
+  double changed_fraction() const {
+    return total_pixels == 0
+               ? 0.0
+               : static_cast<double>(changed_pixels) / static_cast<double>(total_pixels);
+  }
+};
+
+/// Boolean per-pixel mask, row-major; used both for actual diffs and for the
+/// coherence algorithm's predicted dirty sets.
+class PixelMask {
+ public:
+  PixelMask() = default;
+  PixelMask(int width, int height, bool value = false);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool at(int x, int y) const { return bits_[index(x, y)] != 0; }
+  void set(int x, int y, bool v) { bits_[index(x, y)] = v ? 1 : 0; }
+
+  std::int64_t count() const;
+  int pixel_count() const { return width_ * height_; }
+
+  /// this ∧ ¬other — pixels set here but not in `other`.
+  PixelMask minus(const PixelMask& other) const;
+  PixelMask union_with(const PixelMask& other) const;
+
+  /// True when every set pixel of this mask is also set in `other`.
+  bool subset_of(const PixelMask& other) const;
+
+  /// Render as a white-on-black image (paper Figure 2 style).
+  Framebuffer to_image() const;
+
+  bool operator==(const PixelMask&) const = default;
+
+ private:
+  int index(int x, int y) const { return y * width_ + x; }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Exact per-pixel comparison of two equal-sized frames.
+PixelMask actual_diff_mask(const Framebuffer& prev, const Framebuffer& next);
+
+DiffStats diff_stats(const Framebuffer& prev, const Framebuffer& next);
+
+/// Mean absolute per-channel error — convenience for fuzzier comparisons.
+double mean_absolute_error(const Framebuffer& a, const Framebuffer& b);
+
+}  // namespace now

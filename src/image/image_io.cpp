@@ -1,0 +1,142 @@
+#include "src/image/image_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace now {
+namespace {
+
+constexpr int kTgaHeaderSize = 18;
+
+void put_u16le(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+std::uint16_t get_u16le(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool read_file(const std::string& path, std::string* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *bytes = ss.str();
+  return true;
+}
+
+}  // namespace
+
+std::string encode_tga(const Framebuffer& fb) {
+  std::string out;
+  out.reserve(kTgaHeaderSize + static_cast<std::size_t>(fb.pixel_count()) * 3);
+  out.push_back(0);  // id length
+  out.push_back(0);  // no color map
+  out.push_back(2);  // uncompressed true-color
+  out.append(5, '\0');  // color map spec
+  put_u16le(&out, 0);  // x origin
+  put_u16le(&out, 0);  // y origin
+  put_u16le(&out, static_cast<std::uint16_t>(fb.width()));
+  put_u16le(&out, static_cast<std::uint16_t>(fb.height()));
+  out.push_back(24);    // bits per pixel
+  out.push_back(0x20);  // descriptor: top-left origin
+  for (int y = 0; y < fb.height(); ++y) {
+    for (int x = 0; x < fb.width(); ++x) {
+      const Rgb8 p = fb.at(x, y);
+      // TGA stores BGR.
+      out.push_back(static_cast<char>(p.b));
+      out.push_back(static_cast<char>(p.g));
+      out.push_back(static_cast<char>(p.r));
+    }
+  }
+  return out;
+}
+
+bool decode_tga(Framebuffer* fb, const std::string& bytes) {
+  if (bytes.size() < kTgaHeaderSize) return false;
+  const auto* h = reinterpret_cast<const unsigned char*>(bytes.data());
+  const int id_length = h[0];
+  if (h[1] != 0 || h[2] != 2) return false;  // only uncompressed true-color
+  const int width = get_u16le(h + 12);
+  const int height = get_u16le(h + 14);
+  const int bpp = h[16];
+  const bool top_left = (h[17] & 0x20) != 0;
+  if (bpp != 24) return false;
+  const std::size_t need = kTgaHeaderSize + id_length +
+                           static_cast<std::size_t>(width) * height * 3;
+  if (bytes.size() < need) return false;
+  const unsigned char* px = h + kTgaHeaderSize + id_length;
+  *fb = Framebuffer(width, height);
+  for (int row = 0; row < height; ++row) {
+    const int y = top_left ? row : (height - 1 - row);
+    for (int x = 0; x < width; ++x) {
+      fb->set(x, y, Rgb8{px[2], px[1], px[0]});
+      px += 3;
+    }
+  }
+  return true;
+}
+
+bool write_tga(const Framebuffer& fb, const std::string& path) {
+  return write_file(path, encode_tga(fb));
+}
+
+bool read_tga(Framebuffer* fb, const std::string& path) {
+  std::string bytes;
+  return read_file(path, &bytes) && decode_tga(fb, bytes);
+}
+
+bool write_ppm(const Framebuffer& fb, const std::string& path) {
+  std::string out;
+  char header[64];
+  std::snprintf(header, sizeof(header), "P6\n%d %d\n255\n", fb.width(),
+                fb.height());
+  out = header;
+  out.reserve(out.size() + static_cast<std::size_t>(fb.pixel_count()) * 3);
+  for (int y = 0; y < fb.height(); ++y) {
+    for (int x = 0; x < fb.width(); ++x) {
+      const Rgb8 p = fb.at(x, y);
+      out.push_back(static_cast<char>(p.r));
+      out.push_back(static_cast<char>(p.g));
+      out.push_back(static_cast<char>(p.b));
+    }
+  }
+  return write_file(path, out);
+}
+
+bool read_ppm(Framebuffer* fb, const std::string& path) {
+  std::string bytes;
+  if (!read_file(path, &bytes)) return false;
+  std::istringstream in(bytes);
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  if (magic != "P6" || maxval != 255 || width <= 0 || height <= 0) return false;
+  in.get();  // single whitespace after maxval
+  const std::size_t offset = static_cast<std::size_t>(in.tellg());
+  const std::size_t need = static_cast<std::size_t>(width) * height * 3;
+  if (bytes.size() < offset + need) return false;
+  const auto* px = reinterpret_cast<const unsigned char*>(bytes.data()) + offset;
+  *fb = Framebuffer(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      fb->set(x, y, Rgb8{px[0], px[1], px[2]});
+      px += 3;
+    }
+  }
+  return true;
+}
+
+}  // namespace now

@@ -1,0 +1,32 @@
+// Image file I/O: 24-bit uncompressed Targa (the paper's output format) and
+// binary PPM (for easy viewing/diffing with standard tools).
+#pragma once
+
+#include <string>
+
+#include "src/image/framebuffer.h"
+
+namespace now {
+
+/// Write `fb` as an uncompressed 24-bit Targa (type 2, top-left origin).
+/// Returns false on I/O failure.
+bool write_tga(const Framebuffer& fb, const std::string& path);
+
+/// Read a Targa produced by write_tga (type 2, 24-bit, either vertical
+/// origin). Returns false on I/O failure or unsupported format.
+bool read_tga(Framebuffer* fb, const std::string& path);
+
+/// Write `fb` as a binary PPM (P6).
+bool write_ppm(const Framebuffer& fb, const std::string& path);
+
+/// Read a binary PPM (P6, maxval 255).
+bool read_ppm(Framebuffer* fb, const std::string& path);
+
+/// Serialize to an in-memory TGA byte stream (used by tests and by the
+/// master's file-writing path so output is identical regardless of backend).
+std::string encode_tga(const Framebuffer& fb);
+
+/// Decode an in-memory TGA byte stream.
+bool decode_tga(Framebuffer* fb, const std::string& bytes);
+
+}  // namespace now

@@ -1,0 +1,197 @@
+#include "src/image/pixel_codec.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace now {
+namespace {
+
+constexpr std::uint32_t kDenseTag = 0x44454e53;   // "DENS"
+constexpr std::uint32_t kSparseTag = 0x53505253;  // "SPRS"
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_i32(std::string* out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_pixels(std::string* out, const std::vector<Rgb8>& px) {
+  for (const Rgb8& p : px) {
+    out->push_back(static_cast<char>(p.r));
+    out->push_back(static_cast<char>(p.g));
+    out->push_back(static_cast<char>(p.b));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : data_(bytes) {}
+
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    *v = std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool i32(std::int32_t* v) {
+    std::uint32_t u;
+    if (!u32(&u)) return false;
+    *v = static_cast<std::int32_t>(u);
+    return true;
+  }
+
+  bool pixels(std::vector<Rgb8>* px, std::uint32_t count) {
+    if (pos_ + std::size_t{count} * 3 > data_.size()) return false;
+    px->resize(count);
+    const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      (*px)[i] = Rgb8{p[0], p[1], p[2]};
+      p += 3;
+    }
+    pos_ += std::size_t{count} * 3;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::int64_t PixelPayload::carried_pixels() const {
+  if (dense) return rect.area();
+  std::int64_t n = 0;
+  for (const PixelRun& run : runs) n += static_cast<std::int64_t>(run.pixels.size());
+  return n;
+}
+
+PixelPayload make_dense_payload(const Framebuffer& fb, const PixelRect& rect) {
+  PixelPayload payload;
+  payload.rect = rect;
+  payload.dense = true;
+  payload.dense_pixels = fb.extract(rect);
+  return payload;
+}
+
+PixelPayload make_sparse_payload(const Framebuffer& fb, const PixelRect& rect,
+                                 const PixelMask& updated) {
+  PixelPayload payload;
+  payload.rect = rect;
+  payload.dense = false;
+  PixelRun* open = nullptr;
+  for (int row = 0; row < rect.height; ++row) {
+    open = nullptr;  // runs never wrap rows: keeps decoding simple
+    for (int col = 0; col < rect.width; ++col) {
+      const int x = rect.x0 + col;
+      const int y = rect.y0 + row;
+      if (!updated.at(x, y)) {
+        open = nullptr;
+        continue;
+      }
+      if (open == nullptr) {
+        payload.runs.push_back(
+            {static_cast<std::uint32_t>(row * rect.width + col), {}});
+        open = &payload.runs.back();
+      }
+      open->pixels.push_back(fb.at(x, y));
+    }
+  }
+  // Sparse overhead is 8 bytes per run + 4 bytes run count; fall back to
+  // dense when it does not actually save bytes.
+  const std::size_t sparse_bytes =
+      4 + payload.runs.size() * 8 +
+      static_cast<std::size_t>(payload.carried_pixels()) * 3;
+  const std::size_t dense_bytes = static_cast<std::size_t>(rect.area()) * 3;
+  if (sparse_bytes >= dense_bytes) return make_dense_payload(fb, rect);
+  return payload;
+}
+
+void apply_payload(Framebuffer* fb, const PixelPayload& payload) {
+  const PixelRect& rect = payload.rect;
+  if (payload.dense) {
+    fb->blit(rect, payload.dense_pixels);
+    return;
+  }
+  for (const PixelRun& run : payload.runs) {
+    for (std::size_t i = 0; i < run.pixels.size(); ++i) {
+      const std::uint32_t idx = run.offset + static_cast<std::uint32_t>(i);
+      const int x = rect.x0 + static_cast<int>(idx % rect.width);
+      const int y = rect.y0 + static_cast<int>(idx / rect.width);
+      fb->set(x, y, run.pixels[i]);
+    }
+  }
+}
+
+std::string encode_payload(const PixelPayload& payload) {
+  std::string out;
+  put_u32(&out, payload.dense ? kDenseTag : kSparseTag);
+  put_i32(&out, payload.rect.x0);
+  put_i32(&out, payload.rect.y0);
+  put_i32(&out, payload.rect.width);
+  put_i32(&out, payload.rect.height);
+  if (payload.dense) {
+    put_pixels(&out, payload.dense_pixels);
+  } else {
+    put_u32(&out, static_cast<std::uint32_t>(payload.runs.size()));
+    for (const PixelRun& run : payload.runs) {
+      put_u32(&out, run.offset);
+      put_u32(&out, static_cast<std::uint32_t>(run.pixels.size()));
+      put_pixels(&out, run.pixels);
+    }
+  }
+  return out;
+}
+
+bool decode_payload(PixelPayload* payload, const std::string& bytes) {
+  Reader r(bytes);
+  std::uint32_t tag;
+  if (!r.u32(&tag)) return false;
+  if (tag != kDenseTag && tag != kSparseTag) return false;
+  payload->dense = (tag == kDenseTag);
+  payload->dense_pixels.clear();
+  payload->runs.clear();
+  if (!r.i32(&payload->rect.x0) || !r.i32(&payload->rect.y0) ||
+      !r.i32(&payload->rect.width) || !r.i32(&payload->rect.height)) {
+    return false;
+  }
+  if (payload->rect.width < 0 || payload->rect.height < 0) return false;
+  if (payload->dense) {
+    const std::int64_t n = payload->rect.area();
+    if (!r.pixels(&payload->dense_pixels, static_cast<std::uint32_t>(n))) return false;
+  } else {
+    std::uint32_t run_count;
+    if (!r.u32(&run_count)) return false;
+    const std::uint32_t rect_pixels = static_cast<std::uint32_t>(payload->rect.area());
+    payload->runs.reserve(run_count);
+    for (std::uint32_t i = 0; i < run_count; ++i) {
+      PixelRun run;
+      std::uint32_t count;
+      if (!r.u32(&run.offset) || !r.u32(&count)) return false;
+      if (run.offset > rect_pixels || count > rect_pixels - run.offset) return false;
+      if (!r.pixels(&run.pixels, count)) return false;
+      payload->runs.push_back(std::move(run));
+    }
+  }
+  return r.done();
+}
+
+std::size_t encoded_size(const PixelPayload& payload) {
+  std::size_t size = 4 + 16;  // tag + rect
+  if (payload.dense) {
+    size += payload.dense_pixels.size() * 3;
+  } else {
+    size += 4;
+    for (const PixelRun& run : payload.runs) size += 8 + run.pixels.size() * 3;
+  }
+  return size;
+}
+
+}  // namespace now

@@ -1,0 +1,56 @@
+// Wire encoding for pixel results returned from workers to the master.
+//
+// A worker that exploited frame coherence recomputed only a sparse subset of
+// its pixels, so sending the full region every frame would waste the shared
+// Ethernet (the paper's network is 10 Mb/s for the whole cluster). The codec
+// supports two layouts and pickers choose the smaller:
+//   dense  — every pixel of the rect, row-major (3 bytes/pixel)
+//   sparse — run-length spans of updated pixels within the rect
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/image/framebuffer.h"
+#include "src/image/image_diff.h"
+
+namespace now {
+
+/// One run of consecutive (row-major within the rect) updated pixels.
+struct PixelRun {
+  std::uint32_t offset = 0;  // first pixel index within the rect
+  std::vector<Rgb8> pixels;
+};
+
+struct PixelPayload {
+  PixelRect rect;
+  bool dense = true;
+  std::vector<Rgb8> dense_pixels;   // when dense
+  std::vector<PixelRun> runs;       // when sparse
+
+  /// Number of pixels carried (all runs or the whole rect).
+  std::int64_t carried_pixels() const;
+};
+
+/// Build a dense payload covering `rect` from `fb`.
+PixelPayload make_dense_payload(const Framebuffer& fb, const PixelRect& rect);
+
+/// Build a sparse payload carrying only pixels of `rect` set in `updated`
+/// (mask indexed in full-image coordinates). Falls back to dense when the
+/// sparse encoding would be larger.
+PixelPayload make_sparse_payload(const Framebuffer& fb, const PixelRect& rect,
+                                 const PixelMask& updated);
+
+/// Apply a payload onto a full-size framebuffer.
+void apply_payload(Framebuffer* fb, const PixelPayload& payload);
+
+/// Serialize / deserialize. Deserialization validates structure and returns
+/// false on malformed input (never reads out of bounds).
+std::string encode_payload(const PixelPayload& payload);
+bool decode_payload(PixelPayload* payload, const std::string& bytes);
+
+/// Exact wire size of the encoded payload, used by the Ethernet cost model.
+std::size_t encoded_size(const PixelPayload& payload);
+
+}  // namespace now

@@ -1,0 +1,69 @@
+#include "src/math/aabb.h"
+
+#include <algorithm>
+
+namespace now {
+
+double Aabb::surface_area() const {
+  if (empty()) return 0.0;
+  const Vec3 e = extent();
+  return 2.0 * (e.x * e.y + e.y * e.z + e.z * e.x);
+}
+
+double Aabb::volume() const {
+  if (empty()) return 0.0;
+  const Vec3 e = extent();
+  return e.x * e.y * e.z;
+}
+
+void Aabb::absorb(const Vec3& p) {
+  lo = min(lo, p);
+  hi = max(hi, p);
+}
+
+void Aabb::absorb(const Aabb& o) {
+  if (o.empty()) return;
+  lo = min(lo, o.lo);
+  hi = max(hi, o.hi);
+}
+
+Aabb Aabb::padded(double pad) const {
+  const Vec3 d{pad, pad, pad};
+  return {lo - d, hi + d};
+}
+
+bool Aabb::intersect(const Ray& ray, double t_min, double t_max,
+                     double* t_enter, double* t_exit) const {
+  double t0 = t_min;
+  double t1 = t_max;
+  for (int axis = 0; axis < 3; ++axis) {
+    const double inv = 1.0 / ray.direction[axis];
+    double near = (lo[axis] - ray.origin[axis]) * inv;
+    double far = (hi[axis] - ray.origin[axis]) * inv;
+    if (inv < 0.0) std::swap(near, far);
+    t0 = near > t0 ? near : t0;
+    t1 = far < t1 ? far : t1;
+    if (t0 > t1) return false;
+  }
+  if (t_enter != nullptr) *t_enter = t0;
+  if (t_exit != nullptr) *t_exit = t1;
+  return true;
+}
+
+Aabb Aabb::united(const Aabb& a, const Aabb& b) {
+  Aabb out = a;
+  out.absorb(b);
+  return out;
+}
+
+Aabb Aabb::of_points(const Vec3* points, int count) {
+  Aabb out;
+  for (int i = 0; i < count; ++i) out.absorb(points[i]);
+  return out;
+}
+
+bool operator==(const Aabb& a, const Aabb& b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+}  // namespace now

@@ -1,0 +1,55 @@
+// Axis-aligned bounding boxes.
+//
+// Used both by the uniform-grid ray accelerator and by the change detector,
+// which rasterizes per-frame object footprints into coherence-grid voxels.
+#pragma once
+
+#include "src/math/ray.h"
+#include "src/math/vec3.h"
+
+namespace now {
+
+struct Aabb {
+  Vec3 lo{kRayInfinity, kRayInfinity, kRayInfinity};
+  Vec3 hi{-kRayInfinity, -kRayInfinity, -kRayInfinity};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  /// An empty box absorbs nothing and contains nothing.
+  bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+  Vec3 extent() const { return hi - lo; }
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  double surface_area() const;
+  double volume() const;
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  bool overlaps(const Aabb& o) const {
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y &&
+           hi.y >= o.lo.y && lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+
+  /// Grow to include a point / another box.
+  void absorb(const Vec3& p);
+  void absorb(const Aabb& o);
+
+  /// Uniformly expanded copy (negative pad shrinks).
+  Aabb padded(double pad) const;
+
+  /// Slab test. On hit returns true and writes the entry/exit parameters,
+  /// clipped to [t_min, t_max]. Handles rays starting inside the box.
+  bool intersect(const Ray& ray, double t_min, double t_max,
+                 double* t_enter, double* t_exit) const;
+
+  static Aabb united(const Aabb& a, const Aabb& b);
+  static Aabb of_points(const Vec3* points, int count);
+};
+
+bool operator==(const Aabb& a, const Aabb& b);
+
+}  // namespace now

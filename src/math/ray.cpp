@@ -1,0 +1,15 @@
+#include "src/math/ray.h"
+
+namespace now {
+
+const char* to_string(RayKind kind) {
+  switch (kind) {
+    case RayKind::kCamera: return "camera";
+    case RayKind::kReflection: return "reflection";
+    case RayKind::kRefraction: return "refraction";
+    case RayKind::kShadow: return "shadow";
+  }
+  return "unknown";
+}
+
+}  // namespace now

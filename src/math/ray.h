@@ -1,0 +1,33 @@
+// Ray type shared by the tracer, the accelerator and the coherence recorder.
+#pragma once
+
+#include "src/math/vec3.h"
+
+namespace now {
+
+/// Why a ray was fired. The frame-coherence recorder stores this so shadow
+/// marking can be toggled independently (the paper treats shadow-ray
+/// coherence as its own feature).
+enum class RayKind : std::uint8_t {
+  kCamera = 0,
+  kReflection = 1,
+  kRefraction = 2,
+  kShadow = 3,
+};
+
+const char* to_string(RayKind kind);
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  // not required to be unit length for shadow span rays
+
+  Vec3 at(double t) const { return origin + direction * t; }
+};
+
+/// Offset applied when spawning secondary rays to escape the parent surface.
+constexpr double kRayEpsilon = 1e-6;
+
+/// Upper bound used for "infinite" rays.
+constexpr double kRayInfinity = 1e30;
+
+}  // namespace now

@@ -1,0 +1,66 @@
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint32_t Rng::next_below(std::uint32_t n) {
+  return static_cast<std::uint32_t>(next_u64() % n);
+}
+
+Vec3 Rng::point_in_box(const Vec3& lo, const Vec3& hi) {
+  return {uniform(lo.x, hi.x), uniform(lo.y, hi.y), uniform(lo.z, hi.z)};
+}
+
+Vec3 Rng::unit_vector() {
+  // Rejection sampling in the unit cube; expected < 2 iterations.
+  for (;;) {
+    const Vec3 v = point_in_box({-1, -1, -1}, {1, 1, 1});
+    const double len2 = v.length_squared();
+    if (len2 > 1e-12 && len2 <= 1.0) return v / std::sqrt(len2);
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  std::uint64_t sm = state_[0] ^ (stream_id * 0xda942042e4dd58b5ULL + 1);
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace now

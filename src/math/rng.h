@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// The renderer must produce byte-identical images across runs and across
+// execution backends (threads / sockets / discrete-event simulation), so all
+// randomness flows through this explicitly seeded generator — never through
+// global state. The core generator is xoshiro256**.
+#pragma once
+
+#include <cstdint>
+
+#include "src/math/vec3.h"
+
+namespace now {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint32_t next_below(std::uint32_t n);
+
+  /// Uniform point in the axis-aligned box [lo, hi).
+  Vec3 point_in_box(const Vec3& lo, const Vec3& hi);
+
+  /// Uniform direction on the unit sphere.
+  Vec3 unit_vector();
+
+  /// Derive an independent stream (for per-worker determinism).
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// SplitMix64 step; used for seeding and fast hashing of ids to seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace now

@@ -1,0 +1,64 @@
+#include "src/math/spline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now {
+
+void Spline::add_key(double time, const Vec3& value) {
+  assert(keys_.empty() || time > keys_.back().time);
+  keys_.push_back({time, value});
+}
+
+Vec3 Spline::evaluate(double time) const {
+  if (keys_.empty()) return {};
+  if (time <= keys_.front().time) return keys_.front().value;
+  if (time >= keys_.back().time) return keys_.back().value;
+
+  // Find the segment [i, i+1] containing `time`.
+  const auto it = std::upper_bound(
+      keys_.begin(), keys_.end(), time,
+      [](double t, const Keyframe& k) { return t < k.time; });
+  const int i = static_cast<int>(it - keys_.begin()) - 1;
+  const Keyframe& a = keys_[i];
+  const Keyframe& b = keys_[i + 1];
+  const double u = (time - a.time) / (b.time - a.time);
+
+  switch (mode_) {
+    case InterpMode::kStep:
+      return a.value;
+    case InterpMode::kLinear:
+      return lerp(a.value, b.value, u);
+    case InterpMode::kCatmullRom:
+      return eval_catmull_rom(i, u);
+  }
+  return a.value;
+}
+
+Vec3 Spline::eval_catmull_rom(int seg, double t) const {
+  const int n = key_count();
+  const auto key = [&](int i) -> const Keyframe& {
+    return keys_[std::clamp(i, 0, n - 1)];
+  };
+  const Vec3 p0 = key(seg - 1).value;
+  const Vec3 p1 = key(seg).value;
+  const Vec3 p2 = key(seg + 1).value;
+  const Vec3 p3 = key(seg + 2).value;
+  // Uniform Catmull-Rom tangents.
+  const Vec3 m1 = (p2 - p0) * 0.5;
+  const Vec3 m2 = (p3 - p1) * 0.5;
+  Vec3 out;
+  for (int c = 0; c < 3; ++c) {
+    out[c] = hermite(p1[c], m1[c], p2[c], m2[c], t);
+  }
+  return out;
+}
+
+double hermite(double p0, double m0, double p1, double m1, double t) {
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  return (2 * t3 - 3 * t2 + 1) * p0 + (t3 - 2 * t2 + t) * m0 +
+         (-2 * t3 + 3 * t2) * p1 + (t3 - t2) * m1;
+}
+
+}  // namespace now

@@ -1,0 +1,53 @@
+// Keyframe interpolation for animation channels.
+//
+// Object motion between keyframes uses either piecewise-linear or Catmull-Rom
+// interpolation; the change detector only needs positions at frame times, so
+// exact arc parameterization is unnecessary.
+#pragma once
+
+#include <vector>
+
+#include "src/math/vec3.h"
+
+namespace now {
+
+enum class InterpMode : std::uint8_t {
+  kStep = 0,      // hold previous key
+  kLinear = 1,    // piecewise linear
+  kCatmullRom = 2 // C1 cubic through the keys
+};
+
+struct Keyframe {
+  double time = 0.0;
+  Vec3 value;
+};
+
+/// A sampled Vec3-valued animation curve. Keys must be added in strictly
+/// increasing time order. Evaluation clamps outside the key range.
+class Spline {
+ public:
+  Spline() = default;
+  explicit Spline(InterpMode mode) : mode_(mode) {}
+
+  void add_key(double time, const Vec3& value);
+  Vec3 evaluate(double time) const;
+
+  bool empty() const { return keys_.empty(); }
+  int key_count() const { return static_cast<int>(keys_.size()); }
+  const std::vector<Keyframe>& keys() const { return keys_; }
+  InterpMode mode() const { return mode_; }
+
+  double start_time() const { return keys_.empty() ? 0.0 : keys_.front().time; }
+  double end_time() const { return keys_.empty() ? 0.0 : keys_.back().time; }
+
+ private:
+  Vec3 eval_catmull_rom(int seg, double t) const;
+
+  InterpMode mode_ = InterpMode::kLinear;
+  std::vector<Keyframe> keys_;
+};
+
+/// Scalar cubic Hermite helper exposed for tests and the cradle animator.
+double hermite(double p0, double m0, double p1, double m1, double t);
+
+}  // namespace now

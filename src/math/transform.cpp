@@ -1,0 +1,114 @@
+#include "src/math/transform.h"
+
+#include <cmath>
+
+namespace now {
+
+Mat3 Mat3::rotation_x(double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  Mat3 r;
+  r.m[1][1] = c; r.m[1][2] = s;
+  r.m[2][1] = -s; r.m[2][2] = c;
+  return r;
+}
+
+Mat3 Mat3::rotation_y(double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  Mat3 r;
+  r.m[0][0] = c; r.m[0][2] = -s;
+  r.m[2][0] = s; r.m[2][2] = c;
+  return r;
+}
+
+Mat3 Mat3::rotation_z(double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  Mat3 r;
+  r.m[0][0] = c; r.m[0][1] = s;
+  r.m[1][0] = -s; r.m[1][1] = c;
+  return r;
+}
+
+Mat3 Mat3::axis_angle(const Vec3& axis, double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  const double t = 1.0 - c;
+  const Vec3& a = axis;
+  Mat3 r;
+  r.m[0][0] = c + a.x * a.x * t;
+  r.m[0][1] = a.y * a.x * t + a.z * s;
+  r.m[0][2] = a.z * a.x * t - a.y * s;
+  r.m[1][0] = a.x * a.y * t - a.z * s;
+  r.m[1][1] = c + a.y * a.y * t;
+  r.m[1][2] = a.z * a.y * t + a.x * s;
+  r.m[2][0] = a.x * a.z * t + a.y * s;
+  r.m[2][1] = a.y * a.z * t - a.x * s;
+  r.m[2][2] = c + a.z * a.z * t;
+  return r;
+}
+
+Vec3 Mat3::operator*(const Vec3& v) const {
+  return col(0) * v.x + col(1) * v.y + col(2) * v.z;
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 out;
+  for (int c = 0; c < 3; ++c) {
+    const Vec3 v = (*this) * o.col(c);
+    out.m[c][0] = v.x; out.m[c][1] = v.y; out.m[c][2] = v.z;
+  }
+  return out;
+}
+
+Mat3 Mat3::transposed() const {
+  Mat3 out;
+  for (int c = 0; c < 3; ++c)
+    for (int r = 0; r < 3; ++r) out.m[c][r] = m[r][c];
+  return out;
+}
+
+double Mat3::determinant() const {
+  return dot(col(0), cross(col(1), col(2)));
+}
+
+bool Mat3::is_rotation(double eps) const {
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(col(i).length() - 1.0) > eps) return false;
+    for (int j = i + 1; j < 3; ++j) {
+      if (std::fabs(dot(col(i), col(j))) > eps) return false;
+    }
+  }
+  return std::fabs(determinant() - 1.0) <= eps * 10.0;
+}
+
+bool operator==(const Mat3& a, const Mat3& b) {
+  for (int c = 0; c < 3; ++c)
+    for (int r = 0; r < 3; ++r)
+      if (a.m[c][r] != b.m[c][r]) return false;
+  return true;
+}
+
+Transform Transform::compose(const Transform& other) const {
+  Transform out;
+  out.rotation = rotation * other.rotation;
+  out.scale = scale * other.scale;
+  out.translation = apply_point(other.translation);
+  return out;
+}
+
+Transform Transform::inverse() const {
+  Transform out;
+  out.rotation = rotation.transposed();
+  out.scale = 1.0 / scale;
+  out.translation = (out.rotation * (-translation)) * out.scale;
+  return out;
+}
+
+bool operator==(const Transform& a, const Transform& b) {
+  return a.rotation == b.rotation && a.translation == b.translation &&
+         a.scale == b.scale;
+}
+
+}  // namespace now

@@ -1,0 +1,62 @@
+// Rigid-plus-uniform-scale transforms.
+//
+// Animated objects carry a Transform per frame. Primitives are stored in
+// local space and instantiated into world space each frame (a transformed
+// sphere is still a sphere, a transformed cylinder still a cylinder), so the
+// intersection routines and the voxel footprint tests always run in world
+// space — no inverse-ray transforms and no distorted normals.
+#pragma once
+
+#include "src/math/vec3.h"
+
+namespace now {
+
+/// Column-major 3x3 matrix restricted in practice to rotations.
+struct Mat3 {
+  // m[col][row]
+  double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  static Mat3 identity() { return {}; }
+  static Mat3 rotation_x(double radians);
+  static Mat3 rotation_y(double radians);
+  static Mat3 rotation_z(double radians);
+  static Mat3 axis_angle(const Vec3& unit_axis, double radians);
+
+  Vec3 col(int c) const { return {m[c][0], m[c][1], m[c][2]}; }
+
+  Vec3 operator*(const Vec3& v) const;
+  Mat3 operator*(const Mat3& o) const;
+
+  Mat3 transposed() const;
+  double determinant() const;
+
+  /// True when columns are orthonormal and determinant is +1.
+  bool is_rotation(double eps = 1e-9) const;
+};
+
+bool operator==(const Mat3& a, const Mat3& b);
+
+/// world_point = rotation * (scale * local_point) + translation
+struct Transform {
+  Mat3 rotation;
+  Vec3 translation;
+  double scale = 1.0;
+
+  static Transform identity() { return {}; }
+  static Transform translate(const Vec3& t) { return {Mat3::identity(), t, 1.0}; }
+  static Transform rotate(const Mat3& r) { return {r, {}, 1.0}; }
+  static Transform scaling(double s) { return {Mat3::identity(), {}, s}; }
+
+  Vec3 apply_point(const Vec3& p) const { return rotation * (p * scale) + translation; }
+  Vec3 apply_direction(const Vec3& d) const { return rotation * d; }
+  Vec3 apply_vector(const Vec3& v) const { return rotation * (v * scale); }
+
+  /// this ∘ other  (apply `other` first, then `this`).
+  Transform compose(const Transform& other) const;
+  Transform inverse() const;
+};
+
+bool operator==(const Transform& a, const Transform& b);
+inline bool operator!=(const Transform& a, const Transform& b) { return !(a == b); }
+
+}  // namespace now

@@ -1,0 +1,29 @@
+#include "src/math/vec3.h"
+
+#include <ostream>
+
+namespace now {
+
+bool refract(const Vec3& v, const Vec3& n, double eta, Vec3* out) {
+  const double cos_i = -dot(v, n);
+  const double sin2_t = eta * eta * (1.0 - cos_i * cos_i);
+  if (sin2_t > 1.0) return false;  // total internal reflection
+  const double cos_t = std::sqrt(1.0 - sin2_t);
+  *out = eta * v + (eta * cos_i - cos_t) * n;
+  return true;
+}
+
+std::uint8_t to_byte(double channel) {
+  const double c = clamp01(channel);
+  return static_cast<std::uint8_t>(c * 255.0 + 0.5);
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Color& c) {
+  return os << "rgb(" << c.r << ", " << c.g << ", " << c.b << ")";
+}
+
+}  // namespace now

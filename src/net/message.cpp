@@ -1,0 +1,80 @@
+#include "src/net/message.h"
+
+#include <cstring>
+
+namespace now {
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+bool WireReader::u8(std::uint8_t* v) {
+  if (pos_ + 1 > data_.size()) return false;
+  *v = static_cast<std::uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool WireReader::u32(std::uint32_t* v) {
+  if (pos_ + 4 > data_.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  *v = std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+       (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+  pos_ += 4;
+  return true;
+}
+
+bool WireReader::u64(std::uint64_t* v) {
+  if (pos_ + 8 > data_.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  *v = 0;
+  for (int i = 7; i >= 0; --i) *v = (*v << 8) | p[i];
+  pos_ += 8;
+  return true;
+}
+
+bool WireReader::i32(std::int32_t* v) {
+  std::uint32_t u;
+  if (!u32(&u)) return false;
+  *v = static_cast<std::int32_t>(u);
+  return true;
+}
+
+bool WireReader::i64(std::int64_t* v) {
+  std::uint64_t u;
+  if (!u64(&u)) return false;
+  *v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool WireReader::f64(double* v) {
+  std::uint64_t bits;
+  if (!u64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool WireReader::str(std::string* s) {
+  std::uint32_t len;
+  if (!u32(&len)) return false;
+  if (pos_ + len > data_.size()) return false;
+  s->assign(data_, pos_, len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace now

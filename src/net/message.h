@@ -1,0 +1,57 @@
+// Message and wire-format primitives for the PVM-like message-passing layer.
+//
+// Payloads are endian-safe byte strings assembled with Writer and consumed
+// with Reader (pack/unpack in PVM terms). Reader validates every access and
+// never reads out of bounds — a malformed message yields a false return, not
+// undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace now {
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::string payload;
+};
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+
+  std::string take() { return std::move(out_); }
+  const std::string& data() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::string& bytes) : data_(bytes) {}
+
+  bool u8(std::uint8_t* v);
+  bool u32(std::uint32_t* v);
+  bool u64(std::uint64_t* v);
+  bool i32(std::int32_t* v);
+  bool i64(std::int64_t* v);
+  bool f64(double* v);
+  bool str(std::string* s);
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace now

@@ -1,0 +1,184 @@
+#include "src/net/nowmp.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace now::nowmp {
+
+namespace {
+
+/// Per-task inbox supporting selective (source, tag) receive.
+class Inbox {
+ public:
+  void push(Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocking selective receive.
+  Message pop(int source, int tag) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (auto msg = take_locked(source, tag)) return std::move(*msg);
+      cv_.wait(lock);
+    }
+  }
+
+  std::optional<Message> try_pop(int source, int tag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return take_locked(source, tag);
+  }
+
+  bool probe(int source, int tag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Message& m : queue_) {
+      if (matches(m, source, tag)) return true;
+    }
+    return false;
+  }
+
+ private:
+  static bool matches(const Message& m, int source, int tag) {
+    return (source < 0 || m.source == source) && (tag < 0 || m.tag == tag);
+  }
+
+  std::optional<Message> take_locked(int source, int tag) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace
+
+/// Routes messages between the tasks of one run().
+class Router {
+ public:
+  explicit Router(int ntasks) : inboxes_(static_cast<std::size_t>(ntasks)) {}
+
+  void deliver(int source, int dest, int tag, std::string payload) {
+    if (dest < 0 || dest >= static_cast<int>(inboxes_.size())) {
+      throw std::out_of_range("nowmp: send to unknown task id");
+    }
+    inboxes_[dest].push(Message{source, tag, std::move(payload)});
+  }
+
+  Inbox& inbox(int tid) { return inboxes_[tid]; }
+
+ private:
+  std::vector<Inbox> inboxes_;
+};
+
+void Task::init_send() { send_buffer_ = WireWriter(); }
+
+void Task::pack_i32(std::int32_t v) { send_buffer_.i32(v); }
+void Task::pack_i64(std::int64_t v) { send_buffer_.i64(v); }
+void Task::pack_u64(std::uint64_t v) { send_buffer_.u64(v); }
+void Task::pack_f64(double v) { send_buffer_.f64(v); }
+void Task::pack_str(const std::string& s) { send_buffer_.str(s); }
+
+void Task::send(int dest, int tag) {
+  router_->deliver(tid_, dest, tag, send_buffer_.take());
+  send_buffer_ = WireWriter();
+}
+
+void Task::load(Message msg) {
+  recv_source_ = msg.source;
+  recv_tag_ = msg.tag;
+  recv_payload_ = std::move(msg.payload);
+  reader_ = std::make_unique<WireReader>(recv_payload_);
+}
+
+void Task::recv(int source, int tag) {
+  load(router_->inbox(tid_).pop(source, tag));
+}
+
+bool Task::try_recv(int source, int tag) {
+  auto msg = router_->inbox(tid_).try_pop(source, tag);
+  if (!msg.has_value()) return false;
+  load(std::move(*msg));
+  return true;
+}
+
+bool Task::probe(int source, int tag) {
+  return router_->inbox(tid_).probe(source, tag);
+}
+
+namespace {
+
+[[noreturn]] void unpack_fail(const char* what) {
+  throw UnpackError(std::string("nowmp: unpack past end of message (") +
+                    what + ")");
+}
+
+}  // namespace
+
+std::int32_t Task::unpack_i32() {
+  std::int32_t v;
+  if (reader_ == nullptr || !reader_->i32(&v)) unpack_fail("i32");
+  return v;
+}
+
+std::int64_t Task::unpack_i64() {
+  std::int64_t v;
+  if (reader_ == nullptr || !reader_->i64(&v)) unpack_fail("i64");
+  return v;
+}
+
+std::uint64_t Task::unpack_u64() {
+  std::uint64_t v;
+  if (reader_ == nullptr || !reader_->u64(&v)) unpack_fail("u64");
+  return v;
+}
+
+double Task::unpack_f64() {
+  double v;
+  if (reader_ == nullptr || !reader_->f64(&v)) unpack_fail("f64");
+  return v;
+}
+
+std::string Task::unpack_str() {
+  std::string v;
+  if (reader_ == nullptr || !reader_->str(&v)) unpack_fail("str");
+  return v;
+}
+
+void run(const std::vector<std::function<void(Task&)>>& tasks) {
+  const int n = static_cast<int>(tasks.size());
+  Router router(n);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      Task task(&router, tid, n);
+      tasks[static_cast<std::size_t>(tid)](task);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void run(int ntasks, const std::function<void(Task&)>& master,
+         const std::function<void(Task&)>& slave) {
+  std::vector<std::function<void(Task&)>> tasks;
+  tasks.push_back(master);
+  for (int i = 1; i < ntasks; ++i) tasks.push_back(slave);
+  run(tasks);
+}
+
+}  // namespace now::nowmp

@@ -1,0 +1,105 @@
+// nowmp — a small PVM-style blocking message-passing API.
+//
+// The paper's implementation used PVM 3.1 ("message-passing systems, such
+// as PVM and MPI, are robust, easy to use, and available without cost").
+// The render farm itself uses the event-driven Actor runtime (so the same
+// code runs on the discrete-event simulator), but nowmp provides the
+// familiar blocking pack/send/recv/probe programming model for users who
+// want to write PVM-shaped programs against this library:
+//
+//   nowmp::run(4, [](nowmp::Task& t) {            // task 0 = master
+//     for (int w = 1; w < t.ntasks(); ++w) {
+//       t.init_send();
+//       t.pack_i32(w * 100);
+//       t.send(w, kTagWork);
+//     }
+//     ...
+//   }, [](nowmp::Task& t) {                        // tasks 1.. = slaves
+//     t.recv(0, kTagWork);
+//     int value = t.unpack_i32();
+//     ...
+//   });
+//
+// Tasks run on real threads; send/recv use typed, endian-safe buffers
+// (WireWriter/WireReader). recv(-1, -1) matches any source / any tag,
+// exactly like pvm_recv(-1, -1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "src/net/message.h"
+
+namespace now::nowmp {
+
+class Router;
+
+/// Handle a task uses to communicate. Valid only inside run().
+class Task {
+ public:
+  Task(Router* router, int tid, int ntasks)
+      : router_(router), tid_(tid), ntasks_(ntasks) {}
+
+  int mytid() const { return tid_; }
+  int ntasks() const { return ntasks_; }
+
+  // -- sending -------------------------------------------------------------
+  /// Clear the send buffer (pvm_initsend).
+  void init_send();
+  void pack_i32(std::int32_t v);
+  void pack_i64(std::int64_t v);
+  void pack_u64(std::uint64_t v);
+  void pack_f64(double v);
+  void pack_str(const std::string& s);
+  /// Ship the send buffer to `dest` with `tag` (pvm_send).
+  void send(int dest, int tag);
+
+  // -- receiving -----------------------------------------------------------
+  /// Block until a message from `source` (-1 = any) with `tag` (-1 = any)
+  /// arrives, and load it into the receive buffer (pvm_recv).
+  void recv(int source = -1, int tag = -1);
+  /// Non-blocking variant (pvm_nrecv): returns false if nothing matches.
+  bool try_recv(int source = -1, int tag = -1);
+  /// Is a matching message waiting? Does not consume it (pvm_probe).
+  bool probe(int source = -1, int tag = -1);
+
+  /// Metadata of the last received message.
+  int recv_source() const { return recv_source_; }
+  int recv_tag() const { return recv_tag_; }
+
+  std::int32_t unpack_i32();
+  std::int64_t unpack_i64();
+  std::uint64_t unpack_u64();
+  double unpack_f64();
+  std::string unpack_str();
+
+ private:
+  void load(Message msg);
+
+  Router* router_;
+  int tid_;
+  int ntasks_;
+  WireWriter send_buffer_;
+  std::string recv_payload_;
+  std::unique_ptr<WireReader> reader_;
+  int recv_source_ = -1;
+  int recv_tag_ = -1;
+};
+
+/// Unpack errors (reading past the end of a message) throw this.
+struct UnpackError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Run task 0 as `master` and tasks 1..ntasks-1 as `slave`, each on its own
+/// thread; returns when every task function has returned.
+void run(int ntasks, const std::function<void(Task&)>& master,
+         const std::function<void(Task&)>& slave);
+
+/// Run with a distinct function per task.
+void run(const std::vector<std::function<void(Task&)>>& tasks);
+
+}  // namespace now::nowmp

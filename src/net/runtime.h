@@ -1,0 +1,68 @@
+// Actor/Runtime abstraction: the same master/worker rendering code runs on
+// three interchangeable backends —
+//   ThreadRuntime  real std::thread workers, in-process queues (wall clock)
+//   TcpRuntime     real std::thread workers, loopback TCP sockets (wall clock)
+//   SimRuntime     sequential discrete-event simulation (virtual clock with
+//                  per-machine speed factors and a shared-Ethernet model)
+//
+// Actors are event-driven: they receive messages one at a time and may send
+// messages, charge compute cost, and request shutdown. Long computations
+// must be split into per-frame steps (send yourself a continuation message)
+// so control messages — e.g. the master shrinking an adaptively re-split
+// task — interleave between frames, exactly as a PVM worker polling between
+// frames would behave.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/message.h"
+
+namespace now {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+
+  /// Enqueue a message. Self-sends are allowed (continuation pattern) and do
+  /// not traverse the network model.
+  virtual void send(int dest, int tag, std::string payload) = 0;
+
+  /// Account `seconds` of compute on the *reference* machine; the simulated
+  /// runtime scales it by this rank's speed factor and advances the virtual
+  /// clock. Wall-clock runtimes ignore it (real time already passed).
+  virtual void charge(double seconds) = 0;
+
+  /// Current time in seconds: virtual on SimRuntime, wall-clock elsewhere.
+  virtual double now() const = 0;
+
+  /// Request global shutdown once all queued messages drain.
+  virtual void stop() = 0;
+};
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_start(Context& ctx) = 0;
+  virtual void on_message(Context& ctx, const Message& msg) = 0;
+};
+
+struct RuntimeStats {
+  double elapsed_seconds = 0.0;   // virtual or wall
+  std::int64_t messages = 0;      // cross-rank messages delivered
+  std::int64_t bytes = 0;         // cross-rank payload bytes
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Drive `actors` (rank = index) until an actor calls stop() and all
+  /// in-flight messages drain.
+  virtual RuntimeStats run(const std::vector<Actor*>& actors) = 0;
+};
+
+}  // namespace now

@@ -1,0 +1,264 @@
+#include "src/net/tcp_runtime.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "src/net/thread_runtime.h"
+
+namespace now {
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n <= 0) return false;
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n <= 0) return false;
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct FrameHeader {
+  std::int32_t source;
+  std::int32_t tag;
+  std::uint32_t length;
+};
+
+int make_listener(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+class TcpContext final : public Context {
+ public:
+  TcpContext(int rank, int world_size, Mailbox* own_mailbox,
+             std::vector<int>* socket_of_rank, std::mutex* send_mu,
+             std::atomic<bool>* stop_flag,
+             std::vector<Mailbox>* all_mailboxes,
+             std::atomic<std::int64_t>* messages,
+             std::atomic<std::int64_t>* bytes,
+             std::chrono::steady_clock::time_point epoch)
+      : rank_(rank),
+        world_size_(world_size),
+        own_mailbox_(own_mailbox),
+        socket_of_rank_(socket_of_rank),
+        send_mu_(send_mu),
+        stop_flag_(stop_flag),
+        all_mailboxes_(all_mailboxes),
+        messages_(messages),
+        bytes_(bytes),
+        epoch_(epoch) {}
+
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_size_; }
+
+  void send(int dest, int tag, std::string payload) override {
+    if (dest == rank_) {  // continuation self-send: stays local
+      own_mailbox_->push(Message{rank_, tag, std::move(payload)});
+      return;
+    }
+    assert((rank_ == 0 || dest == 0) &&
+           "star topology: slaves only talk to the master");
+    messages_->fetch_add(1, std::memory_order_relaxed);
+    bytes_->fetch_add(static_cast<std::int64_t>(payload.size()),
+                      std::memory_order_relaxed);
+    // Master: socket to `dest`. Worker: its own socket to the master.
+    const int fd =
+        rank_ == 0 ? (*socket_of_rank_)[dest] : (*socket_of_rank_)[rank_];
+    const Message msg{rank_, tag, std::move(payload)};
+    // One writer lock per rank keeps frames from interleaving when the
+    // master's handler and shutdown race.
+    std::lock_guard<std::mutex> lock(*send_mu_);
+    tcp_write_message(fd, msg);
+  }
+
+  void charge(double) override {}
+
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  void stop() override {
+    stop_flag_->store(true, std::memory_order_release);
+    for (auto& mb : *all_mailboxes_) mb.shutdown();
+  }
+
+ private:
+  int rank_;
+  int world_size_;
+  Mailbox* own_mailbox_;
+  std::vector<int>* socket_of_rank_;
+  std::mutex* send_mu_;
+  std::atomic<bool>* stop_flag_;
+  std::vector<Mailbox>* all_mailboxes_;
+  std::atomic<std::int64_t>* messages_;
+  std::atomic<std::int64_t>* bytes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace
+
+bool tcp_write_message(int fd, const Message& msg) {
+  FrameHeader header{msg.source, msg.tag,
+                     static_cast<std::uint32_t>(msg.payload.size())};
+  if (!write_all(fd, &header, sizeof(header))) return false;
+  return msg.payload.empty() ||
+         write_all(fd, msg.payload.data(), msg.payload.size());
+}
+
+bool tcp_read_message(int fd, Message* msg) {
+  FrameHeader header;
+  if (!read_all(fd, &header, sizeof(header))) return false;
+  msg->source = header.source;
+  msg->tag = header.tag;
+  msg->payload.resize(header.length);
+  return header.length == 0 ||
+         read_all(fd, msg->payload.data(), header.length);
+}
+
+RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
+  const int n = static_cast<int>(actors.size());
+  assert(n >= 1);
+
+  std::uint16_t port = 0;
+  const int listener = make_listener(&port);
+
+  // socket_of_rank: for the master (rank 0), index w = socket to worker w;
+  // for workers, index 0 = socket to the master.
+  std::vector<int> sockets(static_cast<std::size_t>(n), -1);
+
+  // Workers connect and announce their rank; the master accepts n-1 times.
+  std::vector<std::thread> connectors;
+  for (int rank = 1; rank < n; ++rank) {
+    connectors.emplace_back([&, rank] {
+      const int fd = connect_loopback(port);
+      const std::int32_t r = rank;
+      write_all(fd, &r, sizeof(r));
+      sockets[rank] = fd;  // each worker writes only its own slot
+    });
+  }
+  std::vector<int> master_sockets(static_cast<std::size_t>(n), -1);
+  for (int i = 1; i < n; ++i) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) throw std::runtime_error("accept failed");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::int32_t rank = -1;
+    if (!read_all(fd, &rank, sizeof(rank)) || rank < 1 || rank >= n) {
+      ::close(fd);
+      throw std::runtime_error("bad rank handshake");
+    }
+    master_sockets[rank] = fd;
+  }
+  for (auto& t : connectors) t.join();
+  ::close(listener);
+
+  std::vector<Mailbox> mailboxes(n);
+  std::atomic<bool> stop_flag{false};
+  std::atomic<std::int64_t> messages{0};
+  std::atomic<std::int64_t> bytes{0};
+  const auto epoch = std::chrono::steady_clock::now();
+
+  // Reader pumps: master gets one per worker socket; each worker gets one.
+  std::vector<std::thread> readers;
+  for (int w = 1; w < n; ++w) {
+    readers.emplace_back([&, w] {
+      Message msg;
+      while (tcp_read_message(master_sockets[w], &msg)) mailboxes[0].push(msg);
+    });
+    readers.emplace_back([&, w] {
+      Message msg;
+      while (tcp_read_message(sockets[w], &msg)) mailboxes[w].push(msg);
+    });
+  }
+
+  std::vector<std::mutex> send_mus(n);
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      std::vector<int>& table = rank == 0 ? master_sockets : sockets;
+      TcpContext ctx(rank, n, &mailboxes[rank], &table, &send_mus[rank],
+                     &stop_flag, &mailboxes, &messages, &bytes, epoch);
+      actors[rank]->on_start(ctx);
+      Message msg;
+      while (mailboxes[rank].pop(&msg)) actors[rank]->on_message(ctx, msg);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Close sockets to unblock the reader pumps, then join them.
+  for (int w = 1; w < n; ++w) {
+    ::shutdown(master_sockets[w], SHUT_RDWR);
+    ::shutdown(sockets[w], SHUT_RDWR);
+  }
+  for (auto& t : readers) t.join();
+  for (int w = 1; w < n; ++w) {
+    ::close(master_sockets[w]);
+    ::close(sockets[w]);
+  }
+
+  RuntimeStats stats;
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+          .count();
+  stats.messages = messages.load();
+  stats.bytes = bytes.load();
+  return stats;
+}
+
+}  // namespace now

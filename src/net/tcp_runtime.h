@@ -1,0 +1,25 @@
+// TcpRuntime: the same actor protocol carried over real loopback TCP
+// sockets, one connection per worker (star topology, exactly the paper's
+// communication pattern — "the only interprocessor communication occurs
+// between the master and each of the slaves").
+//
+// Actors still run on threads of this process, but every cross-rank message
+// is serialized, framed, written to a socket and read back on the far side,
+// exercising the full wire path a multi-host PVM/MPI deployment would use.
+// Worker-to-worker sends are rejected (the paper's slaves never communicate).
+#pragma once
+
+#include "src/net/runtime.h"
+
+namespace now {
+
+class TcpRuntime final : public Runtime {
+ public:
+  RuntimeStats run(const std::vector<Actor*>& actors) override;
+};
+
+/// Frame helpers shared with the tests: [i32 source][i32 tag][u32 len][bytes].
+bool tcp_write_message(int fd, const Message& msg);
+bool tcp_read_message(int fd, Message* msg);
+
+}  // namespace now

@@ -1,0 +1,119 @@
+#include "src/net/thread_runtime.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace now {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+bool Mailbox::pop(Message* msg) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+  if (queue_.empty()) return false;
+  *msg = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void Mailbox::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+namespace {
+
+class ThreadContext final : public Context {
+ public:
+  ThreadContext(int rank, int world_size, std::vector<Mailbox>* mailboxes,
+                std::atomic<bool>* stop_flag, std::atomic<std::int64_t>* messages,
+                std::atomic<std::int64_t>* bytes,
+                std::chrono::steady_clock::time_point epoch)
+      : rank_(rank),
+        world_size_(world_size),
+        mailboxes_(mailboxes),
+        stop_flag_(stop_flag),
+        messages_(messages),
+        bytes_(bytes),
+        epoch_(epoch) {}
+
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_size_; }
+
+  void send(int dest, int tag, std::string payload) override {
+    if (dest != rank_) {
+      messages_->fetch_add(1, std::memory_order_relaxed);
+      bytes_->fetch_add(static_cast<std::int64_t>(payload.size()),
+                        std::memory_order_relaxed);
+    }
+    (*mailboxes_)[dest].push(Message{rank_, tag, std::move(payload)});
+  }
+
+  void charge(double) override {}  // real time already elapsed
+
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  void stop() override {
+    stop_flag_->store(true, std::memory_order_release);
+    for (auto& mb : *mailboxes_) mb.shutdown();
+  }
+
+ private:
+  int rank_;
+  int world_size_;
+  std::vector<Mailbox>* mailboxes_;
+  std::atomic<bool>* stop_flag_;
+  std::atomic<std::int64_t>* messages_;
+  std::atomic<std::int64_t>* bytes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace
+
+RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
+  const int n = static_cast<int>(actors.size());
+  std::vector<Mailbox> mailboxes(n);
+  std::atomic<bool> stop_flag{false};
+  std::atomic<std::int64_t> messages{0};
+  std::atomic<std::int64_t> bytes{0};
+  const auto epoch = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      ThreadContext ctx(rank, n, &mailboxes, &stop_flag, &messages, &bytes,
+                        epoch);
+      actors[rank]->on_start(ctx);
+      Message msg;
+      while (mailboxes[rank].pop(&msg)) {
+        actors[rank]->on_message(ctx, msg);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  RuntimeStats stats;
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+          .count();
+  stats.messages = messages.load();
+  stats.bytes = bytes.load();
+  return stats;
+}
+
+}  // namespace now

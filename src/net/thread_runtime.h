@@ -1,0 +1,35 @@
+// ThreadRuntime: each actor on its own std::thread with a blocking mailbox.
+// This is the "real parallel" backend — wall-clock time, true concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "src/net/runtime.h"
+
+namespace now {
+
+/// Thread-safe blocking FIFO used as a per-rank mailbox.
+class Mailbox {
+ public:
+  void push(Message msg);
+  /// Blocks until a message or shutdown. Returns false on shutdown with an
+  /// empty queue (pending messages are always drained first).
+  bool pop(Message* msg);
+  void shutdown();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool shutdown_ = false;
+};
+
+class ThreadRuntime final : public Runtime {
+ public:
+  RuntimeStats run(const std::vector<Actor*>& actors) override;
+};
+
+}  // namespace now

@@ -1,0 +1,206 @@
+#include "src/par/master.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/image/image_io.h"
+
+namespace now {
+
+RenderMaster::RenderMaster(const AnimatedScene& scene,
+                           const MasterConfig& config)
+    : scene_(scene), config_(config) {}
+
+void RenderMaster::on_start(Context& ctx) {
+  const int frames = scene_.frame_count();
+  const int w = scene_.width();
+  const int h = scene_.height();
+  workers_.assign(static_cast<std::size_t>(ctx.world_size()), {});
+  report_.frames_by_worker.assign(static_cast<std::size_t>(ctx.world_size()), 0);
+  frames_.assign(static_cast<std::size_t>(frames), Framebuffer(w, h));
+  frame_area_missing_.assign(static_cast<std::size_t>(frames),
+                             std::int64_t{w} * h);
+  area_frames_missing_ = std::int64_t{w} * h * frames;
+
+  const int worker_count = ctx.world_size() - 1;
+  assert(worker_count >= 1);
+  // Sequence-division tasks should not straddle camera cuts: a shot change
+  // forces a full re-render anyway, so cuts are free task boundaries
+  // ("any camera movement logically separates one sequence from another").
+  PartitionConfig partition = config_.partition;
+  if (partition.scheme == PartitionScheme::kSequenceDivision &&
+      partition.sequence_cuts.empty()) {
+    for (const AnimatedScene::Shot& shot : scene_.split_shots()) {
+      if (shot.first_frame > 0) {
+        partition.sequence_cuts.push_back(shot.first_frame);
+      }
+    }
+  }
+  std::vector<RenderTask> tasks =
+      make_initial_tasks(partition, w, h, frames, worker_count);
+  std::int64_t covered = 0;
+  for (RenderTask& task : tasks) {
+    task.task_id = next_task_id_++;
+    covered += static_cast<std::int64_t>(task.region.area()) * task.frame_count;
+    pending_.push_back(task);
+  }
+  assert(covered == area_frames_missing_ && "tasks must tile area × frames");
+}
+
+void RenderMaster::on_message(Context& ctx, const Message& msg) {
+  ctx.charge(config_.cost.master_per_message_seconds);
+  switch (msg.tag) {
+    case kTagHello:
+    case kTagRequest:
+      handle_idle(ctx, msg.source);
+      break;
+    case kTagFrameResult:
+      handle_frame_result(ctx, msg);
+      break;
+    case kTagShrinkAck:
+      handle_shrink_ack(ctx, msg);
+      break;
+    default:
+      assert(false && "master received unexpected tag");
+  }
+}
+
+void RenderMaster::handle_idle(Context& ctx, int worker) {
+  WorkerState& state = workers_[worker];
+  state.known = true;
+  state.active = false;
+  idle_.push_back(worker);
+  try_dispatch(ctx);
+  maybe_finish(ctx);
+}
+
+void RenderMaster::assign(Context& ctx, int worker, const RenderTask& task) {
+  WorkerState& state = workers_[worker];
+  state.active = true;
+  state.task = task;
+  state.next_expected = task.first_frame;
+  state.end_frame = task.end_frame();
+  ctx.send(worker, kTagTask, encode_task(task));
+}
+
+void RenderMaster::try_dispatch(Context& ctx) {
+  while (!idle_.empty()) {
+    if (!pending_.empty()) {
+      const int worker = idle_.front();
+      idle_.pop_front();
+      assign(ctx, worker, pending_.front());
+      pending_.pop_front();
+      continue;
+    }
+    if (!config_.partition.adaptive || !try_adaptive_split(ctx)) break;
+    // A split is in flight; idle workers wait for the ack.
+    break;
+  }
+}
+
+bool RenderMaster::try_adaptive_split(Context& ctx) {
+  // Victim: the active worker with the most unreported frames remaining.
+  int victim = -1;
+  std::int32_t best_remaining = 0;
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    const WorkerState& s = workers_[w];
+    if (!s.active || s.awaiting_ack) continue;
+    const std::int32_t remaining = s.end_frame - s.next_expected;
+    if (remaining > best_remaining) {
+      best_remaining = remaining;
+      victim = w;
+    }
+  }
+  if (victim < 0 || best_remaining < config_.partition.min_split_frames) {
+    return false;
+  }
+  WorkerState& s = workers_[victim];
+  ShrinkRequest req;
+  req.task_id = s.task.task_id;
+  req.new_end_frame = s.end_frame - best_remaining / 2;
+  s.awaiting_ack = true;
+  ctx.send(victim, kTagShrink, encode_shrink(req));
+  return true;
+}
+
+void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
+  ShrinkAck ack;
+  const bool ok = decode_shrink_ack(&ack, msg.payload);
+  assert(ok);
+  if (!ok) return;
+  WorkerState& s = workers_[msg.source];
+  s.awaiting_ack = false;
+  if (ack.honored_end_frame >= 0 && s.active &&
+      s.task.task_id == ack.task_id &&
+      ack.honored_end_frame < s.end_frame) {
+    // The stolen range becomes a fresh task for an idle worker.
+    RenderTask stolen;
+    stolen.task_id = next_task_id_++;
+    stolen.region = s.task.region;
+    stolen.first_frame = ack.honored_end_frame;
+    stolen.frame_count = s.end_frame - ack.honored_end_frame;
+    s.end_frame = ack.honored_end_frame;
+    pending_.push_back(stolen);
+    ++report_.adaptive_splits;
+  }
+  try_dispatch(ctx);
+  maybe_finish(ctx);
+}
+
+void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
+  FrameResult result;
+  const bool ok = decode_frame_result(&result, msg.payload);
+  assert(ok);
+  if (!ok) return;
+
+  const int frame = result.frame;
+  const PixelRect& region = result.payload.rect;
+  assert(frame >= 0 && frame < static_cast<int>(frames_.size()));
+
+  // Sparse results carry only recomputed pixels; the rest of the region is
+  // unchanged from the previous frame, which this worker already delivered.
+  if (!result.payload.dense) {
+    assert(frame > 0);
+    frames_[frame].blit(region, frames_[frame - 1].extract(region));
+  }
+  apply_payload(&frames_[frame], result.payload);
+
+  WorkerState& s = workers_[msg.source];
+  if (s.active && s.task.task_id == result.task_id) {
+    s.next_expected = frame + 1;
+  }
+
+  ++report_.frame_results;
+  report_.rays_total += result.rays;
+  report_.shadow_rays_total += result.shadow_rays;
+  report_.pixels_recomputed_total += result.pixels_recomputed;
+  report_.full_renders += result.full_render ? 1 : 0;
+  report_.worker_compute_seconds += result.compute_seconds;
+  ++report_.frames_by_worker[msg.source];
+
+  frame_area_missing_[frame] -= region.area();
+  area_frames_missing_ -= region.area();
+  assert(frame_area_missing_[frame] >= 0);
+  if (frame_area_missing_[frame] == 0) {
+    ++report_.frames_completed;
+    ctx.charge(config_.cost.master_frame_write_seconds);
+    if (!config_.output_dir.empty()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/%s_%04d.tga",
+                    config_.output_prefix.c_str(), frame);
+      write_tga(frames_[frame], config_.output_dir + name);
+    }
+  }
+  maybe_finish(ctx);
+}
+
+void RenderMaster::maybe_finish(Context& ctx) {
+  if (stopping_ || area_frames_missing_ != 0 || !pending_.empty()) return;
+  stopping_ = true;
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    ctx.send(w, kTagStop, {});
+  }
+  ctx.stop();
+}
+
+}  // namespace now

@@ -1,0 +1,91 @@
+// RenderMaster: assigns tasks, collects pixels, assembles frames, writes
+// files, and performs adaptive re-splitting when workers idle (Section 3).
+//
+// Frame assembly with sparse returns relies on per-sender message ordering
+// (guaranteed by all three runtimes): a sparse result for frame f of a
+// region is applied on top of that region's pixels from frame f-1, which the
+// same worker necessarily delivered earlier. The first frame of every task
+// is always dense.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/image/framebuffer.h"
+#include "src/net/runtime.h"
+#include "src/par/cost_model.h"
+#include "src/par/partition.h"
+#include "src/par/protocol.h"
+#include "src/scene/animated_scene.h"
+
+namespace now {
+
+struct MasterConfig {
+  PartitionConfig partition;
+  CostModel cost;
+  /// Directory for per-frame targa output ("" disables file writing).
+  std::string output_dir;
+  std::string output_prefix = "frame";
+};
+
+struct MasterReport {
+  std::int64_t frame_results = 0;
+  std::int64_t adaptive_splits = 0;
+  std::int64_t frames_completed = 0;
+  std::uint64_t rays_total = 0;
+  std::uint64_t shadow_rays_total = 0;
+  std::int64_t pixels_recomputed_total = 0;
+  std::int64_t full_renders = 0;       // frame results that were full renders
+  double worker_compute_seconds = 0.0; // sum of reference-seconds charged
+  /// Region-frames delivered per worker rank (rank 0 stays 0).
+  std::vector<std::int64_t> frames_by_worker;
+};
+
+class RenderMaster final : public Actor {
+ public:
+  RenderMaster(const AnimatedScene& scene, const MasterConfig& config);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& msg) override;
+
+  /// Assembled animation (valid after the runtime finishes).
+  const std::vector<Framebuffer>& frames() const { return frames_; }
+  const MasterReport& report() const { return report_; }
+
+ private:
+  struct WorkerState {
+    bool known = false;        // sent hello
+    bool active = false;       // has an unfinished task
+    bool awaiting_ack = false; // shrink in flight
+    RenderTask task;
+    std::int32_t next_expected = 0;  // first unreported frame
+    std::int32_t end_frame = 0;      // master's view (post-shrink)
+  };
+
+  void handle_frame_result(Context& ctx, const Message& msg);
+  void handle_idle(Context& ctx, int worker);
+  void handle_shrink_ack(Context& ctx, const Message& msg);
+  void try_dispatch(Context& ctx);
+  bool try_adaptive_split(Context& ctx);
+  void assign(Context& ctx, int worker, const RenderTask& task);
+  void maybe_finish(Context& ctx);
+
+  const AnimatedScene& scene_;
+  MasterConfig config_;
+
+  std::deque<RenderTask> pending_;
+  std::vector<WorkerState> workers_;
+  std::deque<int> idle_;
+
+  std::vector<Framebuffer> frames_;
+  std::vector<std::int64_t> frame_area_missing_;
+  std::int64_t area_frames_missing_ = 0;
+  std::int32_t next_task_id_ = 0;
+  bool stopping_ = false;
+
+  MasterReport report_;
+};
+
+}  // namespace now

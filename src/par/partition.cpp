@@ -1,0 +1,122 @@
+#include "src/par/partition.h"
+
+#include <algorithm>
+
+namespace now {
+
+const char* to_string(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kSequenceDivision: return "sequence-division";
+    case PartitionScheme::kFrameDivision: return "frame-division";
+    case PartitionScheme::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+std::vector<PixelRect> tile_rects(int width, int height, int block_size) {
+  std::vector<PixelRect> out;
+  for (int y = 0; y < height; y += block_size) {
+    for (int x = 0; x < width; x += block_size) {
+      out.push_back(PixelRect{x, y, std::min(block_size, width - x),
+                              std::min(block_size, height - y)});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> split_frames(int frames, int parts) {
+  std::vector<std::pair<int, int>> out;
+  const int base = frames / parts;
+  const int extra = frames % parts;
+  int start = 0;
+  for (int i = 0; i < parts && start < frames; ++i) {
+    const int count = base + (i < extra ? 1 : 0);
+    if (count == 0) continue;
+    out.emplace_back(start, count);
+    start += count;
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> split_frames_at_cuts(
+    int frames, int parts, const std::vector<int>& cut_frames) {
+  // Shot boundaries: 0, each valid cut (sorted, deduplicated), frames.
+  std::vector<int> cuts = cut_frames;
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<int> bounds{0};
+  for (const int cut : cuts) {
+    if (cut > 0 && cut < frames && cut > bounds.back()) bounds.push_back(cut);
+  }
+  bounds.push_back(frames);
+  const int shots = static_cast<int>(bounds.size()) - 1;
+
+  // Distribute `parts` across shots proportionally to shot length
+  // (largest-remainder method), at least one part per shot.
+  std::vector<int> alloc(static_cast<std::size_t>(shots), 1);
+  int remaining = std::max(parts - shots, 0);
+  std::vector<std::pair<double, int>> remainders;
+  int assigned = 0;
+  for (int s = 0; s < shots; ++s) {
+    const double share =
+        static_cast<double>(remaining) * (bounds[s + 1] - bounds[s]) / frames;
+    const int whole = static_cast<int>(share);
+    alloc[s] += whole;
+    assigned += whole;
+    remainders.emplace_back(share - whole, s);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (int i = 0; i < remaining - assigned; ++i) {
+    ++alloc[remainders[static_cast<std::size_t>(i) % remainders.size()].second];
+  }
+
+  std::vector<std::pair<int, int>> out;
+  for (int s = 0; s < shots; ++s) {
+    const int shot_len = bounds[s + 1] - bounds[s];
+    for (const auto& [first, count] : split_frames(shot_len, alloc[s])) {
+      out.emplace_back(bounds[s] + first, count);
+    }
+  }
+  return out;
+}
+
+std::vector<RenderTask> make_initial_tasks(const PartitionConfig& config,
+                                           int width, int height, int frames,
+                                           int workers) {
+  std::vector<RenderTask> tasks;
+  const PixelRect full{0, 0, width, height};
+  switch (config.scheme) {
+    case PartitionScheme::kSequenceDivision: {
+      const auto ranges =
+          config.sequence_cuts.empty()
+              ? split_frames(frames, workers)
+              : split_frames_at_cuts(frames, workers, config.sequence_cuts);
+      for (const auto& [first, count] : ranges) {
+        tasks.push_back({static_cast<std::int32_t>(tasks.size()), full, first,
+                         count});
+      }
+      break;
+    }
+    case PartitionScheme::kFrameDivision: {
+      for (const PixelRect& rect : tile_rects(width, height, config.block_size)) {
+        tasks.push_back(
+            {static_cast<std::int32_t>(tasks.size()), rect, 0, frames});
+      }
+      break;
+    }
+    case PartitionScheme::kHybrid: {
+      const int chunk = std::max(1, config.hybrid_frames);
+      for (int first = 0; first < frames; first += chunk) {
+        const int count = std::min(chunk, frames - first);
+        for (const PixelRect& rect :
+             tile_rects(width, height, config.block_size)) {
+          tasks.push_back(
+              {static_cast<std::int32_t>(tasks.size()), rect, first, count});
+        }
+      }
+      break;
+    }
+  }
+  return tasks;
+}
+
+}  // namespace now

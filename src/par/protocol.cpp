@@ -1,0 +1,84 @@
+#include "src/par/protocol.h"
+
+namespace now {
+namespace {
+
+void put_rect(WireWriter* w, const PixelRect& rect) {
+  w->i32(rect.x0);
+  w->i32(rect.y0);
+  w->i32(rect.width);
+  w->i32(rect.height);
+}
+
+bool get_rect(WireReader* r, PixelRect* rect) {
+  return r->i32(&rect->x0) && r->i32(&rect->y0) && r->i32(&rect->width) &&
+         r->i32(&rect->height);
+}
+
+}  // namespace
+
+std::string encode_task(const RenderTask& task) {
+  WireWriter w;
+  w.i32(task.task_id);
+  put_rect(&w, task.region);
+  w.i32(task.first_frame);
+  w.i32(task.frame_count);
+  return w.take();
+}
+
+bool decode_task(RenderTask* task, const std::string& payload) {
+  WireReader r(payload);
+  return r.i32(&task->task_id) && get_rect(&r, &task->region) &&
+         r.i32(&task->first_frame) && r.i32(&task->frame_count) && r.done();
+}
+
+std::string encode_shrink(const ShrinkRequest& req) {
+  WireWriter w;
+  w.i32(req.task_id);
+  w.i32(req.new_end_frame);
+  return w.take();
+}
+
+bool decode_shrink(ShrinkRequest* req, const std::string& payload) {
+  WireReader r(payload);
+  return r.i32(&req->task_id) && r.i32(&req->new_end_frame) && r.done();
+}
+
+std::string encode_shrink_ack(const ShrinkAck& ack) {
+  WireWriter w;
+  w.i32(ack.task_id);
+  w.i32(ack.honored_end_frame);
+  return w.take();
+}
+
+bool decode_shrink_ack(ShrinkAck* ack, const std::string& payload) {
+  WireReader r(payload);
+  return r.i32(&ack->task_id) && r.i32(&ack->honored_end_frame) && r.done();
+}
+
+std::string encode_frame_result(const FrameResult& result) {
+  WireWriter w;
+  w.i32(result.task_id);
+  w.i32(result.frame);
+  w.u64(result.rays);
+  w.u64(result.shadow_rays);
+  w.i64(result.pixels_recomputed);
+  w.u8(result.full_render);
+  w.f64(result.compute_seconds);
+  w.str(encode_payload(result.payload));
+  return w.take();
+}
+
+bool decode_frame_result(FrameResult* result, const std::string& payload) {
+  WireReader r(payload);
+  std::string pixels;
+  if (!(r.i32(&result->task_id) && r.i32(&result->frame) &&
+        r.u64(&result->rays) && r.u64(&result->shadow_rays) &&
+        r.i64(&result->pixels_recomputed) && r.u8(&result->full_render) &&
+        r.f64(&result->compute_seconds) && r.str(&pixels) && r.done())) {
+    return false;
+  }
+  return decode_payload(&result->payload, pixels);
+}
+
+}  // namespace now

@@ -1,0 +1,83 @@
+// Wire protocol between the render master and its workers.
+//
+// Star topology, PVM-style: workers announce themselves, the master assigns
+// RenderTasks (a pixel region × a frame range), workers stream back one
+// FrameResult per rendered frame, and the master adaptively re-splits the
+// task of a loaded worker when another goes idle (Section 3: "each sequence
+// can be adaptively subdivided such that a faster processor can receive
+// more work once it completes its sequence").
+//
+// The shrink handshake is two-phase because the victim may have rendered
+// past the proposed split point by the time the message arrives: the master
+// proposes a new end frame, the victim acknowledges with the end it can
+// actually honor, and only then does the master hand the stolen range to the
+// idle worker. Frames are never rendered twice and never lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/image/pixel_codec.h"
+#include "src/net/message.h"
+#include "src/trace/tracer.h"
+
+namespace now {
+
+enum MsgTag : int {
+  kTagHello = 1,        // worker → master: ready for work
+  kTagTask = 2,         // master → worker: RenderTask
+  kTagShrink = 3,       // master → worker: task_id, proposed new end frame
+  kTagShrinkAck = 4,    // worker → master: task_id, honored end frame (or -1)
+  kTagFrameResult = 5,  // worker → master: pixels + stats for one frame
+  kTagRequest = 6,      // worker → master: task finished, want more
+  kTagStop = 7,         // master → worker: shut down
+  kTagContinue = 8,     // worker → itself: render the next frame
+};
+
+struct RenderTask {
+  std::int32_t task_id = -1;
+  PixelRect region;
+  std::int32_t first_frame = 0;
+  std::int32_t frame_count = 0;
+
+  std::int32_t end_frame() const { return first_frame + frame_count; }
+  bool operator==(const RenderTask&) const = default;
+};
+
+std::string encode_task(const RenderTask& task);
+bool decode_task(RenderTask* task, const std::string& payload);
+
+struct ShrinkRequest {
+  std::int32_t task_id = -1;
+  std::int32_t new_end_frame = 0;
+};
+
+std::string encode_shrink(const ShrinkRequest& req);
+bool decode_shrink(ShrinkRequest* req, const std::string& payload);
+
+struct ShrinkAck {
+  std::int32_t task_id = -1;
+  /// End frame the worker will actually stop at; -1 when the task was
+  /// already complete (nothing left to steal).
+  std::int32_t honored_end_frame = -1;
+};
+
+std::string encode_shrink_ack(const ShrinkAck& ack);
+bool decode_shrink_ack(ShrinkAck* ack, const std::string& payload);
+
+struct FrameResult {
+  std::int32_t task_id = -1;
+  std::int32_t frame = 0;
+  PixelPayload payload;
+  // accounting (summed into farm-level statistics by the master)
+  std::uint64_t rays = 0;
+  std::uint64_t shadow_rays = 0;
+  std::int64_t pixels_recomputed = 0;
+  std::uint8_t full_render = 0;
+  double compute_seconds = 0.0;  // reference-machine cost the worker charged
+};
+
+std::string encode_frame_result(const FrameResult& result);
+bool decode_frame_result(FrameResult* result, const std::string& payload);
+
+}  // namespace now

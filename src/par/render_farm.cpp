@@ -1,0 +1,80 @@
+#include "src/par/render_farm.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/net/tcp_runtime.h"
+#include "src/net/thread_runtime.h"
+
+namespace now {
+
+const char* to_string(FarmBackend backend) {
+  switch (backend) {
+    case FarmBackend::kSim: return "sim";
+    case FarmBackend::kThreads: return "threads";
+    case FarmBackend::kTcp: return "tcp";
+  }
+  return "unknown";
+}
+
+FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
+  std::vector<double> speeds = config.worker_speeds;
+  if (speeds.empty()) {
+    speeds.assign(static_cast<std::size_t>(config.workers), 1.0);
+  }
+  const int worker_count = static_cast<int>(speeds.size());
+  if (worker_count < 1) throw std::invalid_argument("need at least 1 worker");
+
+  MasterConfig master_config;
+  master_config.partition = config.partition;
+  master_config.cost = config.cost;
+  master_config.output_dir = config.output_dir;
+  master_config.output_prefix = config.output_prefix;
+  RenderMaster master(scene, master_config);
+
+  WorkerConfig worker_config;
+  worker_config.coherence = config.coherence;
+  worker_config.cost = config.cost;
+  worker_config.sparse_returns = config.sparse_returns;
+  std::vector<std::unique_ptr<RenderWorker>> workers;
+  workers.reserve(static_cast<std::size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers.push_back(std::make_unique<RenderWorker>(scene, worker_config));
+  }
+
+  std::vector<Actor*> actors;
+  actors.push_back(&master);
+  for (auto& w : workers) actors.push_back(w.get());
+
+  FarmResult result;
+  switch (config.backend) {
+    case FarmBackend::kSim: {
+      SimConfig sim_config;
+      sim_config.speeds.push_back(config.master_speed);
+      sim_config.speeds.insert(sim_config.speeds.end(), speeds.begin(),
+                               speeds.end());
+      sim_config.ethernet = config.ethernet;
+      SimRuntime runtime(std::move(sim_config));
+      result.sim = runtime.run_sim(actors);
+      result.runtime = result.sim;
+      break;
+    }
+    case FarmBackend::kThreads: {
+      ThreadRuntime runtime;
+      result.runtime = runtime.run(actors);
+      break;
+    }
+    case FarmBackend::kTcp: {
+      TcpRuntime runtime;
+      result.runtime = runtime.run(actors);
+      break;
+    }
+  }
+  result.elapsed_seconds = result.runtime.elapsed_seconds;
+  result.frames = master.frames();
+  result.master = master.report();
+  for (auto& w : workers) result.workers.push_back(w->report());
+  return result;
+}
+
+}  // namespace now

@@ -1,0 +1,57 @@
+// RenderFarm: one-call façade over the master/worker actors and the three
+// runtimes. This is the library's top-level entry point for distributed
+// animation rendering:
+//
+//   FarmConfig cfg;
+//   cfg.backend = FarmBackend::kSim;             // or kThreads / kTcp
+//   cfg.worker_speeds = {1.0, 0.5, 0.5};         // the paper's SGI mix
+//   cfg.partition.scheme = PartitionScheme::kFrameDivision;
+//   FarmResult r = render_farm(scene, cfg);
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/par/master.h"
+#include "src/par/worker.h"
+#include "src/sim/sim_runtime.h"
+
+namespace now {
+
+enum class FarmBackend {
+  kSim,      // discrete-event virtual time (deterministic, heterogeneous)
+  kThreads,  // real std::thread parallelism, wall clock
+  kTcp,      // real threads over loopback TCP sockets, wall clock
+};
+
+const char* to_string(FarmBackend backend);
+
+struct FarmConfig {
+  FarmBackend backend = FarmBackend::kSim;
+  /// Worker count when worker_speeds is empty (speeds default to 1.0).
+  int workers = 3;
+  /// Per-worker speed factors (kSim only; size defines the worker count).
+  std::vector<double> worker_speeds;
+  /// Master machine speed factor (kSim only).
+  double master_speed = 1.0;
+  EthernetParams ethernet;
+  PartitionConfig partition;
+  CoherenceOptions coherence;
+  CostModel cost;
+  bool sparse_returns = true;
+  std::string output_dir;  // per-frame targa output ("" = keep in memory)
+  std::string output_prefix = "frame";
+};
+
+struct FarmResult {
+  std::vector<Framebuffer> frames;
+  double elapsed_seconds = 0.0;  // virtual (kSim) or wall (others)
+  RuntimeStats runtime;
+  MasterReport master;
+  std::vector<WorkerReport> workers;
+  SimRuntimeStats sim;  // populated for kSim only
+};
+
+FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config);
+
+}  // namespace now

@@ -1,0 +1,45 @@
+#include "src/par/serial.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace now {
+
+SerialResult render_serial(const AnimatedScene& scene,
+                           const CoherenceOptions& coherence,
+                           const CostModel& cost, double speed) {
+  SerialResult result;
+  const PixelRect full{0, 0, scene.width(), scene.height()};
+  CoherentRenderer renderer(scene, full, coherence);
+  Framebuffer fb(scene.width(), scene.height());
+  for (int frame = 0; frame < scene.frame_count(); ++frame) {
+    const FrameRenderResult r = renderer.render_frame(frame, &fb);
+    const double seconds =
+        (cost.frame_compute_seconds(r) + cost.master_frame_write_seconds) /
+        speed;
+    result.frames.push_back(fb);
+    result.stats += r.stats;
+    result.pixels_recomputed += r.pixels_recomputed;
+    result.voxels_marked += r.voxels_marked;
+    result.frame_seconds.push_back(seconds);
+    result.virtual_seconds += seconds;
+    if (frame == 0) result.first_frame_seconds = seconds;
+  }
+  return result;
+}
+
+std::string format_hms(double seconds) {
+  const long total = std::lround(seconds);
+  const long h = total / 3600;
+  const long m = (total % 3600) / 60;
+  const long s = total % 60;
+  char buf[32];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%ld:%02ld:%02ld", h, m, s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ld:%02ld", m, s);
+  }
+  return buf;
+}
+
+}  // namespace now

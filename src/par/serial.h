@@ -1,0 +1,34 @@
+// Single-processor rendering runs with virtual-time accounting — columns
+// (1) and (2) of the paper's Table 1 (the fastest machine, with and without
+// the frame-coherence algorithm).
+#pragma once
+
+#include <vector>
+
+#include "src/core/coherent_renderer.h"
+#include "src/par/cost_model.h"
+#include "src/scene/animated_scene.h"
+
+namespace now {
+
+struct SerialResult {
+  std::vector<Framebuffer> frames;
+  TraceStats stats;
+  std::int64_t pixels_recomputed = 0;
+  std::int64_t voxels_marked = 0;
+  double virtual_seconds = 0.0;        // on a machine of `speed`
+  double first_frame_seconds = 0.0;
+  std::vector<double> frame_seconds;   // per frame, on that machine
+};
+
+/// Render the whole animation on one (virtual) machine of the given relative
+/// speed. File-writing cost is charged serially (no overlap — there is only
+/// one processor).
+SerialResult render_serial(const AnimatedScene& scene,
+                           const CoherenceOptions& coherence = {},
+                           const CostModel& cost = {}, double speed = 1.0);
+
+/// H:MM:SS rendering of a duration in seconds (Table 1 formatting).
+std::string format_hms(double seconds);
+
+}  // namespace now

@@ -1,0 +1,115 @@
+#include "src/par/worker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now {
+
+void RenderWorker::on_start(Context& ctx) {
+  ctx.send(0, kTagHello, {});
+}
+
+void RenderWorker::on_message(Context& ctx, const Message& msg) {
+  switch (msg.tag) {
+    case kTagTask: {
+      RenderTask task;
+      const bool ok = decode_task(&task, msg.payload);
+      assert(ok);
+      if (ok) start_task(ctx, task);
+      break;
+    }
+    case kTagContinue:
+      if (task_.has_value()) render_next_frame(ctx);
+      break;
+    case kTagShrink: {
+      ShrinkRequest req;
+      const bool ok = decode_shrink(&req, msg.payload);
+      assert(ok);
+      if (ok) handle_shrink(ctx, req);
+      break;
+    }
+    case kTagStop:
+      break;  // the runtime winds down after the master's stop()
+    default:
+      assert(false && "worker received unexpected tag");
+  }
+}
+
+void RenderWorker::start_task(Context& ctx, const RenderTask& task) {
+  assert(!task_.has_value() && "worker already busy");
+  task_ = task;
+  next_frame_ = task.first_frame;
+  end_frame_ = task.end_frame();
+  // Fresh coherence state per task: the first frame of every task is a full
+  // render (the cost that separates the partitioning schemes).
+  renderer_ = std::make_unique<CoherentRenderer>(scene_, task.region,
+                                                 config_.coherence);
+  fb_ = Framebuffer(scene_.width(), scene_.height());
+  ctx.send(ctx.rank(), kTagContinue, {});
+}
+
+void RenderWorker::render_next_frame(Context& ctx) {
+  assert(task_.has_value());
+  if (next_frame_ >= end_frame_) {
+    // Shrunk to nothing before we got here.
+    task_.reset();
+    renderer_.reset();
+    ++report_.tasks_completed;
+    ctx.send(0, kTagRequest, {});
+    return;
+  }
+
+  const FrameRenderResult r = renderer_->render_frame(next_frame_, &fb_);
+  const double cost = config_.cost.frame_compute_seconds(r);
+  ctx.charge(cost);
+
+  FrameResult out;
+  out.task_id = task_->task_id;
+  out.frame = next_frame_;
+  out.rays = r.stats.total_rays();
+  out.shadow_rays = r.stats.shadow_rays;
+  out.pixels_recomputed = r.pixels_recomputed;
+  out.full_render = r.full_render ? 1 : 0;
+  out.compute_seconds = cost;
+  out.payload = (r.full_render || !config_.sparse_returns)
+                    ? make_dense_payload(fb_, task_->region)
+                    : make_sparse_payload(fb_, task_->region, r.recomputed);
+  ctx.send(0, kTagFrameResult, encode_frame_result(out));
+
+  ++report_.frames_rendered;
+  report_.peak_mark_bytes = std::max(
+      report_.peak_mark_bytes, renderer_->coherence_grid().stats().bytes());
+  report_.rays += out.rays;
+  report_.pixels_recomputed += r.pixels_recomputed;
+  report_.compute_seconds += cost;
+
+  ++next_frame_;
+  if (next_frame_ >= end_frame_) {
+    task_.reset();
+    renderer_.reset();
+    ++report_.tasks_completed;
+    ctx.send(0, kTagRequest, {});
+  } else {
+    ctx.send(ctx.rank(), kTagContinue, {});
+  }
+}
+
+void RenderWorker::handle_shrink(Context& ctx, const ShrinkRequest& req) {
+  ShrinkAck ack;
+  ack.task_id = req.task_id;
+  if (!task_.has_value() || task_->task_id != req.task_id) {
+    // The task already completed (the ack crossed our final kTagRequest):
+    // nothing left to steal.
+    ack.honored_end_frame = -1;
+  } else {
+    // Honor the split as far as possible: we cannot give back frames that
+    // are already rendered (next_frame_ and below).
+    const std::int32_t honored =
+        std::max(req.new_end_frame, next_frame_);
+    end_frame_ = std::min(end_frame_, honored);
+    ack.honored_end_frame = end_frame_;
+  }
+  ctx.send(0, kTagShrinkAck, encode_shrink_ack(ack));
+}
+
+}  // namespace now

@@ -1,0 +1,70 @@
+// RenderWorker: the slave process of the paper's master/slave PVM program.
+//
+// On receiving a task it builds a fresh CoherentRenderer for the task's
+// pixel region (coherence state never survives task boundaries — which is
+// exactly why sequence division pays a full render per subsequence) and
+// renders the task one frame per kTagContinue self-message, so master
+// control traffic (shrink requests) interleaves between frames.
+//
+// Incremental frames are returned as sparse run-length payloads carrying
+// only the recomputed pixels; full renders go back dense.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/core/coherent_renderer.h"
+#include "src/net/runtime.h"
+#include "src/par/cost_model.h"
+#include "src/par/protocol.h"
+#include "src/scene/animated_scene.h"
+
+namespace now {
+
+struct WorkerConfig {
+  CoherenceOptions coherence;
+  CostModel cost;
+  /// Send only recomputed pixels on incremental frames (saves Ethernet).
+  bool sparse_returns = true;
+};
+
+struct WorkerReport {
+  int tasks_completed = 0;
+  int frames_rendered = 0;
+  std::uint64_t rays = 0;
+  std::int64_t pixels_recomputed = 0;
+  double compute_seconds = 0.0;  // reference-machine seconds charged
+  /// High-water mark of coherence-grid mark storage on this worker. The
+  /// paper's frame-division memory claim ("memory requirements are directly
+  /// proportional to the size of the image area") is measured with this.
+  std::int64_t peak_mark_bytes = 0;
+};
+
+class RenderWorker final : public Actor {
+ public:
+  RenderWorker(const AnimatedScene& scene, const WorkerConfig& config)
+      : scene_(scene), config_(config) {}
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& msg) override;
+
+  const WorkerReport& report() const { return report_; }
+
+ private:
+  void start_task(Context& ctx, const RenderTask& task);
+  void render_next_frame(Context& ctx);
+  void handle_shrink(Context& ctx, const ShrinkRequest& req);
+
+  const AnimatedScene& scene_;
+  WorkerConfig config_;
+
+  std::optional<RenderTask> task_;
+  std::unique_ptr<CoherentRenderer> renderer_;
+  Framebuffer fb_;
+  std::int32_t next_frame_ = 0;
+  std::int32_t end_frame_ = 0;
+
+  WorkerReport report_;
+};
+
+}  // namespace now

@@ -1,0 +1,148 @@
+#include "src/scene/animated_scene.h"
+
+#include <cassert>
+
+namespace now {
+
+AnimatedScene AnimatedScene::clone() const {
+  AnimatedScene out;
+  out.materials_ = materials_;
+  for (const SceneLight& light : lights_) {
+    out.lights_.push_back(
+        {light.base, light.animator ? light.animator->clone() : nullptr});
+  }
+  out.cuts_ = cuts_;
+  out.frame_count_ = frame_count_;
+  out.fps_ = fps_;
+  out.width_ = width_;
+  out.height_ = height_;
+  out.background_ = background_;
+  out.objects_.reserve(objects_.size());
+  for (const SceneObject& obj : objects_) {
+    out.objects_.push_back({obj.name, obj.local->clone(), obj.material_id,
+                            obj.animator ? obj.animator->clone() : nullptr});
+  }
+  return out;
+}
+
+int AnimatedScene::add_material(const Material& m) {
+  materials_.push_back(m);
+  return static_cast<int>(materials_.size()) - 1;
+}
+
+int AnimatedScene::add_object(std::string name,
+                              std::unique_ptr<Primitive> local,
+                              int material_id,
+                              std::unique_ptr<Animator> animator) {
+  objects_.push_back(
+      {std::move(name), std::move(local), material_id, std::move(animator)});
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+void AnimatedScene::add_light(const Light& light,
+                              std::unique_ptr<Animator> animator) {
+  lights_.push_back({light, std::move(animator)});
+}
+
+Light AnimatedScene::light_at(int i, int frame) const {
+  const SceneLight& sl = lights_[i];
+  if (!sl.animator) return sl.base;
+  const Transform t = sl.animator->at(frame_time(frame));
+  Light out = sl.base;
+  out.position = t.apply_point(sl.base.position);
+  out.direction = t.apply_direction(sl.base.direction);
+  return out;
+}
+
+bool AnimatedScene::lights_changed(int frame_a, int frame_b) const {
+  for (const SceneLight& sl : lights_) {
+    if (!sl.animator) continue;
+    if (!(sl.animator->at(frame_time(frame_a)) ==
+          sl.animator->at(frame_time(frame_b)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AnimatedScene::set_camera(const Camera& c) { cuts_ = {{0, c}}; }
+
+void AnimatedScene::add_camera_cut(int first_frame, const Camera& c) {
+  assert(cuts_.empty() || first_frame > cuts_.back().first_frame);
+  cuts_.push_back({first_frame, c});
+}
+
+void AnimatedScene::set_frames(int count, double fps) {
+  frame_count_ = count;
+  fps_ = fps;
+}
+
+void AnimatedScene::set_background(const Color& c) { background_ = c; }
+
+void AnimatedScene::set_resolution(int width, int height) {
+  width_ = width;
+  height_ = height;
+}
+
+Transform AnimatedScene::object_transform(int id, int frame) const {
+  const SceneObject& obj = objects_[id];
+  if (!obj.animator) return Transform::identity();
+  return obj.animator->at(frame_time(frame));
+}
+
+bool AnimatedScene::object_changed(int id, int frame_a, int frame_b) const {
+  if (!objects_[id].animator) return false;
+  return object_transform(id, frame_a) != object_transform(id, frame_b);
+}
+
+std::vector<int> AnimatedScene::changed_objects(int frame_a,
+                                                int frame_b) const {
+  std::vector<int> out;
+  for (int id = 0; id < object_count(); ++id) {
+    if (object_changed(id, frame_a, frame_b)) out.push_back(id);
+  }
+  return out;
+}
+
+const Camera& AnimatedScene::camera_at(int frame) const {
+  const CameraCut* active = &cuts_.front();
+  for (const CameraCut& cut : cuts_) {
+    if (cut.first_frame <= frame) active = &cut;
+  }
+  return active->camera;
+}
+
+bool AnimatedScene::camera_changed(int frame_a, int frame_b) const {
+  return camera_at(frame_a) != camera_at(frame_b);
+}
+
+World AnimatedScene::world_at(int frame) const {
+  World world;
+  for (int m = 0; m < material_count(); ++m) world.add_material(materials_[m]);
+  for (int i = 0; i < light_count(); ++i) world.add_light(light_at(i, frame));
+  world.set_camera(camera_at(frame));
+  world.set_background(background_);
+  for (int id = 0; id < object_count(); ++id) {
+    const SceneObject& obj = objects_[id];
+    std::unique_ptr<Primitive> prim =
+        obj.animator ? obj.local->transformed(object_transform(id, frame))
+                     : obj.local->clone();
+    world.add_object(std::move(prim), obj.material_id, id);
+  }
+  return world;
+}
+
+std::vector<AnimatedScene::Shot> AnimatedScene::split_shots() const {
+  std::vector<Shot> shots;
+  int shot_start = 0;
+  for (int frame = 1; frame < frame_count_; ++frame) {
+    if (camera_changed(frame - 1, frame)) {
+      shots.push_back({shot_start, frame - shot_start});
+      shot_start = frame;
+    }
+  }
+  shots.push_back({shot_start, frame_count_ - shot_start});
+  return shots;
+}
+
+}  // namespace now

@@ -1,0 +1,104 @@
+// Animators: time → rigid transform for one scene object.
+//
+// The coherence change detector decides whether an object moved between two
+// frames by comparing the transforms its animator produces; animators must
+// therefore be deterministic pure functions of time, and objects at rest
+// must reproduce bit-identical transforms (a pendulum hanging at angle 0
+// yields exactly the identity every frame it rests).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/math/spline.h"
+#include "src/math/transform.h"
+
+namespace now {
+
+class Animator {
+ public:
+  virtual ~Animator() = default;
+  virtual Transform at(double time) const = 0;
+  virtual std::unique_ptr<Animator> clone() const = 0;
+};
+
+/// No motion ever.
+class StaticAnimator final : public Animator {
+ public:
+  Transform at(double) const override { return Transform::identity(); }
+  std::unique_ptr<Animator> clone() const override {
+    return std::make_unique<StaticAnimator>();
+  }
+};
+
+/// Translation along a keyframed position curve. The object's local-space
+/// geometry is translated by spline(t) (so geometry is authored around the
+/// origin, or around wherever position 0,0,0 should map from).
+class KeyframeAnimator final : public Animator {
+ public:
+  explicit KeyframeAnimator(Spline position) : position_(std::move(position)) {}
+
+  Transform at(double time) const override {
+    return Transform::translate(position_.evaluate(time));
+  }
+  std::unique_ptr<Animator> clone() const override {
+    return std::make_unique<KeyframeAnimator>(position_);
+  }
+  const Spline& position() const { return position_; }
+
+ private:
+  Spline position_;
+};
+
+/// Rotation about an axis through a pivot point, with the angle supplied by
+/// an arbitrary deterministic function of time. Used for every moving part
+/// of the Newton cradle (marbles and their strings pivot rigidly).
+class PivotRotationAnimator final : public Animator {
+ public:
+  using AngleFn = std::function<double(double)>;
+
+  PivotRotationAnimator(const Vec3& pivot, const Vec3& unit_axis, AngleFn angle)
+      : pivot_(pivot), axis_(unit_axis), angle_(std::move(angle)) {}
+
+  Transform at(double time) const override {
+    const double theta = angle_(time);
+    if (theta == 0.0) return Transform::identity();
+    const Transform rotate = Transform::rotate(Mat3::axis_angle(axis_, theta));
+    return Transform::translate(pivot_)
+        .compose(rotate)
+        .compose(Transform::translate(-pivot_));
+  }
+  std::unique_ptr<Animator> clone() const override {
+    return std::make_unique<PivotRotationAnimator>(pivot_, axis_, angle_);
+  }
+
+ private:
+  Vec3 pivot_;
+  Vec3 axis_;
+  AngleFn angle_;
+};
+
+/// Uniform circular motion in a plane (used by stress-test scenes).
+class OrbitAnimator final : public Animator {
+ public:
+  OrbitAnimator(const Vec3& center, const Vec3& unit_axis, double period)
+      : center_(center), axis_(unit_axis), period_(period) {}
+
+  Transform at(double time) const override {
+    const double theta = kTwoPi * time / period_;
+    const Transform rotate = Transform::rotate(Mat3::axis_angle(axis_, theta));
+    return Transform::translate(center_)
+        .compose(rotate)
+        .compose(Transform::translate(-center_));
+  }
+  std::unique_ptr<Animator> clone() const override {
+    return std::make_unique<OrbitAnimator>(center_, axis_, period_);
+  }
+
+ private:
+  Vec3 center_;
+  Vec3 axis_;
+  double period_;
+};
+
+}  // namespace now

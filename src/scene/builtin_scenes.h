@@ -1,0 +1,64 @@
+// Built-in animation scenes.
+//
+// `newton_cradle_scene` reproduces the paper's test workload: "a set of
+// suspended chrome marbles, which when set into motion by raising the marble
+// on either end, illustrates the law of the conservation of energy",
+// modelled with exactly the paper's inventory — one plane, five spheres and
+// sixteen cylinders (6 frame members + 2 strings per marble).
+//
+// `bouncing_ball_scene` reproduces the Figure 1/2 animation: a glass ball
+// bouncing around a brick room.
+#pragma once
+
+#include "src/math/rng.h"
+#include "src/scene/animated_scene.h"
+
+namespace now {
+
+struct CradleParams {
+  int frames = 45;
+  double fps = 15.0;
+  int width = 320;
+  int height = 240;
+  double amplitude_degrees = 45.0;  // release angle of the end marble
+  double period_seconds = 2.0;      // full pendulum period
+};
+
+AnimatedScene newton_cradle_scene(const CradleParams& params = {});
+
+struct BounceParams {
+  int frames = 30;
+  double fps = 15.0;
+  int width = 320;
+  int height = 240;
+  double restitution = 0.85;
+  std::uint64_t seed = 7;  // perturbs the initial velocity
+};
+
+AnimatedScene bouncing_ball_scene(const BounceParams& params = {});
+
+/// Stress scene: `sphere_count` spheres orbiting a center plus a textured
+/// floor; exercises many simultaneously-moving objects.
+AnimatedScene orbit_scene(int sphere_count, int frames, int width = 160,
+                          int height = 120);
+
+/// Randomized animated scene for property tests: a mix of static and
+/// linearly-moving primitives of random types, sizes and materials.
+/// Deterministic in `rng`'s state.
+AnimatedScene random_scene(Rng* rng, int object_count, int frames,
+                           int width = 64, int height = 48);
+
+/// Two-shot scene (camera cut at `cut_frame`) for shot-splitting tests.
+AnimatedScene two_shot_scene(int frames, int cut_frame);
+
+/// Geodesic sphere mesh: an icosahedron subdivided `subdivisions` times and
+/// projected onto a sphere of the given radius.
+std::unique_ptr<Primitive> make_icosphere(const Vec3& center, double radius,
+                                          int subdivisions);
+
+/// Gallery scene: one moving instance of every primitive type (sphere, box,
+/// cylinder, disc, triangle, icosphere mesh) over a plane — exercises the
+/// change detector's footprint test for every shape.
+AnimatedScene gallery_scene(int frames, int width = 96, int height = 72);
+
+}  // namespace now

@@ -1,0 +1,529 @@
+#include "src/scene/scene_parser.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/geom/box.h"
+#include "src/geom/cylinder.h"
+#include "src/geom/disc.h"
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+#include "src/geom/triangle.h"
+
+namespace now {
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kLBrace, kRBrace, kEnd } kind;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_space();
+    current_.line = line_;
+    if (pos_ >= src_.size()) {
+      current_ = {Token::kEnd, "", 0.0, line_};
+      return;
+    }
+    const char c = src_[pos_];
+    if (c == '{') {
+      ++pos_;
+      current_ = {Token::kLBrace, "{", 0.0, line_};
+    } else if (c == '}') {
+      ++pos_;
+      current_ = {Token::kRBrace, "}", 0.0, line_};
+    } else if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (pos_ < src_.size() && src_[pos_] != '"') s.push_back(src_[pos_++]);
+      if (pos_ < src_.size()) ++pos_;  // closing quote
+      current_ = {Token::kString, s, 0.0, line_};
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '+' || c == '.') {
+      std::size_t end = pos_;
+      while (end < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[end])) ||
+              src_[end] == '.' || src_[end] == '-' || src_[end] == '+' ||
+              src_[end] == 'e' || src_[end] == 'E')) {
+        ++end;
+      }
+      const std::string text = src_.substr(pos_, end - pos_);
+      current_ = {Token::kNumber, text, std::stod(text), line_};
+      pos_ = end;
+    } else {
+      std::size_t end = pos_;
+      while (end < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+              src_[end] == '_')) {
+        ++end;
+      }
+      if (end == pos_) {
+        throw std::runtime_error("line " + std::to_string(line_) +
+                                 ": unexpected character '" + c + "'");
+      }
+      current_ = {Token::kIdent, src_.substr(pos_, end - pos_), 0.0, line_};
+      pos_ = end;
+    }
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+[[noreturn]] void fail(const Token& t, const std::string& msg) {
+  throw std::runtime_error("line " + std::to_string(t.line) + ": " + msg);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  AnimatedScene parse() {
+    expect_ident("scene");
+    expect(Token::kLBrace);
+    while (lex_.peek().kind != Token::kRBrace) parse_top_item();
+    expect(Token::kRBrace);
+    if (lex_.peek().kind != Token::kEnd) fail(lex_.peek(), "trailing input");
+    return std::move(scene_);
+  }
+
+ private:
+  void parse_top_item() {
+    const Token t = expect(Token::kIdent);
+    if (t.text == "resolution") {
+      const int w = static_cast<int>(number());
+      const int h = static_cast<int>(number());
+      scene_.set_resolution(w, h);
+      aspect_ = static_cast<double>(w) / h;
+    } else if (t.text == "frames") {
+      frames_ = static_cast<int>(number());
+      scene_.set_frames(frames_, fps_);
+    } else if (t.text == "fps") {
+      fps_ = number();
+      scene_.set_frames(frames_, fps_);
+    } else if (t.text == "background") {
+      scene_.set_background(color3());
+    } else if (t.text == "camera") {
+      parse_camera();
+    } else if (t.text == "material") {
+      parse_material();
+    } else if (t.text == "object") {
+      parse_object();
+    } else if (t.text == "light") {
+      parse_light();
+    } else {
+      fail(t, "unknown scene item '" + t.text + "'");
+    }
+  }
+
+  void parse_camera() {
+    expect(Token::kLBrace);
+    Vec3 from{0, 0, 5};
+    Vec3 at{0, 0, 0};
+    Vec3 up{0, 1, 0};
+    double fov = 50.0;
+    int cut = -1;
+    while (lex_.peek().kind != Token::kRBrace) {
+      const Token t = expect(Token::kIdent);
+      if (t.text == "from") {
+        from = vec3();
+      } else if (t.text == "at") {
+        at = vec3();
+      } else if (t.text == "up") {
+        up = vec3();
+      } else if (t.text == "fov") {
+        fov = number();
+      } else if (t.text == "cut") {
+        cut = static_cast<int>(number());
+      } else {
+        fail(t, "unknown camera field '" + t.text + "'");
+      }
+    }
+    expect(Token::kRBrace);
+    const Camera cam(from, at, up, fov, aspect_);
+    if (cut < 0 && !saw_camera_) {
+      scene_.set_camera(cam);
+      saw_camera_ = true;
+    } else {
+      scene_.add_camera_cut(cut < 0 ? 0 : cut, cam);
+    }
+  }
+
+  void parse_material() {
+    const std::string name = expect(Token::kString).text;
+    expect(Token::kLBrace);
+    std::string type = "matte";
+    Color color = Color::gray(0.8);
+    Color color2 = Color::gray(0.2);
+    double ior = 1.5;
+    double cell = 1.0;
+    double bw = 0.6, bh = 0.25, mortar = 0.03;
+    double reflectivity = -1.0, transmittance = -1.0;
+    double ambient = -1.0, diffuse = -1.0, specular = -1.0, shininess = -1.0;
+    double frequency = 3.0, turbulence_amt = 1.5;
+    while (lex_.peek().kind != Token::kRBrace) {
+      const Token t = expect(Token::kIdent);
+      if (t.text == "type") {
+        type = expect(Token::kIdent).text;
+      } else if (t.text == "color") {
+        color = color3();
+      } else if (t.text == "color2") {
+        color2 = color3();
+      } else if (t.text == "ior") {
+        ior = number();
+      } else if (t.text == "cell") {
+        cell = number();
+      } else if (t.text == "brick_size") {
+        bw = number();
+        bh = number();
+      } else if (t.text == "mortar") {
+        mortar = number();
+      } else if (t.text == "reflectivity") {
+        reflectivity = number();
+      } else if (t.text == "transmittance") {
+        transmittance = number();
+      } else if (t.text == "ambient") {
+        ambient = number();
+      } else if (t.text == "diffuse") {
+        diffuse = number();
+      } else if (t.text == "specular") {
+        specular = number();
+      } else if (t.text == "shininess") {
+        shininess = number();
+      } else if (t.text == "frequency") {
+        frequency = number();
+      } else if (t.text == "turbulence") {
+        turbulence_amt = number();
+      } else {
+        fail(t, "unknown material field '" + t.text + "'");
+      }
+    }
+    expect(Token::kRBrace);
+
+    Material m;
+    if (type == "matte") {
+      m = Material::matte(color);
+    } else if (type == "chrome") {
+      m = Material::chrome();
+    } else if (type == "glass") {
+      m = Material::glass(ior);
+    } else if (type == "mirror") {
+      m = Material::mirror(color, reflectivity < 0 ? 0.7 : reflectivity);
+    } else if (type == "checker") {
+      m = Material::textured(
+          std::make_shared<CheckerTexture>(color, color2, cell));
+    } else if (type == "brick") {
+      m = Material::textured(
+          std::make_shared<BrickTexture>(color, color2, bw, bh, mortar));
+    } else if (type == "marble") {
+      m = Material::textured(std::make_shared<MarbleTexture>(
+          color, color2, frequency, turbulence_amt));
+    } else {
+      fail(lex_.peek(), "unknown material type '" + type + "'");
+    }
+    if (reflectivity >= 0) m.reflectivity = reflectivity;
+    if (transmittance >= 0) m.transmittance = transmittance;
+    if (ambient >= 0) m.ambient = ambient;
+    if (diffuse >= 0) m.diffuse = diffuse;
+    if (specular >= 0) m.specular = specular;
+    if (shininess >= 0) m.shininess = shininess;
+    materials_[name] = scene_.add_material(m);
+  }
+
+  std::unique_ptr<Primitive> parse_shape(const Token& t) {
+    expect(Token::kLBrace);
+    std::map<std::string, Vec3> vecs;
+    std::map<std::string, double> nums;
+    while (lex_.peek().kind != Token::kRBrace) {
+      const Token f = expect(Token::kIdent);
+      if (f.text == "radius" || f.text == "d") {
+        nums[f.text] = number();
+      } else {
+        vecs[f.text] = vec3();
+      }
+    }
+    expect(Token::kRBrace);
+
+    const auto vec = [&](const std::string& key, const Vec3& dflt = {}) {
+      const auto it = vecs.find(key);
+      return it == vecs.end() ? dflt : it->second;
+    };
+    const auto num = [&](const std::string& key, double dflt) {
+      const auto it = nums.find(key);
+      return it == nums.end() ? dflt : it->second;
+    };
+
+    if (t.text == "sphere") {
+      return std::make_unique<Sphere>(vec("center"), num("radius", 1.0));
+    }
+    if (t.text == "plane") {
+      if (vecs.count("point") != 0) {
+        return std::make_unique<Plane>(
+            Plane::through(vec("point"), vec("normal", {0, 1, 0})));
+      }
+      return std::make_unique<Plane>(vec("normal", {0, 1, 0}).normalized(),
+                                     num("d", 0.0));
+    }
+    if (t.text == "box") {
+      if (vecs.count("min") != 0) {
+        return std::make_unique<Box>(Box::from_corners(vec("min"), vec("max")));
+      }
+      return std::make_unique<Box>(vec("center"), vec("half", {1, 1, 1}));
+    }
+    if (t.text == "cylinder") {
+      return std::make_unique<Cylinder>(vec("p0"), vec("p1", {0, 1, 0}),
+                                        num("radius", 0.5));
+    }
+    if (t.text == "disc") {
+      return std::make_unique<Disc>(vec("center"),
+                                    vec("normal", {0, 1, 0}).normalized(),
+                                    num("radius", 1.0));
+    }
+    if (t.text == "triangle") {
+      return std::make_unique<Triangle>(vec("v0"), vec("v1"), vec("v2"));
+    }
+    fail(t, "unknown shape '" + t.text + "'");
+  }
+
+  std::unique_ptr<Animator> parse_animate() {
+    expect(Token::kLBrace);
+    const Token first = expect(Token::kIdent);
+    std::unique_ptr<Animator> out;
+    if (first.text == "mode" || first.text == "key") {
+      InterpMode mode = InterpMode::kLinear;
+      Spline spline(mode);
+      bool pending_first_key = (first.text == "key");
+      if (first.text == "mode") {
+        const std::string m = expect(Token::kIdent).text;
+        if (m == "linear") {
+          mode = InterpMode::kLinear;
+        } else if (m == "step") {
+          mode = InterpMode::kStep;
+        } else if (m == "catmullrom") {
+          mode = InterpMode::kCatmullRom;
+        } else {
+          fail(first, "unknown interpolation mode '" + m + "'");
+        }
+        spline = Spline(mode);
+      }
+      const auto read_key = [&]() {
+        const double frame = number();
+        spline.add_key(frame / fps_, vec3());
+      };
+      if (pending_first_key) read_key();
+      while (lex_.peek().kind != Token::kRBrace) {
+        const Token t = expect(Token::kIdent);
+        if (t.text != "key") fail(t, "expected 'key'");
+        read_key();
+      }
+      out = std::make_unique<KeyframeAnimator>(std::move(spline));
+    } else if (first.text == "orbit") {
+      Vec3 center, axis{0, 1, 0};
+      double period = 2.0;
+      while (lex_.peek().kind != Token::kRBrace) {
+        const Token t = expect(Token::kIdent);
+        if (t.text == "center") {
+          center = vec3();
+        } else if (t.text == "axis") {
+          axis = vec3().normalized();
+        } else if (t.text == "period") {
+          period = number();
+        } else {
+          fail(t, "unknown orbit field '" + t.text + "'");
+        }
+      }
+      out = std::make_unique<OrbitAnimator>(center, axis, period);
+    } else if (first.text == "pendulum") {
+      Vec3 pivot, axis{0, 0, 1};
+      double amplitude = 30.0, period = 2.0, phase = 0.0;
+      while (lex_.peek().kind != Token::kRBrace) {
+        const Token t = expect(Token::kIdent);
+        if (t.text == "pivot") {
+          pivot = vec3();
+        } else if (t.text == "axis") {
+          axis = vec3().normalized();
+        } else if (t.text == "amplitude") {
+          amplitude = number();
+        } else if (t.text == "period") {
+          period = number();
+        } else if (t.text == "phase") {
+          phase = number();
+        } else {
+          fail(t, "unknown pendulum field '" + t.text + "'");
+        }
+      }
+      const double amp_rad = degrees_to_radians(amplitude);
+      out = std::make_unique<PivotRotationAnimator>(
+          pivot, axis, [amp_rad, period, phase](double time) {
+            return amp_rad * std::cos(kTwoPi * time / period + phase);
+          });
+    } else {
+      fail(first, "unknown animate directive '" + first.text + "'");
+    }
+    expect(Token::kRBrace);
+    return out;
+  }
+
+  void parse_object() {
+    const std::string name = expect(Token::kString).text;
+    expect(Token::kLBrace);
+    std::unique_ptr<Primitive> prim;
+    std::unique_ptr<Animator> anim;
+    int material_id = 0;
+    bool saw_material = false;
+    while (lex_.peek().kind != Token::kRBrace) {
+      const Token t = expect(Token::kIdent);
+      if (t.text == "material") {
+        const std::string mat_name = expect(Token::kString).text;
+        const auto it = materials_.find(mat_name);
+        if (it == materials_.end()) fail(t, "unknown material '" + mat_name + "'");
+        material_id = it->second;
+        saw_material = true;
+      } else if (t.text == "animate") {
+        anim = parse_animate();
+      } else {
+        prim = parse_shape(t);
+      }
+    }
+    expect(Token::kRBrace);
+    if (!prim) fail(lex_.peek(), "object '" + name + "' has no shape");
+    if (!saw_material) fail(lex_.peek(), "object '" + name + "' has no material");
+    scene_.add_object(name, std::move(prim), material_id, std::move(anim));
+  }
+
+  void parse_light() {
+    expect(Token::kLBrace);
+    std::string type = "point";
+    Vec3 position{0, 5, 0};
+    Vec3 direction{0, -1, 0};
+    Color color = Color::white();
+    double intensity = 1.0;
+    std::unique_ptr<Animator> animator;
+    while (lex_.peek().kind != Token::kRBrace) {
+      const Token t = expect(Token::kIdent);
+      if (t.text == "type") {
+        type = expect(Token::kIdent).text;
+      } else if (t.text == "position") {
+        position = vec3();
+      } else if (t.text == "direction") {
+        direction = vec3();
+      } else if (t.text == "color") {
+        color = color3();
+      } else if (t.text == "intensity") {
+        intensity = number();
+      } else if (t.text == "animate") {
+        animator = parse_animate();
+      } else {
+        fail(t, "unknown light field '" + t.text + "'");
+      }
+    }
+    expect(Token::kRBrace);
+    if (type == "point") {
+      scene_.add_light(Light::point(position, color, intensity),
+                       std::move(animator));
+    } else if (type == "directional") {
+      scene_.add_light(Light::directional(direction, color, intensity),
+                       std::move(animator));
+    } else {
+      fail(lex_.peek(), "unknown light type '" + type + "'");
+    }
+  }
+
+  Token expect(Token::Kind kind) {
+    Token t = lex_.take();
+    if (t.kind != kind) fail(t, "unexpected token '" + t.text + "'");
+    return t;
+  }
+
+  void expect_ident(const std::string& word) {
+    const Token t = expect(Token::kIdent);
+    if (t.text != word) fail(t, "expected '" + word + "'");
+  }
+
+  double number() { return expect(Token::kNumber).number; }
+  Vec3 vec3() {
+    const double x = number();
+    const double y = number();
+    const double z = number();
+    return {x, y, z};
+  }
+  Color color3() {
+    const double r = number();
+    const double g = number();
+    const double b = number();
+    return {r, g, b};
+  }
+
+  Lexer lex_;
+  AnimatedScene scene_;
+  std::map<std::string, int> materials_;
+  double fps_ = 15.0;
+  int frames_ = 1;
+  double aspect_ = 320.0 / 240.0;
+  bool saw_camera_ = false;
+};
+
+}  // namespace
+
+ParseResult parse_scene(const std::string& source) {
+  ParseResult result;
+  try {
+    Parser parser(source);
+    result.scene = parser.parse();
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+ParseResult parse_scene_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.error = path + ": cannot open";
+    return result;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ParseResult result = parse_scene(ss.str());
+  if (!result.ok) result.error = path + ": " + result.error;
+  return result;
+}
+
+}  // namespace now

@@ -1,0 +1,52 @@
+// Text scene format parser.
+//
+// A small, POV-inspired description language so animations can be authored
+// without recompiling. Grammar (informal):
+//
+//   scene {
+//     resolution 320 240
+//     frames 45
+//     fps 15
+//     background 0.05 0.05 0.08
+//     camera { from 0 2 8  at 0 1 0  up 0 1 0  fov 40 }
+//     camera { cut 20  from 4 2 4  at 0 1 0  up 0 1 0  fov 40 }   # camera cut
+//     material "red"   { type matte  color 0.8 0.2 0.2 }
+//     material "chrome"{ type chrome }
+//     material "glass" { type glass  ior 1.5 }
+//     material "floor" { type checker  color 0.6 0.6 0.6  color2 0.2 0.2 0.2  cell 0.8 }
+//     material "wall"  { type brick  color 0.55 0.22 0.16  color2 0.6 0.6 0.55
+//                        brick_size 0.6 0.25  mortar 0.03 }
+//     object "ball" {
+//       sphere { center 0 1 0  radius 0.5 }
+//       material "glass"
+//       animate { mode linear  key 0 0 0 0  key 44 3 0 0 }        # frame x y z
+//     }
+//     object "post" {
+//       cylinder { p0 0 0 0  p1 0 2 0  radius 0.1 }
+//       material "red"
+//       animate { pendulum  pivot 0 2 0  axis 0 0 1  amplitude 30  period 2 }
+//     }
+//     light { type point  position 0 5 0  color 1 1 1  intensity 1 }
+//   }
+//
+// `#` starts a comment to end of line. Numbers are decimal; names are quoted.
+#pragma once
+
+#include <string>
+
+#include "src/scene/animated_scene.h"
+
+namespace now {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;     // "line N: message" when !ok
+  AnimatedScene scene;
+};
+
+ParseResult parse_scene(const std::string& source);
+
+/// Parse from a file (adds the path to error messages).
+ParseResult parse_scene_file(const std::string& path);
+
+}  // namespace now

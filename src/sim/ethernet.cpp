@@ -1,0 +1,21 @@
+#include "src/sim/ethernet.h"
+
+#include <algorithm>
+
+namespace now {
+
+double EthernetModel::transmit(double ready_time, std::int64_t payload_bytes) {
+  const std::int64_t wire_bytes =
+      payload_bytes + params_.per_message_overhead_bytes;
+  const double start = std::max(ready_time, free_at_);
+  contention_seconds_ += start - ready_time;
+  const double duration =
+      static_cast<double>(wire_bytes) / params_.bandwidth_bytes_per_sec;
+  free_at_ = start + duration;
+  busy_seconds_ += duration;
+  total_bytes_ += wire_bytes;
+  ++total_messages_;
+  return free_at_ + params_.latency_seconds;
+}
+
+}  // namespace now

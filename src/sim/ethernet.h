@@ -1,0 +1,50 @@
+// Shared-medium Ethernet model.
+//
+// The paper's cluster hangs off one 10 Mb/s Ethernet segment, "relatively
+// slow compared to interconnection networks found on multiprocessor
+// machines". The model is a single FIFO medium: each transmission occupies
+// it for (overhead + payload bytes) / bandwidth, transmissions queue behind
+// one another (contention), and delivery adds a fixed latency.
+#pragma once
+
+#include <cstdint>
+
+namespace now {
+
+struct EthernetParams {
+  double bandwidth_bytes_per_sec = 10e6 / 8.0;  // 10 Mb/s
+  double latency_seconds = 0.7e-3;              // per-message software+wire latency
+  std::int64_t per_message_overhead_bytes = 90; // frame + IP/UDP + PVM header
+};
+
+class EthernetModel {
+ public:
+  explicit EthernetModel(const EthernetParams& params = {}) : params_(params) {}
+
+  /// Transmit `payload_bytes` when the sender is ready at `ready_time`.
+  /// Returns the delivery time at the receiver and advances medium state.
+  double transmit(double ready_time, std::int64_t payload_bytes);
+
+  /// Time the medium becomes free.
+  double free_at() const { return free_at_; }
+
+  /// Cumulative seconds the medium spent transmitting.
+  double busy_seconds() const { return busy_seconds_; }
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+  std::int64_t total_messages() const { return total_messages_; }
+  /// Cumulative time transmissions spent waiting for the medium.
+  double contention_seconds() const { return contention_seconds_; }
+
+  const EthernetParams& params() const { return params_; }
+
+ private:
+  EthernetParams params_;
+  double free_at_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::int64_t total_bytes_ = 0;
+  std::int64_t total_messages_ = 0;
+  double contention_seconds_ = 0.0;
+};
+
+}  // namespace now

@@ -1,0 +1,187 @@
+#include "src/sim/sim_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace now {
+namespace {
+
+struct SimEvent {
+  enum Kind { kDelivery, kNetworkEntry };
+  double time;
+  std::int64_t seq;  // FIFO tie-break for simultaneous events
+  Kind kind;
+  int dest;
+  Message msg;
+};
+
+struct EventLater {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class SimState;
+
+class SimContext final : public Context {
+ public:
+  SimContext(SimState* state, int rank) : state_(state), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int world_size() const override;
+  void send(int dest, int tag, std::string payload) override;
+  void charge(double seconds) override;
+  double now() const override;
+  void stop() override;
+
+  double current_time = 0.0;  // advances with charge() during a handler
+
+ private:
+  SimState* state_;
+  int rank_;
+};
+
+class SimState {
+ public:
+  SimState(const SimConfig& config, const std::vector<Actor*>& actors)
+      : config_(config), actors_(actors), ethernet_(config.ethernet) {
+    const int n = static_cast<int>(actors.size());
+    if (static_cast<int>(config_.speeds.size()) != n) {
+      throw std::invalid_argument(
+          "SimConfig.speeds must have one entry per actor");
+    }
+    for (const double s : config_.speeds) {
+      if (s <= 0.0) throw std::invalid_argument("speed factors must be > 0");
+    }
+    local_time_.assign(n, 0.0);
+    busy_.assign(n, 0.0);
+    for (int rank = 0; rank < n; ++rank) contexts_.emplace_back(this, rank);
+  }
+
+  SimRuntimeStats run() {
+    const int n = static_cast<int>(actors_.size());
+    for (int rank = 0; rank < n; ++rank) {
+      invoke_start(rank);
+      if (stopped_) break;
+    }
+    std::int64_t events = 0;
+    while (!stopped_ && !queue_.empty()) {
+      if (++events > config_.max_events) {
+        throw std::runtime_error("SimRuntime exceeded max_events");
+      }
+      SimEvent ev = queue_.top();
+      queue_.pop();
+      if (ev.kind == SimEvent::kNetworkEntry) {
+        const double deliver = ethernet_.transmit(
+            ev.time, static_cast<std::int64_t>(ev.msg.payload.size()));
+        queue_.push(SimEvent{deliver, next_seq_++, SimEvent::kDelivery,
+                             ev.dest, std::move(ev.msg)});
+        continue;
+      }
+      invoke_message(ev);
+    }
+
+    SimRuntimeStats stats;
+    stats.rank_busy_seconds = busy_;
+    stats.rank_finish_time = local_time_;
+    stats.elapsed_seconds =
+        *std::max_element(local_time_.begin(), local_time_.end());
+    stats.messages = cross_messages_;
+    stats.bytes = cross_bytes_;
+    stats.ethernet_busy_seconds = ethernet_.busy_seconds();
+    stats.ethernet_contention_seconds = ethernet_.contention_seconds();
+    return stats;
+  }
+
+  // -- called by SimContext -----------------------------------------------
+  int world_size() const { return static_cast<int>(actors_.size()); }
+
+  void send(int src, double send_time, int dest, int tag,
+            std::string payload) {
+    if (dest == src) {  // self-continuation: no network
+      queue_.push(SimEvent{send_time, next_seq_++, SimEvent::kDelivery, dest,
+                           Message{src, tag, std::move(payload)}});
+      return;
+    }
+    cross_bytes_ += static_cast<std::int64_t>(payload.size());
+    ++cross_messages_;
+    // Two-phase network hop: a handler may have advanced its local clock far
+    // past events still queued for other ranks, so the Ethernet medium must
+    // be acquired when global virtual time actually reaches the send time —
+    // not at handler-execution time — or contention would be fabricated
+    // between messages that are minutes apart.
+    queue_.push(SimEvent{send_time, next_seq_++, SimEvent::kNetworkEntry, dest,
+                         Message{src, tag, std::move(payload)}});
+  }
+
+  double scale(int rank, double reference_seconds) const {
+    return reference_seconds / config_.speeds[rank];
+  }
+
+  void add_busy(int rank, double seconds) { busy_[rank] += seconds; }
+
+  void request_stop() { stopped_ = true; }
+
+ private:
+  void invoke_start(int rank) {
+    SimContext& ctx = contexts_[rank];
+    ctx.current_time = local_time_[rank];
+    actors_[rank]->on_start(ctx);
+    local_time_[rank] = ctx.current_time;
+  }
+
+  void invoke_message(const SimEvent& ev) {
+    SimContext& ctx = contexts_[ev.dest];
+    // An actor busy past the delivery time handles the message when free —
+    // a PVM worker only polls between frames.
+    ctx.current_time = std::max(local_time_[ev.dest], ev.time);
+    actors_[ev.dest]->on_message(ctx, ev.msg);
+    local_time_[ev.dest] = ctx.current_time;
+  }
+
+  const SimConfig& config_;
+  const std::vector<Actor*>& actors_;
+  EthernetModel ethernet_;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, EventLater> queue_;
+  std::vector<SimContext> contexts_;
+  std::vector<double> local_time_;
+  std::vector<double> busy_;
+  std::int64_t next_seq_ = 0;
+  std::int64_t cross_messages_ = 0;
+  std::int64_t cross_bytes_ = 0;
+  bool stopped_ = false;
+
+  friend class SimContext;
+};
+
+int SimContext::world_size() const { return state_->world_size(); }
+
+void SimContext::send(int dest, int tag, std::string payload) {
+  state_->send(rank_, current_time, dest, tag, std::move(payload));
+}
+
+void SimContext::charge(double seconds) {
+  assert(seconds >= 0.0);
+  const double scaled = state_->scale(rank_, seconds);
+  current_time += scaled;
+  state_->add_busy(rank_, scaled);
+}
+
+double SimContext::now() const { return current_time; }
+
+void SimContext::stop() { state_->request_stop(); }
+
+}  // namespace
+
+RuntimeStats SimRuntime::run(const std::vector<Actor*>& actors) {
+  return run_sim(actors);
+}
+
+SimRuntimeStats SimRuntime::run_sim(const std::vector<Actor*>& actors) {
+  SimState state(config_, actors);
+  return state.run();
+}
+
+}  // namespace now

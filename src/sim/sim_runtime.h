@@ -1,0 +1,51 @@
+// SimRuntime: sequential discrete-event simulation of the workstation
+// cluster. Actors execute their real computation immediately (rendering
+// actually happens), but *time* is virtual: Context::charge converts
+// reference-machine seconds into this rank's seconds via its speed factor,
+// and every cross-rank message passes through the shared EthernetModel.
+//
+// This is the substitution for the paper's physical testbed (one 200 MHz and
+// two 100 MHz SGIs on 10 Mb/s Ethernet): speed factors {1.0, 0.5, 0.5}
+// reproduce the heterogeneity that drives the paper's load-balancing story,
+// with fully deterministic results.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/net/runtime.h"
+#include "src/sim/ethernet.h"
+
+namespace now {
+
+struct SimConfig {
+  /// Per-rank speed relative to the reference machine. Must match the actor
+  /// count handed to run().
+  std::vector<double> speeds;
+  EthernetParams ethernet;
+  /// Safety valve against protocol bugs: abort after this many events.
+  std::int64_t max_events = 500'000'000;
+};
+
+struct SimRuntimeStats : RuntimeStats {
+  double ethernet_busy_seconds = 0.0;
+  double ethernet_contention_seconds = 0.0;
+  std::vector<double> rank_busy_seconds;  // compute time charged per rank
+  std::vector<double> rank_finish_time;   // local clock at shutdown
+};
+
+class SimRuntime final : public Runtime {
+ public:
+  explicit SimRuntime(SimConfig config) : config_(std::move(config)) {}
+
+  RuntimeStats run(const std::vector<Actor*>& actors) override;
+
+  /// run() with the simulation-specific extras.
+  SimRuntimeStats run_sim(const std::vector<Actor*>& actors);
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace now

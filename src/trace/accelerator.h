@@ -1,0 +1,42 @@
+// Ray-intersection accelerators.
+//
+// The paper's tracer (POV-Ray 3.0) uses uniform spatial subdivision
+// (Glassner-style); we provide that plus a brute-force reference used for
+// differential testing — both must report identical hits.
+#pragma once
+
+#include "src/trace/world.h"
+
+namespace now {
+
+class Accelerator {
+ public:
+  virtual ~Accelerator() = default;
+
+  /// Nearest hit with t in (t_min, t_max). Fills hit->object_id.
+  virtual bool closest_hit(const Ray& ray, double t_min, double t_max,
+                           Hit* hit) const = 0;
+
+  /// Any hit — used by shadow rays. On success, `hit` (if non-null) holds the
+  /// blocker found, which is not necessarily the nearest.
+  virtual bool any_hit(const Ray& ray, double t_min, double t_max,
+                       Hit* hit) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class BruteForceAccelerator final : public Accelerator {
+ public:
+  explicit BruteForceAccelerator(const World& world) : world_(world) {}
+
+  bool closest_hit(const Ray& ray, double t_min, double t_max,
+                   Hit* hit) const override;
+  bool any_hit(const Ray& ray, double t_min, double t_max,
+               Hit* hit) const override;
+  const char* name() const override { return "brute-force"; }
+
+ private:
+  const World& world_;
+};
+
+}  // namespace now

@@ -1,0 +1,33 @@
+#include "src/trace/camera.h"
+
+#include <cmath>
+
+namespace now {
+
+void Camera::setup(const Vec3& look_from, const Vec3& look_at, const Vec3& up,
+                   double vfov_degrees, double aspect) {
+  origin_ = look_from;
+  forward_ = (look_at - look_from).normalized();
+  right_ = cross(forward_, up).normalized();
+  up_ = cross(right_, forward_);
+  vfov_degrees_ = vfov_degrees;
+  aspect_ = aspect;
+  half_h_ = std::tan(degrees_to_radians(vfov_degrees) * 0.5);
+  half_w_ = half_h_ * aspect;
+}
+
+Ray Camera::generate_ray(int px, int py, int width, int height, int sx,
+                         int sy, int samples_per_axis) const {
+  // Stratified sample position inside the pixel; (0.5, 0.5) offsets give
+  // the cell centers, so n=1 samples the pixel center.
+  const double step = 1.0 / samples_per_axis;
+  const double fx = (px + (sx + 0.5) * step) / width;
+  const double fy = (py + (sy + 0.5) * step) / height;
+  // Image y grows downward; camera up grows upward.
+  const double u = 2.0 * fx - 1.0;
+  const double v = 1.0 - 2.0 * fy;
+  const Vec3 dir = forward_ + right_ * (u * half_w_) + up_ * (v * half_h_);
+  return Ray{origin_, dir.normalized()};
+}
+
+}  // namespace now

@@ -1,0 +1,55 @@
+// Pinhole camera.
+//
+// The frame-coherence algorithm requires a stationary camera within a shot
+// (Section 3 of the paper: "any camera movement logically separates one
+// sequence from another"), so Camera supports exact equality comparison —
+// the shot splitter uses it to find cut points.
+#pragma once
+
+#include "src/math/ray.h"
+#include "src/math/vec3.h"
+
+namespace now {
+
+class Camera {
+ public:
+  Camera() { setup({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 60.0, 4.0 / 3.0); }
+
+  Camera(const Vec3& look_from, const Vec3& look_at, const Vec3& up,
+         double vfov_degrees, double aspect) {
+    setup(look_from, look_at, up, vfov_degrees, aspect);
+  }
+
+  /// Ray through sample (sx, sy) of pixel (px, py) on a width×height image
+  /// with an n×n supersampling grid. Sample (0,0) with n=1 is the pixel
+  /// center. Directions are unit length.
+  Ray generate_ray(int px, int py, int width, int height, int sx = 0,
+                   int sy = 0, int samples_per_axis = 1) const;
+
+  const Vec3& position() const { return origin_; }
+  const Vec3& forward() const { return forward_; }
+  double vfov_degrees() const { return vfov_degrees_; }
+  double aspect() const { return aspect_; }
+
+  bool operator==(const Camera& o) const {
+    return origin_ == o.origin_ && forward_ == o.forward_ &&
+           right_ == o.right_ && up_ == o.up_ && half_h_ == o.half_h_ &&
+           half_w_ == o.half_w_;
+  }
+  bool operator!=(const Camera& o) const { return !(*this == o); }
+
+ private:
+  void setup(const Vec3& look_from, const Vec3& look_at, const Vec3& up,
+             double vfov_degrees, double aspect);
+
+  Vec3 origin_;
+  Vec3 forward_;  // unit view direction
+  Vec3 right_;    // unit, scaled at ray generation by half_w_
+  Vec3 up_;       // unit
+  double half_w_ = 1.0;
+  double half_h_ = 1.0;
+  double vfov_degrees_ = 60.0;
+  double aspect_ = 4.0 / 3.0;
+};
+
+}  // namespace now

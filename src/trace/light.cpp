@@ -1,0 +1,18 @@
+#include "src/trace/light.h"
+
+#include "src/math/ray.h"
+
+namespace now {
+
+void Light::sample(const Vec3& point, Vec3* to_light, double* distance) const {
+  if (type == LightType::kPoint) {
+    const Vec3 d = position - point;
+    *distance = d.length();
+    *to_light = *distance > 0.0 ? d / *distance : Vec3{0, 1, 0};
+  } else {
+    *to_light = -direction;
+    *distance = kRayInfinity;
+  }
+}
+
+}  // namespace now

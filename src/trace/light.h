@@ -1,0 +1,43 @@
+// Light sources: point and directional. Shadows are hard (one shadow ray per
+// light per shading point), matching the paper's POV-Ray configuration.
+#pragma once
+
+#include "src/math/vec3.h"
+
+namespace now {
+
+enum class LightType : std::uint8_t { kPoint, kDirectional };
+
+struct Light {
+  LightType type = LightType::kPoint;
+  Vec3 position;        // point lights
+  Vec3 direction;       // directional lights: direction the light travels
+  Color color = Color::white();
+  double intensity = 1.0;
+
+  static Light point(const Vec3& position, const Color& color,
+                     double intensity = 1.0) {
+    Light l;
+    l.type = LightType::kPoint;
+    l.position = position;
+    l.color = color;
+    l.intensity = intensity;
+    return l;
+  }
+
+  static Light directional(const Vec3& travel_direction, const Color& color,
+                           double intensity = 1.0) {
+    Light l;
+    l.type = LightType::kDirectional;
+    l.direction = travel_direction.normalized();
+    l.color = color;
+    l.intensity = intensity;
+    return l;
+  }
+
+  /// Unit vector from `point` toward the light and the distance to it
+  /// (kRayInfinity for directional lights).
+  void sample(const Vec3& point, Vec3* to_light, double* distance) const;
+};
+
+}  // namespace now

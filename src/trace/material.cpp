@@ -1,0 +1,57 @@
+#include "src/trace/material.h"
+
+namespace now {
+
+Material Material::matte(const Color& c) {
+  Material m;
+  m.texture = std::make_shared<SolidColor>(c);
+  m.ambient = 0.1;
+  m.diffuse = 0.8;
+  m.specular = 0.1;
+  m.reflectivity = 0.0;
+  m.transmittance = 0.0;
+  return m;
+}
+
+Material Material::mirror(const Color& tint, double reflectivity) {
+  Material m;
+  m.texture = std::make_shared<SolidColor>(tint);
+  m.ambient = 0.05;
+  m.diffuse = 0.2;
+  m.specular = 0.6;
+  m.shininess = 128.0;
+  m.reflectivity = reflectivity;
+  return m;
+}
+
+Material Material::chrome() {
+  Material m = mirror(Color{0.9, 0.9, 0.95}, 0.75);
+  m.diffuse = 0.15;
+  m.specular = 0.8;
+  m.shininess = 256.0;
+  return m;
+}
+
+Material Material::glass(double ior) {
+  Material m;
+  m.texture = std::make_shared<SolidColor>(Color{0.95, 0.95, 1.0});
+  m.ambient = 0.0;
+  m.diffuse = 0.05;
+  m.specular = 0.5;
+  m.shininess = 256.0;
+  m.reflectivity = 0.1;
+  m.transmittance = 0.85;
+  m.ior = ior;
+  return m;
+}
+
+Material Material::textured(std::shared_ptr<const Texture> texture) {
+  Material m;
+  m.texture = std::move(texture);
+  m.ambient = 0.1;
+  m.diffuse = 0.8;
+  m.specular = 0.05;
+  return m;
+}
+
+}  // namespace now

@@ -1,0 +1,40 @@
+// Surface material for the Whitted shading model used by the paper:
+//   I = I_local + k_rg * I_reflected + k_tg * I_transmitted
+// where I_local is ambient + Phong direct illumination with shadow rays, and
+// k_rg / k_tg are the wavelength-independent reflection / transmission
+// constants from Section 3 of the paper.
+#pragma once
+
+#include <memory>
+
+#include "src/trace/texture.h"
+
+namespace now {
+
+struct Material {
+  std::shared_ptr<const Texture> texture =
+      std::make_shared<SolidColor>(Color::gray(0.8));
+
+  double ambient = 0.1;      // ambient coefficient
+  double diffuse = 0.7;      // k_d
+  double specular = 0.2;     // k_s (Phong highlight)
+  double shininess = 32.0;   // Phong exponent
+
+  double reflectivity = 0.0;   // k_rg
+  double transmittance = 0.0;  // k_tg
+  double ior = 1.5;            // index of refraction when transmissive
+
+  /// When true, reflect/transmit weights are modulated by a Schlick fresnel
+  /// term (an extension beyond the paper's constant-coefficient model).
+  bool fresnel = false;
+
+  static Material matte(const Color& c);
+  static Material mirror(const Color& tint, double reflectivity);
+  /// Highly reflective polished metal (the cradle's marbles are chrome).
+  static Material chrome();
+  /// Transparent refractive material (the bouncing ball is glass).
+  static Material glass(double ior = 1.5);
+  static Material textured(std::shared_ptr<const Texture> texture);
+};
+
+}  // namespace now

@@ -1,0 +1,38 @@
+#include "src/trace/render.h"
+
+#include "src/trace/uniform_grid.h"
+
+namespace now {
+
+TraceStats render_region(Tracer* tracer, Framebuffer* fb,
+                         const PixelRect& region) {
+  const TraceStats before = tracer->stats();
+  for (int y = region.y0; y < region.y0 + region.height; ++y) {
+    for (int x = region.x0; x < region.x0 + region.width; ++x) {
+      fb->set(x, y, tracer->shade_pixel(x, y, fb->width(), fb->height()));
+    }
+  }
+  TraceStats delta = tracer->stats();
+  delta.camera_rays -= before.camera_rays;
+  delta.reflection_rays -= before.reflection_rays;
+  delta.refraction_rays -= before.refraction_rays;
+  delta.shadow_rays -= before.shadow_rays;
+  delta.pixels_shaded -= before.pixels_shaded;
+  return delta;
+}
+
+TraceStats render_frame(Tracer* tracer, Framebuffer* fb) {
+  return render_region(tracer, fb, fb->full_rect());
+}
+
+Framebuffer render_world(const World& world, int width, int height,
+                         const TraceOptions& options, TraceStats* stats) {
+  Framebuffer fb(width, height);
+  const UniformGridAccelerator accel(world);
+  Tracer tracer(world, accel, options);
+  const TraceStats s = render_frame(&tracer, &fb);
+  if (stats != nullptr) *stats = s;
+  return fb;
+}
+
+}  // namespace now

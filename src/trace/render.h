@@ -1,0 +1,24 @@
+// Plain (non-coherent) frame rendering: shade every pixel of a region.
+// This is the baseline the frame-coherence renderer is measured against.
+#pragma once
+
+#include "src/image/framebuffer.h"
+#include "src/trace/tracer.h"
+
+namespace now {
+
+/// Render `region` of `fb` (which defines the full image dimensions).
+/// Returns the ray statistics of the pass.
+TraceStats render_region(Tracer* tracer, Framebuffer* fb,
+                         const PixelRect& region);
+
+/// Render the whole frame.
+TraceStats render_frame(Tracer* tracer, Framebuffer* fb);
+
+/// Convenience: build tracer + grid accelerator and render one frame of
+/// `world` at the given resolution.
+Framebuffer render_world(const World& world, int width, int height,
+                         const TraceOptions& options = {},
+                         TraceStats* stats = nullptr);
+
+}  // namespace now

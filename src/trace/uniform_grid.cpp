@@ -1,0 +1,127 @@
+#include "src/trace/uniform_grid.h"
+
+namespace now {
+
+UniformGridAccelerator::UniformGridAccelerator(const World& world,
+                                               double density, int max_axis)
+    : world_(world),
+      grid_(VoxelGrid::heuristic(world.bounded_extent(), world.object_count(),
+                                 density, max_axis)) {
+  build();
+}
+
+UniformGridAccelerator::UniformGridAccelerator(const World& world,
+                                               const VoxelGrid& grid)
+    : world_(world), grid_(grid) {
+  build();
+}
+
+void UniformGridAccelerator::build() {
+  cells_.assign(static_cast<std::size_t>(grid_.cell_count()), {});
+  for (int i = 0; i < world_.object_count(); ++i) {
+    const Primitive& prim = *world_.object(i).primitive;
+    if (!prim.is_bounded()) {
+      unbounded_.push_back(i);
+      continue;
+    }
+    int ix0, iy0, iz0, ix1, iy1, iz1;
+    if (!grid_.cell_range(prim.bounds(), &ix0, &iy0, &iz0, &ix1, &iy1, &iz1)) {
+      // Object entirely outside grid bounds (can happen with explicit
+      // grids); keep it reachable via the unbounded list.
+      unbounded_.push_back(i);
+      continue;
+    }
+    for (int iz = iz0; iz <= iz1; ++iz) {
+      for (int iy = iy0; iy <= iy1; ++iy) {
+        for (int ix = ix0; ix <= ix1; ++ix) {
+          if (prim.overlaps_box(grid_.cell_bounds(ix, iy, iz))) {
+            cells_[grid_.cell_index(ix, iy, iz)].push_back(i);
+          }
+        }
+      }
+    }
+  }
+}
+
+bool UniformGridAccelerator::test_cell(int cell, const Ray& ray, double t_min,
+                                       double& nearest, Hit* hit) const {
+  bool found = false;
+  for (const int i : cells_[cell]) {
+    Hit h;
+    if (world_.object(i).primitive->intersect(ray, t_min, nearest, &h)) {
+      nearest = h.t;
+      h.object_id = world_.object(i).object_id;
+      *hit = h;
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool UniformGridAccelerator::test_unbounded(const Ray& ray, double t_min,
+                                            double& nearest, Hit* hit) const {
+  bool found = false;
+  for (const int i : unbounded_) {
+    Hit h;
+    if (world_.object(i).primitive->intersect(ray, t_min, nearest, &h)) {
+      nearest = h.t;
+      h.object_id = world_.object(i).object_id;
+      *hit = h;
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool UniformGridAccelerator::closest_hit(const Ray& ray, double t_min,
+                                         double t_max, Hit* hit) const {
+  double nearest = t_max;
+  bool found = test_unbounded(ray, t_min, nearest, hit);
+
+  grid_.walk(ray, t_min, t_max,
+             [&](int ix, int iy, int iz, double /*t_enter*/, double t_exit) {
+               const int cell = grid_.cell_index(ix, iy, iz);
+               if (test_cell(cell, ray, t_min, nearest, hit)) found = true;
+               // A hit inside or before this cell terminates the walk: no
+               // later cell can contain a closer intersection. Objects
+               // spanning multiple cells may report a hit beyond the current
+               // cell's exit, so only stop once the hit is within the cell.
+               return !(found && nearest <= t_exit + 1e-12);
+             });
+  return found;
+}
+
+bool UniformGridAccelerator::any_hit(const Ray& ray, double t_min,
+                                     double t_max, Hit* hit) const {
+  double nearest = t_max;
+  Hit local;
+  if (test_unbounded(ray, t_min, nearest, &local)) {
+    if (hit != nullptr) *hit = local;
+    return true;
+  }
+  bool found = false;
+  grid_.walk(ray, t_min, t_max,
+             [&](int ix, int iy, int iz, double, double) {
+               const int cell = grid_.cell_index(ix, iy, iz);
+               for (const int i : cells_[cell]) {
+                 Hit h;
+                 if (world_.object(i).primitive->intersect(ray, t_min, t_max, &h)) {
+                   h.object_id = world_.object(i).object_id;
+                   local = h;
+                   found = true;
+                   return false;  // stop the walk
+                 }
+               }
+               return true;
+             });
+  if (found && hit != nullptr) *hit = local;
+  return found;
+}
+
+std::int64_t UniformGridAccelerator::total_cell_entries() const {
+  std::int64_t n = 0;
+  for (const auto& cell : cells_) n += static_cast<std::int64_t>(cell.size());
+  return n;
+}
+
+}  // namespace now

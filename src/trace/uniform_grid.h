@@ -1,0 +1,49 @@
+// Uniform-grid ray accelerator (Glassner 1984 style, as used by POV-Ray's
+// era of tracers and referenced by the paper).
+//
+// Bounded primitives are rasterized into grid cells with their conservative
+// overlaps_box() tests; unbounded primitives (planes) live on a side list
+// tested for every ray.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/voxel_grid.h"
+#include "src/trace/accelerator.h"
+
+namespace now {
+
+class UniformGridAccelerator final : public Accelerator {
+ public:
+  /// Builds the grid for `world`; `density`/`max_axis` feed the resolution
+  /// heuristic (see VoxelGrid::heuristic).
+  explicit UniformGridAccelerator(const World& world, double density = 3.0,
+                                  int max_axis = 128);
+
+  /// Build with an explicit grid (used by resolution-sweep benchmarks).
+  UniformGridAccelerator(const World& world, const VoxelGrid& grid);
+
+  bool closest_hit(const Ray& ray, double t_min, double t_max,
+                   Hit* hit) const override;
+  bool any_hit(const Ray& ray, double t_min, double t_max,
+               Hit* hit) const override;
+  const char* name() const override { return "uniform-grid"; }
+
+  const VoxelGrid& grid() const { return grid_; }
+  std::int64_t total_cell_entries() const;
+
+ private:
+  void build();
+  /// Test the objects of one cell; keeps the nearest hit under `nearest`.
+  bool test_cell(int cell, const Ray& ray, double t_min, double& nearest,
+                 Hit* hit) const;
+  bool test_unbounded(const Ray& ray, double t_min, double& nearest,
+                      Hit* hit) const;
+
+  const World& world_;
+  VoxelGrid grid_;
+  std::vector<std::vector<int>> cells_;  // object indices per cell
+  std::vector<int> unbounded_;           // object indices of planes etc.
+};
+
+}  // namespace now

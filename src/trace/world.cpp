@@ -1,0 +1,42 @@
+#include "src/trace/world.h"
+
+namespace now {
+
+World World::clone() const {
+  World out;
+  out.materials_ = materials_;
+  out.lights_ = lights_;
+  out.camera_ = camera_;
+  out.background_ = background_;
+  out.objects_.reserve(objects_.size());
+  for (const WorldObject& obj : objects_) {
+    out.objects_.push_back(
+        {obj.primitive->clone(), obj.material_id, obj.object_id});
+  }
+  return out;
+}
+
+int World::add_material(const Material& m) {
+  materials_.push_back(m);
+  return static_cast<int>(materials_.size()) - 1;
+}
+
+int World::add_object(std::unique_ptr<Primitive> primitive, int material_id,
+                      int object_id) {
+  const int index = static_cast<int>(objects_.size());
+  objects_.push_back({std::move(primitive), material_id,
+                      object_id < 0 ? index : object_id});
+  return index;
+}
+
+void World::add_light(const Light& light) { lights_.push_back(light); }
+
+Aabb World::bounded_extent() const {
+  Aabb out;
+  for (const WorldObject& obj : objects_) {
+    if (obj.primitive->is_bounded()) out.absorb(obj.primitive->bounds());
+  }
+  return out;
+}
+
+}  // namespace now

@@ -1,0 +1,65 @@
+// World: one frame's worth of world-space geometry, materials and lights.
+//
+// The scene module instantiates a World per frame from the animated scene
+// description; the tracer and the accelerators operate only on Worlds and
+// know nothing about animation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/geom/primitive.h"
+#include "src/math/aabb.h"
+#include "src/trace/camera.h"
+#include "src/trace/light.h"
+#include "src/trace/material.h"
+
+namespace now {
+
+struct WorldObject {
+  std::unique_ptr<Primitive> primitive;
+  int material_id = 0;
+  /// Stable scene-level object identity, preserved across frames; the change
+  /// detector matches moving objects between frames by this id.
+  int object_id = -1;
+};
+
+class World {
+ public:
+  World() = default;
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+  World clone() const;
+
+  int add_material(const Material& m);
+  /// Returns the index of the added object within the world.
+  int add_object(std::unique_ptr<Primitive> primitive, int material_id,
+                 int object_id = -1);
+  void add_light(const Light& light);
+
+  int object_count() const { return static_cast<int>(objects_.size()); }
+  const WorldObject& object(int i) const { return objects_[i]; }
+  const std::vector<WorldObject>& objects() const { return objects_; }
+  const Material& material(int id) const { return materials_[id]; }
+  int material_count() const { return static_cast<int>(materials_.size()); }
+  const std::vector<Light>& lights() const { return lights_; }
+
+  const Camera& camera() const { return camera_; }
+  void set_camera(const Camera& c) { camera_ = c; }
+
+  const Color& background() const { return background_; }
+  void set_background(const Color& c) { background_ = c; }
+
+  /// Union of bounds of the bounded objects (planes excluded).
+  Aabb bounded_extent() const;
+
+ private:
+  std::vector<WorldObject> objects_;
+  std::vector<Material> materials_;
+  std::vector<Light> lights_;
+  Camera camera_;
+  Color background_{0.05, 0.05, 0.08};
+};
+
+}  // namespace now

@@ -1,0 +1,127 @@
+#include "src/math/aabb.h"
+
+#include <gtest/gtest.h>
+
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+TEST(Aabb, DefaultIsEmpty) {
+  const Aabb box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.volume(), 0.0);
+  EXPECT_DOUBLE_EQ(box.surface_area(), 0.0);
+}
+
+TEST(Aabb, AbsorbPoints) {
+  Aabb box;
+  box.absorb({1, 2, 3});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.lo, Vec3(1, 2, 3));
+  EXPECT_EQ(box.hi, Vec3(1, 2, 3));
+  box.absorb({-1, 5, 0});
+  EXPECT_EQ(box.lo, Vec3(-1, 2, 0));
+  EXPECT_EQ(box.hi, Vec3(1, 5, 3));
+}
+
+TEST(Aabb, AbsorbEmptyBoxIsNoop) {
+  Aabb box{{0, 0, 0}, {1, 1, 1}};
+  box.absorb(Aabb{});
+  EXPECT_EQ(box.lo, Vec3(0, 0, 0));
+  EXPECT_EQ(box.hi, Vec3(1, 1, 1));
+}
+
+TEST(Aabb, ContainsAndOverlaps) {
+  const Aabb box{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(box.contains({1, 1, 1}));
+  EXPECT_TRUE(box.contains({0, 0, 0}));  // boundary inclusive
+  EXPECT_FALSE(box.contains({3, 1, 1}));
+  EXPECT_TRUE(box.overlaps(Aabb{{1, 1, 1}, {3, 3, 3}}));
+  EXPECT_TRUE(box.overlaps(Aabb{{2, 0, 0}, {3, 1, 1}}));  // touching counts
+  EXPECT_FALSE(box.overlaps(Aabb{{2.1, 0, 0}, {3, 1, 1}}));
+}
+
+TEST(Aabb, VolumeSurfaceCenter) {
+  const Aabb box{{0, 0, 0}, {2, 3, 4}};
+  EXPECT_DOUBLE_EQ(box.volume(), 24.0);
+  EXPECT_DOUBLE_EQ(box.surface_area(), 2.0 * (6 + 12 + 8));
+  EXPECT_EQ(box.center(), Vec3(1, 1.5, 2));
+  EXPECT_EQ(box.extent(), Vec3(2, 3, 4));
+}
+
+TEST(Aabb, Padded) {
+  const Aabb box = Aabb{{0, 0, 0}, {1, 1, 1}}.padded(0.5);
+  EXPECT_EQ(box.lo, Vec3(-0.5, -0.5, -0.5));
+  EXPECT_EQ(box.hi, Vec3(1.5, 1.5, 1.5));
+}
+
+TEST(Aabb, RayIntersectBasic) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  double t0, t1;
+  const Ray ray{{-1, 0.5, 0.5}, {1, 0, 0}};
+  ASSERT_TRUE(box.intersect(ray, 0.0, kRayInfinity, &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 1.0);
+  EXPECT_DOUBLE_EQ(t1, 2.0);
+}
+
+TEST(Aabb, RayIntersectMiss) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  const Ray ray{{-1, 2.0, 0.5}, {1, 0, 0}};
+  EXPECT_FALSE(box.intersect(ray, 0.0, kRayInfinity, nullptr, nullptr));
+}
+
+TEST(Aabb, RayStartingInsideReportsClampedEntry) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  double t0, t1;
+  const Ray ray{{0.5, 0.5, 0.5}, {0, 0, 1}};
+  ASSERT_TRUE(box.intersect(ray, 0.0, kRayInfinity, &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 0.0);
+  EXPECT_DOUBLE_EQ(t1, 0.5);
+}
+
+TEST(Aabb, RayIntersectRespectsRange) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  const Ray ray{{-1, 0.5, 0.5}, {1, 0, 0}};
+  // The box lies beyond t_max.
+  EXPECT_FALSE(box.intersect(ray, 0.0, 0.5, nullptr, nullptr));
+  // The box lies before t_min.
+  EXPECT_FALSE(box.intersect(ray, 3.0, kRayInfinity, nullptr, nullptr));
+}
+
+TEST(Aabb, RayIntersectNegativeDirection) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  double t0, t1;
+  const Ray ray{{2, 0.5, 0.5}, {-1, 0, 0}};
+  ASSERT_TRUE(box.intersect(ray, 0.0, kRayInfinity, &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 1.0);
+  EXPECT_DOUBLE_EQ(t1, 2.0);
+}
+
+TEST(Aabb, RandomRaysThroughCenterAlwaysHit) {
+  Rng rng(7);
+  const Aabb box{{-1, -1, -1}, {1, 1, 1}};
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 origin = rng.unit_vector() * 10.0;
+    const Vec3 target = rng.point_in_box({-0.5, -0.5, -0.5}, {0.5, 0.5, 0.5});
+    const Ray ray{origin, (target - origin).normalized()};
+    EXPECT_TRUE(box.intersect(ray, 0.0, kRayInfinity, nullptr, nullptr))
+        << "iteration " << i;
+  }
+}
+
+TEST(Aabb, United) {
+  const Aabb u = Aabb::united({{0, 0, 0}, {1, 1, 1}}, {{2, 2, 2}, {3, 3, 3}});
+  EXPECT_EQ(u.lo, Vec3(0, 0, 0));
+  EXPECT_EQ(u.hi, Vec3(3, 3, 3));
+}
+
+TEST(Aabb, OfPoints) {
+  const Vec3 pts[3] = {{1, 5, 2}, {-1, 0, 3}, {4, 2, -2}};
+  const Aabb box = Aabb::of_points(pts, 3);
+  EXPECT_EQ(box.lo, Vec3(-1, 0, -2));
+  EXPECT_EQ(box.hi, Vec3(4, 5, 3));
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,157 @@
+#include "src/scene/animated_scene.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/sphere.h"
+
+namespace now {
+namespace {
+
+AnimatedScene moving_sphere_scene() {
+  AnimatedScene scene;
+  scene.set_frames(10, 10.0);  // 1 frame = 0.1 s
+  const int mat = scene.add_material(Material::matte(Color::white()));
+  Spline path(InterpMode::kLinear);
+  path.add_key(0.0, {0, 0, 0});
+  path.add_key(0.9, {9, 0, 0});  // 1 unit per frame
+  scene.add_object("mover", std::make_unique<Sphere>(Vec3{0, 0, 0}, 0.5), mat,
+                   std::make_unique<KeyframeAnimator>(std::move(path)));
+  scene.add_object("static", std::make_unique<Sphere>(Vec3{0, 5, 0}, 0.5),
+                   mat);
+  scene.add_light(Light::point({0, 10, 0}, Color::white(), 1.0));
+  return scene;
+}
+
+TEST(AnimatedScene, FrameTime) {
+  const AnimatedScene scene = moving_sphere_scene();
+  EXPECT_DOUBLE_EQ(scene.frame_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(scene.frame_time(5), 0.5);
+}
+
+TEST(AnimatedScene, ObjectTransforms) {
+  const AnimatedScene scene = moving_sphere_scene();
+  EXPECT_EQ(scene.object_transform(0, 0).translation, Vec3(0, 0, 0));
+  EXPECT_EQ(scene.object_transform(0, 3).translation, Vec3(3, 0, 0));
+  EXPECT_EQ(scene.object_transform(1, 3), Transform::identity());
+}
+
+TEST(AnimatedScene, ChangedObjects) {
+  const AnimatedScene scene = moving_sphere_scene();
+  EXPECT_TRUE(scene.object_changed(0, 0, 1));
+  EXPECT_FALSE(scene.object_changed(1, 0, 1));
+  const std::vector<int> changed = scene.changed_objects(2, 3);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], 0);
+  // Past the end of the spline the mover stops.
+  EXPECT_TRUE(scene.changed_objects(9, 9).empty());
+}
+
+TEST(AnimatedScene, WorldInstantiation) {
+  const AnimatedScene scene = moving_sphere_scene();
+  const World w3 = scene.world_at(3);
+  EXPECT_EQ(w3.object_count(), 2);
+  EXPECT_EQ(w3.lights().size(), 1u);
+  const auto* mover = dynamic_cast<const Sphere*>(w3.object(0).primitive.get());
+  ASSERT_NE(mover, nullptr);
+  EXPECT_EQ(mover->center(), Vec3(3, 0, 0));
+  // Object ids are stable scene indices.
+  EXPECT_EQ(w3.object(0).object_id, 0);
+  EXPECT_EQ(w3.object(1).object_id, 1);
+}
+
+TEST(AnimatedScene, CloneIsDeep) {
+  const AnimatedScene scene = moving_sphere_scene();
+  const AnimatedScene copy = scene.clone();
+  EXPECT_EQ(copy.object_count(), scene.object_count());
+  EXPECT_EQ(copy.object_transform(0, 4).translation,
+            scene.object_transform(0, 4).translation);
+  EXPECT_NE(copy.object(0).local.get(), scene.object(0).local.get());
+}
+
+TEST(AnimatedScene, CameraCuts) {
+  AnimatedScene scene = moving_sphere_scene();
+  const Camera second({5, 5, 5}, {0, 0, 0}, {0, 1, 0}, 50.0, 1.0);
+  scene.add_camera_cut(4, second);
+  EXPECT_FALSE(scene.camera_changed(2, 3));
+  EXPECT_TRUE(scene.camera_changed(3, 4));
+  EXPECT_FALSE(scene.camera_changed(4, 9));
+  EXPECT_EQ(scene.camera_at(7), second);
+}
+
+TEST(AnimatedScene, SplitShotsSingleCamera) {
+  const AnimatedScene scene = moving_sphere_scene();
+  const auto shots = scene.split_shots();
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0].first_frame, 0);
+  EXPECT_EQ(shots[0].frame_count, 10);
+}
+
+TEST(AnimatedScene, SplitShotsAtCuts) {
+  AnimatedScene scene = moving_sphere_scene();
+  scene.add_camera_cut(3, Camera({5, 5, 5}, {0, 0, 0}, {0, 1, 0}, 50.0, 1.0));
+  scene.add_camera_cut(7, Camera({-5, 5, 5}, {0, 0, 0}, {0, 1, 0}, 50.0, 1.0));
+  const auto shots = scene.split_shots();
+  ASSERT_EQ(shots.size(), 3u);
+  EXPECT_EQ(shots[0].first_frame, 0);
+  EXPECT_EQ(shots[0].frame_count, 3);
+  EXPECT_EQ(shots[1].first_frame, 3);
+  EXPECT_EQ(shots[1].frame_count, 4);
+  EXPECT_EQ(shots[2].first_frame, 7);
+  EXPECT_EQ(shots[2].frame_count, 3);
+}
+
+TEST(AnimatedScene, AnimatedLightMovesAndReportsChange) {
+  AnimatedScene scene;
+  scene.set_frames(6, 10.0);
+  Spline path(InterpMode::kLinear);
+  path.add_key(0.0, {0, 0, 0});
+  path.add_key(0.5, {5, 0, 0});
+  scene.add_light(Light::point({0, 4, 0}, Color::white(), 1.0),
+                  std::make_unique<KeyframeAnimator>(std::move(path)));
+  scene.add_light(Light::point({9, 9, 9}, Color::white(), 1.0));
+
+  EXPECT_EQ(scene.light_at(0, 0).position, Vec3(0, 4, 0));
+  EXPECT_EQ(scene.light_at(0, 5).position, Vec3(5, 4, 0));
+  EXPECT_EQ(scene.light_at(1, 5).position, Vec3(9, 9, 9));
+  EXPECT_TRUE(scene.lights_changed(0, 1));
+  EXPECT_FALSE(scene.lights_changed(5, 5));
+  // Clone preserves the light track.
+  const AnimatedScene copy = scene.clone();
+  EXPECT_EQ(copy.light_at(0, 3).position, scene.light_at(0, 3).position);
+}
+
+TEST(AnimatedScene, StaticLightsNeverReportChange) {
+  const AnimatedScene scene = moving_sphere_scene();
+  EXPECT_FALSE(scene.lights_changed(0, scene.frame_count() - 1));
+}
+
+TEST(Animators, PivotRotationIdentityAtZeroAngle) {
+  const PivotRotationAnimator anim({1, 2, 3}, {0, 0, 1},
+                                   [](double t) { return t < 1.0 ? 0.0 : 0.5; });
+  EXPECT_EQ(anim.at(0.5), Transform::identity());
+  EXPECT_NE(anim.at(2.0), Transform::identity());
+}
+
+TEST(Animators, OrbitPeriodicity) {
+  const OrbitAnimator anim({0, 0, 0}, {0, 1, 0}, 2.0);
+  const Vec3 p{1, 0, 0};
+  const Vec3 at0 = anim.at(0.0).apply_point(p);
+  const Vec3 at2 = anim.at(2.0).apply_point(p);
+  EXPECT_NEAR((at0 - at2).length(), 0.0, 1e-12);
+  const Vec3 at1 = anim.at(1.0).apply_point(p);  // half orbit: opposite side
+  EXPECT_NEAR((at1 + p).length(), 0.0, 1e-12);
+}
+
+TEST(Animators, CloneBehavesIdentically) {
+  Spline path(InterpMode::kLinear);
+  path.add_key(0.0, {0, 0, 0});
+  path.add_key(1.0, {1, 2, 3});
+  const KeyframeAnimator anim(path);
+  const auto copy = anim.clone();
+  for (double t = 0.0; t <= 1.0; t += 0.13) {
+    EXPECT_EQ(anim.at(t).translation, copy->at(t).translation);
+  }
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,183 @@
+#include "src/scene/builtin_scenes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/coherent_renderer.h"
+#include "src/geom/cylinder.h"
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+#include "src/trace/render.h"
+
+namespace now {
+namespace {
+
+TEST(NewtonCradle, MatchesPaperInventory) {
+  // "consisting of one plane, five spheres, and sixteen cylinders"
+  const AnimatedScene scene = newton_cradle_scene();
+  int planes = 0, spheres = 0, cylinders = 0;
+  for (int i = 0; i < scene.object_count(); ++i) {
+    switch (scene.object(i).local->type()) {
+      case ShapeType::kPlane: ++planes; break;
+      case ShapeType::kSphere: ++spheres; break;
+      case ShapeType::kCylinder: ++cylinders; break;
+      default: FAIL() << "unexpected primitive in cradle";
+    }
+  }
+  EXPECT_EQ(planes, 1);
+  EXPECT_EQ(spheres, 5);
+  EXPECT_EQ(cylinders, 16);
+  EXPECT_EQ(scene.frame_count(), 45);
+  EXPECT_EQ(scene.width() * scene.height(), 76800);  // paper's pixel count
+}
+
+TEST(NewtonCradle, OnlyEndMarblesEverMove) {
+  const AnimatedScene scene = newton_cradle_scene();
+  std::vector<bool> moved(scene.object_count(), false);
+  for (int f = 1; f < scene.frame_count(); ++f) {
+    for (const int id : scene.changed_objects(f - 1, f)) moved[id] = true;
+  }
+  int moving_spheres = 0, moving_cylinders = 0, moving_other = 0;
+  for (int i = 0; i < scene.object_count(); ++i) {
+    if (!moved[i]) continue;
+    switch (scene.object(i).local->type()) {
+      case ShapeType::kSphere: ++moving_spheres; break;
+      case ShapeType::kCylinder: ++moving_cylinders; break;
+      default: ++moving_other;
+    }
+  }
+  EXPECT_EQ(moving_spheres, 2);    // the two end marbles
+  EXPECT_EQ(moving_cylinders, 4);  // their two strings each
+  EXPECT_EQ(moving_other, 0);
+}
+
+TEST(NewtonCradle, StringsStayAttachedToMarbles) {
+  // Each string's far endpoint must coincide with its marble's center at
+  // every frame (the rigid-pivot construction).
+  const AnimatedScene scene = newton_cradle_scene();
+  for (int f = 0; f < scene.frame_count(); f += 5) {
+    const World w = scene.world_at(f);
+    // Collect marble centers.
+    std::vector<Vec3> centers;
+    for (const WorldObject& obj : w.objects()) {
+      if (const auto* s = dynamic_cast<const Sphere*>(obj.primitive.get())) {
+        centers.push_back(s->center());
+      }
+    }
+    ASSERT_EQ(centers.size(), 5u);
+    int strings = 0;
+    for (const WorldObject& obj : w.objects()) {
+      const auto* c = dynamic_cast<const Cylinder*>(obj.primitive.get());
+      if (c == nullptr || c->radius() > 0.02) continue;  // strings are thin
+      ++strings;
+      double best = 1e9;
+      for (const Vec3& center : centers) {
+        best = std::min(best, (c->p1() - center).length());
+      }
+      EXPECT_LT(best, 1e-9) << "frame " << f;
+    }
+    EXPECT_EQ(strings, 10);
+  }
+}
+
+TEST(NewtonCradle, MomentumAlternatesBetweenEndMarbles) {
+  const CradleParams params;
+  const AnimatedScene scene = newton_cradle_scene(params);
+  // At no sampled frame do BOTH end marbles hang away from rest.
+  for (int f = 0; f < scene.frame_count(); ++f) {
+    const bool left_moving = scene.object_transform(7, f) != Transform::identity();
+    // Find the ids of the end marbles by name instead of hardcoding.
+    int left_id = -1, right_id = -1;
+    for (int i = 0; i < scene.object_count(); ++i) {
+      if (scene.object(i).name == "marble0") left_id = i;
+      if (scene.object(i).name == "marble4") right_id = i;
+    }
+    ASSERT_GE(left_id, 0);
+    ASSERT_GE(right_id, 0);
+    const bool left = scene.object_transform(left_id, f) != Transform::identity();
+    const bool right = scene.object_transform(right_id, f) != Transform::identity();
+    EXPECT_FALSE(left && right) << "frame " << f;
+    (void)left_moving;
+  }
+}
+
+TEST(BouncingBall, StaysInsideRoomAboveFloor) {
+  const BounceParams params;
+  const AnimatedScene scene = bouncing_ball_scene(params);
+  int ball_id = -1;
+  for (int i = 0; i < scene.object_count(); ++i) {
+    if (scene.object(i).name == "ball") ball_id = i;
+  }
+  ASSERT_GE(ball_id, 0);
+  for (int f = 0; f < scene.frame_count(); ++f) {
+    const Vec3 pos = scene.object_transform(ball_id, f).translation;
+    EXPECT_GE(pos.y, 0.449) << "frame " << f;  // radius 0.45, tiny tolerance
+    EXPECT_GE(pos.x, -2.5);
+    EXPECT_LE(pos.x, 2.5);
+    EXPECT_GE(pos.z, -2.5);
+  }
+}
+
+TEST(BouncingBall, BallActuallyMovesEveryFrame) {
+  const AnimatedScene scene = bouncing_ball_scene();
+  for (int f = 1; f < scene.frame_count(); ++f) {
+    EXPECT_FALSE(scene.changed_objects(f - 1, f).empty()) << "frame " << f;
+  }
+}
+
+TEST(BouncingBall, RendersGlassWithRefraction) {
+  BounceParams params;
+  params.frames = 1;
+  params.width = 64;
+  params.height = 48;
+  const AnimatedScene scene = bouncing_ball_scene(params);
+  TraceStats stats;
+  render_world(scene.world_at(0), 64, 48, TraceOptions{}, &stats);
+  EXPECT_GT(stats.refraction_rays, 0u);
+  EXPECT_GT(stats.shadow_rays, 0u);
+}
+
+TEST(OrbitScene, RequestedSphereCount) {
+  const AnimatedScene scene = orbit_scene(7, 5);
+  int spheres = 0;
+  for (int i = 0; i < scene.object_count(); ++i) {
+    if (scene.object(i).local->type() == ShapeType::kSphere) ++spheres;
+  }
+  EXPECT_EQ(spheres, 7);
+  EXPECT_EQ(scene.frame_count(), 5);
+}
+
+TEST(RandomScene, DeterministicPerSeed) {
+  Rng a(77), b(77);
+  const AnimatedScene sa = random_scene(&a, 6, 3);
+  const AnimatedScene sb = random_scene(&b, 6, 3);
+  ASSERT_EQ(sa.object_count(), sb.object_count());
+  const Framebuffer fa = render_world(sa.world_at(1), 48, 36);
+  const Framebuffer fb = render_world(sb.world_at(1), 48, 36);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(TwoShotScene, HasExactlyTwoShots) {
+  const AnimatedScene scene = two_shot_scene(9, 4);
+  const auto shots = scene.split_shots();
+  ASSERT_EQ(shots.size(), 2u);
+  EXPECT_EQ(shots[0].frame_count, 4);
+  EXPECT_EQ(shots[1].first_frame, 4);
+  EXPECT_EQ(shots[1].frame_count, 5);
+}
+
+TEST(NewtonCradle, AnimationExtentCoversSwing) {
+  CradleParams params;
+  params.frames = 20;
+  const AnimatedScene scene = newton_cradle_scene(params);
+  const Aabb extent = animation_extent(scene);
+  // The raised marble at frame 0 must be inside the extent.
+  const World w0 = scene.world_at(0);
+  for (const WorldObject& obj : w0.objects()) {
+    if (obj.primitive->is_bounded()) {
+      EXPECT_TRUE(extent.overlaps(obj.primitive->bounds()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace now

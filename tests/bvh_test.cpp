@@ -1,0 +1,119 @@
+// BvhAccelerator must agree exactly with brute force (and therefore with
+// the uniform grid), on random worlds and in full renders.
+#include "src/trace/bvh.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/box.h"
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+#include "src/math/rng.h"
+#include "src/scene/builtin_scenes.h"
+#include "src/trace/render.h"
+#include "src/trace/uniform_grid.h"
+
+namespace now {
+namespace {
+
+World random_world(std::uint64_t seed, int objects, bool with_plane) {
+  Rng rng(seed);
+  World world;
+  const int mat = world.add_material(Material::matte(Color::gray(0.5)));
+  for (int i = 0; i < objects; ++i) {
+    const Vec3 pos = rng.point_in_box({-3, -3, -3}, {3, 3, 3});
+    if (rng.next_double() < 0.5) {
+      world.add_object(std::make_unique<Sphere>(pos, rng.uniform(0.2, 0.8)),
+                       mat);
+    } else {
+      world.add_object(
+          std::make_unique<Box>(
+              pos, rng.point_in_box({0.1, 0.1, 0.1}, {0.6, 0.6, 0.6}),
+              Mat3::rotation_y(rng.uniform(0, kTwoPi))),
+          mat);
+    }
+  }
+  if (with_plane) {
+    world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, -3.5), mat);
+  }
+  return world;
+}
+
+class BvhVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(BvhVsBruteForce, ClosestHitsAgree) {
+  const int seed = GetParam();
+  const World world = random_world(seed, 15, seed % 2 == 0);
+  const BruteForceAccelerator brute(world);
+  const BvhAccelerator bvh(world);
+  Rng rng(seed * 13 + 7);
+  for (int i = 0; i < 500; ++i) {
+    const Ray ray{rng.point_in_box({-5, -5, -5}, {5, 5, 5}),
+                  rng.unit_vector()};
+    Hit hb, hv;
+    const bool fb = brute.closest_hit(ray, 1e-9, kRayInfinity, &hb);
+    const bool fv = bvh.closest_hit(ray, 1e-9, kRayInfinity, &hv);
+    ASSERT_EQ(fb, fv) << "seed " << seed << " ray " << i;
+    if (fb) {
+      ASSERT_NEAR(hb.t, hv.t, 1e-9) << "seed " << seed << " ray " << i;
+      ASSERT_EQ(hb.object_id, hv.object_id);
+    }
+  }
+}
+
+TEST_P(BvhVsBruteForce, AnyHitsAgree) {
+  const int seed = GetParam();
+  const World world = random_world(seed, 12, false);
+  const BruteForceAccelerator brute(world);
+  const BvhAccelerator bvh(world);
+  Rng rng(seed * 3 + 11);
+  for (int i = 0; i < 500; ++i) {
+    const Ray ray{rng.point_in_box({-5, -5, -5}, {5, 5, 5}),
+                  rng.unit_vector()};
+    const double t_max = rng.uniform(0.5, 10.0);
+    ASSERT_EQ(brute.any_hit(ray, 1e-9, t_max, nullptr),
+              bvh.any_hit(ray, 1e-9, t_max, nullptr))
+        << "seed " << seed << " ray " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvhVsBruteForce, ::testing::Range(1, 7));
+
+TEST(Bvh, RenderedImageMatchesGrid) {
+  const AnimatedScene scene = orbit_scene(6, 1, 48, 36);
+  const World world = scene.world_at(0);
+  const UniformGridAccelerator grid(world);
+  const BvhAccelerator bvh(world);
+  Tracer t1(world, grid);
+  Tracer t2(world, bvh);
+  Framebuffer f1(48, 36), f2(48, 36);
+  render_frame(&t1, &f1);
+  render_frame(&t2, &f2);
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(Bvh, EmptyAndPlaneOnlyWorlds) {
+  World empty;
+  empty.add_material(Material::matte(Color::white()));
+  const BvhAccelerator bvh_empty(empty);
+  Hit hit;
+  EXPECT_FALSE(bvh_empty.closest_hit({{0, 0, 0}, {1, 0, 0}}, 1e-9, 1e9, &hit));
+  EXPECT_EQ(bvh_empty.node_count(), 0);
+
+  World plane_only;
+  const int mat = plane_only.add_material(Material::matte(Color::white()));
+  plane_only.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, 0.0), mat);
+  const BvhAccelerator bvh(plane_only);
+  ASSERT_TRUE(bvh.closest_hit({{0, 2, 0}, {0, -1, 0}}, 1e-9, 1e9, &hit));
+  EXPECT_NEAR(hit.t, 2.0, 1e-12);
+}
+
+TEST(Bvh, DepthIsLogarithmic) {
+  const World world = random_world(99, 64, false);
+  const BvhAccelerator bvh(world, 1);
+  // 64 leaves: depth should be ~log2(64)+1 = 7, certainly < 16.
+  EXPECT_GE(bvh.depth(), 6);
+  EXPECT_LT(bvh.depth(), 16);
+}
+
+}  // namespace
+}  // namespace now

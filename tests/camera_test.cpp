@@ -1,0 +1,84 @@
+#include "src/trace/camera.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(Camera, CenterPixelLooksForward) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 2.0);
+  // Center of a 2x2 image between the four pixels; use an odd image so a
+  // pixel center coincides with the optical axis.
+  const Ray ray = cam.generate_ray(1, 1, 3, 3);
+  EXPECT_NEAR(ray.direction.x, 0.0, 1e-12);
+  EXPECT_NEAR(ray.direction.y, 0.0, 1e-12);
+  EXPECT_NEAR(ray.direction.z, -1.0, 1e-12);
+  EXPECT_EQ(ray.origin, Vec3(0, 0, 5));
+}
+
+TEST(Camera, ImageYGrowsDownward) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  const Ray top = cam.generate_ray(1, 0, 3, 3);
+  const Ray bottom = cam.generate_ray(1, 2, 3, 3);
+  EXPECT_GT(top.direction.y, 0.0);
+  EXPECT_LT(bottom.direction.y, 0.0);
+}
+
+TEST(Camera, ImageXGrowsRight) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  const Ray left = cam.generate_ray(0, 1, 3, 3);
+  const Ray right = cam.generate_ray(2, 1, 3, 3);
+  // Looking down -z with +y up, +x (screen right) is world +x.
+  EXPECT_LT(left.direction.x, 0.0);
+  EXPECT_GT(right.direction.x, 0.0);
+}
+
+TEST(Camera, FovControlsSpread) {
+  const Camera narrow({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 20.0, 1.0);
+  const Camera wide({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 90.0, 1.0);
+  const Ray n = narrow.generate_ray(0, 0, 2, 2);
+  const Ray w = wide.generate_ray(0, 0, 2, 2);
+  EXPECT_LT(std::fabs(n.direction.x), std::fabs(w.direction.x));
+}
+
+TEST(Camera, RaysAreUnitLength) {
+  const Camera cam({1, 2, 3}, {-2, 0, 1}, {0, 1, 0}, 45.0, 1.5);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_NEAR(cam.generate_ray(x, y, 4, 4).direction.length(), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Camera, SupersamplesStayInsidePixel) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  // The four 2x2 supersamples of a pixel must bracket its center ray.
+  const Ray center = cam.generate_ray(3, 2, 8, 8);
+  const Ray corner_lo = cam.generate_ray(3, 2, 8, 8, 0, 0, 2);
+  const Ray corner_hi = cam.generate_ray(3, 2, 8, 8, 1, 1, 2);
+  EXPECT_LT(corner_lo.direction.x, center.direction.x);
+  EXPECT_GT(corner_hi.direction.x, center.direction.x);
+  EXPECT_GT(corner_lo.direction.y, center.direction.y);  // sy=0 is upper
+  EXPECT_LT(corner_hi.direction.y, center.direction.y);
+}
+
+TEST(Camera, EqualityDetectsMovement) {
+  const Camera a({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  const Camera b({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  const Camera moved({0, 0.1, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  const Camera zoomed({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50.0, 1.0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, moved);
+  EXPECT_NE(a, zoomed);
+}
+
+TEST(Camera, AccessorsReflectSetup) {
+  const Camera cam({0, 1, 5}, {0, 1, 0}, {0, 1, 0}, 40.0, 1.25);
+  EXPECT_EQ(cam.position(), Vec3(0, 1, 5));
+  EXPECT_NEAR(cam.forward().z, -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cam.vfov_degrees(), 40.0);
+  EXPECT_DOUBLE_EQ(cam.aspect(), 1.25);
+}
+
+}  // namespace
+}  // namespace now

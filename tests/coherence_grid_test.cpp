@@ -1,0 +1,139 @@
+#include "src/core/coherence_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+VoxelGrid small_grid() {
+  return VoxelGrid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+}
+
+TEST(CoherenceGrid, MarkAndCollect) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 2);
+  grid.mark(0, 3, 4);
+  grid.mark(5, 1, 2);
+  PixelMask mask(8, 8);
+  grid.collect_pixels({0}, &mask);
+  EXPECT_EQ(mask.count(), 2);
+  EXPECT_TRUE(mask.at(1, 2));
+  EXPECT_TRUE(mask.at(3, 4));
+  mask = PixelMask(8, 8);
+  grid.collect_pixels({5}, &mask);
+  EXPECT_EQ(mask.count(), 1);
+  mask = PixelMask(8, 8);
+  grid.collect_pixels({7}, &mask);
+  EXPECT_EQ(mask.count(), 0);
+}
+
+TEST(CoherenceGrid, BeginPixelRetiresMarks) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 1);
+  grid.mark(3, 1, 1);
+  grid.begin_pixel(1, 1);  // recompute: old paths invalid
+  PixelMask mask(8, 8);
+  grid.collect_pixels({0, 3}, &mask);
+  EXPECT_EQ(mask.count(), 0);
+  // New marks after the bump are live.
+  grid.mark(2, 1, 1);
+  grid.collect_pixels({2}, &mask);
+  EXPECT_EQ(mask.count(), 1);
+}
+
+TEST(CoherenceGrid, OtherPixelsUnaffectedByRetirement) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 1);
+  grid.mark(0, 2, 2);
+  grid.begin_pixel(1, 1);
+  PixelMask mask(8, 8);
+  grid.collect_pixels({0}, &mask);
+  EXPECT_EQ(mask.count(), 1);
+  EXPECT_TRUE(mask.at(2, 2));
+}
+
+TEST(CoherenceGrid, RegionLocalPixels) {
+  // Region offset from the image origin: marks use full-image coordinates.
+  CoherenceGrid grid(small_grid(), {4, 6, 3, 2});
+  grid.mark(1, 5, 7);
+  PixelMask mask(8, 8);
+  grid.collect_pixels({1}, &mask);
+  EXPECT_TRUE(mask.at(5, 7));
+  EXPECT_EQ(mask.count(), 1);
+}
+
+TEST(CoherenceGrid, DuplicateConsecutiveMarksCollapse) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 1);
+  grid.mark(0, 1, 1);
+  grid.mark(0, 1, 1);
+  EXPECT_EQ(grid.stats().total_marks, 1);
+}
+
+TEST(CoherenceGrid, StatsTrackLiveAndTotal) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 1);
+  grid.mark(1, 1, 1);
+  grid.mark(2, 2, 2);
+  EXPECT_EQ(grid.stats().live_marks, 3);
+  EXPECT_EQ(grid.stats().total_marks, 3);
+  grid.begin_pixel(1, 1);
+  EXPECT_EQ(grid.stats().live_marks, 1);
+  EXPECT_EQ(grid.stats().total_marks, 3);  // stale entries still stored
+  EXPECT_GT(grid.stats().bytes(), 0);
+}
+
+TEST(CoherenceGrid, CollectCompactsScannedLists) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 1);
+  grid.mark(0, 2, 2);
+  grid.begin_pixel(1, 1);
+  PixelMask mask(8, 8);
+  grid.collect_pixels({0}, &mask);
+  EXPECT_EQ(grid.stats().total_marks, 1);  // stale entry dropped in passing
+}
+
+TEST(CoherenceGrid, MaybeCompactRemovesStaleMarks) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  for (int i = 0; i < 10; ++i) grid.mark(i, i % 8, i / 8);
+  for (int i = 0; i < 8; ++i) grid.begin_pixel(i, 0);
+  EXPECT_FALSE(grid.maybe_compact(0.95));  // threshold not reached
+  EXPECT_TRUE(grid.maybe_compact(0.5));
+  EXPECT_EQ(grid.stats().total_marks, grid.stats().live_marks);
+  EXPECT_EQ(grid.stats().compactions, 1);
+}
+
+TEST(CoherenceGrid, ResetClearsEverything) {
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 1);
+  grid.begin_pixel(1, 1);
+  grid.mark(0, 1, 1);
+  grid.reset();
+  EXPECT_EQ(grid.stats().total_marks, 0);
+  EXPECT_EQ(grid.stats().live_marks, 0);
+  PixelMask mask(8, 8);
+  grid.collect_pixels({0}, &mask);
+  EXPECT_EQ(mask.count(), 0);
+  // Fresh marks after reset work normally.
+  grid.mark(0, 3, 3);
+  grid.collect_pixels({0}, &mask);
+  EXPECT_EQ(mask.count(), 1);
+}
+
+TEST(CoherenceGrid, EpochReuseAfterRecompute) {
+  // A pixel recomputed twice: only the newest generation of marks counts.
+  CoherenceGrid grid(small_grid(), {0, 0, 8, 8});
+  grid.mark(0, 1, 1);   // generation 0
+  grid.begin_pixel(1, 1);
+  grid.mark(1, 1, 1);   // generation 1
+  grid.begin_pixel(1, 1);
+  grid.mark(2, 1, 1);   // generation 2
+  PixelMask mask(8, 8);
+  grid.collect_pixels({0, 1}, &mask);
+  EXPECT_EQ(mask.count(), 0);
+  grid.collect_pixels({2}, &mask);
+  EXPECT_EQ(mask.count(), 1);
+}
+
+}  // namespace
+}  // namespace now

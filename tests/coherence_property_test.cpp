@@ -1,0 +1,157 @@
+// Property-based validation of the frame-coherence algorithm over randomized
+// animated scenes: for any scene, any coherence grid resolution and any
+// region, the coherent render must equal the full render byte-for-byte, and
+// the predicted dirty set must contain every actually-changed pixel.
+#include <gtest/gtest.h>
+
+#include "src/core/coherent_renderer.h"
+#include "src/geom/triangle.h"
+#include "src/scene/builtin_scenes.h"
+
+namespace now {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  int objects;
+  int frames;
+  int grid_axis;  // coherence grid max axis
+  bool supersample;
+};
+
+std::ostream& operator<<(std::ostream& os, const PropertyCase& c) {
+  return os << "seed=" << c.seed << " objects=" << c.objects
+            << " frames=" << c.frames << " grid=" << c.grid_axis
+            << (c.supersample ? " ss" : "");
+}
+
+class CoherenceProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(CoherenceProperty, CoherentEqualsFullRender) {
+  const PropertyCase& pc = GetParam();
+  Rng rng(pc.seed);
+  const AnimatedScene scene = random_scene(&rng, pc.objects, pc.frames);
+
+  CoherenceOptions options;
+  options.grid_max_axis = pc.grid_axis;
+  if (pc.supersample) options.trace.supersample_axis = 2;
+
+  CoherentRenderer renderer(
+      scene, {0, 0, scene.width(), scene.height()}, options);
+  Framebuffer fb(scene.width(), scene.height());
+  Framebuffer prev;
+  for (int frame = 0; frame < scene.frame_count(); ++frame) {
+    PixelMask predicted;
+    if (frame > 0) predicted = renderer.predict_dirty(frame);
+
+    renderer.render_frame(frame, &fb);
+    const Framebuffer ref = render_world(scene.world_at(frame), scene.width(),
+                                         scene.height(), options.trace);
+    ASSERT_EQ(fb, ref) << GetParam() << " frame " << frame;
+
+    if (frame > 0) {
+      const PixelMask actual = actual_diff_mask(prev, fb);
+      ASSERT_TRUE(actual.subset_of(predicted))
+          << GetParam() << " frame " << frame << ": "
+          << actual.minus(predicted).count() << " false negatives";
+    }
+    prev = fb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomScenes, CoherenceProperty,
+    ::testing::Values(PropertyCase{101, 4, 4, 16, false},
+                      PropertyCase{102, 6, 4, 32, false},
+                      PropertyCase{103, 8, 3, 8, false},
+                      PropertyCase{104, 5, 4, 64, false},
+                      PropertyCase{105, 10, 3, 24, false},
+                      PropertyCase{106, 4, 3, 16, true},
+                      PropertyCase{107, 7, 4, 12, false},
+                      PropertyCase{108, 3, 6, 40, false},
+                      PropertyCase{109, 9, 3, 20, false},
+                      PropertyCase{110, 6, 4, 6, false}));
+
+/// Region-restricted coherence must hold for arbitrary subareas too (the
+/// frame-division workers run exactly this configuration).
+class RegionCoherenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionCoherenceProperty, SubareaCoherentEqualsFullRender) {
+  Rng rng(500 + GetParam());
+  const AnimatedScene scene = random_scene(&rng, 6, 4);
+  Rng region_rng(900 + GetParam());
+  const int w = scene.width();
+  const int h = scene.height();
+  PixelRect region;
+  region.width = 8 + static_cast<int>(region_rng.next_below(static_cast<std::uint32_t>(w - 8)));
+  region.height = 8 + static_cast<int>(region_rng.next_below(static_cast<std::uint32_t>(h - 8)));
+  region.x0 = static_cast<int>(region_rng.next_below(static_cast<std::uint32_t>(w - region.width + 1)));
+  region.y0 = static_cast<int>(region_rng.next_below(static_cast<std::uint32_t>(h - region.height + 1)));
+
+  CoherentRenderer renderer(scene, region);
+  Framebuffer fb(w, h);
+  for (int frame = 0; frame < scene.frame_count(); ++frame) {
+    renderer.render_frame(frame, &fb);
+    const Framebuffer ref = render_world(scene.world_at(frame), w, h);
+    for (int y = region.y0; y < region.y0 + region.height; ++y) {
+      for (int x = region.x0; x < region.x0 + region.width; ++x) {
+        ASSERT_EQ(fb.at(x, y), ref.at(x, y))
+            << "seed " << GetParam() << " frame " << frame << " px " << x
+            << "," << y;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Regions, RegionCoherenceProperty,
+                         ::testing::Range(0, 8));
+
+/// Every primitive type moving at once (sphere, box, cylinder, disc,
+/// triangle, mesh): the change detector's per-shape footprint tests must all
+/// be conservative.
+TEST(GalleryCoherence, AllPrimitiveTypesStayCoherent) {
+  const AnimatedScene scene = gallery_scene(5);
+  CoherentRenderer renderer(scene, {0, 0, scene.width(), scene.height()});
+  Framebuffer fb(scene.width(), scene.height());
+  Framebuffer prev;
+  for (int frame = 0; frame < scene.frame_count(); ++frame) {
+    PixelMask predicted;
+    if (frame > 0) predicted = renderer.predict_dirty(frame);
+    const FrameRenderResult r = renderer.render_frame(frame, &fb);
+    const Framebuffer ref =
+        render_world(scene.world_at(frame), scene.width(), scene.height());
+    ASSERT_EQ(fb, ref) << "frame " << frame;
+    if (frame > 0) {
+      const PixelMask actual = actual_diff_mask(prev, fb);
+      ASSERT_TRUE(actual.subset_of(predicted))
+          << "frame " << frame << ": "
+          << actual.minus(predicted).count() << " false negatives";
+      EXPECT_LT(r.pixels_recomputed, r.pixels_total) << "frame " << frame;
+    }
+    prev = fb;
+  }
+}
+
+TEST(GalleryCoherence, IcosphereMeshIsWellFormed) {
+  const auto mesh_prim = make_icosphere({0, 0, 0}, 1.0, 2);
+  const auto* mesh = dynamic_cast<const Mesh*>(mesh_prim.get());
+  ASSERT_NE(mesh, nullptr);
+  EXPECT_EQ(mesh->triangle_count(), 20 * 4 * 4);  // 2 subdivision passes
+  // All vertices on the unit sphere.
+  for (const Vec3& v : mesh->vertices()) {
+    EXPECT_NEAR(v.length(), 1.0, 1e-12);
+  }
+  // Rays through the center hit near t = |origin| - 1 (slightly beyond:
+  // the faceted surface lies inside the circumscribed sphere).
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 origin = rng.unit_vector() * 5.0;
+    Hit hit;
+    ASSERT_TRUE(mesh->intersect({origin, -origin.normalized()}, 1e-9, 1e9, &hit));
+    EXPECT_GT(hit.t, 3.9);
+    EXPECT_LT(hit.t, 4.1);
+  }
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,67 @@
+#include "src/sim/ethernet.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+EthernetParams simple_params() {
+  EthernetParams p;
+  p.bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s for easy math
+  p.latency_seconds = 0.5;
+  p.per_message_overhead_bytes = 0;
+  return p;
+}
+
+TEST(Ethernet, SingleTransmission) {
+  EthernetModel eth(simple_params());
+  // 500 bytes at 1000 B/s = 0.5 s wire + 0.5 s latency.
+  const double deliver = eth.transmit(10.0, 500);
+  EXPECT_DOUBLE_EQ(deliver, 11.0);
+  EXPECT_DOUBLE_EQ(eth.free_at(), 10.5);
+  EXPECT_DOUBLE_EQ(eth.busy_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(eth.contention_seconds(), 0.0);
+}
+
+TEST(Ethernet, BackToBackTransmissionsQueue) {
+  EthernetModel eth(simple_params());
+  eth.transmit(0.0, 1000);  // occupies [0, 1]
+  const double deliver = eth.transmit(0.2, 1000);  // must wait until 1.0
+  EXPECT_DOUBLE_EQ(deliver, 2.5);  // 1.0 + 1.0 wire + 0.5 latency
+  EXPECT_DOUBLE_EQ(eth.contention_seconds(), 0.8);
+}
+
+TEST(Ethernet, IdleMediumNoContention) {
+  EthernetModel eth(simple_params());
+  eth.transmit(0.0, 100);
+  eth.transmit(5.0, 100);  // long after the first finished
+  EXPECT_DOUBLE_EQ(eth.contention_seconds(), 0.0);
+  EXPECT_EQ(eth.total_messages(), 2);
+  EXPECT_EQ(eth.total_bytes(), 200);
+}
+
+TEST(Ethernet, OverheadBytesCount) {
+  EthernetParams p = simple_params();
+  p.per_message_overhead_bytes = 100;
+  EthernetModel eth(p);
+  eth.transmit(0.0, 0);  // pure-overhead message
+  EXPECT_DOUBLE_EQ(eth.busy_seconds(), 0.1);
+  EXPECT_EQ(eth.total_bytes(), 100);
+}
+
+TEST(Ethernet, DefaultsAreTenMegabit) {
+  const EthernetModel eth;
+  EXPECT_DOUBLE_EQ(eth.params().bandwidth_bytes_per_sec, 10e6 / 8.0);
+}
+
+TEST(Ethernet, ThroughputMatchesBandwidth) {
+  // Saturating the medium: N messages of B bytes take N*B/bandwidth.
+  EthernetModel eth(simple_params());
+  double deliver = 0.0;
+  for (int i = 0; i < 10; ++i) deliver = eth.transmit(0.0, 200);
+  EXPECT_DOUBLE_EQ(eth.free_at(), 10 * 200 / 1000.0);
+  EXPECT_DOUBLE_EQ(deliver, 2.0 + 0.5);
+}
+
+}  // namespace
+}  // namespace now

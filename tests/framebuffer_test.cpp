@@ -1,0 +1,86 @@
+#include "src/image/framebuffer.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(PixelRect, BasicProperties) {
+  const PixelRect r{10, 20, 30, 40};
+  EXPECT_EQ(r.area(), 1200);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(10, 20));
+  EXPECT_TRUE(r.contains(39, 59));
+  EXPECT_FALSE(r.contains(40, 20));
+  EXPECT_FALSE(r.contains(10, 60));
+  EXPECT_TRUE((PixelRect{0, 0, 0, 5}).empty());
+}
+
+TEST(PixelRect, Intersect) {
+  const PixelRect a{0, 0, 10, 10};
+  const PixelRect b{5, 5, 10, 10};
+  const PixelRect i = PixelRect::intersect(a, b);
+  EXPECT_EQ(i, (PixelRect{5, 5, 5, 5}));
+  const PixelRect disjoint = PixelRect::intersect(a, {20, 20, 5, 5});
+  EXPECT_TRUE(disjoint.empty());
+}
+
+TEST(Framebuffer, ConstructionAndFill) {
+  Framebuffer fb(4, 3, Rgb8{1, 2, 3});
+  EXPECT_EQ(fb.width(), 4);
+  EXPECT_EQ(fb.height(), 3);
+  EXPECT_EQ(fb.pixel_count(), 12);
+  EXPECT_EQ(fb.at(3, 2), (Rgb8{1, 2, 3}));
+  fb.fill({9, 9, 9});
+  EXPECT_EQ(fb.at(0, 0), (Rgb8{9, 9, 9}));
+}
+
+TEST(Framebuffer, SetFromColorQuantizes) {
+  Framebuffer fb(1, 1);
+  fb.set(0, 0, Color{0.5, 1.5, -0.5});
+  EXPECT_EQ(fb.at(0, 0), (Rgb8{128, 255, 0}));
+}
+
+TEST(Framebuffer, ExtractBlitRoundTrip) {
+  Framebuffer fb(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      fb.set(x, y, Rgb8{static_cast<std::uint8_t>(x),
+                        static_cast<std::uint8_t>(y), 0});
+    }
+  }
+  const PixelRect rect{2, 3, 4, 2};
+  const std::vector<Rgb8> block = fb.extract(rect);
+  ASSERT_EQ(block.size(), 8u);
+  EXPECT_EQ(block[0], (Rgb8{2, 3, 0}));
+  EXPECT_EQ(block[7], (Rgb8{5, 4, 0}));
+
+  Framebuffer other(8, 8);
+  other.blit(rect, block);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      if (rect.contains(x, y)) {
+        EXPECT_EQ(other.at(x, y), fb.at(x, y));
+      } else {
+        EXPECT_EQ(other.at(x, y), (Rgb8{0, 0, 0}));
+      }
+    }
+  }
+}
+
+TEST(Framebuffer, EqualityComparesPixels) {
+  Framebuffer a(2, 2);
+  Framebuffer b(2, 2);
+  EXPECT_EQ(a, b);
+  b.set(1, 1, Rgb8{1, 0, 0});
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == Framebuffer(2, 3));
+}
+
+TEST(Framebuffer, FullRect) {
+  const Framebuffer fb(5, 7);
+  EXPECT_EQ(fb.full_rect(), (PixelRect{0, 0, 5, 7}));
+}
+
+}  // namespace
+}  // namespace now

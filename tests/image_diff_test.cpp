@@ -1,0 +1,93 @@
+#include "src/image/image_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(PixelMask, SetCountAndSize) {
+  PixelMask m(4, 3);
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_EQ(m.pixel_count(), 12);
+  m.set(1, 2, true);
+  m.set(3, 0, true);
+  EXPECT_EQ(m.count(), 2);
+  EXPECT_TRUE(m.at(1, 2));
+  EXPECT_FALSE(m.at(0, 0));
+  m.set(1, 2, false);
+  EXPECT_EQ(m.count(), 1);
+}
+
+TEST(PixelMask, FilledConstructor) {
+  const PixelMask m(3, 3, true);
+  EXPECT_EQ(m.count(), 9);
+}
+
+TEST(PixelMask, MinusAndUnion) {
+  PixelMask a(2, 2);
+  PixelMask b(2, 2);
+  a.set(0, 0, true);
+  a.set(1, 1, true);
+  b.set(1, 1, true);
+  const PixelMask diff = a.minus(b);
+  EXPECT_EQ(diff.count(), 1);
+  EXPECT_TRUE(diff.at(0, 0));
+  const PixelMask u = a.union_with(b);
+  EXPECT_EQ(u.count(), 2);
+}
+
+TEST(PixelMask, SubsetOf) {
+  PixelMask small(2, 2);
+  PixelMask big(2, 2);
+  small.set(0, 1, true);
+  big.set(0, 1, true);
+  big.set(1, 0, true);
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+  EXPECT_TRUE(PixelMask(2, 2).subset_of(small));  // empty set
+}
+
+TEST(PixelMask, ToImageIsWhiteOnBlack) {
+  PixelMask m(2, 1);
+  m.set(1, 0, true);
+  const Framebuffer img = m.to_image();
+  EXPECT_EQ(img.at(0, 0), (Rgb8{0, 0, 0}));
+  EXPECT_EQ(img.at(1, 0), (Rgb8{255, 255, 255}));
+}
+
+TEST(ActualDiff, DetectsChangedPixels) {
+  Framebuffer a(3, 3, Rgb8{10, 10, 10});
+  Framebuffer b = a;
+  b.set(2, 1, Rgb8{10, 10, 11});
+  const PixelMask mask = actual_diff_mask(a, b);
+  EXPECT_EQ(mask.count(), 1);
+  EXPECT_TRUE(mask.at(2, 1));
+}
+
+TEST(ActualDiff, IdenticalFramesAreEmpty) {
+  const Framebuffer a(5, 5, Rgb8{1, 2, 3});
+  EXPECT_EQ(actual_diff_mask(a, a).count(), 0);
+}
+
+TEST(DiffStats, ChangedFraction) {
+  Framebuffer a(10, 10);
+  Framebuffer b = a;
+  for (int i = 0; i < 25; ++i) b.set(i % 10, i / 10, Rgb8{255, 0, 0});
+  const DiffStats stats = diff_stats(a, b);
+  EXPECT_EQ(stats.total_pixels, 100);
+  EXPECT_EQ(stats.changed_pixels, 25);
+  EXPECT_DOUBLE_EQ(stats.changed_fraction(), 0.25);
+}
+
+TEST(MeanAbsoluteError, Basics) {
+  Framebuffer a(1, 2, Rgb8{0, 0, 0});
+  Framebuffer b(1, 2, Rgb8{0, 0, 0});
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 0.0);
+  b.set(0, 0, Rgb8{30, 60, 90});
+  // (30+60+90) / (3 channels * 2 pixels) = 30.
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 30.0);
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,191 @@
+// nowmp: the PVM-style blocking message-passing facade.
+#include "src/net/nowmp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace now {
+namespace {
+
+constexpr int kTagWork = 10;
+constexpr int kTagResult = 11;
+constexpr int kTagOther = 12;
+
+TEST(Nowmp, MasterSlaveScatterGather) {
+  std::atomic<std::int64_t> total{0};
+  nowmp::run(
+      5,
+      [&](nowmp::Task& t) {
+        // Scatter one integer per slave.
+        for (int w = 1; w < t.ntasks(); ++w) {
+          t.init_send();
+          t.pack_i32(w * 10);
+          t.send(w, kTagWork);
+        }
+        // Gather doubled results from any source.
+        std::int64_t sum = 0;
+        for (int w = 1; w < t.ntasks(); ++w) {
+          t.recv(-1, kTagResult);
+          sum += t.unpack_i64();
+        }
+        total = sum;
+      },
+      [](nowmp::Task& t) {
+        t.recv(0, kTagWork);
+        const std::int32_t v = t.unpack_i32();
+        t.init_send();
+        t.pack_i64(2LL * v);
+        t.send(0, kTagResult);
+      });
+  EXPECT_EQ(total.load(), 2 * (10 + 20 + 30 + 40));
+}
+
+TEST(Nowmp, TypedPackUnpackRoundTrip) {
+  nowmp::run(
+      2,
+      [](nowmp::Task& t) {
+        t.init_send();
+        t.pack_i32(-42);
+        t.pack_i64(-9'000'000'000LL);
+        t.pack_u64(0xFEEDFACECAFEBEEFULL);
+        t.pack_f64(2.718281828459045);
+        t.pack_str("hello pvm");
+        t.send(1, kTagWork);
+        t.recv(1, kTagResult);
+        EXPECT_EQ(t.unpack_str(), "ack");
+      },
+      [](nowmp::Task& t) {
+        t.recv(0, kTagWork);
+        EXPECT_EQ(t.unpack_i32(), -42);
+        EXPECT_EQ(t.unpack_i64(), -9'000'000'000LL);
+        EXPECT_EQ(t.unpack_u64(), 0xFEEDFACECAFEBEEFULL);
+        EXPECT_DOUBLE_EQ(t.unpack_f64(), 2.718281828459045);
+        EXPECT_EQ(t.unpack_str(), "hello pvm");
+        t.init_send();
+        t.pack_str("ack");
+        t.send(0, kTagResult);
+      });
+}
+
+TEST(Nowmp, SelectiveReceiveByTag) {
+  nowmp::run(
+      2,
+      [](nowmp::Task& t) {
+        // Send the "other" message first; the slave asks for kTagWork first.
+        t.init_send();
+        t.pack_i32(2);
+        t.send(1, kTagOther);
+        t.init_send();
+        t.pack_i32(1);
+        t.send(1, kTagWork);
+        t.recv(1, kTagResult);
+        EXPECT_EQ(t.unpack_i32(), 12);  // work then other
+      },
+      [](nowmp::Task& t) {
+        t.recv(0, kTagWork);
+        const int first = t.unpack_i32();
+        EXPECT_EQ(t.recv_tag(), kTagWork);
+        EXPECT_EQ(t.recv_source(), 0);
+        t.recv(0, kTagOther);
+        const int second = t.unpack_i32();
+        t.init_send();
+        t.pack_i32(first * 10 + second);
+        t.send(0, kTagResult);
+      });
+}
+
+TEST(Nowmp, ProbeAndTryRecv) {
+  nowmp::run(
+      2,
+      [](nowmp::Task& t) {
+        t.init_send();
+        t.pack_i32(7);
+        t.send(1, kTagWork);
+        t.recv(1, kTagResult);
+      },
+      [](nowmp::Task& t) {
+        // Nothing with kTagOther ever arrives.
+        EXPECT_FALSE(t.try_recv(-1, kTagOther));
+        // Spin until the work message is visible via probe.
+        while (!t.probe(0, kTagWork)) {
+        }
+        EXPECT_TRUE(t.probe(-1, -1));
+        ASSERT_TRUE(t.try_recv(0, kTagWork));
+        EXPECT_EQ(t.unpack_i32(), 7);
+        // Probe no longer matches: the message was consumed.
+        EXPECT_FALSE(t.probe(0, kTagWork));
+        t.init_send();
+        t.send(0, kTagResult);
+      });
+}
+
+TEST(Nowmp, UnpackPastEndThrows) {
+  nowmp::run(
+      2,
+      [](nowmp::Task& t) {
+        t.init_send();
+        t.pack_i32(1);
+        t.send(1, kTagWork);
+        t.recv(1, kTagResult);
+      },
+      [](nowmp::Task& t) {
+        t.recv(0, kTagWork);
+        EXPECT_EQ(t.unpack_i32(), 1);
+        EXPECT_THROW(t.unpack_i32(), nowmp::UnpackError);
+        t.init_send();
+        t.send(0, kTagResult);
+      });
+}
+
+TEST(Nowmp, SlaveToSlaveAllowed) {
+  // Unlike the render farm's star topology, nowmp is a general library:
+  // slaves may talk to each other.
+  nowmp::run({
+      [](nowmp::Task& t) {  // task 0 waits for the ring to finish
+        t.recv(2, kTagResult);
+        EXPECT_EQ(t.unpack_i32(), 3);
+      },
+      [](nowmp::Task& t) {  // task 1 starts a ring 1 -> 2 -> 0
+        t.init_send();
+        t.pack_i32(2);
+        t.send(2, kTagWork);
+      },
+      [](nowmp::Task& t) {  // task 2 forwards
+        t.recv(1, kTagWork);
+        const int v = t.unpack_i32();
+        t.init_send();
+        t.pack_i32(v + 1);
+        t.send(0, kTagResult);
+      },
+  });
+}
+
+TEST(Nowmp, ManyTasksStress) {
+  constexpr int kTasks = 12;
+  std::atomic<std::int64_t> total{0};
+  nowmp::run(
+      kTasks,
+      [&](nowmp::Task& t) {
+        std::int64_t sum = 0;
+        for (int i = 1; i < kTasks; ++i) {
+          t.recv(-1, kTagResult);
+          sum += t.unpack_i64();
+        }
+        total = sum;
+      },
+      [](nowmp::Task& t) {
+        std::int64_t local = 0;
+        for (int i = 0; i < 1000; ++i) local += t.mytid();
+        t.init_send();
+        t.pack_i64(local);
+        t.send(0, kTagResult);
+      });
+  std::int64_t expected = 0;
+  for (int w = 1; w < kTasks; ++w) expected += 1000LL * w;
+  EXPECT_EQ(total.load(), expected);
+}
+
+}  // namespace
+}  // namespace now

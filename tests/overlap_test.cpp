@@ -1,0 +1,168 @@
+// Primitive-vs-box overlap predicates: the change detector's correctness
+// rests on these being conservative (no false negatives), so each predicate
+// is validated against a sampling oracle.
+#include "src/geom/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/box.h"
+#include "src/geom/cylinder.h"
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+#include "src/geom/triangle.h"
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+TEST(PointBoxDistance, InsideIsZero) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_DOUBLE_EQ(point_box_distance_squared({0.5, 0.5, 0.5}, box), 0.0);
+  EXPECT_DOUBLE_EQ(point_box_distance_squared({0, 0, 0}, box), 0.0);
+}
+
+TEST(PointBoxDistance, OutsideAxisAndCorner) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_DOUBLE_EQ(point_box_distance_squared({2, 0.5, 0.5}, box), 1.0);
+  EXPECT_DOUBLE_EQ(point_box_distance_squared({2, 2, 2}, box), 3.0);
+}
+
+TEST(SegmentBoxDistance, IntersectingSegmentIsZero) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_NEAR(segment_box_distance({-1, 0.5, 0.5}, {2, 0.5, 0.5}, box), 0.0,
+              1e-9);
+}
+
+TEST(SegmentBoxDistance, ParallelSegment) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_NEAR(segment_box_distance({-1, 3, 0.5}, {2, 3, 0.5}, box), 2.0, 1e-6);
+}
+
+TEST(SegmentBoxDistance, EndpointNearest) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  // Segment pointing away: nearest point is the endpoint at (2, 0.5, 0.5).
+  EXPECT_NEAR(segment_box_distance({2, 0.5, 0.5}, {5, 0.5, 0.5}, box), 1.0,
+              1e-6);
+}
+
+TEST(PlaneOverlap, Basics) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(plane_overlaps_box({0, 1, 0}, 0.5, box));
+  EXPECT_TRUE(plane_overlaps_box({0, 1, 0}, 0.0, box));   // touching face
+  EXPECT_FALSE(plane_overlaps_box({0, 1, 0}, 1.5, box));
+  EXPECT_FALSE(plane_overlaps_box({0, 1, 0}, -0.5, box));
+  // Diagonal plane through the corner region.
+  const Vec3 n = Vec3(1, 1, 1).normalized();
+  EXPECT_TRUE(plane_overlaps_box(n, 0.5, box));
+  EXPECT_FALSE(plane_overlaps_box(n, 10.0, box));
+}
+
+TEST(TriangleOverlap, ContainedAndDisjoint) {
+  const Aabb box{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(triangle_overlaps_box({0.5, 0.5, 1}, {1.5, 0.5, 1},
+                                    {1, 1.5, 1}, box));
+  EXPECT_FALSE(triangle_overlaps_box({5, 5, 5}, {6, 5, 5}, {5, 6, 5}, box));
+}
+
+TEST(TriangleOverlap, PiercingTriangle) {
+  // Large triangle whose plane slices the box but whose vertices are all
+  // outside: must still report overlap.
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(triangle_overlaps_box({-5, 0.5, -5}, {5, 0.5, -5},
+                                    {0, 0.5, 10}, box));
+}
+
+TEST(TriangleOverlap, NearMissAboveFace) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_FALSE(triangle_overlaps_box({-5, 1.01, -5}, {5, 1.01, -5},
+                                     {0, 1.01, 10}, box));
+}
+
+TEST(OrientedBoxOverlap, AxisAlignedCases) {
+  const Aabb box{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(oriented_box_overlaps_box({1, 1, 1}, Mat3::identity(),
+                                        {0.5, 0.5, 0.5}, box));
+  EXPECT_FALSE(oriented_box_overlaps_box({5, 1, 1}, Mat3::identity(),
+                                         {0.5, 0.5, 0.5}, box));
+  // Touching exactly at a face.
+  EXPECT_TRUE(oriented_box_overlaps_box({2.5, 1, 1}, Mat3::identity(),
+                                        {0.5, 0.5, 0.5}, box));
+}
+
+TEST(OrientedBoxOverlap, RotationMatters) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  // A slab rotated 45° about z reaches down into the box corner that the
+  // axis-aligned version misses (its long axis points at the corner).
+  const Vec3 center{1.7, 1.7, 0.5};
+  const Vec3 half{1.0, 0.1, 0.4};
+  EXPECT_FALSE(oriented_box_overlaps_box(center, Mat3::identity(), half, box));
+  EXPECT_TRUE(oriented_box_overlaps_box(center, Mat3::rotation_z(kPi / 4),
+                                        half, box));
+}
+
+// Sampling oracle: predicates must never report "no overlap" when random
+// point sampling finds a shared point (conservativeness).
+TEST(OverlapOracle, SphereNeverFalseNegative) {
+  Rng rng(31);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Sphere s(rng.point_in_box({-2, -2, -2}, {2, 2, 2}),
+                   rng.uniform(0.2, 1.0));
+    const Vec3 lo = rng.point_in_box({-2, -2, -2}, {1, 1, 1});
+    const Aabb box{lo, lo + rng.point_in_box({0.2, 0.2, 0.2}, {2, 2, 2})};
+    if (s.overlaps_box(box)) continue;  // claims overlap: fine either way
+    // Claims disjoint: no sampled box point may be inside the sphere.
+    for (int i = 0; i < 200; ++i) {
+      const Vec3 p = rng.point_in_box(box.lo, box.hi);
+      ASSERT_GT((p - s.center()).length(), s.radius())
+          << "false negative at iter " << iter;
+    }
+  }
+}
+
+TEST(OverlapOracle, CylinderNeverFalseNegative) {
+  Rng rng(32);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Vec3 p0 = rng.point_in_box({-2, -2, -2}, {2, 2, 2});
+    const Cylinder c(p0, p0 + rng.unit_vector() * rng.uniform(0.5, 2.0),
+                     rng.uniform(0.1, 0.6));
+    const Vec3 lo = rng.point_in_box({-2, -2, -2}, {1, 1, 1});
+    const Aabb box{lo, lo + rng.point_in_box({0.2, 0.2, 0.2}, {2, 2, 2})};
+    if (c.overlaps_box(box)) continue;
+    for (int i = 0; i < 200; ++i) {
+      const Vec3 p = rng.point_in_box(box.lo, box.hi);
+      Hit h;
+      // Point-in-cylinder test via projection.
+      const Vec3 axis = c.p1() - c.p0();
+      const double len = axis.length();
+      const Vec3 a = axis / len;
+      const double t = dot(p - c.p0(), a);
+      const bool inside = t >= 0 && t <= len &&
+                          (p - (c.p0() + a * t)).length() <= c.radius();
+      ASSERT_FALSE(inside) << "false negative at iter " << iter;
+    }
+  }
+}
+
+TEST(OverlapOracle, OrientedBoxNeverFalseNegative) {
+  Rng rng(33);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Box obb(rng.point_in_box({-2, -2, -2}, {2, 2, 2}),
+                  rng.point_in_box({0.1, 0.1, 0.1}, {1, 1, 1}),
+                  Mat3::axis_angle(rng.unit_vector(), rng.uniform(0, kTwoPi)));
+    const Vec3 lo = rng.point_in_box({-2, -2, -2}, {1, 1, 1});
+    const Aabb box{lo, lo + rng.point_in_box({0.2, 0.2, 0.2}, {2, 2, 2})};
+    if (obb.overlaps_box(box)) continue;
+    const Mat3 inv = obb.rotation().transposed();
+    for (int i = 0; i < 200; ++i) {
+      const Vec3 p = rng.point_in_box(box.lo, box.hi);
+      const Vec3 local = inv * (p - obb.center());
+      const bool inside = std::fabs(local.x) <= obb.half_extents().x &&
+                          std::fabs(local.y) <= obb.half_extents().y &&
+                          std::fabs(local.z) <= obb.half_extents().z;
+      ASSERT_FALSE(inside) << "false negative at iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace now

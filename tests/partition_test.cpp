@@ -1,0 +1,176 @@
+#include "src/par/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+/// Tasks must tile image-area × frames exactly: no gaps, no overlap.
+void expect_exact_tiling(const std::vector<RenderTask>& tasks, int width,
+                         int height, int frames) {
+  std::vector<int> coverage(
+      static_cast<std::size_t>(width) * height * frames, 0);
+  for (const RenderTask& task : tasks) {
+    for (int f = task.first_frame; f < task.end_frame(); ++f) {
+      for (int y = task.region.y0; y < task.region.y0 + task.region.height; ++y) {
+        for (int x = task.region.x0; x < task.region.x0 + task.region.width; ++x) {
+          ++coverage[(static_cast<std::size_t>(f) * height + y) * width + x];
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    ASSERT_EQ(coverage[i], 1) << "pixel-frame " << i;
+  }
+}
+
+TEST(TileRects, ExactTilesWhenDivisible) {
+  const auto tiles = tile_rects(320, 240, 80);
+  EXPECT_EQ(tiles.size(), 12u);  // the paper's 80x80 tiling of 320x240
+  for (const PixelRect& t : tiles) {
+    EXPECT_EQ(t.width, 80);
+    EXPECT_EQ(t.height, 80);
+  }
+}
+
+TEST(TileRects, ClipsEdgeTiles) {
+  const auto tiles = tile_rects(100, 50, 40);
+  EXPECT_EQ(tiles.size(), 6u);  // 3 x 2
+  EXPECT_EQ(tiles[2].width, 20);    // 100 = 40+40+20
+  EXPECT_EQ(tiles[5].height, 10);   // 50 = 40+10
+}
+
+TEST(SplitFrames, EvenAndUneven) {
+  const auto even = split_frames(44, 4);
+  ASSERT_EQ(even.size(), 4u);
+  for (const auto& [first, count] : even) EXPECT_EQ(count, 11);
+  const auto uneven = split_frames(45, 4);
+  ASSERT_EQ(uneven.size(), 4u);
+  EXPECT_EQ(uneven[0].second, 12);
+  EXPECT_EQ(uneven[3].second, 11);
+  int total = 0;
+  for (const auto& [first, count] : uneven) total += count;
+  EXPECT_EQ(total, 45);
+}
+
+TEST(SplitFrames, MoreWorkersThanFrames) {
+  const auto parts = split_frames(3, 8);
+  EXPECT_EQ(parts.size(), 3u);  // empty parts dropped
+  for (const auto& [first, count] : parts) EXPECT_EQ(count, 1);
+}
+
+TEST(MakeInitialTasks, SequenceDivisionTiles) {
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSequenceDivision;
+  const auto tasks = make_initial_tasks(config, 64, 48, 20, 3);
+  EXPECT_EQ(tasks.size(), 3u);
+  for (const RenderTask& t : tasks) {
+    EXPECT_EQ(t.region, (PixelRect{0, 0, 64, 48}));
+  }
+  expect_exact_tiling(tasks, 64, 48, 20);
+}
+
+TEST(MakeInitialTasks, FrameDivisionTiles) {
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kFrameDivision;
+  config.block_size = 16;
+  const auto tasks = make_initial_tasks(config, 64, 48, 20, 3);
+  EXPECT_EQ(tasks.size(), 12u);  // 4x3 blocks
+  for (const RenderTask& t : tasks) {
+    EXPECT_EQ(t.first_frame, 0);
+    EXPECT_EQ(t.frame_count, 20);
+  }
+  expect_exact_tiling(tasks, 64, 48, 20);
+}
+
+TEST(MakeInitialTasks, HybridTiles) {
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kHybrid;
+  config.block_size = 32;
+  config.hybrid_frames = 6;
+  const auto tasks = make_initial_tasks(config, 64, 48, 20, 3);
+  // frames chunks: 6+6+6+2 = 4 chunks; blocks: 2x2 = 4 -> 16 tasks.
+  EXPECT_EQ(tasks.size(), 16u);
+  expect_exact_tiling(tasks, 64, 48, 20);
+}
+
+TEST(MakeInitialTasks, HybridWithSingleFrameChunks) {
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kHybrid;
+  config.block_size = 32;
+  config.hybrid_frames = 1;
+  const auto tasks = make_initial_tasks(config, 64, 64, 5, 2);
+  EXPECT_EQ(tasks.size(), 4u * 5u);
+  expect_exact_tiling(tasks, 64, 64, 5);
+}
+
+TEST(MakeInitialTasks, TaskIdsAreIndices) {
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kFrameDivision;
+  config.block_size = 32;
+  const auto tasks = make_initial_tasks(config, 64, 64, 5, 2);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].task_id, static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(SplitFramesAtCuts, NeverCrossesACut) {
+  const std::vector<int> cuts = {10, 25};
+  const auto parts = split_frames_at_cuts(45, 6, cuts);
+  int covered = 0;
+  for (const auto& [first, count] : parts) {
+    covered += count;
+    for (const int cut : cuts) {
+      // A range containing a cut strictly inside is illegal.
+      EXPECT_FALSE(first < cut && cut < first + count)
+          << "range [" << first << "," << first + count << ") crosses " << cut;
+    }
+  }
+  EXPECT_EQ(covered, 45);
+  EXPECT_GE(parts.size(), 3u);  // at least one range per shot
+}
+
+TEST(SplitFramesAtCuts, NoCutsMatchesPlainSplit) {
+  EXPECT_EQ(split_frames_at_cuts(20, 4, {}), split_frames(20, 4));
+}
+
+TEST(SplitFramesAtCuts, MoreShotsThanParts) {
+  // 3 shots but only 2 requested parts: each shot still gets one range.
+  const auto parts = split_frames_at_cuts(30, 2, {10, 20});
+  EXPECT_EQ(parts.size(), 3u);
+  int covered = 0;
+  for (const auto& [first, count] : parts) covered += count;
+  EXPECT_EQ(covered, 30);
+}
+
+TEST(SplitFramesAtCuts, IgnoresInvalidCuts) {
+  const auto parts = split_frames_at_cuts(10, 2, {0, -3, 10, 99, 5});
+  int covered = 0;
+  for (const auto& [first, count] : parts) covered += count;
+  EXPECT_EQ(covered, 10);
+  for (const auto& [first, count] : parts) {
+    EXPECT_FALSE(first < 5 && 5 < first + count);
+  }
+}
+
+TEST(MakeInitialTasks, SequenceDivisionRespectsCuts) {
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSequenceDivision;
+  config.sequence_cuts = {7};
+  const auto tasks = make_initial_tasks(config, 32, 32, 20, 3);
+  for (const RenderTask& t : tasks) {
+    EXPECT_FALSE(t.first_frame < 7 && 7 < t.end_frame())
+        << "task spans the cut";
+  }
+  expect_exact_tiling(tasks, 32, 32, 20);
+}
+
+TEST(PartitionScheme, Names) {
+  EXPECT_STREQ(to_string(PartitionScheme::kSequenceDivision),
+               "sequence-division");
+  EXPECT_STREQ(to_string(PartitionScheme::kFrameDivision), "frame-division");
+  EXPECT_STREQ(to_string(PartitionScheme::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,155 @@
+#include "src/image/pixel_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+Framebuffer gradient(int w, int h) {
+  Framebuffer fb(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      fb.set(x, y, Rgb8{static_cast<std::uint8_t>(x * 7),
+                        static_cast<std::uint8_t>(y * 11),
+                        static_cast<std::uint8_t>((x + y) * 3)});
+    }
+  }
+  return fb;
+}
+
+TEST(PixelCodec, DensePayloadRoundTrip) {
+  const Framebuffer fb = gradient(16, 12);
+  const PixelRect rect{4, 2, 8, 6};
+  const PixelPayload payload = make_dense_payload(fb, rect);
+  EXPECT_TRUE(payload.dense);
+  EXPECT_EQ(payload.carried_pixels(), rect.area());
+
+  const std::string bytes = encode_payload(payload);
+  EXPECT_EQ(bytes.size(), encoded_size(payload));
+  PixelPayload decoded;
+  ASSERT_TRUE(decode_payload(&decoded, bytes));
+
+  Framebuffer out(16, 12);
+  apply_payload(&out, decoded);
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      if (rect.contains(x, y)) {
+        EXPECT_EQ(out.at(x, y), fb.at(x, y)) << x << "," << y;
+      } else {
+        EXPECT_EQ(out.at(x, y), (Rgb8{0, 0, 0})) << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(PixelCodec, SparsePayloadCarriesOnlyUpdatedPixels) {
+  const Framebuffer fb = gradient(20, 20);
+  const PixelRect rect{0, 0, 20, 20};
+  PixelMask updated(20, 20);
+  updated.set(3, 4, true);
+  updated.set(4, 4, true);
+  updated.set(5, 4, true);   // one run of 3
+  updated.set(10, 15, true); // isolated pixel
+
+  const PixelPayload payload = make_sparse_payload(fb, rect, updated);
+  ASSERT_FALSE(payload.dense);
+  EXPECT_EQ(payload.carried_pixels(), 4);
+  ASSERT_EQ(payload.runs.size(), 2u);
+  EXPECT_EQ(payload.runs[0].pixels.size(), 3u);
+
+  Framebuffer out(20, 20);
+  apply_payload(&out, payload);
+  EXPECT_EQ(out.at(4, 4), fb.at(4, 4));
+  EXPECT_EQ(out.at(10, 15), fb.at(10, 15));
+  EXPECT_EQ(out.at(0, 0), (Rgb8{0, 0, 0}));
+}
+
+TEST(PixelCodec, SparseRunsDoNotWrapRows) {
+  const Framebuffer fb = gradient(8, 4);
+  const PixelRect rect{0, 0, 8, 4};
+  PixelMask updated(8, 4, true);  // everything updated
+  // All-updated falls back to dense (sparse would be larger).
+  const PixelPayload payload = make_sparse_payload(fb, rect, updated);
+  EXPECT_TRUE(payload.dense);
+}
+
+TEST(PixelCodec, SparseRowBoundary) {
+  const Framebuffer fb = gradient(4, 16);
+  const PixelRect rect{0, 0, 4, 16};
+  PixelMask updated(4, 16);
+  // Last pixel of row 1 and first of row 2: must be two runs.
+  updated.set(3, 1, true);
+  updated.set(0, 2, true);
+  const PixelPayload payload = make_sparse_payload(fb, rect, updated);
+  ASSERT_FALSE(payload.dense);
+  EXPECT_EQ(payload.runs.size(), 2u);
+}
+
+TEST(PixelCodec, SparseEncodedRoundTrip) {
+  Rng rng(99);
+  const Framebuffer fb = gradient(32, 32);
+  const PixelRect rect{8, 8, 16, 16};
+  PixelMask updated(32, 32);
+  for (int i = 0; i < 40; ++i) {
+    updated.set(8 + static_cast<int>(rng.next_below(16)),
+                8 + static_cast<int>(rng.next_below(16)), true);
+  }
+  const PixelPayload payload = make_sparse_payload(fb, rect, updated);
+  const std::string bytes = encode_payload(payload);
+  EXPECT_EQ(bytes.size(), encoded_size(payload));
+  PixelPayload decoded;
+  ASSERT_TRUE(decode_payload(&decoded, bytes));
+
+  Framebuffer a(32, 32), b(32, 32);
+  apply_payload(&a, payload);
+  apply_payload(&b, decoded);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PixelCodec, DecodeRejectsGarbage) {
+  PixelPayload payload;
+  EXPECT_FALSE(decode_payload(&payload, ""));
+  EXPECT_FALSE(decode_payload(&payload, "garbage data here"));
+}
+
+TEST(PixelCodec, DecodeRejectsTruncation) {
+  const Framebuffer fb = gradient(8, 8);
+  std::string bytes = encode_payload(make_dense_payload(fb, {0, 0, 8, 8}));
+  bytes.resize(bytes.size() - 1);
+  PixelPayload payload;
+  EXPECT_FALSE(decode_payload(&payload, bytes));
+}
+
+TEST(PixelCodec, DecodeRejectsTrailingBytes) {
+  const Framebuffer fb = gradient(4, 4);
+  std::string bytes = encode_payload(make_dense_payload(fb, {0, 0, 4, 4}));
+  bytes.push_back('x');
+  PixelPayload payload;
+  EXPECT_FALSE(decode_payload(&payload, bytes));
+}
+
+TEST(PixelCodec, DecodeRejectsOutOfRangeRuns) {
+  // Hand-craft a sparse payload whose run offset exceeds the rect.
+  PixelPayload payload;
+  payload.dense = false;
+  payload.rect = {0, 0, 4, 4};
+  payload.runs.push_back({100, {Rgb8{1, 2, 3}}});
+  const std::string bytes = encode_payload(payload);
+  PixelPayload decoded;
+  EXPECT_FALSE(decode_payload(&decoded, bytes));
+}
+
+TEST(PixelCodec, SparseIsSmallerWhenFewPixelsChange) {
+  const Framebuffer fb = gradient(80, 80);
+  const PixelRect rect{0, 0, 80, 80};
+  PixelMask updated(80, 80);
+  for (int i = 0; i < 50; ++i) updated.set(i, 40, true);
+  const PixelPayload sparse = make_sparse_payload(fb, rect, updated);
+  const PixelPayload dense = make_dense_payload(fb, rect);
+  EXPECT_LT(encoded_size(sparse), encoded_size(dense) / 10);
+}
+
+}  // namespace
+}  // namespace now

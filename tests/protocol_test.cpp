@@ -1,0 +1,103 @@
+#include "src/par/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(Protocol, TaskRoundTrip) {
+  RenderTask task;
+  task.task_id = 17;
+  task.region = {80, 160, 80, 80};
+  task.first_frame = 12;
+  task.frame_count = 33;
+  RenderTask out;
+  ASSERT_TRUE(decode_task(&out, encode_task(task)));
+  EXPECT_EQ(out, task);
+  EXPECT_EQ(out.end_frame(), 45);
+}
+
+TEST(Protocol, TaskRejectsGarbage) {
+  RenderTask out;
+  EXPECT_FALSE(decode_task(&out, "short"));
+  EXPECT_FALSE(decode_task(&out, encode_task(RenderTask{}) + "trailing"));
+}
+
+TEST(Protocol, ShrinkRoundTrip) {
+  const ShrinkRequest req{5, 23};
+  ShrinkRequest out;
+  ASSERT_TRUE(decode_shrink(&out, encode_shrink(req)));
+  EXPECT_EQ(out.task_id, 5);
+  EXPECT_EQ(out.new_end_frame, 23);
+}
+
+TEST(Protocol, ShrinkAckRoundTrip) {
+  const ShrinkAck ack{5, -1};
+  ShrinkAck out;
+  ASSERT_TRUE(decode_shrink_ack(&out, encode_shrink_ack(ack)));
+  EXPECT_EQ(out.task_id, 5);
+  EXPECT_EQ(out.honored_end_frame, -1);
+}
+
+TEST(Protocol, FrameResultRoundTripDense) {
+  Framebuffer fb(16, 16);
+  fb.set(3, 3, Rgb8{1, 2, 3});
+  FrameResult result;
+  result.task_id = 2;
+  result.frame = 7;
+  result.rays = 123456789ULL;
+  result.shadow_rays = 4242;
+  result.pixels_recomputed = 99;
+  result.full_render = 1;
+  result.compute_seconds = 12.75;
+  result.payload = make_dense_payload(fb, {0, 0, 16, 16});
+
+  FrameResult out;
+  ASSERT_TRUE(decode_frame_result(&out, encode_frame_result(result)));
+  EXPECT_EQ(out.task_id, 2);
+  EXPECT_EQ(out.frame, 7);
+  EXPECT_EQ(out.rays, 123456789ULL);
+  EXPECT_EQ(out.shadow_rays, 4242ULL);
+  EXPECT_EQ(out.pixels_recomputed, 99);
+  EXPECT_EQ(out.full_render, 1);
+  EXPECT_DOUBLE_EQ(out.compute_seconds, 12.75);
+  Framebuffer applied(16, 16);
+  apply_payload(&applied, out.payload);
+  EXPECT_EQ(applied.at(3, 3), (Rgb8{1, 2, 3}));
+}
+
+TEST(Protocol, FrameResultRoundTripSparse) {
+  Framebuffer fb(16, 16);
+  fb.set(5, 5, Rgb8{9, 9, 9});
+  PixelMask updated(16, 16);
+  updated.set(5, 5, true);
+  FrameResult result;
+  result.payload = make_sparse_payload(fb, {0, 0, 16, 16}, updated);
+  ASSERT_FALSE(result.payload.dense);
+
+  FrameResult out;
+  ASSERT_TRUE(decode_frame_result(&out, encode_frame_result(result)));
+  EXPECT_FALSE(out.payload.dense);
+  Framebuffer applied(16, 16);
+  apply_payload(&applied, out.payload);
+  EXPECT_EQ(applied.at(5, 5), (Rgb8{9, 9, 9}));
+}
+
+TEST(Protocol, FrameResultRejectsCorruptPayload) {
+  Framebuffer fb(8, 8);
+  FrameResult result;
+  result.payload = make_dense_payload(fb, {0, 0, 8, 8});
+  std::string bytes = encode_frame_result(result);
+  bytes[bytes.size() / 2] ^= 0x01;  // flip a bit somewhere in the middle
+  FrameResult out;
+  // Either decodes (bit was in pixel data) or fails; must not crash. If it
+  // decodes, structure is still valid.
+  if (decode_frame_result(&out, bytes)) {
+    EXPECT_EQ(out.payload.rect.area(), 64);
+  }
+  bytes.resize(10);
+  EXPECT_FALSE(decode_frame_result(&out, bytes));
+}
+
+}  // namespace
+}  // namespace now

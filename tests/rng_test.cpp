@@ -1,0 +1,111 @@
+#include "src/math/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace now {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsPlausible) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(6);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, PointInBoxStaysInBox) {
+  Rng rng(7);
+  const Vec3 lo{-2, 0, 5};
+  const Vec3 hi{-1, 3, 9};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 p = rng.point_in_box(lo, hi);
+    EXPECT_GE(p.x, lo.x); EXPECT_LT(p.x, hi.x);
+    EXPECT_GE(p.y, lo.y); EXPECT_LT(p.y, hi.y);
+    EXPECT_GE(p.z, lo.z); EXPECT_LT(p.z, hi.z);
+  }
+}
+
+TEST(Rng, UnitVectorHasUnitLength) {
+  Rng rng(8);
+  Vec3 mean;
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 v = rng.unit_vector();
+    EXPECT_NEAR(v.length(), 1.0, 1e-12);
+    mean += v;
+  }
+  // Directions are roughly isotropic: the mean vector is near zero.
+  EXPECT_LT((mean / 2000.0).length(), 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng base(9);
+  Rng forked = base.fork(1);
+  Rng forked2 = base.fork(2);
+  // Forked streams differ from each other and from the base.
+  EXPECT_NE(forked.next_u64(), forked2.next_u64());
+  // Forking is deterministic.
+  Rng base2(9);
+  Rng forked_again = base2.fork(1);
+  Rng forked_ref = Rng(9).fork(1);
+  EXPECT_EQ(forked_again.next_u64(), forked_ref.next_u64());
+}
+
+TEST(Rng, SplitMixKnownToAdvanceState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,81 @@
+// Serial runner + cost model accounting.
+#include "src/par/serial.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/scene/builtin_scenes.h"
+
+namespace now {
+namespace {
+
+TEST(RenderSerial, FrameSecondsSumToTotal) {
+  const AnimatedScene scene = orbit_scene(3, 5, 48, 36);
+  const SerialResult r = render_serial(scene);
+  ASSERT_EQ(r.frame_seconds.size(), 5u);
+  const double sum =
+      std::accumulate(r.frame_seconds.begin(), r.frame_seconds.end(), 0.0);
+  EXPECT_NEAR(sum, r.virtual_seconds, 1e-9);
+  EXPECT_DOUBLE_EQ(r.frame_seconds[0], r.first_frame_seconds);
+}
+
+TEST(RenderSerial, FirstFrameDominatesIncrementals) {
+  const AnimatedScene scene = orbit_scene(3, 6, 64, 48);
+  const SerialResult r = render_serial(scene);
+  for (std::size_t f = 1; f < r.frame_seconds.size(); ++f) {
+    EXPECT_LT(r.frame_seconds[f], r.first_frame_seconds) << "frame " << f;
+  }
+}
+
+TEST(RenderSerial, SpeedScalesTimeNotWork) {
+  const AnimatedScene scene = orbit_scene(2, 4, 48, 36);
+  const SerialResult fast = render_serial(scene, {}, {}, 2.0);
+  const SerialResult slow = render_serial(scene, {}, {}, 0.5);
+  EXPECT_EQ(fast.stats.total_rays(), slow.stats.total_rays());
+  EXPECT_NEAR(slow.virtual_seconds / fast.virtual_seconds, 4.0, 1e-9);
+  ASSERT_EQ(fast.frames.size(), slow.frames.size());
+  for (std::size_t f = 0; f < fast.frames.size(); ++f) {
+    EXPECT_EQ(fast.frames[f], slow.frames[f]);
+  }
+}
+
+TEST(RenderSerial, CoherenceReducesVirtualTime) {
+  const AnimatedScene scene = orbit_scene(3, 6, 64, 48);
+  const SerialResult with_fc = render_serial(scene);
+  CoherenceOptions nofc;
+  nofc.enabled = false;
+  const SerialResult without = render_serial(scene, nofc);
+  EXPECT_LT(with_fc.virtual_seconds, without.virtual_seconds);
+  EXPECT_LT(with_fc.stats.total_rays(), without.stats.total_rays());
+  // Identical frames either way.
+  for (std::size_t f = 0; f < with_fc.frames.size(); ++f) {
+    EXPECT_EQ(with_fc.frames[f], without.frames[f]);
+  }
+}
+
+TEST(CostModel, MonotoneInWork) {
+  const CostModel cost;
+  FrameRenderResult small;
+  small.stats.camera_rays = 1000;
+  small.pixels_total = 100;
+  FrameRenderResult big = small;
+  big.stats.shadow_rays = 50000;
+  big.voxels_marked = 100000;
+  EXPECT_LT(cost.frame_compute_seconds(small),
+            cost.frame_compute_seconds(big));
+  // Setup cost is the floor.
+  FrameRenderResult empty;
+  EXPECT_NEAR(cost.frame_compute_seconds(empty), cost.seconds_per_frame_setup,
+              1e-12);
+}
+
+TEST(FormatHms, Formats) {
+  EXPECT_EQ(format_hms(0.0), "0:00");
+  EXPECT_EQ(format_hms(61.0), "1:01");
+  EXPECT_EQ(format_hms(3599.6), "1:00:00");  // rounds to the second
+  EXPECT_EQ(format_hms(10551.0), "2:55:51");  // the paper's serial total
+}
+
+}  // namespace
+}  // namespace now

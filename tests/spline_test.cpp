@@ -1,0 +1,93 @@
+#include "src/math/spline.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+Spline ramp(InterpMode mode) {
+  Spline s(mode);
+  s.add_key(0.0, {0, 0, 0});
+  s.add_key(1.0, {1, 2, 3});
+  s.add_key(2.0, {2, 0, 6});
+  return s;
+}
+
+TEST(Spline, EmptyEvaluatesToZero) {
+  const Spline s;
+  EXPECT_EQ(s.evaluate(1.0), Vec3(0, 0, 0));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Spline, ClampsOutsideKeyRange) {
+  const Spline s = ramp(InterpMode::kLinear);
+  EXPECT_EQ(s.evaluate(-5.0), Vec3(0, 0, 0));
+  EXPECT_EQ(s.evaluate(99.0), Vec3(2, 0, 6));
+}
+
+TEST(Spline, HitsKeysExactly) {
+  for (const auto mode : {InterpMode::kStep, InterpMode::kLinear,
+                          InterpMode::kCatmullRom}) {
+    const Spline s = ramp(mode);
+    EXPECT_EQ(s.evaluate(0.0), Vec3(0, 0, 0)) << static_cast<int>(mode);
+    EXPECT_EQ(s.evaluate(1.0), Vec3(1, 2, 3)) << static_cast<int>(mode);
+    EXPECT_EQ(s.evaluate(2.0), Vec3(2, 0, 6)) << static_cast<int>(mode);
+  }
+}
+
+TEST(Spline, LinearMidpoints) {
+  const Spline s = ramp(InterpMode::kLinear);
+  EXPECT_EQ(s.evaluate(0.5), Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(s.evaluate(1.5), Vec3(1.5, 1, 4.5));
+}
+
+TEST(Spline, StepHoldsPreviousKey) {
+  const Spline s = ramp(InterpMode::kStep);
+  EXPECT_EQ(s.evaluate(0.99), Vec3(0, 0, 0));
+  EXPECT_EQ(s.evaluate(1.01), Vec3(1, 2, 3));
+}
+
+TEST(Spline, CatmullRomIsContinuous) {
+  const Spline s = ramp(InterpMode::kCatmullRom);
+  // Sample densely; successive samples must be close (no jumps).
+  Vec3 prev = s.evaluate(0.0);
+  for (int i = 1; i <= 200; ++i) {
+    const Vec3 cur = s.evaluate(2.0 * i / 200.0);
+    EXPECT_LT((cur - prev).length(), 0.1) << "at sample " << i;
+    prev = cur;
+  }
+}
+
+TEST(Spline, CatmullRomStaysNearControlHullForStraightLine) {
+  // Collinear keys must produce collinear interpolation.
+  Spline s(InterpMode::kCatmullRom);
+  s.add_key(0.0, {0, 0, 0});
+  s.add_key(1.0, {1, 1, 0});
+  s.add_key(2.0, {2, 2, 0});
+  s.add_key(3.0, {3, 3, 0});
+  for (double t = 0.0; t <= 3.0; t += 0.1) {
+    const Vec3 v = s.evaluate(t);
+    EXPECT_NEAR(v.x, v.y, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Spline, KeyCountAndTimes) {
+  const Spline s = ramp(InterpMode::kLinear);
+  EXPECT_EQ(s.key_count(), 3);
+  EXPECT_DOUBLE_EQ(s.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 2.0);
+}
+
+TEST(Hermite, EndpointsAndTangents) {
+  // h(0) = p0, h(1) = p1.
+  EXPECT_DOUBLE_EQ(hermite(2.0, 1.0, 5.0, -1.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(hermite(2.0, 1.0, 5.0, -1.0, 1.0), 5.0);
+  // Derivative at 0 approximates m0.
+  const double eps = 1e-6;
+  const double d0 =
+      (hermite(0, 3.0, 1, 0, eps) - hermite(0, 3.0, 1, 0, 0.0)) / eps;
+  EXPECT_NEAR(d0, 3.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,128 @@
+#include "src/trace/texture.h"
+
+#include <gtest/gtest.h>
+
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+TEST(SolidColor, ConstantEverywhere) {
+  const SolidColor tex(Color{0.2, 0.4, 0.6});
+  EXPECT_EQ(tex.value({0, 0, 0}), (Color{0.2, 0.4, 0.6}));
+  EXPECT_EQ(tex.value({100, -5, 3}), (Color{0.2, 0.4, 0.6}));
+}
+
+TEST(Checker, AlternatesAcrossCells) {
+  const CheckerTexture tex(Color::white(), Color::black(), 1.0);
+  const Color a = tex.value({0.5, 0.5, 0.5});
+  const Color b = tex.value({1.5, 0.5, 0.5});
+  const Color c = tex.value({2.5, 0.5, 0.5});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, c);
+  // Moving one cell in y or z also flips.
+  EXPECT_NE(a, tex.value({0.5, 1.5, 0.5}));
+  EXPECT_NE(a, tex.value({0.5, 0.5, 1.5}));
+}
+
+TEST(Checker, CellSizeScales) {
+  const CheckerTexture tex(Color::white(), Color::black(), 2.0);
+  EXPECT_EQ(tex.value({0.5, 0.5, 0.5}), tex.value({1.5, 0.5, 0.5}));
+  EXPECT_NE(tex.value({0.5, 0.5, 0.5}), tex.value({2.5, 0.5, 0.5}));
+}
+
+TEST(Checker, NegativeCoordinatesConsistent) {
+  const CheckerTexture tex(Color::white(), Color::black(), 1.0);
+  // floor-based cells: [-1,0) differs from [0,1).
+  EXPECT_NE(tex.value({-0.5, 0.5, 0.5}), tex.value({0.5, 0.5, 0.5}));
+}
+
+TEST(Brick, MortarLinesAreMortarColored) {
+  const Color brick{0.6, 0.2, 0.1};
+  const Color mortar{0.8, 0.8, 0.8};
+  const BrickTexture tex(brick, mortar, 1.0, 0.5, 0.05);
+  // Just above a course boundary (v in [0, 0.05)) must be mortar.
+  EXPECT_EQ(tex.value({0.4, 0.01, 0}), mortar);
+  // Mid-brick is a tint of the brick color (same hue ratios, not mortar).
+  const Color mid = tex.value({0.4, 0.25, 0});
+  EXPECT_NE(mid, mortar);
+  EXPECT_GT(mid.r, mid.g);  // brick stays reddish
+}
+
+TEST(Brick, RunningBondOffsetsAlternateCourses) {
+  const Color brick{0.6, 0.2, 0.1};
+  const Color mortar{0.9, 0.9, 0.9};
+  const BrickTexture tex(brick, mortar, 1.0, 0.5, 0.04);
+  // A vertical mortar joint at u=0 in course 0 is brick interior in
+  // course 1 (shifted half a brick).
+  const Color course0 = tex.value({0.01, 0.25, 0});
+  const Color course1 = tex.value({0.01, 0.75, 0});
+  EXPECT_EQ(course0, mortar);
+  EXPECT_NE(course1, mortar);
+}
+
+TEST(ValueNoise, RangeAndDeterminism) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p = rng.point_in_box({-20, -20, -20}, {20, 20, 20});
+    const double v = value_noise(p);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_DOUBLE_EQ(v, value_noise(p));
+  }
+}
+
+TEST(ValueNoise, SmoothAtFineScale) {
+  // Nearby points have nearby values (C1 interpolation).
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = rng.point_in_box({-5, -5, -5}, {5, 5, 5});
+    const double v0 = value_noise(p);
+    const double v1 = value_noise(p + Vec3{1e-4, 0, 0});
+    EXPECT_LT(std::fabs(v1 - v0), 0.01);
+  }
+}
+
+TEST(Turbulence, RangeAndOctaves) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = rng.point_in_box({-10, -10, -10}, {10, 10, 10});
+    const double t = turbulence(p, 4);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(turbulence({1, 2, 3}, 0), 0.0);
+}
+
+TEST(Marble, InterpolatesBetweenColors) {
+  const MarbleTexture tex(Color::black(), Color::white(), 2.0, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = rng.point_in_box({-3, -3, -3}, {3, 3, 3});
+    const Color c = tex.value(p);
+    EXPECT_GE(c.r, 0.0);
+    EXPECT_LE(c.r, 1.0);
+    EXPECT_DOUBLE_EQ(c.r, c.g);  // gray ramp between black and white
+  }
+}
+
+TEST(AllTextures, CloneProducesEqualValues) {
+  std::vector<std::shared_ptr<Texture>> textures = {
+      std::make_shared<SolidColor>(Color{0.1, 0.2, 0.3}),
+      std::make_shared<CheckerTexture>(Color::white(), Color::black(), 0.7),
+      std::make_shared<BrickTexture>(Color{0.5, 0.2, 0.1},
+                                     Color{0.7, 0.7, 0.7}, 0.6, 0.25, 0.03),
+      std::make_shared<MarbleTexture>(Color::black(), Color::white(), 3.0, 1.5),
+  };
+  Rng rng(5);
+  for (const auto& tex : textures) {
+    const auto copy = tex->clone();
+    for (int i = 0; i < 100; ++i) {
+      const Vec3 p = rng.point_in_box({-4, -4, -4}, {4, 4, 4});
+      EXPECT_EQ(tex->value(p), copy->value(p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,213 @@
+#include "src/trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+#include "src/trace/render.h"
+
+namespace now {
+namespace {
+
+/// One matte sphere over a floor, single point light.
+World simple_world() {
+  World world;
+  const int red = world.add_material(Material::matte({0.9, 0.1, 0.1}));
+  const int gray = world.add_material(Material::matte(Color::gray(0.6)));
+  world.add_object(std::make_unique<Sphere>(Vec3{0, 1, 0}, 1.0), red);
+  world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, 0.0), gray);
+  world.add_light(Light::point({5, 8, 5}, Color::white(), 1.0));
+  world.set_camera(Camera{{0, 2, 6}, {0, 1, 0}, {0, 1, 0}, 45.0, 4.0 / 3.0});
+  world.set_background({0.1, 0.1, 0.2});
+  return world;
+}
+
+TEST(Tracer, MissReturnsBackground) {
+  const World world = simple_world();
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  const Color c =
+      tracer.trace({{0, 10, 0}, {0, 1, 0}}, 0, 1.0, 0, 0, RayKind::kCamera);
+  EXPECT_EQ(c, world.background());
+  EXPECT_EQ(tracer.stats().camera_rays, 1u);
+}
+
+TEST(Tracer, HitIsLitFromLightSide) {
+  const World world = simple_world();
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  // Point on the sphere facing the light vs facing away.
+  const Color lit =
+      tracer.trace({{5, 4, 5}, Vec3(-5, -3, -5).normalized()}, 0, 1.0, 0, 0,
+                   RayKind::kCamera);
+  const Color dark =
+      tracer.trace({{-5, 1, -5}, Vec3(5, 0, 5).normalized()}, 0, 1.0, 0, 0,
+                   RayKind::kCamera);
+  EXPECT_GT(lit.max_component(), dark.max_component());
+}
+
+TEST(Tracer, ShadowedPointGetsOnlyAmbient) {
+  const World world = simple_world();
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  // The floor directly under the sphere is shadowed from the light? The
+  // light is at (5,8,5); the shadow falls along that axis. Compute the
+  // floor point behind the sphere as seen from the light.
+  const Vec3 light{5, 8, 5};
+  const Vec3 sphere_center{0, 1, 0};
+  const Vec3 dir = (sphere_center - light).normalized();
+  // Continue past the sphere to the floor.
+  double t_floor = -light.y / dir.y;
+  const Vec3 shadow_point = light + dir * t_floor;
+  const Ray ray{shadow_point + Vec3{0, 5, 0}, {0, -1, 0}};
+  const Color shadowed = tracer.trace(ray, 0, 1.0, 0, 0, RayKind::kCamera);
+  // Ambient-only: 0.1 * 0.6 gray = 0.06.
+  EXPECT_NEAR(shadowed.r, 0.06, 1e-9);
+}
+
+TEST(Tracer, ShadowsCanBeDisabled) {
+  const World world = simple_world();
+  const BruteForceAccelerator accel(world);
+  TraceOptions options;
+  options.shadows = false;
+  Tracer tracer(world, accel, options);
+  Framebuffer fb(32, 24);
+  render_frame(&tracer, &fb);
+  EXPECT_EQ(tracer.stats().shadow_rays, 0u);
+}
+
+TEST(Tracer, MaxDepthBoundsRecursion) {
+  // Two parallel mirrors: rays bounce until the depth limit.
+  World world;
+  const int mirror = world.add_material(Material::mirror(Color::white(), 0.9));
+  world.add_object(std::make_unique<Plane>(Vec3{0, 0, 1}, -5.0), mirror);
+  world.add_object(std::make_unique<Plane>(Vec3{0, 0, -1}, -5.0), mirror);
+  world.set_camera(Camera{{0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 60.0, 1.0});
+  const BruteForceAccelerator accel(world);
+  for (const int depth : {1, 3, 5}) {
+    TraceOptions options;
+    options.max_depth = depth;
+    options.shadows = false;
+    Tracer tracer(world, accel, options);
+    tracer.trace({{0, 0, 0}, {0, 0, -1}}, 0, 1.0, 0, 0, RayKind::kCamera);
+    EXPECT_EQ(tracer.stats().reflection_rays, static_cast<std::uint64_t>(depth));
+  }
+}
+
+TEST(Tracer, ReflectionShowsMirroredObject) {
+  // A mirror floor under a red sphere: looking at the floor in front of the
+  // sphere shows red.
+  World world;
+  const int red = world.add_material(Material::matte({0.9, 0.0, 0.0}));
+  const int mirror = world.add_material(Material::mirror(Color::white(), 0.9));
+  world.add_object(std::make_unique<Sphere>(Vec3{0, 1.5, 0}, 1.0), red);
+  world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, 0.0), mirror);
+  world.add_light(Light::point({0, 8, 6}, Color::white(), 1.0));
+  world.set_background(Color::black());
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  // Aim at the floor so the mirror direction runs up into the sphere.
+  const Color c = tracer.trace({{0, 1.5, 4}, Vec3(0, -1.3, -1.55).normalized()},
+                               0, 1.0, 0, 0, RayKind::kCamera);
+  // The white floor lighting contributes equally to r and g; the reflected
+  // sphere adds red only. Require a solid red excess.
+  EXPECT_GT(c.r - c.g, 0.15);
+}
+
+TEST(Tracer, RefractionPassesThroughGlass) {
+  // A glass slab (sphere) between camera and a lit back plane: light makes
+  // it through (non-black).
+  World world;
+  const int glass = world.add_material(Material::glass(1.5));
+  const int white = world.add_material(Material::matte(Color::white()));
+  world.add_object(std::make_unique<Sphere>(Vec3{0, 0, 0}, 1.0), glass);
+  world.add_object(std::make_unique<Plane>(Vec3{0, 0, 1}, -4.0), white);
+  world.add_light(Light::point({0, 5, 2}, Color::white(), 1.0));
+  world.set_background(Color::black());
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  const Color c =
+      tracer.trace({{0, 0, 3}, {0, 0, -1}}, 0, 1.0, 0, 0, RayKind::kCamera);
+  EXPECT_GT(c.max_component(), 0.05);
+  EXPECT_GT(tracer.stats().refraction_rays, 0u);
+}
+
+TEST(Tracer, ListenerSeesEveryRayKind) {
+  struct Recorder final : RayListener {
+    std::uint64_t counts[4] = {0, 0, 0, 0};
+    void on_segment(int, int, const Ray&, double, RayKind kind) override {
+      ++counts[static_cast<int>(kind)];
+    }
+  };
+  World world;
+  const int glass = world.add_material(Material::glass(1.5));
+  const int gray = world.add_material(Material::matte(Color::gray(0.5)));
+  world.add_object(std::make_unique<Sphere>(Vec3{0, 1, 0}, 1.0), glass);
+  world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, 0.0), gray);
+  world.add_light(Light::point({3, 6, 3}, Color::white(), 1.0));
+  world.set_camera(Camera{{0, 1.5, 5}, {0, 1, 0}, {0, 1, 0}, 45.0, 1.0});
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  Recorder recorder;
+  tracer.set_listener(&recorder);
+  Framebuffer fb(24, 24);
+  render_frame(&tracer, &fb);
+  EXPECT_EQ(recorder.counts[0], tracer.stats().camera_rays);
+  EXPECT_EQ(recorder.counts[1], tracer.stats().reflection_rays);
+  EXPECT_EQ(recorder.counts[2], tracer.stats().refraction_rays);
+  EXPECT_EQ(recorder.counts[3], tracer.stats().shadow_rays);
+  EXPECT_GT(recorder.counts[2], 0u);
+  EXPECT_GT(recorder.counts[3], 0u);
+}
+
+TEST(Tracer, SupersamplingMultipliesCameraRays) {
+  const World world = simple_world();
+  const BruteForceAccelerator accel(world);
+  TraceOptions options;
+  options.supersample_axis = 2;
+  Tracer tracer(world, accel, options);
+  tracer.shade_pixel(4, 4, 16, 12);
+  EXPECT_EQ(tracer.stats().camera_rays, 4u);
+  EXPECT_EQ(tracer.stats().pixels_shaded, 1u);
+}
+
+TEST(Tracer, DirectionalLightIlluminates) {
+  World world;
+  const int gray = world.add_material(Material::matte(Color::gray(0.8)));
+  world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, 0.0), gray);
+  world.add_light(Light::directional({0, -1, 0}, Color::white(), 1.0));
+  world.set_background(Color::black());
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  const Color c =
+      tracer.trace({{0, 3, 0}, {0, -1, 0}}, 0, 1.0, 0, 0, RayKind::kCamera);
+  // ambient 0.1*0.8 + diffuse 0.8*0.8 + perfectly aligned Phong lobe 0.1.
+  EXPECT_NEAR(c.r, 0.08 + 0.64 + 0.1, 1e-9);
+}
+
+TEST(Tracer, StatsAccumulateAcrossPixels) {
+  const World world = simple_world();
+  const BruteForceAccelerator accel(world);
+  Tracer tracer(world, accel);
+  Framebuffer fb(16, 12);
+  const TraceStats stats = render_frame(&tracer, &fb);
+  EXPECT_EQ(stats.camera_rays, 16u * 12u);
+  EXPECT_EQ(stats.pixels_shaded, 16u * 12u);
+  EXPECT_GT(stats.shadow_rays, 0u);
+  tracer.reset_stats();
+  EXPECT_EQ(tracer.stats().total_rays(), 0u);
+}
+
+TEST(TraceStats, Accumulation) {
+  TraceStats a;
+  a.camera_rays = 1;
+  a.shadow_rays = 2;
+  TraceStats b;
+  b.reflection_rays = 3;
+  b.refraction_rays = 4;
+  a += b;
+  EXPECT_EQ(a.total_rays(), 10u);
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,117 @@
+#include "src/math/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+void expect_near(const Vec3& a, const Vec3& b, double eps = 1e-12) {
+  EXPECT_NEAR(a.x, b.x, eps);
+  EXPECT_NEAR(a.y, b.y, eps);
+  EXPECT_NEAR(a.z, b.z, eps);
+}
+
+TEST(Mat3, IdentityLeavesVectors) {
+  const Mat3 id = Mat3::identity();
+  expect_near(id * Vec3(1, 2, 3), {1, 2, 3});
+  EXPECT_TRUE(id.is_rotation());
+  EXPECT_DOUBLE_EQ(id.determinant(), 1.0);
+}
+
+TEST(Mat3, AxisRotationsQuarterTurn) {
+  expect_near(Mat3::rotation_z(kPi / 2) * Vec3(1, 0, 0), {0, 1, 0});
+  expect_near(Mat3::rotation_x(kPi / 2) * Vec3(0, 1, 0), {0, 0, 1});
+  expect_near(Mat3::rotation_y(kPi / 2) * Vec3(0, 0, 1), {1, 0, 0});
+}
+
+TEST(Mat3, AxisAngleMatchesAxisRotations) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const double a = rng.uniform(-3.0, 3.0);
+    expect_near(Mat3::axis_angle({0, 0, 1}, a) * Vec3(1, 2, 3),
+                Mat3::rotation_z(a) * Vec3(1, 2, 3), 1e-12);
+    expect_near(Mat3::axis_angle({1, 0, 0}, a) * Vec3(1, 2, 3),
+                Mat3::rotation_x(a) * Vec3(1, 2, 3), 1e-12);
+  }
+}
+
+TEST(Mat3, RandomAxisAngleIsRotation) {
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    const Mat3 m = Mat3::axis_angle(rng.unit_vector(), rng.uniform(-6.0, 6.0));
+    EXPECT_TRUE(m.is_rotation(1e-9)) << "iteration " << i;
+  }
+}
+
+TEST(Mat3, TransposeIsInverseForRotations) {
+  const Mat3 m = Mat3::axis_angle(Vec3(1, 2, 2).normalized(), 0.7);
+  const Mat3 should_be_id = m * m.transposed();
+  expect_near(should_be_id * Vec3(3, -1, 2), {3, -1, 2}, 1e-12);
+}
+
+TEST(Mat3, Composition) {
+  const Mat3 a = Mat3::rotation_z(0.3);
+  const Mat3 b = Mat3::rotation_z(0.4);
+  expect_near((a * b) * Vec3(1, 0, 0), Mat3::rotation_z(0.7) * Vec3(1, 0, 0),
+              1e-12);
+}
+
+TEST(Transform, TranslatePoint) {
+  const Transform t = Transform::translate({1, 2, 3});
+  expect_near(t.apply_point({0, 0, 0}), {1, 2, 3});
+  expect_near(t.apply_direction({1, 0, 0}), {1, 0, 0});  // unaffected
+}
+
+TEST(Transform, ScaleAndRotate) {
+  Transform t;
+  t.scale = 2.0;
+  t.rotation = Mat3::rotation_z(kPi / 2);
+  expect_near(t.apply_point({1, 0, 0}), {0, 2, 0});
+  expect_near(t.apply_vector({1, 0, 0}), {0, 2, 0});
+  expect_near(t.apply_direction({1, 0, 0}), {0, 1, 0});  // no scale
+}
+
+TEST(Transform, ComposeAppliesRightFirst) {
+  const Transform move = Transform::translate({1, 0, 0});
+  const Transform rot = Transform::rotate(Mat3::rotation_z(kPi / 2));
+  // rot ∘ move: translate then rotate.
+  expect_near(rot.compose(move).apply_point({0, 0, 0}), {0, 1, 0});
+  // move ∘ rot: rotate then translate.
+  expect_near(move.compose(rot).apply_point({0, 0, 0}), {1, 0, 0});
+}
+
+TEST(Transform, InverseRoundTrips) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    Transform t;
+    t.rotation = Mat3::axis_angle(rng.unit_vector(), rng.uniform(-3, 3));
+    t.translation = rng.point_in_box({-5, -5, -5}, {5, 5, 5});
+    t.scale = rng.uniform(0.2, 4.0);
+    const Transform inv = t.inverse();
+    const Vec3 p = rng.point_in_box({-5, -5, -5}, {5, 5, 5});
+    expect_near(inv.apply_point(t.apply_point(p)), p, 1e-10);
+    expect_near(t.apply_point(inv.apply_point(p)), p, 1e-10);
+  }
+}
+
+TEST(Transform, PivotRotationFixedPoint) {
+  // A rotation about a pivot leaves the pivot fixed.
+  const Vec3 pivot{2, 1, 0};
+  const Transform t = Transform::translate(pivot)
+                          .compose(Transform::rotate(Mat3::rotation_z(0.8)))
+                          .compose(Transform::translate(-pivot));
+  expect_near(t.apply_point(pivot), pivot, 1e-12);
+}
+
+TEST(Transform, EqualityIsExact) {
+  const Transform a = Transform::translate({1, 0, 0});
+  Transform b = Transform::translate({1, 0, 0});
+  EXPECT_EQ(a, b);
+  b.translation.x += 1e-15;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace now

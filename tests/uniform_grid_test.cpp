@@ -1,0 +1,156 @@
+// UniformGridAccelerator must agree exactly with the brute-force reference.
+#include "src/trace/uniform_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/box.h"
+#include "src/geom/cylinder.h"
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+#include "src/math/rng.h"
+#include "src/scene/builtin_scenes.h"
+#include "src/trace/render.h"
+
+namespace now {
+namespace {
+
+World random_world(std::uint64_t seed, int objects, bool with_plane) {
+  Rng rng(seed);
+  World world;
+  const int mat = world.add_material(Material::matte(Color::gray(0.5)));
+  for (int i = 0; i < objects; ++i) {
+    const Vec3 pos = rng.point_in_box({-3, -3, -3}, {3, 3, 3});
+    switch (rng.next_below(3)) {
+      case 0:
+        world.add_object(
+            std::make_unique<Sphere>(pos, rng.uniform(0.2, 0.8)), mat);
+        break;
+      case 1:
+        world.add_object(
+            std::make_unique<Box>(pos,
+                                  rng.point_in_box({0.1, 0.1, 0.1}, {0.7, 0.7, 0.7}),
+                                  Mat3::rotation_y(rng.uniform(0, kTwoPi))),
+            mat);
+        break;
+      default:
+        world.add_object(
+            std::make_unique<Cylinder>(
+                pos, pos + rng.unit_vector() * rng.uniform(0.3, 1.5),
+                rng.uniform(0.1, 0.4)),
+            mat);
+    }
+  }
+  if (with_plane) {
+    world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, -3.5), mat);
+  }
+  return world;
+}
+
+class GridVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridVsBruteForce, ClosestHitsAgree) {
+  const int seed = GetParam();
+  const World world = random_world(seed, 12, seed % 2 == 0);
+  const BruteForceAccelerator brute(world);
+  const UniformGridAccelerator grid(world);
+  Rng rng(seed * 77 + 1);
+  for (int i = 0; i < 500; ++i) {
+    const Ray ray{rng.point_in_box({-5, -5, -5}, {5, 5, 5}),
+                  rng.unit_vector()};
+    Hit hb, hg;
+    const bool fb = brute.closest_hit(ray, 1e-9, kRayInfinity, &hb);
+    const bool fg = grid.closest_hit(ray, 1e-9, kRayInfinity, &hg);
+    ASSERT_EQ(fb, fg) << "seed " << seed << " ray " << i;
+    if (fb) {
+      ASSERT_NEAR(hb.t, hg.t, 1e-9) << "seed " << seed << " ray " << i;
+      ASSERT_EQ(hb.object_id, hg.object_id) << "seed " << seed << " ray " << i;
+    }
+  }
+}
+
+TEST_P(GridVsBruteForce, AnyHitsAgreeOnBlocked) {
+  const int seed = GetParam();
+  const World world = random_world(seed, 10, false);
+  const BruteForceAccelerator brute(world);
+  const UniformGridAccelerator grid(world);
+  Rng rng(seed * 31 + 5);
+  for (int i = 0; i < 500; ++i) {
+    const Ray ray{rng.point_in_box({-5, -5, -5}, {5, 5, 5}),
+                  rng.unit_vector()};
+    const double t_max = rng.uniform(0.5, 10.0);
+    // The particular blocker may differ; blocked-ness must not.
+    ASSERT_EQ(brute.any_hit(ray, 1e-9, t_max, nullptr),
+              grid.any_hit(ray, 1e-9, t_max, nullptr))
+        << "seed " << seed << " ray " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridVsBruteForce, ::testing::Range(1, 9));
+
+TEST(UniformGrid, RenderedImageMatchesBruteForce) {
+  const AnimatedScene scene = orbit_scene(5, 1, 48, 36);
+  const World world = scene.world_at(0);
+  const BruteForceAccelerator brute(world);
+  const UniformGridAccelerator grid(world);
+  Tracer t1(world, brute);
+  Tracer t2(world, grid);
+  Framebuffer f1(48, 36), f2(48, 36);
+  render_frame(&t1, &f1);
+  render_frame(&t2, &f2);
+  EXPECT_EQ(f1, f2);
+  // Identical shading implies identical ray trees.
+  EXPECT_EQ(t1.stats().total_rays(), t2.stats().total_rays());
+}
+
+TEST(UniformGrid, ExplicitGridResolutionsAllAgree) {
+  const World world = random_world(3, 10, true);
+  const BruteForceAccelerator brute(world);
+  Rng rng(404);
+  for (const int n : {1, 2, 5, 17}) {
+    const VoxelGrid vg(world.bounded_extent().padded(0.1), n, n, n);
+    const UniformGridAccelerator grid(world, vg);
+    for (int i = 0; i < 200; ++i) {
+      const Ray ray{rng.point_in_box({-5, -5, -5}, {5, 5, 5}),
+                    rng.unit_vector()};
+      Hit hb, hg;
+      const bool fb = brute.closest_hit(ray, 1e-9, kRayInfinity, &hb);
+      const bool fg = grid.closest_hit(ray, 1e-9, kRayInfinity, &hg);
+      ASSERT_EQ(fb, fg) << "n=" << n << " ray " << i;
+      if (fb) {
+        ASSERT_NEAR(hb.t, hg.t, 1e-9) << "n=" << n << " ray " << i;
+      }
+    }
+  }
+}
+
+TEST(UniformGrid, EmptyWorld) {
+  World world;
+  world.add_material(Material::matte(Color::white()));
+  const UniformGridAccelerator grid(world);
+  Hit hit;
+  EXPECT_FALSE(grid.closest_hit({{0, 0, 0}, {1, 0, 0}}, 1e-9, 1e9, &hit));
+  EXPECT_FALSE(grid.any_hit({{0, 0, 0}, {1, 0, 0}}, 1e-9, 1e9, nullptr));
+}
+
+TEST(UniformGrid, PlaneOnlyWorld) {
+  World world;
+  const int mat = world.add_material(Material::matte(Color::white()));
+  world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, 0.0), mat);
+  const UniformGridAccelerator grid(world);
+  Hit hit;
+  ASSERT_TRUE(grid.closest_hit({{0, 2, 0}, {0, -1, 0}}, 1e-9, 1e9, &hit));
+  EXPECT_NEAR(hit.t, 2.0, 1e-12);
+}
+
+TEST(UniformGrid, CellEntriesReflectFootprints) {
+  World world;
+  const int mat = world.add_material(Material::matte(Color::white()));
+  world.add_object(std::make_unique<Sphere>(Vec3{0, 0, 0}, 0.4), mat);
+  const VoxelGrid vg({{-1, -1, -1}, {1, 1, 1}}, 2, 2, 2);
+  const UniformGridAccelerator grid(world, vg);
+  // A 0.4-radius sphere at the center of a 2x2x2 grid touches all 8 cells.
+  EXPECT_EQ(grid.total_cell_entries(), 8);
+}
+
+}  // namespace
+}  // namespace now

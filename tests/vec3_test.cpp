@@ -1,0 +1,143 @@
+#include "src/math/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace now {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_EQ(a * b, Vec3(4, 10, 18));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+  v /= 3.0;
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+}
+
+TEST(Vec3, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot(Vec3(1, 2, 3), Vec3(4, 5, 6)), 32.0);
+  EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  EXPECT_EQ(cross(Vec3(0, 1, 0), Vec3(1, 0, 0)), Vec3(0, 0, -1));
+  // Cross product is perpendicular to both inputs.
+  const Vec3 a{1.3, -2.1, 0.7};
+  const Vec3 b{-0.4, 2.2, 5.0};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).length(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 2).length_squared(), 9.0);
+  const Vec3 n = Vec3(10, 0, 0).normalized();
+  EXPECT_EQ(n, Vec3(1, 0, 0));
+  EXPECT_NEAR(Vec3(1, 1, 1).normalized().length(), 1.0, 1e-15);
+}
+
+TEST(Vec3, MinMaxLerp) {
+  EXPECT_EQ(min(Vec3(1, 5, 3), Vec3(2, 4, 3)), Vec3(1, 4, 3));
+  EXPECT_EQ(max(Vec3(1, 5, 3), Vec3(2, 4, 3)), Vec3(2, 5, 3));
+  EXPECT_EQ(lerp(Vec3(0, 0, 0), Vec3(2, 4, 6), 0.5), Vec3(1, 2, 3));
+  EXPECT_EQ(lerp(Vec3(1, 1, 1), Vec3(2, 2, 2), 0.0), Vec3(1, 1, 1));
+  EXPECT_EQ(lerp(Vec3(1, 1, 1), Vec3(2, 2, 2), 1.0), Vec3(2, 2, 2));
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{7, 8, 9};
+  EXPECT_DOUBLE_EQ(v[0], 7);
+  EXPECT_DOUBLE_EQ(v[1], 8);
+  EXPECT_DOUBLE_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_EQ(v, Vec3(7, 42, 9));
+}
+
+TEST(Vec3, IsFinite) {
+  EXPECT_TRUE(Vec3(1, 2, 3).is_finite());
+  EXPECT_FALSE(Vec3(1, std::nan(""), 3).is_finite());
+  EXPECT_FALSE(Vec3(1, 2, 1e308 * 10).is_finite());
+}
+
+TEST(Vec3, Reflect) {
+  // Incoming 45-degree ray off a floor.
+  const Vec3 v = Vec3(1, -1, 0).normalized();
+  const Vec3 r = reflect(v, {0, 1, 0});
+  EXPECT_NEAR(r.x, v.x, 1e-15);
+  EXPECT_NEAR(r.y, -v.y, 1e-15);
+  // Reflection preserves length.
+  EXPECT_NEAR(r.length(), 1.0, 1e-15);
+}
+
+TEST(Vec3, RefractStraightThrough) {
+  Vec3 out;
+  ASSERT_TRUE(refract(Vec3(0, -1, 0), Vec3(0, 1, 0), 1.0, &out));
+  EXPECT_NEAR((out - Vec3(0, -1, 0)).length(), 0.0, 1e-15);
+}
+
+TEST(Vec3, RefractSnellsLaw) {
+  const double eta = 1.0 / 1.5;  // air into glass
+  const Vec3 in = Vec3(1, -1, 0).normalized();
+  Vec3 out;
+  ASSERT_TRUE(refract(in, {0, 1, 0}, eta, &out));
+  const double sin_in = in.x;
+  const double sin_out = out.normalized().x;
+  EXPECT_NEAR(sin_out, eta * sin_in, 1e-12);
+}
+
+TEST(Vec3, RefractTotalInternalReflection) {
+  // Glass to air at a grazing angle: must report TIR.
+  const Vec3 in = Vec3(1, -0.1, 0).normalized();
+  Vec3 out;
+  EXPECT_FALSE(refract(in, {0, 1, 0}, 1.5, &out));
+}
+
+TEST(Color, ArithmeticAndClamp) {
+  const Color c{0.5, 0.25, 1.5};
+  EXPECT_EQ(c * 2.0, Color(1.0, 0.5, 3.0));
+  EXPECT_EQ(c + Color(0.1, 0.1, 0.1), Color(0.6, 0.35, 1.6));
+  EXPECT_EQ(to_byte(0.0), 0);
+  EXPECT_EQ(to_byte(1.0), 255);
+  EXPECT_EQ(to_byte(2.0), 255);   // clamps over-bright
+  EXPECT_EQ(to_byte(-1.0), 0);    // clamps negative
+  EXPECT_EQ(to_byte(0.5), 128);   // rounds, not truncates
+}
+
+TEST(Color, MaxComponent) {
+  EXPECT_DOUBLE_EQ(Color(0.1, 0.9, 0.5).max_component(), 0.9);
+  EXPECT_DOUBLE_EQ(Color(0.9, 0.1, 0.5).max_component(), 0.9);
+  EXPECT_DOUBLE_EQ(Color(0.1, 0.5, 0.9).max_component(), 0.9);
+}
+
+TEST(MathHelpers, Clamp01AndDegrees) {
+  EXPECT_DOUBLE_EQ(clamp01(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp01(3.0), 1.0);
+  EXPECT_NEAR(degrees_to_radians(180.0), kPi, 1e-15);
+  EXPECT_TRUE(nearly_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(nearly_equal(1.0, 1.1));
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3(1, 2, 3);
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace now

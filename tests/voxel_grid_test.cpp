@@ -1,0 +1,170 @@
+#include "src/geom/voxel_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+TEST(VoxelGrid, BasicGeometry) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 2, 8}}, 4, 2, 8);
+  EXPECT_EQ(grid.cell_count(), 64);
+  EXPECT_EQ(grid.cell_size(), Vec3(1, 1, 1));
+  const Aabb c = grid.cell_bounds(1, 0, 3);
+  EXPECT_EQ(c.lo, Vec3(1, 0, 3));
+  EXPECT_EQ(c.hi, Vec3(2, 1, 4));
+}
+
+TEST(VoxelGrid, LocateClamps) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  int ix, iy, iz;
+  grid.locate({2.5, 0.1, 3.9}, &ix, &iy, &iz);
+  EXPECT_EQ(ix, 2); EXPECT_EQ(iy, 0); EXPECT_EQ(iz, 3);
+  grid.locate({-5, 10, 4.0}, &ix, &iy, &iz);
+  EXPECT_EQ(ix, 0); EXPECT_EQ(iy, 3); EXPECT_EQ(iz, 3);
+}
+
+TEST(VoxelGrid, CellRange) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  int ix0, iy0, iz0, ix1, iy1, iz1;
+  ASSERT_TRUE(grid.cell_range({{0.5, 0.5, 0.5}, {2.5, 1.5, 3.5}}, &ix0, &iy0,
+                              &iz0, &ix1, &iy1, &iz1));
+  EXPECT_EQ(ix0, 0); EXPECT_EQ(ix1, 2);
+  EXPECT_EQ(iy0, 0); EXPECT_EQ(iy1, 1);
+  EXPECT_EQ(iz0, 0); EXPECT_EQ(iz1, 3);
+  EXPECT_FALSE(grid.cell_range({{9, 9, 9}, {10, 10, 10}}, &ix0, &iy0, &iz0,
+                               &ix1, &iy1, &iz1));
+}
+
+TEST(VoxelGrid, WalkStraightThrough) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  std::vector<int> xs;
+  grid.walk({{-1, 0.5, 0.5}, {1, 0, 0}}, 0.0, kRayInfinity,
+            [&](int ix, int iy, int iz, double, double) {
+              EXPECT_EQ(iy, 0);
+              EXPECT_EQ(iz, 0);
+              xs.push_back(ix);
+              return true;
+            });
+  EXPECT_EQ(xs, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(VoxelGrid, WalkRespectsSegmentEnd) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  std::vector<int> xs;
+  // Segment ends at x = 1.5 (t = 2.5 from origin -1).
+  grid.walk({{-1, 0.5, 0.5}, {1, 0, 0}}, 0.0, 2.5,
+            [&](int ix, int, int, double, double) {
+              xs.push_back(ix);
+              return true;
+            });
+  EXPECT_EQ(xs, (std::vector<int>{0, 1}));
+}
+
+TEST(VoxelGrid, WalkEarlyStop) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  int visits = 0;
+  grid.walk({{-1, 0.5, 0.5}, {1, 0, 0}}, 0.0, kRayInfinity,
+            [&](int, int, int, double, double) {
+              ++visits;
+              return visits < 2;
+            });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(VoxelGrid, WalkMissesGridEntirely) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  int visits = 0;
+  grid.walk({{-1, 10, 0.5}, {1, 0, 0}}, 0.0, kRayInfinity,
+            [&](int, int, int, double, double) {
+              ++visits;
+              return true;
+            });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(VoxelGrid, WalkDiagonalVisitsConnectedCells) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  std::vector<std::array<int, 3>> cells;
+  grid.walk({{-0.5, -0.5, -0.5}, Vec3(1, 1, 1).normalized()}, 0.0,
+            kRayInfinity, [&](int ix, int iy, int iz, double, double) {
+              cells.push_back({ix, iy, iz});
+              return true;
+            });
+  ASSERT_GE(cells.size(), 4u);
+  // Successive cells differ by exactly one step on one axis (6-connected).
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    int diff = 0;
+    for (int a = 0; a < 3; ++a) diff += std::abs(cells[i][a] - cells[i - 1][a]);
+    EXPECT_EQ(diff, 1) << "step " << i;
+  }
+}
+
+TEST(VoxelGrid, WalkZeroComponentDirection) {
+  const VoxelGrid grid({{0, 0, 0}, {4, 4, 4}}, 4, 4, 4);
+  std::vector<int> ys;
+  grid.walk({{1.5, -1, 1.5}, {0, 1, 0}}, 0.0, kRayInfinity,
+            [&](int ix, int iy, int iz, double, double) {
+              EXPECT_EQ(ix, 1);
+              EXPECT_EQ(iz, 1);
+              ys.push_back(iy);
+              return true;
+            });
+  EXPECT_EQ(ys, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(VoxelGrid, WalkCoversEveryCellARayPierces) {
+  // Oracle: dense sampling along random rays; every cell containing a
+  // sample must be visited by the walk (DDA completeness).
+  Rng rng(41);
+  const VoxelGrid grid({{-2, -2, -2}, {2, 2, 2}}, 7, 5, 9);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Ray ray{rng.point_in_box({-4, -4, -4}, {4, 4, 4}),
+                  rng.unit_vector()};
+    std::set<int> visited;
+    grid.walk(ray, 0.0, 20.0, [&](int ix, int iy, int iz, double, double) {
+      visited.insert(grid.cell_index(ix, iy, iz));
+      return true;
+    });
+    for (double t = 0.0; t < 20.0; t += 0.01) {
+      const Vec3 p = ray.at(t);
+      if (!grid.bounds().contains(p)) continue;
+      // Skip samples within epsilon of a cell boundary (either cell is
+      // acceptable there).
+      bool near_boundary = false;
+      for (int axis = 0; axis < 3; ++axis) {
+        const double u = (p[axis] - grid.bounds().lo[axis]) /
+                         grid.cell_size()[axis];
+        if (std::fabs(u - std::round(u)) < 1e-6) near_boundary = true;
+      }
+      if (near_boundary) continue;
+      int ix, iy, iz;
+      grid.locate(p, &ix, &iy, &iz);
+      ASSERT_TRUE(visited.count(grid.cell_index(ix, iy, iz)) == 1)
+          << "iter " << iter << " t=" << t;
+    }
+  }
+}
+
+TEST(VoxelGrid, HeuristicRespectsLimits) {
+  const VoxelGrid g = VoxelGrid::heuristic({{0, 0, 0}, {10, 1, 1}}, 100, 3.0, 32);
+  EXPECT_GE(g.nx(), 1);
+  EXPECT_LE(g.nx(), 32);
+  EXPECT_GE(g.ny(), 1);
+  // Cells are roughly cubical: x axis gets more cells than y.
+  EXPECT_GT(g.nx(), g.ny());
+}
+
+TEST(VoxelGrid, HeuristicHandlesEmptyExtent) {
+  const VoxelGrid g = VoxelGrid::heuristic(Aabb{}, 10);
+  EXPECT_TRUE(g.valid());
+  EXPECT_GE(g.cell_count(), 1);
+}
+
+}  // namespace
+}  // namespace now

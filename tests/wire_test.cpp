@@ -1,0 +1,130 @@
+#include "src/net/message.h"
+
+#include <gtest/gtest.h>
+
+#include "src/math/rng.h"
+
+namespace now {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-12345);
+  w.i64(-9'876'543'210LL);
+  w.f64(3.141592653589793);
+  w.str("hello world");
+
+  WireReader r(w.data());
+  std::uint8_t u8v;
+  std::uint32_t u32v;
+  std::uint64_t u64v;
+  std::int32_t i32v;
+  std::int64_t i64v;
+  double f64v;
+  std::string s;
+  ASSERT_TRUE(r.u8(&u8v));
+  ASSERT_TRUE(r.u32(&u32v));
+  ASSERT_TRUE(r.u64(&u64v));
+  ASSERT_TRUE(r.i32(&i32v));
+  ASSERT_TRUE(r.i64(&i64v));
+  ASSERT_TRUE(r.f64(&f64v));
+  ASSERT_TRUE(r.str(&s));
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(u8v, 0xAB);
+  EXPECT_EQ(u32v, 0xDEADBEEFu);
+  EXPECT_EQ(u64v, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i32v, -12345);
+  EXPECT_EQ(i64v, -9'876'543'210LL);
+  EXPECT_DOUBLE_EQ(f64v, 3.141592653589793);
+  EXPECT_EQ(s, "hello world");
+}
+
+TEST(Wire, SpecialDoubles) {
+  WireWriter w;
+  w.f64(0.0);
+  w.f64(-0.0);
+  w.f64(1e308);
+  w.f64(-1e-308);
+  WireReader r(w.data());
+  double v;
+  ASSERT_TRUE(r.f64(&v)); EXPECT_EQ(v, 0.0);
+  ASSERT_TRUE(r.f64(&v)); EXPECT_TRUE(std::signbit(v));
+  ASSERT_TRUE(r.f64(&v)); EXPECT_DOUBLE_EQ(v, 1e308);
+  ASSERT_TRUE(r.f64(&v)); EXPECT_DOUBLE_EQ(v, -1e-308);
+}
+
+TEST(Wire, ReaderRejectsTruncation) {
+  WireWriter w;
+  w.u64(7);
+  std::string data = w.take();
+  data.resize(5);
+  WireReader r(data);
+  std::uint64_t v;
+  EXPECT_FALSE(r.u64(&v));
+}
+
+TEST(Wire, StringWithEmbeddedNulls) {
+  WireWriter w;
+  std::string s("a\0b\0c", 5);
+  w.str(s);
+  WireReader r(w.data());
+  std::string out;
+  ASSERT_TRUE(r.str(&out));
+  EXPECT_EQ(out, s);
+}
+
+TEST(Wire, StringLengthLargerThanBufferRejected) {
+  WireWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  WireReader r(w.data());
+  std::string out;
+  EXPECT_FALSE(r.str(&out));
+}
+
+TEST(Wire, EmptyString) {
+  WireWriter w;
+  w.str("");
+  WireReader r(w.data());
+  std::string out = "junk";
+  ASSERT_TRUE(r.str(&out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, RemainingTracksPosition) {
+  WireWriter w;
+  w.u32(1);
+  w.u32(2);
+  WireReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  std::uint32_t v;
+  r.u32(&v);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Wire, RandomRoundTripFuzz) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 100; ++iter) {
+    WireWriter w;
+    std::vector<std::uint64_t> values;
+    const int n = 1 + static_cast<int>(rng.next_below(20));
+    for (int i = 0; i < n; ++i) {
+      values.push_back(rng.next_u64());
+      w.u64(values.back());
+    }
+    WireReader r(w.data());
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t v;
+      ASSERT_TRUE(r.u64(&v));
+      EXPECT_EQ(v, values[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace now

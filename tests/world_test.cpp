@@ -1,0 +1,74 @@
+#include "src/trace/world.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/plane.h"
+#include "src/geom/sphere.h"
+
+namespace now {
+namespace {
+
+World sample_world() {
+  World world;
+  const int a = world.add_material(Material::matte({1, 0, 0}));
+  const int b = world.add_material(Material::glass());
+  world.add_object(std::make_unique<Sphere>(Vec3{0, 1, 0}, 1.0), a);
+  world.add_object(std::make_unique<Sphere>(Vec3{3, 1, 0}, 0.5), b);
+  world.add_object(std::make_unique<Plane>(Vec3{0, 1, 0}, 0.0), a);
+  world.add_light(Light::point({0, 5, 0}, Color::white(), 1.0));
+  world.set_background({0.1, 0.2, 0.3});
+  return world;
+}
+
+TEST(World, AccessorsAndIds) {
+  const World world = sample_world();
+  EXPECT_EQ(world.object_count(), 3);
+  EXPECT_EQ(world.material_count(), 2);
+  EXPECT_EQ(world.lights().size(), 1u);
+  // Default object ids equal indices.
+  for (int i = 0; i < world.object_count(); ++i) {
+    EXPECT_EQ(world.object(i).object_id, i);
+  }
+}
+
+TEST(World, ExplicitObjectIdsPreserved) {
+  World world;
+  const int mat = world.add_material(Material::matte(Color::white()));
+  world.add_object(std::make_unique<Sphere>(Vec3{0, 0, 0}, 1.0), mat, 42);
+  EXPECT_EQ(world.object(0).object_id, 42);
+}
+
+TEST(World, BoundedExtentExcludesPlanes) {
+  const World world = sample_world();
+  const Aabb extent = world.bounded_extent();
+  EXPECT_FALSE(extent.empty());
+  // Covers both spheres.
+  EXPECT_LE(extent.lo.x, -1.0);
+  EXPECT_GE(extent.hi.x, 3.5);
+  // The infinite plane contributes nothing: y bounds stay sphere-sized.
+  EXPECT_GE(extent.lo.y, -1e-9);
+  EXPECT_LE(extent.hi.y, 2.0 + 1e-9);
+}
+
+TEST(World, CloneIsDeepAndEquivalent) {
+  const World world = sample_world();
+  const World copy = world.clone();
+  EXPECT_EQ(copy.object_count(), world.object_count());
+  EXPECT_EQ(copy.material_count(), world.material_count());
+  EXPECT_EQ(copy.background(), world.background());
+  EXPECT_NE(copy.object(0).primitive.get(), world.object(0).primitive.get());
+  // Clone intersects identically.
+  Hit h1, h2;
+  const Ray ray{{0, 1, 5}, {0, 0, -1}};
+  ASSERT_TRUE(world.object(0).primitive->intersect(ray, 1e-9, 1e9, &h1));
+  ASSERT_TRUE(copy.object(0).primitive->intersect(ray, 1e-9, 1e9, &h2));
+  EXPECT_DOUBLE_EQ(h1.t, h2.t);
+}
+
+TEST(World, EmptyWorldExtentIsEmpty) {
+  const World world;
+  EXPECT_TRUE(world.bounded_extent().empty());
+}
+
+}  // namespace
+}  // namespace now

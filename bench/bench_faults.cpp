@@ -1,0 +1,93 @@
+// Fault-tolerance overhead: what does losing 1, 2, or 3 workers mid-run
+// cost against a fault-free render on the paper's cluster?
+//
+// PVM offered no recovery — a dead slave meant restarting the whole
+// animation. With leases + reassignment the farm finishes anyway; the price
+// is detection latency (the master waits out the lease before reacting),
+// the dead workers' in-flight work, and one coherence-restart full frame
+// per reclaimed range. This benchmark prices all three.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/par/render_farm.h"
+
+namespace now {
+namespace {
+
+FarmConfig base_config() {
+  FarmConfig config;
+  config.backend = FarmBackend::kSim;
+  // The paper's cluster plus a fourth machine so three deaths leave a
+  // survivor to finish the animation.
+  config.worker_speeds = {1.0, 1.0, 0.5, 0.5};
+  config.partition.scheme = PartitionScheme::kSequenceDivision;
+  config.partition.adaptive = true;
+  config.fault.enabled = true;
+  config.fault.lease_base_seconds = 120.0;
+  config.fault.lease_per_frame_seconds = 30.0;
+  config.fault.ping_grace_seconds = 30.0;
+  return config;
+}
+
+int run(bool quick) {
+  CradleParams params;
+  params.frames = quick ? 12 : 45;
+  params.width = quick ? 160 : 320;
+  params.height = quick ? 120 : 240;
+  const AnimatedScene scene = newton_cradle_scene(params);
+
+  std::printf("recovery overhead — Newton, %d frames, workers {1,1,.5,.5}, "
+              "sequence division\n\n", scene.frame_count());
+
+  const FarmResult clean = render_farm(scene, base_config());
+
+  std::printf("%-8s %12s %9s %8s %9s %10s %12s %12s\n", "deaths", "elapsed",
+              "overhead", "tasks", "frames", "detect", "restarts",
+              "frames ok");
+  bench::print_rule(90);
+  std::printf("%-8d %12s %8s%% %8s %9s %10s %12s %9d/%d\n", 0,
+              bench::hms(clean.elapsed_seconds).c_str(), "0.0", "-", "-", "-",
+              "-", static_cast<int>(clean.master.frames_completed),
+              scene.frame_count());
+
+  for (int deaths = 1; deaths <= 3; ++deaths) {
+    FarmConfig config = base_config();
+    // Each worker dies partway into its initial task (roughly frames/8
+    // results in, staggered so the recoveries overlap) — early enough that
+    // real work is stranded and must be reclaimed.
+    const int base_kill = std::max(1, scene.frame_count() / 8);
+    for (int w = 1; w <= deaths; ++w) {
+      config.fault_plan.events.push_back(
+          FaultPlan::crash_after_frames(w, base_kill + w - 1));
+    }
+    const FarmResult r = render_farm(scene, config);
+    const double overhead =
+        100.0 * (r.elapsed_seconds - clean.elapsed_seconds) /
+        clean.elapsed_seconds;
+    std::printf("%-8d %12s %8.1f%% %8lld %9lld %10s %12s %9d/%d\n", deaths,
+                bench::hms(r.elapsed_seconds).c_str(), overhead,
+                static_cast<long long>(r.faults.tasks_reassigned),
+                static_cast<long long>(r.faults.frames_reassigned),
+                bench::hms(r.faults.detection_latency_seconds).c_str(),
+                bench::hms(r.faults.restart_work_seconds).c_str(),
+                static_cast<int>(r.master.frames_completed),
+                scene.frame_count());
+  }
+
+  std::printf("\noverhead = elapsed vs the fault-free run. 'tasks'/'frames' "
+              "count reclaimed\nregion-frame ranges, 'detect' sums lease+grace "
+              "waits per death, and 'restarts'\nis the dense first frame each "
+              "reclaimed range pays to rebuild coherence\nstate. Every run "
+              "still delivers the complete animation.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace now
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  return now::run(quick);
+}

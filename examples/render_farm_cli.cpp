@@ -14,6 +14,7 @@
 // algorithm's requirement, Section 3 of the paper).
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,12 @@ int main(int argc, char** argv) {
 
   config.output_dir = out_dir;
   config.output_prefix = "farm";
+  try {
+    validate_farm_config(scene, config);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+    return 2;
+  }
   const FarmResult result = render_farm(scene, config);
 
   std::printf("time: %s (%s)\n", format_hms(result.elapsed_seconds).c_str(),

@@ -1,0 +1,118 @@
+#include "src/fault/fault_injector.h"
+
+#include <cassert>
+
+namespace now {
+
+FaultInjector::FaultInjector(FaultPlan plan, int world_size)
+    : plan_(std::move(plan)) {
+  assert(world_size >= 1);
+  ranks_.assign(static_cast<std::size_t>(world_size), {});
+  event_matches_.assign(plan_.events.size(), 0);
+  event_fired_.assign(plan_.events.size(), false);
+}
+
+bool FaultInjector::crashed(int rank, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_locked(rank, now);
+}
+
+bool FaultInjector::crashed_locked(int rank, double now) {
+  if (rank < 0 || rank >= static_cast<int>(ranks_.size())) return false;
+  RankState& state = ranks_[rank];
+  if (state.crashed) return true;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kCrash && e.rank == rank && e.at_time >= 0.0 &&
+        now >= e.at_time) {
+      state.crashed = true;
+      ++crashes_;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::SendFaults FaultInjector::on_send(int src, int /*dest*/,
+                                                 int tag, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SendFaults out;
+  if (src < 0 || src >= static_cast<int>(ranks_.size())) return out;
+  RankState& state = ranks_[src];
+
+  if (tag == plan_.progress_tag) {
+    ++state.progress_sends;
+    // after_frames crash: the N-th result is delivered, then the rank dies.
+    if (!state.crashed) {
+      for (const FaultEvent& e : plan_.events) {
+        if (e.kind == FaultKind::kCrash && e.rank == src &&
+            e.after_frames >= 0 && state.progress_sends >= e.after_frames) {
+          state.crashed = true;
+          ++crashes_;
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.rank != src || event_fired_[i]) continue;
+    if (e.kind != FaultKind::kDropMessage &&
+        e.kind != FaultKind::kDuplicateMessage) {
+      continue;
+    }
+    if (e.tag >= 0 && e.tag != tag) continue;
+    if (++event_matches_[i] < e.nth_message) continue;
+    event_fired_[i] = true;
+    if (e.kind == FaultKind::kDropMessage) {
+      out.drop = true;
+      ++dropped_;
+    } else {
+      out.duplicate = true;
+      ++duplicated_;
+    }
+  }
+  (void)now;
+  return out;
+}
+
+double FaultInjector::delivery_delay(int dest, double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double delay = 0.0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kDelaySpike && e.rank == dest &&
+        now >= e.t_begin && now < e.t_end) {
+      delay += e.extra_seconds;
+    }
+  }
+  return delay;
+}
+
+double FaultInjector::charge_scale(int rank, double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double scale = 1.0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kSlowdown && e.rank == rank &&
+        now >= e.t_begin && now < e.t_end) {
+      scale /= e.factor;
+    }
+  }
+  return scale;
+}
+
+int FaultInjector::crashes_triggered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashes_;
+}
+
+std::int64_t FaultInjector::messages_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::int64_t FaultInjector::messages_duplicated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicated_;
+}
+
+}  // namespace now

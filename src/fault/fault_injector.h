@@ -1,0 +1,73 @@
+// FaultInjector: the runtime-side interpreter of a FaultPlan.
+//
+// All three runtimes consult the same injector object from their message
+// paths, so fault semantics are identical everywhere:
+//
+//   - crashed(rank, now): a crashed rank is fail-stop inert — the runtime
+//     drops every message it sends (including self-continuations, halting
+//     its render loop) and every message addressed to it.
+//   - on_send(src, dest, tag, now): consulted once per cross-rank send by a
+//     live rank; counts the rank's sends and frame-result progress (arming
+//     after_frames crash triggers) and reports whether this particular
+//     message must be dropped or duplicated.
+//   - delivery_delay(dest, now): extra latency for deliveries into `dest`
+//     while inside a kDelaySpike window.
+//   - charge_scale(rank, now): compute-time multiplier (>= 1 when slowed)
+//     applied by SimContext::charge inside kSlowdown windows.
+//
+// Under SimRuntime every call happens inside the sequential event loop with
+// virtual timestamps, so a plan replays bit-identically. The wall-clock
+// runtimes call from several threads; a mutex keeps the counters coherent
+// (their timing is inherently non-deterministic anyway).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+
+namespace now {
+
+class FaultInjector {
+ public:
+  struct SendFaults {
+    bool drop = false;
+    bool duplicate = false;
+  };
+
+  FaultInjector(FaultPlan plan, int world_size);
+
+  /// True once `rank` is crashed; evaluates pending at_time triggers.
+  bool crashed(int rank, double now);
+
+  /// Per-send hook for live ranks (call after a crashed() check; the send
+  /// that arms an after_frames trigger is still delivered).
+  SendFaults on_send(int src, int dest, int tag, double now);
+
+  double delivery_delay(int dest, double now) const;
+  double charge_scale(int rank, double now) const;
+
+  // -- counters (for stats/tests) -----------------------------------------
+  int crashes_triggered() const;
+  std::int64_t messages_dropped() const;
+  std::int64_t messages_duplicated() const;
+
+ private:
+  bool crashed_locked(int rank, double now);
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  struct RankState {
+    bool crashed = false;
+    std::int64_t progress_sends = 0;  // messages with plan_.progress_tag
+  };
+  std::vector<RankState> ranks_;
+  std::vector<std::int64_t> event_matches_;  // per drop/dup event
+  std::vector<bool> event_fired_;
+  int crashes_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int64_t duplicated_ = 0;
+};
+
+}  // namespace now

@@ -1,0 +1,128 @@
+#include "src/fault/fault_plan.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace now {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDropMessage: return "drop";
+    case FaultKind::kDuplicateMessage: return "duplicate";
+    case FaultKind::kDelaySpike: return "delay";
+    case FaultKind::kSlowdown: return "slowdown";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::has_crashes() const {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kCrash) return true;
+  }
+  return false;
+}
+
+FaultEvent FaultPlan::crash_at(int rank, double time) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.rank = rank;
+  e.at_time = time;
+  return e;
+}
+
+FaultEvent FaultPlan::crash_after_frames(int rank, int frames) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.rank = rank;
+  e.after_frames = frames;
+  return e;
+}
+
+FaultEvent FaultPlan::drop_nth(int rank, int nth, int tag) {
+  FaultEvent e;
+  e.kind = FaultKind::kDropMessage;
+  e.rank = rank;
+  e.nth_message = nth;
+  e.tag = tag;
+  return e;
+}
+
+FaultEvent FaultPlan::duplicate_nth(int rank, int nth, int tag) {
+  FaultEvent e;
+  e.kind = FaultKind::kDuplicateMessage;
+  e.rank = rank;
+  e.nth_message = nth;
+  e.tag = tag;
+  return e;
+}
+
+FaultEvent FaultPlan::delay_window(int rank, double t_begin, double t_end,
+                                   double extra_seconds) {
+  FaultEvent e;
+  e.kind = FaultKind::kDelaySpike;
+  e.rank = rank;
+  e.t_begin = t_begin;
+  e.t_end = t_end;
+  e.extra_seconds = extra_seconds;
+  return e;
+}
+
+FaultEvent FaultPlan::slowdown_window(int rank, double t_begin, double t_end,
+                                      double factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kSlowdown;
+  e.rank = rank;
+  e.t_begin = t_begin;
+  e.t_end = t_end;
+  e.factor = factor;
+  return e;
+}
+
+void validate_fault_plan(const FaultPlan& plan, int world_size) {
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& e = plan.events[i];
+    const std::string where = "FaultPlan event " + std::to_string(i) + " (" +
+                              to_string(e.kind) + "): ";
+    if (e.rank < 1 || e.rank >= world_size) {
+      throw std::invalid_argument(
+          where + "rank " + std::to_string(e.rank) +
+          " outside worker range [1, " + std::to_string(world_size) + ")");
+    }
+    switch (e.kind) {
+      case FaultKind::kCrash: {
+        const bool by_time = e.at_time >= 0.0;
+        const bool by_frames = e.after_frames >= 0;
+        if (by_time == by_frames) {
+          throw std::invalid_argument(
+              where + "set exactly one of at_time or after_frames");
+        }
+        break;
+      }
+      case FaultKind::kDropMessage:
+      case FaultKind::kDuplicateMessage:
+        if (e.nth_message < 1) {
+          throw std::invalid_argument(where + "nth_message must be >= 1");
+        }
+        break;
+      case FaultKind::kDelaySpike:
+        if (!(e.t_end > e.t_begin)) {
+          throw std::invalid_argument(where + "window needs t_end > t_begin");
+        }
+        if (!(e.extra_seconds >= 0.0) || !std::isfinite(e.extra_seconds)) {
+          throw std::invalid_argument(where + "extra_seconds must be >= 0");
+        }
+        break;
+      case FaultKind::kSlowdown:
+        if (!(e.t_end > e.t_begin)) {
+          throw std::invalid_argument(where + "window needs t_end > t_begin");
+        }
+        if (!(e.factor > 0.0) || !std::isfinite(e.factor)) {
+          throw std::invalid_argument(where + "factor must be > 0");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace now

@@ -1,0 +1,84 @@
+// Deterministic, schedulable fault descriptions for the render farm.
+//
+// A FaultPlan is data, not behavior: it lists the faults that *will* happen
+// during a run — a worker crash at virtual/wall time T or after its N-th
+// delivered frame, the loss or duplication of a specific message, a window
+// of extra link delay, a window of degraded compute speed. The SimRuntime
+// injects these as discrete events (bit-reproducible across runs); the
+// Thread and TCP runtimes apply the same plan through injection hooks on
+// their send/receive paths (crash, drop, duplicate and delay; slowdown is
+// simulation-only because wall-clock compute cannot be throttled honestly).
+//
+// Times are seconds since the start of the run: virtual seconds under
+// SimRuntime, wall seconds elsewhere. Ranks use world numbering (0 is the
+// master and must never be faulted; workers are 1..world_size-1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace now {
+
+enum class FaultKind {
+  kCrash,             // rank goes permanently silent (fail-stop)
+  kDropMessage,       // swallow the n-th matching message sent by rank
+  kDuplicateMessage,  // deliver the n-th matching message twice
+  kDelaySpike,        // extra delivery latency into rank during a window
+  kSlowdown,          // scale rank's compute speed during a window (sim only)
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Target rank (the crashing sender, the sender of the dropped/duplicated
+  /// message, the receiver of delayed deliveries, the slowed machine).
+  int rank = -1;
+
+  // -- kCrash trigger (set exactly one) -----------------------------------
+  /// Crash once the rank's clock reaches this time.
+  double at_time = -1.0;
+  /// Crash immediately after the rank has delivered this many progress
+  /// messages (frame results); the N-th result itself still arrives.
+  int after_frames = -1;
+
+  // -- kDropMessage / kDuplicateMessage -----------------------------------
+  /// 1-based index among the rank's matching cross-rank sends.
+  int nth_message = 1;
+  /// Only count messages with this tag (-1 = any tag).
+  int tag = -1;
+
+  // -- kDelaySpike / kSlowdown window [t_begin, t_end) --------------------
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  /// kDelaySpike: seconds added to each delivery inside the window.
+  double extra_seconds = 0.0;
+  /// kSlowdown: speed multiplier inside the window (0.5 = half speed).
+  double factor = 1.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Tag counted as "one frame of progress" for after_frames crash triggers.
+  /// render_farm() sets this to the protocol's frame-result tag.
+  int progress_tag = -1;
+
+  bool empty() const { return events.empty(); }
+  bool has_crashes() const;
+
+  // Convenience builders.
+  static FaultEvent crash_at(int rank, double time);
+  static FaultEvent crash_after_frames(int rank, int frames);
+  static FaultEvent drop_nth(int rank, int nth, int tag = -1);
+  static FaultEvent duplicate_nth(int rank, int nth, int tag = -1);
+  static FaultEvent delay_window(int rank, double t_begin, double t_end,
+                                 double extra_seconds);
+  static FaultEvent slowdown_window(int rank, double t_begin, double t_end,
+                                    double factor);
+};
+
+/// Throws std::invalid_argument with a precise message when an event is
+/// malformed or targets a rank outside [1, world_size).
+void validate_fault_plan(const FaultPlan& plan, int world_size);
+
+}  // namespace now

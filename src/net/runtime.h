@@ -39,6 +39,15 @@ class Context {
   /// Current time in seconds: virtual on SimRuntime, wall-clock elsewhere.
   virtual double now() const = 0;
 
+  /// Deliver a self-message after `delay_seconds` (virtual or wall time).
+  /// This is the timer primitive behind the master's failure-detection
+  /// leases. All three runtimes implement real deferred delivery; the
+  /// default (for test doubles that never arm timers) delivers immediately.
+  virtual void send_after(double delay_seconds, int tag, std::string payload) {
+    (void)delay_seconds;
+    send(rank(), tag, std::move(payload));
+  }
+
   /// Request global shutdown once all queued messages drain.
   virtual void stop() = 0;
 };

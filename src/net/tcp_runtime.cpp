@@ -8,8 +8,11 @@
 
 #include <atomic>
 #include <cassert>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -18,10 +21,13 @@
 namespace now {
 namespace {
 
+// MSG_NOSIGNAL: a peer whose socket was severed (crash injection, real
+// death) must surface as a failed write, not a SIGPIPE killing the process.
 bool write_all(int fd, const void* data, std::size_t size) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
-    const ssize_t n = ::write(fd, p, size);
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     p += n;
     size -= static_cast<std::size_t>(n);
@@ -29,10 +35,20 @@ bool write_all(int fd, const void* data, std::size_t size) {
   return true;
 }
 
-bool read_all(int fd, void* data, std::size_t size) {
+// Reads exactly `size` bytes. A receive timeout (SO_RCVTIMEO) consults
+// `keep_going` and keeps waiting while it allows — partial frames survive
+// timeouts because the buffer position is preserved across retries. EOF or
+// a hard error returns false immediately: a vanished peer is an error, not
+// a hang.
+bool read_all(int fd, void* data, std::size_t size,
+              const std::function<bool()>& keep_going) {
   char* p = static_cast<char*>(data);
   while (size > 0) {
     const ssize_t n = ::read(fd, p, size);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      if (keep_going && !keep_going()) return false;
+      continue;
+    }
     if (n <= 0) return false;
     p += n;
     size -= static_cast<std::size_t>(n);
@@ -45,6 +61,14 @@ struct FrameHeader {
   std::int32_t tag;
   std::uint32_t length;
 };
+
+void set_receive_timeout(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
 
 int make_listener(std::uint16_t* port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -66,20 +90,28 @@ int make_listener(std::uint16_t* port) {
   return fd;
 }
 
-int connect_loopback(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+int connect_loopback(std::uint16_t port, const TcpOptions& options) {
+  int last_errno = 0;
+  for (int attempt = 0; attempt < std::max(1, options.connect_attempts);
+       ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    last_errno = errno;
     ::close(fd);
-    throw std::runtime_error("connect failed");
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options.connect_retry_delay_seconds));
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
+  throw std::runtime_error(std::string("connect failed after retries: ") +
+                           std::strerror(last_errno));
 }
 
 class TcpContext final : public Context {
@@ -90,7 +122,9 @@ class TcpContext final : public Context {
              std::vector<Mailbox>* all_mailboxes,
              std::atomic<std::int64_t>* messages,
              std::atomic<std::int64_t>* bytes,
-             std::chrono::steady_clock::time_point epoch)
+             std::chrono::steady_clock::time_point epoch,
+             FaultInjector* injector, TimerQueue* timers,
+             const std::function<void(int)>* kill_rank)
       : rank_(rank),
         world_size_(world_size),
         own_mailbox_(own_mailbox),
@@ -100,29 +134,60 @@ class TcpContext final : public Context {
         all_mailboxes_(all_mailboxes),
         messages_(messages),
         bytes_(bytes),
-        epoch_(epoch) {}
+        epoch_(epoch),
+        injector_(injector),
+        timers_(timers),
+        kill_rank_(kill_rank) {}
 
   int rank() const override { return rank_; }
   int world_size() const override { return world_size_; }
 
   void send(int dest, int tag, std::string payload) override {
+    const double t = now();
+    if (injector_ != nullptr && injector_->crashed(rank_, t)) {
+      (*kill_rank_)(rank_);  // sever the socket the first time we notice
+      return;
+    }
     if (dest == rank_) {  // continuation self-send: stays local
       own_mailbox_->push(Message{rank_, tag, std::move(payload)});
       return;
     }
     assert((rank_ == 0 || dest == 0) &&
            "star topology: slaves only talk to the master");
-    messages_->fetch_add(1, std::memory_order_relaxed);
-    bytes_->fetch_add(static_cast<std::int64_t>(payload.size()),
-                      std::memory_order_relaxed);
-    // Master: socket to `dest`. Worker: its own socket to the master.
-    const int fd =
-        rank_ == 0 ? (*socket_of_rank_)[dest] : (*socket_of_rank_)[rank_];
-    const Message msg{rank_, tag, std::move(payload)};
-    // One writer lock per rank keeps frames from interleaving when the
-    // master's handler and shutdown race.
-    std::lock_guard<std::mutex> lock(*send_mu_);
-    tcp_write_message(fd, msg);
+    int copies = 1;
+    if (injector_ != nullptr) {
+      const FaultInjector::SendFaults f =
+          injector_->on_send(rank_, dest, tag, t);
+      if (!f.drop) {
+        if (f.duplicate) copies = 2;
+      } else {
+        copies = 0;
+      }
+    }
+    if (copies > 0) {
+      messages_->fetch_add(copies, std::memory_order_relaxed);
+      bytes_->fetch_add(copies * static_cast<std::int64_t>(payload.size()),
+                        std::memory_order_relaxed);
+      // Master: socket to `dest`. Worker: its own socket to the master.
+      const int fd =
+          rank_ == 0 ? (*socket_of_rank_)[dest] : (*socket_of_rank_)[rank_];
+      const Message msg{rank_, tag, std::move(payload)};
+      // One writer lock per rank keeps frames from interleaving when the
+      // master's handler and shutdown race. A failed write (severed peer)
+      // is deliberately ignored: the lease protocol owns recovery.
+      std::lock_guard<std::mutex> lock(*send_mu_);
+      for (int c = 0; c < copies; ++c) tcp_write_message(fd, msg);
+    }
+    // An after_frames crash triggers on the send that delivered the N-th
+    // frame result: that message goes out, then the rank dies.
+    if (injector_ != nullptr && injector_->crashed(rank_, t)) {
+      (*kill_rank_)(rank_);
+    }
+  }
+
+  void send_after(double delay_seconds, int tag, std::string payload) override {
+    timers_->schedule(delay_seconds, rank_,
+                      Message{rank_, tag, std::move(payload)});
   }
 
   void charge(double) override {}
@@ -149,6 +214,9 @@ class TcpContext final : public Context {
   std::atomic<std::int64_t>* messages_;
   std::atomic<std::int64_t>* bytes_;
   std::chrono::steady_clock::time_point epoch_;
+  FaultInjector* injector_;
+  TimerQueue* timers_;
+  const std::function<void(int)>* kill_rank_;
 };
 
 }  // namespace
@@ -161,14 +229,19 @@ bool tcp_write_message(int fd, const Message& msg) {
          write_all(fd, msg.payload.data(), msg.payload.size());
 }
 
-bool tcp_read_message(int fd, Message* msg) {
+bool tcp_read_message(int fd, Message* msg,
+                      const std::function<bool()>& keep_going) {
   FrameHeader header;
-  if (!read_all(fd, &header, sizeof(header))) return false;
+  if (!read_all(fd, &header, sizeof(header), keep_going)) return false;
   msg->source = header.source;
   msg->tag = header.tag;
   msg->payload.resize(header.length);
   return header.length == 0 ||
-         read_all(fd, msg->payload.data(), header.length);
+         read_all(fd, msg->payload.data(), header.length, keep_going);
+}
+
+bool tcp_read_message(int fd, Message* msg) {
+  return tcp_read_message(fd, msg, nullptr);
 }
 
 RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
@@ -186,7 +259,7 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   std::vector<std::thread> connectors;
   for (int rank = 1; rank < n; ++rank) {
     connectors.emplace_back([&, rank] {
-      const int fd = connect_loopback(port);
+      const int fd = connect_loopback(port, options_);
       const std::int32_t r = rank;
       write_all(fd, &r, sizeof(r));
       sockets[rank] = fd;  // each worker writes only its own slot
@@ -199,7 +272,7 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::int32_t rank = -1;
-    if (!read_all(fd, &rank, sizeof(rank)) || rank < 1 || rank >= n) {
+    if (!read_all(fd, &rank, sizeof(rank), nullptr) || rank < 1 || rank >= n) {
       ::close(fd);
       throw std::runtime_error("bad rank handshake");
     }
@@ -207,23 +280,86 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   }
   for (auto& t : connectors) t.join();
   ::close(listener);
+  for (int w = 1; w < n; ++w) {
+    set_receive_timeout(master_sockets[w], options_.receive_timeout_seconds);
+    set_receive_timeout(sockets[w], options_.receive_timeout_seconds);
+  }
 
   std::vector<Mailbox> mailboxes(n);
   std::atomic<bool> stop_flag{false};
   std::atomic<std::int64_t> messages{0};
   std::atomic<std::int64_t> bytes{0};
   const auto epoch = std::chrono::steady_clock::now();
+  const auto wall_now = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+
+  std::unique_ptr<FaultInjector> injector;
+  if (!plan_.empty()) injector = std::make_unique<FaultInjector>(plan_, n);
+
+  // Crash realization: sever both ends of the rank's connection, once.
+  std::vector<std::once_flag> kill_once(static_cast<std::size_t>(n));
+  const std::function<void(int)> kill_rank = [&](int rank) {
+    if (rank < 1 || rank >= n) return;
+    std::call_once(kill_once[rank], [&, rank] {
+      ::shutdown(master_sockets[rank], SHUT_RDWR);
+      ::shutdown(sockets[rank], SHUT_RDWR);
+    });
+  };
+
+  TimerQueue timers([&](int dest, Message msg) {
+    if (dest < 0 || dest >= n) return;
+    if (injector != nullptr && injector->crashed(dest, wall_now())) return;
+    mailboxes[dest].push(std::move(msg));
+  });
 
   // Reader pumps: master gets one per worker socket; each worker gets one.
+  // SO_RCVTIMEO wakes them periodically to notice stop or a timed crash.
   std::vector<std::thread> readers;
   for (int w = 1; w < n; ++w) {
     readers.emplace_back([&, w] {
+      const auto keep_going = [&] {
+        if (injector != nullptr && injector->crashed(w, wall_now())) {
+          kill_rank(w);
+          return false;
+        }
+        return !stop_flag.load(std::memory_order_acquire);
+      };
       Message msg;
-      while (tcp_read_message(master_sockets[w], &msg)) mailboxes[0].push(msg);
+      while (tcp_read_message(master_sockets[w], &msg, keep_going)) {
+        const double delay =
+            injector != nullptr ? injector->delivery_delay(0, wall_now()) : 0.0;
+        if (delay > 0.0) {
+          timers.schedule(delay, 0, std::move(msg));
+        } else {
+          mailboxes[0].push(std::move(msg));
+        }
+      }
     });
     readers.emplace_back([&, w] {
+      const auto keep_going = [&] {
+        if (injector != nullptr && injector->crashed(w, wall_now())) {
+          kill_rank(w);
+          return false;
+        }
+        return !stop_flag.load(std::memory_order_acquire);
+      };
       Message msg;
-      while (tcp_read_message(sockets[w], &msg)) mailboxes[w].push(msg);
+      while (tcp_read_message(sockets[w], &msg, keep_going)) {
+        if (injector != nullptr && injector->crashed(w, wall_now())) {
+          kill_rank(w);
+          break;
+        }
+        const double delay =
+            injector != nullptr ? injector->delivery_delay(w, wall_now()) : 0.0;
+        if (delay > 0.0) {
+          timers.schedule(delay, w, std::move(msg));
+        } else {
+          mailboxes[w].push(std::move(msg));
+        }
+      }
     });
   }
 
@@ -233,13 +369,18 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
     threads.emplace_back([&, rank] {
       std::vector<int>& table = rank == 0 ? master_sockets : sockets;
       TcpContext ctx(rank, n, &mailboxes[rank], &table, &send_mus[rank],
-                     &stop_flag, &mailboxes, &messages, &bytes, epoch);
+                     &stop_flag, &mailboxes, &messages, &bytes, epoch,
+                     injector.get(), &timers, &kill_rank);
       actors[rank]->on_start(ctx);
       Message msg;
-      while (mailboxes[rank].pop(&msg)) actors[rank]->on_message(ctx, msg);
+      while (mailboxes[rank].pop(&msg)) {
+        if (injector != nullptr && injector->crashed(rank, ctx.now())) continue;
+        actors[rank]->on_message(ctx, msg);
+      }
     });
   }
   for (auto& t : threads) t.join();
+  timers.shutdown();
 
   // Close sockets to unblock the reader pumps, then join them.
   for (int w = 1; w < n; ++w) {
@@ -253,9 +394,7 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   }
 
   RuntimeStats stats;
-  stats.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
-          .count();
+  stats.elapsed_seconds = wall_now();
   stats.messages = messages.load();
   stats.bytes = bytes.load();
   return stats;

@@ -7,19 +7,51 @@
 // is serialized, framed, written to a socket and read back on the far side,
 // exercising the full wire path a multi-host PVM/MPI deployment would use.
 // Worker-to-worker sends are rejected (the paper's slaves never communicate).
+//
+// Robustness: every data socket carries a receive timeout (SO_RCVTIMEO), so
+// the reader pumps wake periodically instead of blocking forever on a
+// vanished peer, and connect() retries a bounded number of times before
+// surfacing an error. A FaultPlan makes crashes real at the socket level:
+// when a worker's crash triggers, both ends of its connection are shut
+// down — the master stops hearing from it exactly as if the process died.
 #pragma once
 
+#include <functional>
+
+#include "src/fault/fault_injector.h"
 #include "src/net/runtime.h"
 
 namespace now {
 
+struct TcpOptions {
+  /// SO_RCVTIMEO on every data socket; bounds how long a reader pump can
+  /// sleep before noticing shutdown or a triggered crash.
+  double receive_timeout_seconds = 0.25;
+  /// Bounded connect-retry loop (ECONNREFUSED/EINTR) before giving up.
+  int connect_attempts = 20;
+  double connect_retry_delay_seconds = 0.05;
+};
+
 class TcpRuntime final : public Runtime {
  public:
+  TcpRuntime() = default;
+  explicit TcpRuntime(TcpOptions options) : options_(options) {}
+  explicit TcpRuntime(FaultPlan plan, TcpOptions options = {})
+      : options_(options), plan_(std::move(plan)) {}
+
   RuntimeStats run(const std::vector<Actor*>& actors) override;
+
+ private:
+  TcpOptions options_;
+  FaultPlan plan_;
 };
 
 /// Frame helpers shared with the tests: [i32 source][i32 tag][u32 len][bytes].
 bool tcp_write_message(int fd, const Message& msg);
 bool tcp_read_message(int fd, Message* msg);
+/// As tcp_read_message, but on a receive timeout consults `keep_going` and
+/// aborts (returning false) once it says stop. Null = wait forever.
+bool tcp_read_message(int fd, Message* msg,
+                      const std::function<bool()>& keep_going);
 
 }  // namespace now

@@ -1,8 +1,6 @@
 #include "src/net/thread_runtime.h"
 
 #include <atomic>
-#include <chrono>
-#include <thread>
 
 namespace now {
 
@@ -31,6 +29,52 @@ void Mailbox::shutdown() {
   cv_.notify_all();
 }
 
+TimerQueue::TimerQueue(Deliver deliver)
+    : deliver_(std::move(deliver)), thread_([this] { run(); }) {}
+
+TimerQueue::~TimerQueue() { shutdown(); }
+
+void TimerQueue::schedule(double delay_seconds, int dest, Message msg) {
+  const auto due = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(delay_seconds));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    pending_.push(Entry{due, next_seq_++, dest, std::move(msg)});
+  }
+  cv_.notify_one();
+}
+
+void TimerQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimerQueue::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    if (pending_.empty()) {
+      cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
+      continue;
+    }
+    const auto due = pending_.top().due;
+    if (std::chrono::steady_clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    Entry entry = pending_.top();
+    pending_.pop();
+    lock.unlock();
+    deliver_(entry.dest, std::move(entry.msg));
+    lock.lock();
+  }
+}
+
 namespace {
 
 class ThreadContext final : public Context {
@@ -38,25 +82,52 @@ class ThreadContext final : public Context {
   ThreadContext(int rank, int world_size, std::vector<Mailbox>* mailboxes,
                 std::atomic<bool>* stop_flag, std::atomic<std::int64_t>* messages,
                 std::atomic<std::int64_t>* bytes,
-                std::chrono::steady_clock::time_point epoch)
+                std::chrono::steady_clock::time_point epoch,
+                FaultInjector* injector, TimerQueue* timers)
       : rank_(rank),
         world_size_(world_size),
         mailboxes_(mailboxes),
         stop_flag_(stop_flag),
         messages_(messages),
         bytes_(bytes),
-        epoch_(epoch) {}
+        epoch_(epoch),
+        injector_(injector),
+        timers_(timers) {}
 
   int rank() const override { return rank_; }
   int world_size() const override { return world_size_; }
 
   void send(int dest, int tag, std::string payload) override {
+    const double t = now();
+    if (injector_ != nullptr && injector_->crashed(rank_, t)) return;
+    int copies = 1;
+    if (injector_ != nullptr && dest != rank_) {
+      const FaultInjector::SendFaults f =
+          injector_->on_send(rank_, dest, tag, t);
+      if (f.drop) return;
+      if (f.duplicate) copies = 2;
+      if (injector_->crashed(dest, t)) return;  // deliveries to the dead die
+    }
     if (dest != rank_) {
-      messages_->fetch_add(1, std::memory_order_relaxed);
-      bytes_->fetch_add(static_cast<std::int64_t>(payload.size()),
+      messages_->fetch_add(copies, std::memory_order_relaxed);
+      bytes_->fetch_add(copies * static_cast<std::int64_t>(payload.size()),
                         std::memory_order_relaxed);
     }
-    (*mailboxes_)[dest].push(Message{rank_, tag, std::move(payload)});
+    const double delay =
+        injector_ != nullptr ? injector_->delivery_delay(dest, t) : 0.0;
+    for (int c = 0; c < copies; ++c) {
+      Message msg{rank_, tag, payload};
+      if (delay > 0.0 && timers_ != nullptr) {
+        timers_->schedule(delay, dest, std::move(msg));
+      } else {
+        (*mailboxes_)[dest].push(std::move(msg));
+      }
+    }
+  }
+
+  void send_after(double delay_seconds, int tag, std::string payload) override {
+    timers_->schedule(delay_seconds, rank_,
+                      Message{rank_, tag, std::move(payload)});
   }
 
   void charge(double) override {}  // real time already elapsed
@@ -80,6 +151,8 @@ class ThreadContext final : public Context {
   std::atomic<std::int64_t>* messages_;
   std::atomic<std::int64_t>* bytes_;
   std::chrono::steady_clock::time_point epoch_;
+  FaultInjector* injector_;
+  TimerQueue* timers_;
 };
 
 }  // namespace
@@ -92,20 +165,35 @@ RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
   std::atomic<std::int64_t> bytes{0};
   const auto epoch = std::chrono::steady_clock::now();
 
+  std::unique_ptr<FaultInjector> injector;
+  if (!plan_.empty()) injector = std::make_unique<FaultInjector>(plan_, n);
+
+  TimerQueue timers([&](int dest, Message msg) {
+    if (dest < 0 || dest >= n) return;
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - epoch)
+                         .count();
+    if (injector != nullptr && injector->crashed(dest, t)) return;
+    mailboxes[dest].push(std::move(msg));
+  });
+
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([&, rank] {
       ThreadContext ctx(rank, n, &mailboxes, &stop_flag, &messages, &bytes,
-                        epoch);
+                        epoch, injector.get(), &timers);
       actors[rank]->on_start(ctx);
       Message msg;
       while (mailboxes[rank].pop(&msg)) {
+        const double t = ctx.now();
+        if (injector != nullptr && injector->crashed(rank, t)) continue;
         actors[rank]->on_message(ctx, msg);
       }
     });
   }
   for (auto& t : threads) t.join();
+  timers.shutdown();
 
   RuntimeStats stats;
   stats.elapsed_seconds =

@@ -1,12 +1,24 @@
 // ThreadRuntime: each actor on its own std::thread with a blocking mailbox.
 // This is the "real parallel" backend — wall-clock time, true concurrency.
+//
+// An optional FaultPlan turns on injection hooks in the send path: a crashed
+// rank becomes fail-stop inert (its sends — including self-continuations —
+// and its incoming deliveries are all swallowed), specific messages can be
+// dropped or duplicated, and delay-spike windows route deliveries through
+// the timer. The TimerQueue also backs Context::send_after, the deferred
+// self-message primitive the master's failure-detection leases rely on.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
+#include <thread>
 
+#include "src/fault/fault_injector.h"
 #include "src/net/runtime.h"
 
 namespace now {
@@ -27,9 +39,53 @@ class Mailbox {
   bool shutdown_ = false;
 };
 
+/// One background thread delivering messages at wall-clock deadlines.
+/// Backs send_after and delay-spike injection for the wall-clock runtimes.
+class TimerQueue {
+ public:
+  using Deliver = std::function<void(int dest, Message msg)>;
+
+  explicit TimerQueue(Deliver deliver);
+  ~TimerQueue();
+
+  void schedule(double delay_seconds, int dest, Message msg);
+  /// Stop the thread; entries not yet due are discarded.
+  void shutdown();
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point due;
+    std::int64_t seq;  // FIFO tie-break
+    int dest;
+    Message msg;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run();
+
+  Deliver deliver_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> pending_;
+  std::int64_t next_seq_ = 0;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
 class ThreadRuntime final : public Runtime {
  public:
+  ThreadRuntime() = default;
+  explicit ThreadRuntime(FaultPlan plan) : plan_(std::move(plan)) {}
+
   RuntimeStats run(const std::vector<Actor*>& actors) override;
+
+ private:
+  FaultPlan plan_;
 };
 
 }  // namespace now

@@ -49,6 +49,11 @@ void RenderMaster::on_start(Context& ctx) {
 
 void RenderMaster::on_message(Context& ctx, const Message& msg) {
   ctx.charge(config_.cost.master_per_message_seconds);
+  // Every message a live worker sends doubles as a heartbeat.
+  if (msg.source >= 1 && msg.source < static_cast<int>(workers_.size())) {
+    WorkerState& s = workers_[msg.source];
+    if (!s.dead) s.last_heard = ctx.now();
+  }
   switch (msg.tag) {
     case kTagHello:
     case kTagRequest:
@@ -60,6 +65,11 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
     case kTagShrinkAck:
       handle_shrink_ack(ctx, msg);
       break;
+    case kTagPong:
+      break;  // the heartbeat update above is the whole point
+    case kTagLeaseCheck:
+      handle_lease_check(ctx, msg);
+      break;
     default:
       assert(false && "master received unexpected tag");
   }
@@ -67,9 +77,21 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
 
 void RenderMaster::handle_idle(Context& ctx, int worker) {
   WorkerState& state = workers_[worker];
+  if (state.dead) return;
   state.known = true;
+  if (state.active && !state.cancelled &&
+      state.next_expected < state.end_frame) {
+    // The worker says its task is finished but results are missing. Sends
+    // are per-sender FIFO, so anything still unseen was lost in transit
+    // (e.g. the task's final frame result): write it off and re-enqueue.
+    cancel_and_reclaim(ctx, worker);
+  }
   state.active = false;
-  idle_.push_back(worker);
+  state.cancelled = false;
+  if (!state.queued) {
+    state.queued = true;
+    idle_.push_back(worker);
+  }
   try_dispatch(ctx);
   maybe_finish(ctx);
 }
@@ -77,17 +99,40 @@ void RenderMaster::handle_idle(Context& ctx, int worker) {
 void RenderMaster::assign(Context& ctx, int worker, const RenderTask& task) {
   WorkerState& state = workers_[worker];
   state.active = true;
+  state.cancelled = false;
   state.task = task;
   state.next_expected = task.first_frame;
   state.end_frame = task.end_frame();
+  if (config_.fault.enabled) {
+    // Lease scaled by assigned task cost: a bigger frame range legitimately
+    // keeps a worker silent for longer before its first result.
+    state.last_heard = ctx.now();
+    state.last_progress = ctx.now();
+    state.ping_time = -1.0;
+    state.lease_seconds =
+        config_.fault.lease_base_seconds +
+        config_.fault.lease_per_frame_seconds * task.frame_count;
+    LeaseCheck check;
+    check.worker = worker;
+    check.task_id = task.task_id;
+    check.phase = 0;
+    ctx.send_after(state.lease_seconds, kTagLeaseCheck,
+                   encode_lease_check(check));
+  }
   ctx.send(worker, kTagTask, encode_task(task));
 }
 
 void RenderMaster::try_dispatch(Context& ctx) {
   while (!idle_.empty()) {
-    if (!pending_.empty()) {
-      const int worker = idle_.front();
+    const int worker = idle_.front();
+    if (workers_[worker].dead) {
       idle_.pop_front();
+      workers_[worker].queued = false;
+      continue;
+    }
+    if (!pending_.empty()) {
+      idle_.pop_front();
+      workers_[worker].queued = false;
       assign(ctx, worker, pending_.front());
       pending_.pop_front();
       continue;
@@ -104,7 +149,7 @@ bool RenderMaster::try_adaptive_split(Context& ctx) {
   std::int32_t best_remaining = 0;
   for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
     const WorkerState& s = workers_[w];
-    if (!s.active || s.awaiting_ack) continue;
+    if (!s.active || s.awaiting_ack || s.dead || s.cancelled) continue;
     const std::int32_t remaining = s.end_frame - s.next_expected;
     if (remaining > best_remaining) {
       best_remaining = remaining;
@@ -129,8 +174,10 @@ void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
   assert(ok);
   if (!ok) return;
   WorkerState& s = workers_[msg.source];
+  if (s.dead) return;
   s.awaiting_ack = false;
-  if (ack.honored_end_frame >= 0 && s.active &&
+  if (ack.honored_end_frame >= 0 && s.active && !s.cancelled &&
+      cancelled_tasks_.count(ack.task_id) == 0 &&
       s.task.task_id == ack.task_id &&
       ack.honored_end_frame < s.end_frame) {
     // The stolen range becomes a fresh task for an idle worker.
@@ -147,11 +194,52 @@ void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
   maybe_finish(ctx);
 }
 
+void RenderMaster::discard_result(const FrameResult& result, bool wasted_work) {
+  ++fault_report_.results_ignored;
+  if (wasted_work) fault_report_.lost_work_seconds += result.compute_seconds;
+}
+
 void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   FrameResult result;
   const bool ok = decode_frame_result(&result, msg.payload);
   assert(ok);
   if (!ok) return;
+
+  WorkerState& s = workers_[msg.source];
+  if (s.dead || cancelled_tasks_.count(result.task_id) > 0) {
+    // A falsely-declared-dead worker keeps rendering into the void, and a
+    // cancelled task's results arrive with a broken sparse base: both are
+    // work performed but thrown away.
+    discard_result(result, /*wasted_work=*/true);
+    return;
+  }
+  if (!s.active || s.task.task_id != result.task_id) {
+    discard_result(result, /*wasted_work=*/true);
+    return;
+  }
+  if (result.frame < s.next_expected) {
+    // Duplicated delivery of a result we already applied.
+    discard_result(result, /*wasted_work=*/false);
+    return;
+  }
+  if (result.frame > s.next_expected) {
+    // A result vanished in transit. The region's sparse chain is broken
+    // from the gap onward, so everything undelivered is written off and
+    // re-rendered from a dense restart by whoever picks up the reclaim.
+    cancel_and_reclaim(ctx, msg.source);
+    if (!s.awaiting_ack) {
+      // Tell the worker to stop wasting time on the written-off range.
+      ShrinkRequest req;
+      req.task_id = result.task_id;
+      req.new_end_frame = s.next_expected;
+      s.awaiting_ack = true;
+      ctx.send(msg.source, kTagShrink, encode_shrink(req));
+    }
+    discard_result(result, /*wasted_work=*/true);
+    try_dispatch(ctx);
+    maybe_finish(ctx);
+    return;
+  }
 
   const int frame = result.frame;
   const PixelRect& region = result.payload.rect;
@@ -165,10 +253,9 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   }
   apply_payload(&frames_[frame], result.payload);
 
-  WorkerState& s = workers_[msg.source];
-  if (s.active && s.task.task_id == result.task_id) {
-    s.next_expected = frame + 1;
-  }
+  s.next_expected = frame + 1;
+  s.last_progress = ctx.now();
+  s.ping_time = -1.0;
 
   ++report_.frame_results;
   report_.rays_total += result.rays;
@@ -177,6 +264,11 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   report_.full_renders += result.full_render ? 1 : 0;
   report_.worker_compute_seconds += result.compute_seconds;
   ++report_.frames_by_worker[msg.source];
+  if (result.full_render && reassigned_tasks_.count(result.task_id) > 0) {
+    // The coherence-restart price of recovery: the replacement's dense
+    // first frame re-renders pixels the dead worker had already paid for.
+    fault_report_.restart_work_seconds += result.compute_seconds;
+  }
 
   frame_area_missing_[frame] -= region.area();
   area_frames_missing_ -= region.area();
@@ -194,11 +286,113 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   maybe_finish(ctx);
 }
 
+void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
+  WorkerState& s = workers_[worker];
+  if (!s.active || s.cancelled) return;
+  s.cancelled = true;
+  cancelled_tasks_.insert(s.task.task_id);
+  if (s.end_frame > s.next_expected) {
+    RenderTask reclaim;
+    reclaim.task_id = next_task_id_++;
+    reclaim.region = s.task.region;
+    reclaim.first_frame = s.next_expected;
+    reclaim.frame_count = s.end_frame - s.next_expected;
+    reassigned_tasks_.insert(reclaim.task_id);
+    pending_.push_back(reclaim);
+    ++fault_report_.tasks_reassigned;
+    fault_report_.frames_reassigned += reclaim.frame_count;
+  }
+  (void)ctx;
+}
+
+void RenderMaster::declare_dead(Context& ctx, int worker) {
+  WorkerState& s = workers_[worker];
+  if (s.dead) return;
+  ++fault_report_.deaths_detected;
+  fault_report_.detection_latency_seconds += ctx.now() - s.last_heard;
+  cancel_and_reclaim(ctx, worker);
+  s.dead = true;
+  s.active = false;
+  s.awaiting_ack = false;
+  bool any_alive = false;
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    if (!workers_[w].dead) any_alive = true;
+  }
+  if (!any_alive && !stopping_) {
+    // Nobody left to render the reclaimed work: stop with what we have
+    // rather than waiting on leases that can never be renewed.
+    stopping_ = true;
+    ctx.stop();
+    return;
+  }
+  try_dispatch(ctx);
+  maybe_finish(ctx);
+}
+
+void RenderMaster::handle_lease_check(Context& ctx, const Message& msg) {
+  LeaseCheck check;
+  const bool ok = decode_lease_check(&check, msg.payload);
+  assert(ok);
+  if (!ok || !config_.fault.enabled || stopping_) return;
+  if (check.worker < 1 || check.worker >= static_cast<int>(workers_.size())) {
+    return;
+  }
+  WorkerState& s = workers_[check.worker];
+  // Stale check: the assignment it covered is gone or already written off.
+  if (s.dead || !s.active || s.cancelled || s.task.task_id != check.task_id) {
+    return;
+  }
+
+  const double now = ctx.now();
+  // The lease demands *progress* (accepted frame results), not mere
+  // liveness: a worker whose assignment was lost in transit answers pings
+  // happily while rendering nothing, and a liveness lease would renew that
+  // forever.
+  const double expiry = s.last_progress + s.lease_seconds;
+  if (now < expiry) {
+    // Progress since this check was scheduled: renew.
+    LeaseCheck renew = check;
+    renew.phase = 0;
+    s.ping_time = -1.0;
+    ctx.send_after(expiry - now, kTagLeaseCheck, encode_lease_check(renew));
+    return;
+  }
+  if (check.phase == 0 || s.ping_time < 0.0) {
+    // Lease expired. One explicit ping, one grace period, then judgment.
+    s.ping_time = now;
+    ++fault_report_.pings_sent;
+    ctx.send(check.worker, kTagPing, {});
+    LeaseCheck grace = check;
+    grace.phase = 1;
+    ctx.send_after(config_.fault.ping_grace_seconds, kTagLeaseCheck,
+                   encode_lease_check(grace));
+    return;
+  }
+  if (s.last_heard >= s.ping_time) {
+    // Answered the ping but made no progress: alive but stuck. Write the
+    // task off — it will be re-rendered from a dense restart — and tell the
+    // worker to abandon any rendering it is silently doing. If it is truly
+    // idle (the assignment itself was lost) it rejoins on its next request.
+    cancel_and_reclaim(ctx, check.worker);
+    if (!s.awaiting_ack) {
+      ShrinkRequest req;
+      req.task_id = check.task_id;
+      req.new_end_frame = s.next_expected;
+      s.awaiting_ack = true;
+      ctx.send(check.worker, kTagShrink, encode_shrink(req));
+    }
+    try_dispatch(ctx);
+    maybe_finish(ctx);
+    return;
+  }
+  declare_dead(ctx, check.worker);
+}
+
 void RenderMaster::maybe_finish(Context& ctx) {
   if (stopping_ || area_frames_missing_ != 0 || !pending_.empty()) return;
   stopping_ = true;
   for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
-    ctx.send(w, kTagStop, {});
+    if (!workers_[w].dead) ctx.send(w, kTagStop, {});
   }
   ctx.stop();
 }

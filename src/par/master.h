@@ -6,13 +6,31 @@
 // region is applied on top of that region's pixels from frame f-1, which the
 // same worker necessarily delivered earlier. The first frame of every task
 // is always dense.
+//
+// Fault tolerance (MasterConfig::fault.enabled): every worker message is a
+// heartbeat; each assignment takes out a *progress* lease (deadline scaled
+// by the task's frame count, renewed by every accepted frame result)
+// enforced by deferred LeaseCheck self-messages. A worker whose lease
+// expires is pinged once; after the grace period, no pong means the worker
+// is dead, while a pong without progress means the worker is alive but the
+// task is stuck (e.g. the assignment was lost in transit) — either way the
+// unfinished frames are re-enqueued as a fresh task whose renderer pays a
+// full first-frame restart (the paper's coherence-restart cost). Messages
+// from dead ranks are ignored forever; duplicated results and results for
+// cancelled tasks are discarded; a gap in a worker's result stream (a lost
+// frame result) cancels the task and reclaims the remainder, because the
+// region's sparse chain is broken from the gap onward. If every worker dies
+// the master stops with whatever frames it has — it never blocks shutdown
+// on a dead rank.
 #pragma once
 
 #include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_tolerance.h"
 #include "src/image/framebuffer.h"
 #include "src/net/runtime.h"
 #include "src/par/cost_model.h"
@@ -25,6 +43,8 @@ namespace now {
 struct MasterConfig {
   PartitionConfig partition;
   CostModel cost;
+  /// Failure detection and recovery (off by default: zero overhead).
+  FaultToleranceConfig fault;
   /// Directory for per-frame targa output ("" disables file writing).
   std::string output_dir;
   std::string output_prefix = "frame";
@@ -53,24 +73,39 @@ class RenderMaster final : public Actor {
   /// Assembled animation (valid after the runtime finishes).
   const std::vector<Framebuffer>& frames() const { return frames_; }
   const MasterReport& report() const { return report_; }
+  const FaultReport& fault_report() const { return fault_report_; }
 
  private:
   struct WorkerState {
     bool known = false;        // sent hello
     bool active = false;       // has an unfinished task
     bool awaiting_ack = false; // shrink in flight
+    bool queued = false;       // sitting in the idle queue
+    bool dead = false;         // lease expired; rank is ignored forever
+    bool cancelled = false;    // current task written off (results ignored)
     RenderTask task;
     std::int32_t next_expected = 0;  // first unreported frame
     std::int32_t end_frame = 0;      // master's view (post-shrink)
+    double last_heard = 0.0;    // heartbeat: time of last message
+    double last_progress = 0.0; // time of assignment or last accepted result
+    double ping_time = -1.0;    // when the outstanding ping was sent (-1 none)
+    double lease_seconds = 0.0; // current assignment's lease length
   };
 
   void handle_frame_result(Context& ctx, const Message& msg);
   void handle_idle(Context& ctx, int worker);
   void handle_shrink_ack(Context& ctx, const Message& msg);
+  void handle_lease_check(Context& ctx, const Message& msg);
   void try_dispatch(Context& ctx);
   bool try_adaptive_split(Context& ctx);
   void assign(Context& ctx, int worker, const RenderTask& task);
   void maybe_finish(Context& ctx);
+  /// Write off the worker's current task: results for it are ignored from
+  /// now on, and the frames not yet delivered are re-enqueued as a fresh
+  /// task (whose first frame will be a full coherence-restart render).
+  void cancel_and_reclaim(Context& ctx, int worker);
+  void declare_dead(Context& ctx, int worker);
+  void discard_result(const FrameResult& result, bool wasted_work);
 
   const AnimatedScene& scene_;
   MasterConfig config_;
@@ -85,7 +120,11 @@ class RenderMaster final : public Actor {
   std::int32_t next_task_id_ = 0;
   bool stopping_ = false;
 
+  std::set<std::int32_t> cancelled_tasks_;   // results discarded
+  std::set<std::int32_t> reassigned_tasks_;  // recovery tasks (restart cost)
+
   MasterReport report_;
+  FaultReport fault_report_;
 };
 
 }  // namespace now

@@ -56,6 +56,20 @@ bool decode_shrink_ack(ShrinkAck* ack, const std::string& payload) {
   return r.i32(&ack->task_id) && r.i32(&ack->honored_end_frame) && r.done();
 }
 
+std::string encode_lease_check(const LeaseCheck& check) {
+  WireWriter w;
+  w.i32(check.worker);
+  w.i32(check.task_id);
+  w.u8(check.phase);
+  return w.take();
+}
+
+bool decode_lease_check(LeaseCheck* check, const std::string& payload) {
+  WireReader r(payload);
+  return r.i32(&check->worker) && r.i32(&check->task_id) &&
+         r.u8(&check->phase) && r.done();
+}
+
 std::string encode_frame_result(const FrameResult& result) {
   WireWriter w;
   w.i32(result.task_id);

@@ -32,6 +32,9 @@ enum MsgTag : int {
   kTagRequest = 6,      // worker → master: task finished, want more
   kTagStop = 7,         // master → worker: shut down
   kTagContinue = 8,     // worker → itself: render the next frame
+  kTagPing = 9,         // master → worker: liveness probe
+  kTagPong = 10,        // worker → master: liveness answer
+  kTagLeaseCheck = 11,  // master → itself (timer): evaluate a worker's lease
 };
 
 struct RenderTask {
@@ -64,6 +67,20 @@ struct ShrinkAck {
 
 std::string encode_shrink_ack(const ShrinkAck& ack);
 bool decode_shrink_ack(ShrinkAck* ack, const std::string& payload);
+
+/// Deferred self-message the master schedules (Context::send_after) when it
+/// assigns a task: fires at the lease deadline and names the worker and the
+/// assignment it covers, so checks for superseded assignments are dropped.
+struct LeaseCheck {
+  std::int32_t worker = -1;
+  std::int32_t task_id = -1;
+  /// 0 = first expiry (silent worker gets pinged), 1 = post-ping grace
+  /// expired (declare the worker dead).
+  std::uint8_t phase = 0;
+};
+
+std::string encode_lease_check(const LeaseCheck& check);
+bool decode_lease_check(LeaseCheck* check, const std::string& payload);
 
 struct FrameResult {
   std::int32_t task_id = -1;

@@ -1,7 +1,9 @@
 #include "src/par/render_farm.h"
 
+#include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "src/net/tcp_runtime.h"
 #include "src/net/thread_runtime.h"
@@ -17,17 +19,88 @@ const char* to_string(FarmBackend backend) {
   return "unknown";
 }
 
+namespace {
+
+int resolved_worker_count(const FarmConfig& config) {
+  return config.worker_speeds.empty()
+             ? config.workers
+             : static_cast<int>(config.worker_speeds.size());
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("FarmConfig: " + what);
+}
+
+}  // namespace
+
+void validate_farm_config(const AnimatedScene& scene,
+                          const FarmConfig& config) {
+  if (scene.width() < 1 || scene.height() < 1) {
+    fail("scene must be at least 1x1 pixels");
+  }
+  if (scene.frame_count() < 1) fail("scene must have at least 1 frame");
+  const int worker_count = resolved_worker_count(config);
+  if (worker_count < 1) {
+    fail("need at least 1 worker (workers or worker_speeds)");
+  }
+  for (const double s : config.worker_speeds) {
+    if (!std::isfinite(s) || s <= 0.0) {
+      fail("worker_speeds entries must be finite and > 0");
+    }
+  }
+  if (!std::isfinite(config.master_speed) || config.master_speed <= 0.0) {
+    fail("master_speed must be finite and > 0");
+  }
+  if (config.partition.block_size < 1) {
+    fail("partition.block_size must be >= 1");
+  }
+  if (config.partition.hybrid_frames < 1) {
+    fail("partition.hybrid_frames must be >= 1");
+  }
+  if (config.partition.min_split_frames < 1) {
+    fail("partition.min_split_frames must be >= 1");
+  }
+  if (config.fault.enabled) {
+    if (!(config.fault.lease_base_seconds > 0.0)) {
+      fail("fault.lease_base_seconds must be > 0 when fault.enabled");
+    }
+    if (config.fault.lease_per_frame_seconds < 0.0) {
+      fail("fault.lease_per_frame_seconds must be >= 0");
+    }
+    if (!(config.fault.ping_grace_seconds > 0.0)) {
+      fail("fault.ping_grace_seconds must be > 0 when fault.enabled");
+    }
+  }
+  if (!config.fault_plan.empty()) {
+    validate_fault_plan(config.fault_plan, worker_count + 1);
+    if (config.fault_plan.has_crashes() && !config.fault.enabled) {
+      fail("fault_plan contains crashes but fault.enabled is false; the "
+           "master would wait forever on the crashed rank");
+    }
+    if (config.backend != FarmBackend::kSim) {
+      for (const FaultEvent& ev : config.fault_plan.events) {
+        if (ev.kind == FaultKind::kSlowdown) {
+          fail("slowdown faults scale simulated compute charges and are "
+               "only meaningful on the kSim backend");
+        }
+      }
+    }
+  }
+}
+
 FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
+  validate_farm_config(scene, config);
+
   std::vector<double> speeds = config.worker_speeds;
   if (speeds.empty()) {
     speeds.assign(static_cast<std::size_t>(config.workers), 1.0);
   }
   const int worker_count = static_cast<int>(speeds.size());
-  if (worker_count < 1) throw std::invalid_argument("need at least 1 worker");
 
   MasterConfig master_config;
   master_config.partition = config.partition;
   master_config.cost = config.cost;
+  master_config.fault = config.fault;
   master_config.output_dir = config.output_dir;
   master_config.output_prefix = config.output_prefix;
   RenderMaster master(scene, master_config);
@@ -46,6 +119,10 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   actors.push_back(&master);
   for (auto& w : workers) actors.push_back(w.get());
 
+  // Crash-after-N-frames triggers count the rank's frame-result sends.
+  FaultPlan fault_plan = config.fault_plan;
+  fault_plan.progress_tag = kTagFrameResult;
+
   FarmResult result;
   switch (config.backend) {
     case FarmBackend::kSim: {
@@ -54,18 +131,19 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
       sim_config.speeds.insert(sim_config.speeds.end(), speeds.begin(),
                                speeds.end());
       sim_config.ethernet = config.ethernet;
+      sim_config.fault_plan = fault_plan;
       SimRuntime runtime(std::move(sim_config));
       result.sim = runtime.run_sim(actors);
       result.runtime = result.sim;
       break;
     }
     case FarmBackend::kThreads: {
-      ThreadRuntime runtime;
+      ThreadRuntime runtime(fault_plan);
       result.runtime = runtime.run(actors);
       break;
     }
     case FarmBackend::kTcp: {
-      TcpRuntime runtime;
+      TcpRuntime runtime(fault_plan);
       result.runtime = runtime.run(actors);
       break;
     }
@@ -74,6 +152,7 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   result.frames = master.frames();
   result.master = master.report();
   for (auto& w : workers) result.workers.push_back(w->report());
+  result.faults = master.fault_report();
   return result;
 }
 

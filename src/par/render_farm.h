@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_plan.h"
+#include "src/fault/fault_tolerance.h"
 #include "src/par/master.h"
 #include "src/par/worker.h"
 #include "src/sim/sim_runtime.h"
@@ -39,6 +41,14 @@ struct FarmConfig {
   CoherenceOptions coherence;
   CostModel cost;
   bool sparse_returns = true;
+  /// Deterministic fault schedule injected into the chosen runtime (worker
+  /// ranks are 1-based; rank 0 is the master and cannot fault). Slowdown
+  /// events require kSim; crash events require fault.enabled, or the run
+  /// would wait forever on a rank that will never answer.
+  FaultPlan fault_plan;
+  /// Master-side failure detection and recovery (leases, pings,
+  /// reassignment). Off by default: zero overhead, no timers.
+  FaultToleranceConfig fault;
   std::string output_dir;  // per-frame targa output ("" = keep in memory)
   std::string output_prefix = "frame";
 };
@@ -49,8 +59,15 @@ struct FarmResult {
   RuntimeStats runtime;
   MasterReport master;
   std::vector<WorkerReport> workers;
+  FaultReport faults;   // detection / recovery accounting (master's view)
   SimRuntimeStats sim;  // populated for kSim only
 };
+
+/// Validates `config` against `scene` and throws std::invalid_argument with
+/// a descriptive message on the first violation. render_farm() calls this
+/// up front; it is exposed so callers can validate without running.
+void validate_farm_config(const AnimatedScene& scene,
+                          const FarmConfig& config);
 
 FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config);
 

@@ -15,7 +15,9 @@ void RenderWorker::on_message(Context& ctx, const Message& msg) {
       RenderTask task;
       const bool ok = decode_task(&task, msg.payload);
       assert(ok);
-      if (ok) start_task(ctx, task);
+      // A duplicated assignment while busy is dropped, not asserted: under
+      // fault injection the master's message can legitimately arrive twice.
+      if (ok && !task_.has_value()) start_task(ctx, task);
       break;
     }
     case kTagContinue:
@@ -28,6 +30,9 @@ void RenderWorker::on_message(Context& ctx, const Message& msg) {
       if (ok) handle_shrink(ctx, req);
       break;
     }
+    case kTagPing:
+      ctx.send(0, kTagPong, {});
+      break;
     case kTagStop:
       break;  // the runtime winds down after the master's stop()
     default:

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
+
+#include "src/fault/fault_injector.h"
 
 namespace now {
 namespace {
@@ -32,6 +35,7 @@ class SimContext final : public Context {
   int rank() const override { return rank_; }
   int world_size() const override;
   void send(int dest, int tag, std::string payload) override;
+  void send_after(double delay_seconds, int tag, std::string payload) override;
   void charge(double seconds) override;
   double now() const override;
   void stop() override;
@@ -58,6 +62,10 @@ class SimState {
     local_time_.assign(n, 0.0);
     busy_.assign(n, 0.0);
     for (int rank = 0; rank < n; ++rank) contexts_.emplace_back(this, rank);
+    if (!config_.fault_plan.empty()) {
+      validate_fault_plan(config_.fault_plan, n);
+      injector_ = std::make_unique<FaultInjector>(config_.fault_plan, n);
+    }
   }
 
   SimRuntimeStats run() {
@@ -74,12 +82,18 @@ class SimState {
       SimEvent ev = queue_.top();
       queue_.pop();
       if (ev.kind == SimEvent::kNetworkEntry) {
-        const double deliver = ethernet_.transmit(
+        double deliver = ethernet_.transmit(
             ev.time, static_cast<std::int64_t>(ev.msg.payload.size()));
+        if (injector_) {
+          deliver += injector_->delivery_delay(ev.dest, ev.time);
+        }
         queue_.push(SimEvent{deliver, next_seq_++, SimEvent::kDelivery,
                              ev.dest, std::move(ev.msg)});
         continue;
       }
+      // A crashed rank is fail-stop inert: pending deliveries — including
+      // its own render-loop continuations — evaporate.
+      if (injector_ && injector_->crashed(ev.dest, ev.time)) continue;
       invoke_message(ev);
     }
 
@@ -92,6 +106,11 @@ class SimState {
     stats.bytes = cross_bytes_;
     stats.ethernet_busy_seconds = ethernet_.busy_seconds();
     stats.ethernet_contention_seconds = ethernet_.contention_seconds();
+    if (injector_) {
+      stats.fault_crashes = injector_->crashes_triggered();
+      stats.fault_dropped_messages = injector_->messages_dropped();
+      stats.fault_duplicated_messages = injector_->messages_duplicated();
+    }
     return stats;
   }
 
@@ -100,20 +119,40 @@ class SimState {
 
   void send(int src, double send_time, int dest, int tag,
             std::string payload) {
+    if (injector_ && injector_->crashed(src, send_time)) return;
     if (dest == src) {  // self-continuation: no network
       queue_.push(SimEvent{send_time, next_seq_++, SimEvent::kDelivery, dest,
                            Message{src, tag, std::move(payload)}});
       return;
     }
-    cross_bytes_ += static_cast<std::int64_t>(payload.size());
-    ++cross_messages_;
+    int copies = 1;
+    if (injector_) {
+      const FaultInjector::SendFaults f =
+          injector_->on_send(src, dest, tag, send_time);
+      if (f.drop) return;
+      if (f.duplicate) copies = 2;
+    }
     // Two-phase network hop: a handler may have advanced its local clock far
     // past events still queued for other ranks, so the Ethernet medium must
     // be acquired when global virtual time actually reaches the send time —
     // not at handler-execution time — or contention would be fabricated
     // between messages that are minutes apart.
-    queue_.push(SimEvent{send_time, next_seq_++, SimEvent::kNetworkEntry, dest,
-                         Message{src, tag, std::move(payload)}});
+    for (int c = 0; c < copies; ++c) {
+      cross_bytes_ += static_cast<std::int64_t>(payload.size());
+      ++cross_messages_;
+      queue_.push(SimEvent{send_time, next_seq_++, SimEvent::kNetworkEntry,
+                           dest, Message{src, tag, payload}});
+    }
+  }
+
+  void send_self_delayed(int rank, double deliver_time, int tag,
+                         std::string payload) {
+    queue_.push(SimEvent{deliver_time, next_seq_++, SimEvent::kDelivery, rank,
+                         Message{rank, tag, std::move(payload)}});
+  }
+
+  double fault_charge_scale(int rank, double now) const {
+    return injector_ ? injector_->charge_scale(rank, now) : 1.0;
   }
 
   double scale(int rank, double reference_seconds) const {
@@ -144,6 +183,7 @@ class SimState {
   const SimConfig& config_;
   const std::vector<Actor*>& actors_;
   EthernetModel ethernet_;
+  std::unique_ptr<FaultInjector> injector_;
   std::priority_queue<SimEvent, std::vector<SimEvent>, EventLater> queue_;
   std::vector<SimContext> contexts_;
   std::vector<double> local_time_;
@@ -162,9 +202,17 @@ void SimContext::send(int dest, int tag, std::string payload) {
   state_->send(rank_, current_time, dest, tag, std::move(payload));
 }
 
+void SimContext::send_after(double delay_seconds, int tag,
+                            std::string payload) {
+  assert(delay_seconds >= 0.0);
+  state_->send_self_delayed(rank_, current_time + delay_seconds, tag,
+                            std::move(payload));
+}
+
 void SimContext::charge(double seconds) {
   assert(seconds >= 0.0);
-  const double scaled = state_->scale(rank_, seconds);
+  const double scaled = state_->scale(rank_, seconds) *
+                        state_->fault_charge_scale(rank_, current_time);
   current_time += scaled;
   state_->add_busy(rank_, scaled);
 }

@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/fault/fault_plan.h"
 #include "src/net/runtime.h"
 #include "src/sim/ethernet.h"
 
@@ -24,6 +25,10 @@ struct SimConfig {
   /// count handed to run().
   std::vector<double> speeds;
   EthernetParams ethernet;
+  /// Deterministic fault schedule (crashes, drops, duplicates, delay
+  /// spikes, slowdowns), injected as discrete events: replaying the same
+  /// plan yields bit-identical virtual-time results.
+  FaultPlan fault_plan;
   /// Safety valve against protocol bugs: abort after this many events.
   std::int64_t max_events = 500'000'000;
 };
@@ -33,6 +38,10 @@ struct SimRuntimeStats : RuntimeStats {
   double ethernet_contention_seconds = 0.0;
   std::vector<double> rank_busy_seconds;  // compute time charged per rank
   std::vector<double> rank_finish_time;   // local clock at shutdown
+  // Fault injection accounting (zero when no plan was configured).
+  int fault_crashes = 0;
+  std::int64_t fault_dropped_messages = 0;
+  std::int64_t fault_duplicated_messages = 0;
 };
 
 class SimRuntime final : public Runtime {

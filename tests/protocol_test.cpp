@@ -39,6 +39,19 @@ TEST(Protocol, ShrinkAckRoundTrip) {
   EXPECT_EQ(out.honored_end_frame, -1);
 }
 
+TEST(Protocol, LeaseCheckRoundTrip) {
+  LeaseCheck check;
+  check.worker = 3;
+  check.task_id = 41;
+  check.phase = 1;
+  LeaseCheck out;
+  ASSERT_TRUE(decode_lease_check(&out, encode_lease_check(check)));
+  EXPECT_EQ(out.worker, 3);
+  EXPECT_EQ(out.task_id, 41);
+  EXPECT_EQ(out.phase, 1);
+  EXPECT_FALSE(decode_lease_check(&out, "garbage"));
+}
+
 TEST(Protocol, FrameResultRoundTripDense) {
   Framebuffer fb(16, 16);
   fb.set(3, 3, Rgb8{1, 2, 3});

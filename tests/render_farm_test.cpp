@@ -161,6 +161,81 @@ TEST(RenderFarm, AdaptiveSplitsHappenUnderHeterogeneity) {
   expect_frames_equal(result.frames, ref, "adaptive");
 }
 
+TEST(RenderFarm, PaperSpeedMixRebalancesAndStaysExact) {
+  // The paper's machine mix — one fast SGI and two at half speed — on
+  // sequence division: the fast worker must steal work, and the stolen
+  // ranges' full-render restarts must not perturb a single pixel.
+  const AnimatedScene scene = orbit_scene(3, 12, 48, 36);
+  FarmConfig config;
+  config.backend = FarmBackend::kSim;
+  config.worker_speeds = {1.0, 0.5, 0.5};
+  config.partition.scheme = PartitionScheme::kSequenceDivision;
+  config.partition.adaptive = true;
+  config.partition.min_split_frames = 2;
+
+  const FarmResult result = render_farm(scene, config);
+  EXPECT_GT(result.master.adaptive_splits, 0);
+  const auto ref = reference_frames(scene, config.coherence.trace);
+  expect_frames_equal(result.frames, ref, "paper-speed-mix");
+}
+
+TEST(RenderFarm, ValidatesConfigUpFront) {
+  const AnimatedScene scene = orbit_scene(2, 4, 32, 24);
+  const FarmConfig good;
+  EXPECT_NO_THROW(validate_farm_config(scene, good));
+
+  FarmConfig bad = good;
+  bad.workers = 0;
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  bad = good;
+  bad.worker_speeds = {1.0, 0.0};
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  bad = good;
+  bad.master_speed = -1.0;
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  bad = good;
+  bad.partition.block_size = 0;
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  bad = good;
+  bad.partition.hybrid_frames = 0;
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  bad = good;
+  bad.partition.min_split_frames = 0;
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  bad = good;
+  bad.fault.enabled = true;
+  bad.fault.lease_base_seconds = 0.0;
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  // Crash faults without detection enabled would hang the run: refused.
+  bad = good;
+  bad.workers = 2;
+  bad.fault_plan.events.push_back(FaultPlan::crash_at(1, 5.0));
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  // Faulting the master (rank 0) or an out-of-range rank: refused.
+  bad = good;
+  bad.workers = 2;
+  bad.fault.enabled = true;
+  bad.fault_plan.events.push_back(FaultPlan::crash_at(0, 5.0));
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+  bad.fault_plan.events.back() = FaultPlan::crash_at(3, 5.0);
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+
+  // Slowdown windows are sim-only.
+  bad = good;
+  bad.backend = FarmBackend::kThreads;
+  bad.fault_plan.events.push_back(
+      FaultPlan::slowdown_window(1, 0.0, 1.0, 0.5));
+  EXPECT_THROW(render_farm(scene, bad), std::invalid_argument);
+}
+
 TEST(RenderFarm, AdaptiveBeatsStaticOnHeterogeneousSequenceDivision) {
   // Coherence off isolates the scheduler: every frame costs the same, so
   // work stolen from the slow worker is pure win.

@@ -42,6 +42,7 @@ int run(bool quick) {
               "sequence division\n\n", scene.frame_count());
 
   const FarmResult clean = render_farm(scene, base_config());
+  bench::record_farm_metrics("deaths.0.", clean.metrics);
 
   std::printf("%-8s %12s %9s %8s %9s %10s %12s %12s\n", "deaths", "elapsed",
               "overhead", "tasks", "frames", "detect", "restarts",
@@ -63,6 +64,8 @@ int run(bool quick) {
           FaultPlan::crash_after_frames(w, base_kill + w - 1));
     }
     const FarmResult r = render_farm(scene, config);
+    bench::record_farm_metrics("deaths." + std::to_string(deaths) + ".",
+                               r.metrics);
     const double overhead =
         100.0 * (r.elapsed_seconds - clean.elapsed_seconds) /
         clean.elapsed_seconds;
@@ -88,6 +91,8 @@ int run(bool quick) {
 }  // namespace now
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  return now::run(quick);
+  const now::bench::BenchOptions opts =
+      now::bench::parse_bench_options(argc, argv);
+  const int rc = now::run(opts.quick);
+  return rc != 0 ? rc : now::bench::finish_bench(opts);
 }

@@ -49,10 +49,12 @@ void run_balance(const char* title, PartitionScheme scheme, bool quick) {
               static_cast<long long>(r.master.adaptive_splits));
   double busy_sum = 0.0;
   double busy_max = 0.0;
-  for (std::size_t w = 1; w < r.sim.rank_busy_seconds.size(); ++w) {
-    const double busy = r.sim.rank_busy_seconds[w];
+  const int n = static_cast<int>(config.worker_speeds.size());
+  for (int w = 1; w <= n; ++w) {
+    const double busy =
+        r.metrics.gauge("rank." + std::to_string(w) + ".busy_seconds");
     const double util = busy / r.elapsed_seconds;
-    std::printf("  worker %zu (speed %.2f): busy %s  util %5.1f%%  "
+    std::printf("  worker %d (speed %.2f): busy %s  util %5.1f%%  "
                 "region-frames %lld\n",
                 w, config.worker_speeds[w - 1], bench::hms(busy).c_str(),
                 100.0 * util,
@@ -60,9 +62,9 @@ void run_balance(const char* title, PartitionScheme scheme, bool quick) {
     busy_sum += busy;
     busy_max = std::max(busy_max, busy);
   }
-  const int n = static_cast<int>(r.sim.rank_busy_seconds.size()) - 1;
   std::printf("  load imbalance (max/mean busy): %.3f\n",
               busy_max / (busy_sum / n));
+  bench::record_farm_metrics(std::string(to_string(scheme)) + ".", r.metrics);
 }
 
 int run(bool quick) {
@@ -99,6 +101,8 @@ int run(bool quick) {
 }  // namespace now
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  return now::run(quick);
+  const now::bench::BenchOptions opts =
+      now::bench::parse_bench_options(argc, argv);
+  const int rc = now::run(opts.quick);
+  return rc != 0 ? rc : now::bench::finish_bench(opts);
 }

@@ -56,7 +56,10 @@ int run(bool quick) {
                     : "-",
                 static_cast<long long>(r.runtime.messages),
                 static_cast<double>(r.runtime.bytes) / 1e6,
-                bench::hms(r.sim.ethernet_busy_seconds).c_str());
+                bench::hms(r.metrics.gauge("sim.ethernet_busy_seconds"))
+                    .c_str());
+    bench::record_farm_metrics("block." + std::to_string(block) + ".",
+                               r.metrics);
   }
   std::printf("\n* speedup relative to whole-frame blocks (single region "
               "spanning the image)\n");
@@ -70,6 +73,8 @@ int run(bool quick) {
 }  // namespace now
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  return now::run(quick);
+  const now::bench::BenchOptions opts =
+      now::bench::parse_bench_options(argc, argv);
+  const int rc = now::run(opts.quick);
+  return rc != 0 ? rc : now::bench::finish_bench(opts);
 }

@@ -1,7 +1,15 @@
 // Google-benchmark microbenchmarks for the hot inner loops: primitive
 // intersection, DDA grid traversal, coherence marking/collection, the
 // pixel codec and the wire format.
+//
+// Shares the bench-suite flag contract: --metrics-out FILE maps onto
+// google-benchmark's JSON reporter, --quick trims the per-benchmark
+// measurement time for CI smoke runs.
 #include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include "src/core/coherence_grid.h"
 #include "src/geom/cylinder.h"
@@ -179,4 +187,25 @@ BENCHMARK(BM_RenderNewtonFrame)->Arg(80)->Arg(160)->Unit(benchmark::kMillisecond
 }  // namespace
 }  // namespace now
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.push_back("--benchmark_out_format=json");
+    } else if (arg == "--quick") {
+      args.push_back("--benchmark_min_time=0.05");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> cargv;
+  for (std::string& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

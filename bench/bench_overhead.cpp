@@ -25,9 +25,11 @@ int run(bool quick) {
   const PixelRect full{0, 0, scene.width(), scene.height()};
   const CostModel cost;
 
-  const auto render_first = [&](bool coherence, FrameRenderResult* out) {
+  const auto render_first = [&](bool coherence, MetricsRegistry* metrics,
+                                FrameRenderResult* out) {
     CoherenceOptions options;
     options.enabled = coherence;
+    options.metrics = metrics;
     CoherentRenderer renderer(scene, full, options);
     Framebuffer fb(scene.width(), scene.height());
     const auto t0 = std::chrono::steady_clock::now();
@@ -36,9 +38,13 @@ int run(bool quick) {
     return std::chrono::duration<double>(t1 - t0).count();
   };
 
-  FrameRenderResult with_fc, without_fc;
-  const double wall_fc = render_first(true, &with_fc);
-  const double wall_plain = render_first(false, &without_fc);
+  FrameRenderResult with_fc, without_fc, with_obs;
+  const double wall_fc = render_first(true, nullptr, &with_fc);
+  const double wall_plain = render_first(false, nullptr, &without_fc);
+  // Observability acceptance: rendering against a *disabled* registry must
+  // be indistinguishable from rendering with no registry at all (<2%).
+  MetricsRegistry disabled(false);
+  const double wall_obs_off = render_first(true, &disabled, &with_obs);
 
   const double ray_cost =
       static_cast<double>(with_fc.stats.total_rays()) * cost.seconds_per_ray;
@@ -76,7 +82,22 @@ int run(bool quick) {
   std::printf("  without           %7.3f s\n", wall_plain);
   std::printf("  real overhead     %6.1f%%\n",
               100.0 * (wall_fc - wall_plain) / wall_fc);
+  const double obs_pct = 100.0 * (wall_obs_off - wall_fc) / wall_fc;
+  std::printf("  disabled metrics  %7.3f s  (%+.1f%% vs no registry)\n",
+              wall_obs_off, obs_pct);
   std::printf("\npaper reference: 12%% of first-frame generation time\n");
+
+  MetricsRegistry& reg = bench::bench_registry();
+  reg.counter("overhead.rays").inc(with_fc.stats.total_rays());
+  reg.counter("overhead.voxels_marked")
+      .inc(static_cast<std::uint64_t>(with_fc.voxels_marked));
+  reg.gauge("overhead.wall_with_coherence_seconds").set(wall_fc);
+  reg.gauge("overhead.wall_without_coherence_seconds").set(wall_plain);
+  reg.gauge("overhead.wall_disabled_registry_seconds").set(wall_obs_off);
+  reg.gauge("overhead.coherence_pct")
+      .set(100.0 * (wall_fc - wall_plain) / wall_fc);
+  reg.gauge("overhead.disabled_registry_pct").set(obs_pct);
+  reg.gauge("overhead.virtual_mark_pct").set(100.0 * mark_cost / total);
   return 0;
 }
 
@@ -84,6 +105,8 @@ int run(bool quick) {
 }  // namespace now
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  return now::run(quick);
+  const now::bench::BenchOptions opts =
+      now::bench::parse_bench_options(argc, argv);
+  const int rc = now::run(opts.quick);
+  return rc != 0 ? rc : now::bench::finish_bench(opts);
 }

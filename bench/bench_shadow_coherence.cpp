@@ -117,6 +117,8 @@ int run(bool quick) {
 }  // namespace now
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  return now::run(quick);
+  const now::bench::BenchOptions opts =
+      now::bench::parse_bench_options(argc, argv);
+  const int rc = now::run(opts.quick);
+  return rc != 0 ? rc : now::bench::finish_bench(opts);
 }

@@ -164,11 +164,15 @@ int run(bool quick) {
         static_cast<long long>(r.master.full_renders),
         static_cast<long long>(r.runtime.messages),
         static_cast<double>(r.runtime.bytes) / 1e6,
-        bench::hms(r.sim.ethernet_contention_seconds).c_str());
+        bench::hms(r.metrics.gauge("sim.ethernet_contention_seconds"))
+            .c_str());
   };
   detail("(4) distrib", dist_plain);
   detail("(6) seq div", dist_seq);
   detail("(8) frame div", dist_frame);
+  bench::record_farm_metrics("distrib.", dist_plain.metrics);
+  bench::record_farm_metrics("seqdiv.", dist_seq.metrics);
+  bench::record_farm_metrics("framediv.", dist_frame.metrics);
 
   std::printf("\npaper reference: rays 21,970,900 -> ~4.4M (/5); total "
               "2:55:51 -> x3 (FC), x2 (distrib), x5 (seq), x7 (frame)\n");
@@ -179,6 +183,8 @@ int run(bool quick) {
 }  // namespace now
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  return now::run(quick);
+  const now::bench::BenchOptions opts =
+      now::bench::parse_bench_options(argc, argv);
+  const int rc = now::run(opts.quick);
+  return rc != 0 ? rc : now::bench::finish_bench(opts);
 }

@@ -1,14 +1,80 @@
 // Shared helpers for the experiment-reproduction benchmark binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/par/serial.h"
 #include "src/scene/builtin_scenes.h"
 
 namespace now::bench {
+
+/// Command-line contract shared by every bench binary:
+///   --quick            smoke-sized workload (CI)
+///   --metrics-out FILE write the bench's metrics snapshot as JSON
+struct BenchOptions {
+  bool quick = false;
+  std::string metrics_out;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+};
+
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      opts.metrics_out = argv[++i];
+    }
+  }
+  return opts;
+}
+
+/// Process-wide registry the bench records its headline numbers into.
+inline MetricsRegistry& bench_registry() {
+  static MetricsRegistry registry(true);
+  return registry;
+}
+
+/// Fold a farm run's metrics snapshot into the bench registry under a
+/// prefix, so one bench can record several configurations side by side.
+/// (Histograms are not merged; benches read them from FarmResult directly.)
+inline void record_farm_metrics(const std::string& prefix,
+                                const MetricsSnapshot& snap) {
+  MetricsRegistry& reg = bench_registry();
+  for (const auto& [name, value] : snap.counters) {
+    reg.counter(prefix + name).inc(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    reg.gauge(prefix + name).set(value);
+  }
+}
+
+/// Write the registry snapshot to --metrics-out (no-op without the flag).
+/// Returns the bench's exit code.
+inline int finish_bench(const BenchOptions& opts) {
+  if (opts.metrics_out.empty()) return 0;
+  MetricsRegistry& reg = bench_registry();
+  reg.gauge("bench.quick").set(opts.quick ? 1.0 : 0.0);
+  reg.gauge("bench.wall_seconds")
+      .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         opts.start)
+               .count());
+  std::ofstream f(opts.metrics_out, std::ios::binary);
+  f << reg.snapshot().to_json();
+  if (!f.good()) {
+    std::fprintf(stderr, "failed to write %s\n", opts.metrics_out.c_str());
+    return 1;
+  }
+  std::printf("metrics written to %s\n", opts.metrics_out.c_str());
+  return 0;
+}
 
 /// The paper's workload: the first Newton rendering run — 45 frames at
 /// 76,800 pixels per frame (we use 320×240), 24-bit targa, ray depth 5.

@@ -4,6 +4,14 @@
 //   $ ./render_farm_cli scene.scene [--backend sim|threads|tcp]
 //        [--scheme seq|frame|hybrid] [--workers N] [--speeds a,b,c]
 //        [--block N] [--no-coherence] [--out DIR]
+//        [--trace-out FILE] [--metrics-out FILE] [--report]
+//
+// Observability: --trace-out writes a Chrome trace-event JSON file (open it
+// in Perfetto / chrome://tracing; under --backend sim the file is
+// byte-identical across runs), --metrics-out writes the metrics snapshot as
+// JSON, and --report prints the per-worker busy/comm/idle utilization table.
+// The trace file is validated before writing; an invalid trace is a bug and
+// exits non-zero.
 //
 // With --backend threads or tcp, rendering runs with real parallelism on
 // this machine (wall-clock timing); with sim (default) it runs on the
@@ -14,6 +22,7 @@
 // algorithm's requirement, Section 3 of the paper).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -38,6 +47,12 @@ std::vector<double> parse_speeds(const std::string& csv) {
   return out;
 }
 
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream f(path, std::ios::binary);
+  f << contents;
+  return f.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,6 +65,9 @@ int main(int argc, char** argv) {
   config.backend = FarmBackend::kSim;
   config.workers = 3;
   std::string out_dir = ".";
+  std::string trace_path;
+  std::string metrics_path;
+  bool report = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,6 +93,12 @@ int main(int argc, char** argv) {
       config.coherence.enabled = false;
     } else if (arg == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--report") {
+      report = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -109,6 +133,7 @@ int main(int argc, char** argv) {
 
   config.output_dir = out_dir;
   config.output_prefix = "farm";
+  config.obs.trace = !trace_path.empty() || report;
   try {
     validate_farm_config(scene, config);
   } catch (const std::invalid_argument& e) {
@@ -129,5 +154,37 @@ int main(int argc, char** argv) {
               static_cast<double>(result.runtime.bytes) / 1e6,
               static_cast<long long>(result.master.adaptive_splits));
   std::printf("frames written to %s/farm_NNNN.tga\n", out_dir.c_str());
+
+  if (!trace_path.empty()) {
+    const std::string json = chrome_trace_json(result.trace_events);
+    std::string error;
+    if (!validate_chrome_trace(json, &error)) {
+      std::fprintf(stderr, "trace validation failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (!write_file(trace_path, json)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (load in Perfetto or "
+                "chrome://tracing)\n",
+                result.trace_events.size(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const std::string json = result.metrics.to_json();
+    std::string error;
+    if (!json_syntax_ok(json, &error)) {
+      std::fprintf(stderr, "metrics JSON invalid: %s\n", error.c_str());
+      return 1;
+    }
+    if (!write_file(metrics_path, json)) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", metrics_path.c_str());
+  }
+  if (report) {
+    std::printf("\n%s", result.utilization.to_text().c_str());
+  }
   return 0;
 }

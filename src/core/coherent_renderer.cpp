@@ -25,6 +25,16 @@ CoherentRenderer::CoherentRenderer(const AnimatedScene& scene,
   grid_ = std::make_unique<CoherenceGrid>(voxels, region);
   recorder_ =
       std::make_unique<RayRecorder>(grid_.get(), options_.record_shadow_rays);
+  if (options_.metrics != nullptr) {
+    metric_full_renders_ = &options_.metrics->counter("coherence.full_renders");
+    metric_incremental_renders_ =
+        &options_.metrics->counter("coherence.incremental_renders");
+    metric_pixels_recomputed_ =
+        &options_.metrics->counter("coherence.pixels_recomputed");
+    metric_voxels_marked_ =
+        &options_.metrics->counter("coherence.voxels_marked");
+    metric_dirty_voxels_ = &options_.metrics->counter("coherence.dirty_voxels");
+  }
 }
 
 void CoherentRenderer::rebuild_frame_state(int frame) {
@@ -53,6 +63,15 @@ FrameRenderResult CoherentRenderer::render_frame(int frame, Framebuffer* fb) {
     result = full_render(fb);
   }
   last_frame_ = frame;
+  if (options_.metrics != nullptr) {
+    (result.full_render ? metric_full_renders_ : metric_incremental_renders_)
+        ->inc();
+    metric_pixels_recomputed_->inc(
+        static_cast<std::uint64_t>(result.pixels_recomputed));
+    metric_voxels_marked_->inc(
+        static_cast<std::uint64_t>(result.voxels_marked));
+    metric_dirty_voxels_->inc(static_cast<std::uint64_t>(result.dirty_voxels));
+  }
   return result;
 }
 

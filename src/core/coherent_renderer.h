@@ -27,6 +27,7 @@
 #include "src/core/change_detector.h"
 #include "src/core/coherence_grid.h"
 #include "src/core/ray_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/scene/animated_scene.h"
 #include "src/trace/render.h"
 #include "src/trace/uniform_grid.h"
@@ -52,6 +53,10 @@ struct CoherenceOptions {
 
   /// Explicit coherence grid override (resolution-sweep benchmarks).
   std::optional<VoxelGrid> grid_override;
+
+  /// Optional metrics sink: per-frame coherence counters (coherence.*) are
+  /// published here. Null = no instrumentation, zero overhead.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct FrameRenderResult {
@@ -103,6 +108,14 @@ class CoherentRenderer {
 
   std::unique_ptr<CoherenceGrid> grid_;
   std::unique_ptr<RayRecorder> recorder_;
+
+  // Cached instruments (null when options_.metrics is null): the registry
+  // lookup by name happens once at construction, not per frame.
+  Counter* metric_full_renders_ = nullptr;
+  Counter* metric_incremental_renders_ = nullptr;
+  Counter* metric_pixels_recomputed_ = nullptr;
+  Counter* metric_voxels_marked_ = nullptr;
+  Counter* metric_dirty_voxels_ = nullptr;
 
   int last_frame_ = -1;
   World world_;                                   // world of last_frame_

@@ -4,8 +4,9 @@
 
 namespace now {
 
-FaultInjector::FaultInjector(FaultPlan plan, int world_size)
-    : plan_(std::move(plan)) {
+FaultInjector::FaultInjector(FaultPlan plan, int world_size,
+                             EventTracer* tracer)
+    : plan_(std::move(plan)), tracer_(tracer) {
   assert(world_size >= 1);
   ranks_.assign(static_cast<std::size_t>(world_size), {});
   event_matches_.assign(plan_.events.size(), 0);
@@ -26,6 +27,7 @@ bool FaultInjector::crashed_locked(int rank, double now) {
         now >= e.at_time) {
       state.crashed = true;
       ++crashes_;
+      if (tracer_) tracer_->instant(rank, "fault", "fault.crash", now);
       return true;
     }
   }
@@ -48,6 +50,7 @@ FaultInjector::SendFaults FaultInjector::on_send(int src, int /*dest*/,
             e.after_frames >= 0 && state.progress_sends >= e.after_frames) {
           state.crashed = true;
           ++crashes_;
+          if (tracer_) tracer_->instant(src, "fault", "fault.crash", now);
           break;
         }
       }
@@ -67,12 +70,17 @@ FaultInjector::SendFaults FaultInjector::on_send(int src, int /*dest*/,
     if (e.kind == FaultKind::kDropMessage) {
       out.drop = true;
       ++dropped_;
+      if (tracer_) {
+        tracer_->instant(src, "fault", "fault.drop", now, {{"tag", tag}});
+      }
     } else {
       out.duplicate = true;
       ++duplicated_;
+      if (tracer_) {
+        tracer_->instant(src, "fault", "fault.duplicate", now, {{"tag", tag}});
+      }
     }
   }
-  (void)now;
   return out;
 }
 
@@ -113,6 +121,16 @@ std::int64_t FaultInjector::messages_dropped() const {
 std::int64_t FaultInjector::messages_duplicated() const {
   std::lock_guard<std::mutex> lock(mu_);
   return duplicated_;
+}
+
+void FaultInjector::export_metrics(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  registry->counter("fault.crashes").inc(static_cast<std::uint64_t>(crashes_));
+  registry->counter("fault.messages_dropped")
+      .inc(static_cast<std::uint64_t>(dropped_));
+  registry->counter("fault.messages_duplicated")
+      .inc(static_cast<std::uint64_t>(duplicated_));
 }
 
 }  // namespace now

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "src/fault/fault_plan.h"
+#include "src/obs/event_trace.h"
+#include "src/obs/metrics.h"
 
 namespace now {
 
@@ -36,7 +38,9 @@ class FaultInjector {
     bool duplicate = false;
   };
 
-  FaultInjector(FaultPlan plan, int world_size);
+  /// `tracer` (optional) receives an instant event for every injected fault
+  /// — crash, drop, duplicate — on the affected rank's timeline.
+  FaultInjector(FaultPlan plan, int world_size, EventTracer* tracer = nullptr);
 
   /// True once `rank` is crashed; evaluates pending at_time triggers.
   bool crashed(int rank, double now);
@@ -53,11 +57,16 @@ class FaultInjector {
   std::int64_t messages_dropped() const;
   std::int64_t messages_duplicated() const;
 
+  /// Publishes the fault counters (fault.crashes, fault.messages_dropped,
+  /// fault.messages_duplicated) into `registry`.
+  void export_metrics(MetricsRegistry* registry) const;
+
  private:
   bool crashed_locked(int rank, double now);
 
   mutable std::mutex mu_;
   FaultPlan plan_;
+  EventTracer* tracer_;
   struct RankState {
     bool crashed = false;
     std::int64_t progress_sends = 0;  // messages with plan_.progress_tag

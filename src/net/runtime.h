@@ -17,8 +17,19 @@
 #include <vector>
 
 #include "src/net/message.h"
+#include "src/obs/event_trace.h"
+#include "src/obs/metrics.h"
 
 namespace now {
+
+/// Optional observability sinks a runtime records into: cross-rank message
+/// send/recv events (with byte counts) go to `tracer`, and end-of-run
+/// runtime statistics (net.*, rank.*, fault.*) go to `metrics`. Null
+/// pointers disable the corresponding instrumentation entirely.
+struct RuntimeObs {
+  EventTracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
 
 class Context {
  public:

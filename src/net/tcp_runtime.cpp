@@ -124,7 +124,7 @@ class TcpContext final : public Context {
              std::atomic<std::int64_t>* bytes,
              std::chrono::steady_clock::time_point epoch,
              FaultInjector* injector, TimerQueue* timers,
-             const std::function<void(int)>* kill_rank)
+             const std::function<void(int)>* kill_rank, EventTracer* tracer)
       : rank_(rank),
         world_size_(world_size),
         own_mailbox_(own_mailbox),
@@ -137,7 +137,8 @@ class TcpContext final : public Context {
         epoch_(epoch),
         injector_(injector),
         timers_(timers),
-        kill_rank_(kill_rank) {}
+        kill_rank_(kill_rank),
+        tracer_(tracer) {}
 
   int rank() const override { return rank_; }
   int world_size() const override { return world_size_; }
@@ -172,11 +173,22 @@ class TcpContext final : public Context {
       const int fd =
           rank_ == 0 ? (*socket_of_rank_)[dest] : (*socket_of_rank_)[rank_];
       const Message msg{rank_, tag, std::move(payload)};
-      // One writer lock per rank keeps frames from interleaving when the
-      // master's handler and shutdown race. A failed write (severed peer)
-      // is deliberately ignored: the lease protocol owns recovery.
-      std::lock_guard<std::mutex> lock(*send_mu_);
-      for (int c = 0; c < copies; ++c) tcp_write_message(fd, msg);
+      const std::int64_t frame_bytes =
+          static_cast<std::int64_t>(msg.payload.size());
+      {
+        // One writer lock per rank keeps frames from interleaving when the
+        // master's handler and shutdown race. A failed write (severed peer)
+        // is deliberately ignored: the lease protocol owns recovery.
+        std::lock_guard<std::mutex> lock(*send_mu_);
+        for (int c = 0; c < copies; ++c) tcp_write_message(fd, msg);
+      }
+      if (tracer_ != nullptr) {
+        // Duration = time spent in the locked write path (queueing behind
+        // the lock + kernel copy), measured on the sender's timeline.
+        tracer_->complete(rank_, "net", "net.send", t, now() - t,
+                          {{"dest", dest}, {"tag", tag},
+                           {"bytes", frame_bytes}});
+      }
     }
     // An after_frames crash triggers on the send that delivered the N-th
     // frame result: that message goes out, then the rank dies.
@@ -217,6 +229,7 @@ class TcpContext final : public Context {
   FaultInjector* injector_;
   TimerQueue* timers_;
   const std::function<void(int)>* kill_rank_;
+  EventTracer* tracer_;
 };
 
 }  // namespace
@@ -296,8 +309,13 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
         .count();
   };
 
+  EventTracer* tracer = obs_.tracer;
+  if (tracer != nullptr && !tracer->enabled()) tracer = nullptr;
+
   std::unique_ptr<FaultInjector> injector;
-  if (!plan_.empty()) injector = std::make_unique<FaultInjector>(plan_, n);
+  if (!plan_.empty()) {
+    injector = std::make_unique<FaultInjector>(plan_, n, tracer);
+  }
 
   // Crash realization: sever both ends of the rank's connection, once.
   std::vector<std::once_flag> kill_once(static_cast<std::size_t>(n));
@@ -370,11 +388,18 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
       std::vector<int>& table = rank == 0 ? master_sockets : sockets;
       TcpContext ctx(rank, n, &mailboxes[rank], &table, &send_mus[rank],
                      &stop_flag, &mailboxes, &messages, &bytes, epoch,
-                     injector.get(), &timers, &kill_rank);
+                     injector.get(), &timers, &kill_rank, tracer);
       actors[rank]->on_start(ctx);
       Message msg;
       while (mailboxes[rank].pop(&msg)) {
         if (injector != nullptr && injector->crashed(rank, ctx.now())) continue;
+        if (tracer != nullptr && msg.source != rank) {
+          tracer->instant(
+              rank, "net", "net.recv", ctx.now(),
+              {{"src", msg.source},
+               {"tag", msg.tag},
+               {"bytes", static_cast<std::int64_t>(msg.payload.size())}});
+        }
         actors[rank]->on_message(ctx, msg);
       }
     });
@@ -397,6 +422,7 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   stats.elapsed_seconds = wall_now();
   stats.messages = messages.load();
   stats.bytes = bytes.load();
+  if (injector != nullptr) injector->export_metrics(obs_.metrics);
   return stats;
 }
 

@@ -36,14 +36,16 @@ class TcpRuntime final : public Runtime {
  public:
   TcpRuntime() = default;
   explicit TcpRuntime(TcpOptions options) : options_(options) {}
-  explicit TcpRuntime(FaultPlan plan, TcpOptions options = {})
-      : options_(options), plan_(std::move(plan)) {}
+  explicit TcpRuntime(FaultPlan plan, TcpOptions options = {},
+                      RuntimeObs obs = {})
+      : options_(options), plan_(std::move(plan)), obs_(obs) {}
 
   RuntimeStats run(const std::vector<Actor*>& actors) override;
 
  private:
   TcpOptions options_;
   FaultPlan plan_;
+  RuntimeObs obs_;
 };
 
 /// Frame helpers shared with the tests: [i32 source][i32 tag][u32 len][bytes].

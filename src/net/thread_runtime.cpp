@@ -83,7 +83,8 @@ class ThreadContext final : public Context {
                 std::atomic<bool>* stop_flag, std::atomic<std::int64_t>* messages,
                 std::atomic<std::int64_t>* bytes,
                 std::chrono::steady_clock::time_point epoch,
-                FaultInjector* injector, TimerQueue* timers)
+                FaultInjector* injector, TimerQueue* timers,
+                EventTracer* tracer)
       : rank_(rank),
         world_size_(world_size),
         mailboxes_(mailboxes),
@@ -92,7 +93,8 @@ class ThreadContext final : public Context {
         bytes_(bytes),
         epoch_(epoch),
         injector_(injector),
-        timers_(timers) {}
+        timers_(timers),
+        tracer_(tracer) {}
 
   int rank() const override { return rank_; }
   int world_size() const override { return world_size_; }
@@ -112,6 +114,15 @@ class ThreadContext final : public Context {
       messages_->fetch_add(copies, std::memory_order_relaxed);
       bytes_->fetch_add(copies * static_cast<std::int64_t>(payload.size()),
                         std::memory_order_relaxed);
+      if (tracer_ != nullptr) {
+        // In-process queues transfer instantly; an instant event still
+        // records who talked to whom, and how much.
+        tracer_->instant(rank_, "net", "net.send", t,
+                         {{"dest", dest},
+                          {"tag", tag},
+                          {"bytes",
+                           static_cast<std::int64_t>(payload.size())}});
+      }
     }
     const double delay =
         injector_ != nullptr ? injector_->delivery_delay(dest, t) : 0.0;
@@ -153,6 +164,7 @@ class ThreadContext final : public Context {
   std::chrono::steady_clock::time_point epoch_;
   FaultInjector* injector_;
   TimerQueue* timers_;
+  EventTracer* tracer_;
 };
 
 }  // namespace
@@ -165,8 +177,13 @@ RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
   std::atomic<std::int64_t> bytes{0};
   const auto epoch = std::chrono::steady_clock::now();
 
+  EventTracer* tracer = obs_.tracer;
+  if (tracer != nullptr && !tracer->enabled()) tracer = nullptr;
+
   std::unique_ptr<FaultInjector> injector;
-  if (!plan_.empty()) injector = std::make_unique<FaultInjector>(plan_, n);
+  if (!plan_.empty()) {
+    injector = std::make_unique<FaultInjector>(plan_, n, tracer);
+  }
 
   TimerQueue timers([&](int dest, Message msg) {
     if (dest < 0 || dest >= n) return;
@@ -182,12 +199,19 @@ RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([&, rank] {
       ThreadContext ctx(rank, n, &mailboxes, &stop_flag, &messages, &bytes,
-                        epoch, injector.get(), &timers);
+                        epoch, injector.get(), &timers, tracer);
       actors[rank]->on_start(ctx);
       Message msg;
       while (mailboxes[rank].pop(&msg)) {
         const double t = ctx.now();
         if (injector != nullptr && injector->crashed(rank, t)) continue;
+        if (tracer != nullptr && msg.source != rank) {
+          tracer->instant(
+              rank, "net", "net.recv", t,
+              {{"src", msg.source},
+               {"tag", msg.tag},
+               {"bytes", static_cast<std::int64_t>(msg.payload.size())}});
+        }
         actors[rank]->on_message(ctx, msg);
       }
     });
@@ -201,6 +225,7 @@ RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
           .count();
   stats.messages = messages.load();
   stats.bytes = bytes.load();
+  if (injector != nullptr) injector->export_metrics(obs_.metrics);
   return stats;
 }
 

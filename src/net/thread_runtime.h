@@ -80,12 +80,14 @@ class TimerQueue {
 class ThreadRuntime final : public Runtime {
  public:
   ThreadRuntime() = default;
-  explicit ThreadRuntime(FaultPlan plan) : plan_(std::move(plan)) {}
+  explicit ThreadRuntime(FaultPlan plan, RuntimeObs obs = {})
+      : plan_(std::move(plan)), obs_(obs) {}
 
   RuntimeStats run(const std::vector<Actor*>& actors) override;
 
  private:
   FaultPlan plan_;
+  RuntimeObs obs_;
 };
 
 }  // namespace now

@@ -1,0 +1,413 @@
+#include "src/obs/event_trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace now {
+
+void EventTracer::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void EventTracer::begin(int rank, const char* cat, const char* name, double ts,
+                        std::vector<TraceEvent::Arg> args) {
+  if (!enabled_) return;
+  record({TraceEvent::Phase::kBegin, rank, ts, 0.0, cat, name,
+          std::move(args)});
+}
+
+void EventTracer::end(int rank, const char* cat, const char* name, double ts,
+                      std::vector<TraceEvent::Arg> args) {
+  if (!enabled_) return;
+  record({TraceEvent::Phase::kEnd, rank, ts, 0.0, cat, name, std::move(args)});
+}
+
+void EventTracer::instant(int rank, const char* cat, const char* name,
+                          double ts, std::vector<TraceEvent::Arg> args) {
+  if (!enabled_) return;
+  record({TraceEvent::Phase::kInstant, rank, ts, 0.0, cat, name,
+          std::move(args)});
+}
+
+void EventTracer::complete(int rank, const char* cat, const char* name,
+                           double ts, double dur,
+                           std::vector<TraceEvent::Arg> args) {
+  if (!enabled_) return;
+  record({TraceEvent::Phase::kComplete, rank, ts, dur, cat, name,
+          std::move(args)});
+}
+
+std::size_t EventTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> EventTracer::sorted_events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.ts_seconds < b.ts_seconds;
+                   });
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[64];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"ph\": \"";
+    out.push_back(static_cast<char>(ev.phase));
+    out += "\", \"pid\": 0, \"tid\": ";
+    out += std::to_string(ev.rank);
+    // Chrome expects microseconds; three decimals keeps nanosecond detail
+    // while staying a fixed-width deterministic rendering.
+    std::snprintf(buf, sizeof(buf), "%.3f", ev.ts_seconds * 1e6);
+    out += ", \"ts\": ";
+    out += buf;
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      std::snprintf(buf, sizeof(buf), "%.3f", ev.dur_seconds * 1e6);
+      out += ", \"dur\": ";
+      out += buf;
+    }
+    if (ev.phase == TraceEvent::Phase::kInstant) out += ", \"s\": \"t\"";
+    out += ", \"cat\": \"";
+    out += ev.cat;
+    out += "\", \"name\": \"";
+    out += ev.name;
+    out += "\"";
+    if (!ev.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"";
+        out += ev.args[i].key;
+        out += "\": ";
+        out += std::to_string(ev.args[i].value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to validate our own exports (and any
+// well-formed document): no comments, UTF-8 passthrough, doubles via strtod.
+
+namespace {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : p_(text.data()), end_(text.data() + text.size()), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (p_ != end_) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_ && error_->empty()) *error_ = what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool literal(const char* s) {
+    const char* q = p_;
+    while (*s) {
+      if (q == end_ || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    ++p_;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return fail("unterminated escape");
+        switch (*p_) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end_ - p_ < 5) return fail("bad \\u escape");
+            for (int i = 1; i <= 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(p_[i]))) {
+                return fail("bad \\u escape");
+              }
+            }
+            out->push_back('?');  // validation only; no codepoint decoding
+            p_ += 4;
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++p_;
+      } else if (static_cast<unsigned char>(*p_) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out->push_back(*p_);
+        ++p_;
+      }
+    }
+    if (p_ == end_) return fail("unterminated string");
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool number(double* out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return fail("expected number");
+    }
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return fail("bad fraction");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return fail("bad exponent");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    *out = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    if (p_ == end_) return fail("unexpected end of document");
+    switch (*p_) {
+      case '{': {
+        out->kind = JsonValue::kObject;
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!string(&key)) return false;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+          ++p_;
+          skip_ws();
+          JsonValue v;
+          if (!value(&v)) return false;
+          out->object.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out->kind = JsonValue::kArray;
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          JsonValue v;
+          if (!value(&v)) return false;
+          out->array.push_back(std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->kind = JsonValue::kString;
+        return string(&out->string);
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        out->kind = JsonValue::kBool;
+        out->boolean = true;
+        return true;
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        out->kind = JsonValue::kBool;
+        out->boolean = false;
+        return true;
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        out->kind = JsonValue::kNull;
+        return true;
+      default:
+        out->kind = JsonValue::kNumber;
+        return number(&out->number);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string* error_;
+};
+
+bool parse_json(const std::string& text, JsonValue* out, std::string* error) {
+  if (error) error->clear();
+  JsonParser parser(text, error);
+  return parser.parse(out);
+}
+
+}  // namespace
+
+bool json_syntax_ok(const std::string& json, std::string* error) {
+  JsonValue root;
+  return parse_json(json, &root, error);
+}
+
+bool validate_chrome_trace(const std::string& json, std::string* error) {
+  std::string parse_error;
+  JsonValue root;
+  if (!parse_json(json, &root, &parse_error)) {
+    if (error) *error = "invalid JSON: " + parse_error;
+    return false;
+  }
+  const auto set_error = [&](const std::string& what) {
+    if (error) *error = what;
+    return false;
+  };
+  if (root.kind != JsonValue::kObject) {
+    return set_error("root is not an object");
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::kArray) {
+    return set_error("missing traceEvents array");
+  }
+  std::map<int, double> last_ts;
+  std::map<int, std::vector<std::string>> open_spans;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const std::string at = "event " + std::to_string(i) + ": ";
+    if (ev.kind != JsonValue::kObject) return set_error(at + "not an object");
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* tid = ev.find("tid");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* name = ev.find("name");
+    if (ph == nullptr || ph->kind != JsonValue::kString ||
+        ph->string.size() != 1) {
+      return set_error(at + "missing or malformed ph");
+    }
+    if (tid == nullptr || tid->kind != JsonValue::kNumber) {
+      return set_error(at + "missing tid");
+    }
+    if (ts == nullptr || ts->kind != JsonValue::kNumber) {
+      return set_error(at + "missing ts");
+    }
+    if (name == nullptr || name->kind != JsonValue::kString) {
+      return set_error(at + "missing name");
+    }
+    const int rank = static_cast<int>(tid->number);
+    const auto it = last_ts.find(rank);
+    if (it != last_ts.end() && ts->number < it->second) {
+      return set_error(at + "timestamps not monotone for tid " +
+                       std::to_string(rank));
+    }
+    last_ts[rank] = ts->number;
+    const char phase = ph->string[0];
+    if (phase == 'B') {
+      open_spans[rank].push_back(name->string);
+    } else if (phase == 'E') {
+      auto& stack = open_spans[rank];
+      if (stack.empty()) {
+        return set_error(at + "E without matching B on tid " +
+                         std::to_string(rank));
+      }
+      if (stack.back() != name->string) {
+        return set_error(at + "E name '" + name->string +
+                         "' does not match open span '" + stack.back() + "'");
+      }
+      stack.pop_back();
+    } else if (phase == 'X') {
+      const JsonValue* dur = ev.find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::kNumber) {
+        return set_error(at + "X event missing dur");
+      }
+    }
+  }
+  for (const auto& [rank, stack] : open_spans) {
+    if (!stack.empty()) {
+      return set_error("unbalanced span '" + stack.back() + "' on tid " +
+                       std::to_string(rank));
+    }
+  }
+  return true;
+}
+
+}  // namespace now

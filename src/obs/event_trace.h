@@ -1,0 +1,87 @@
+// Structured event tracing: spans (B/E pairs), instant events and complete
+// (X) events recorded per actor rank, timestamped in whatever clock the
+// runtime runs on — virtual seconds under SimRuntime (bit-reproducible),
+// wall seconds under the thread/TCP runtimes.
+//
+// The export format is Chrome trace-event JSON ("traceEvents" array with
+// microsecond timestamps, pid 0, tid = rank), loadable in Perfetto or
+// chrome://tracing. Events are exported sorted per rank by timestamp with
+// insertion order as the tie-break, so a deterministic run produces a
+// byte-identical trace file.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace now {
+
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kInstant = 'i',
+    kComplete = 'X',
+  };
+
+  /// One key/value argument. Keys and categories are string literals so an
+  /// event costs one small-vector allocation at most.
+  struct Arg {
+    const char* key;
+    std::int64_t value;
+  };
+
+  Phase phase = Phase::kInstant;
+  int rank = 0;             // exported as tid
+  double ts_seconds = 0.0;  // virtual (sim) or wall (threads/tcp)
+  double dur_seconds = 0.0; // kComplete only
+  const char* cat = "";     // e.g. "frame", "net", "task", "lease", "fault"
+  const char* name = "";
+  std::vector<Arg> args;
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(bool enabled = false) : enabled_(enabled) {}
+
+  /// Disabled tracer: every record call returns before taking the lock.
+  bool enabled() const { return enabled_; }
+
+  void begin(int rank, const char* cat, const char* name, double ts,
+             std::vector<TraceEvent::Arg> args = {});
+  void end(int rank, const char* cat, const char* name, double ts,
+           std::vector<TraceEvent::Arg> args = {});
+  void instant(int rank, const char* cat, const char* name, double ts,
+               std::vector<TraceEvent::Arg> args = {});
+  void complete(int rank, const char* cat, const char* name, double ts,
+                double dur, std::vector<TraceEvent::Arg> args = {});
+
+  std::size_t size() const;
+
+  /// All events, stable-sorted by (rank, timestamp): within one rank the
+  /// timeline is monotone, with insertion order breaking ties.
+  std::vector<TraceEvent> sorted_events() const;
+
+ private:
+  void record(TraceEvent ev);
+
+  const bool enabled_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Renders events as a Chrome trace-event JSON document. Deterministic:
+/// identical event lists yield identical bytes.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Validates a Chrome trace-event JSON document: well-formed JSON, a
+/// top-level "traceEvents" array, every event carrying ph/tid/ts/name,
+/// timestamps non-decreasing per tid, and B/E span pairs balanced per tid.
+/// On failure returns false and describes the first problem in `*error`.
+bool validate_chrome_trace(const std::string& json, std::string* error);
+
+/// Bare JSON well-formedness check (used for metrics files too).
+bool json_syntax_ok(const std::string& json, std::string* error);
+
+}  // namespace now

@@ -1,0 +1,49 @@
+// Per-worker timeline/utilization report computed from an event trace: how
+// much of the run each rank spent rendering (busy), on the wire (comm) and
+// waiting (idle), plus the farm-level load-imbalance factor and the
+// coherence savings the paper's evaluation revolves around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/event_trace.h"
+
+namespace now {
+
+struct RankUtilization {
+  int rank = 0;
+  double busy_seconds = 0.0;  // union of "frame" spans (B/E and X)
+  double comm_seconds = 0.0;  // union of "net" X events, minus busy overlap
+  double idle_seconds = 0.0;  // elapsed − busy − comm (clamped at 0)
+  double busy_frac = 0.0;
+  double comm_frac = 0.0;
+  double idle_frac = 0.0;
+  std::int64_t frames = 0;    // completed frame.render spans
+};
+
+struct UtilizationReport {
+  double elapsed_seconds = 0.0;
+  std::vector<RankUtilization> ranks;  // every rank, master (0) first
+  /// Max worker busy time over mean worker busy time (1.0 = perfectly
+  /// balanced; only ranks >= 1 participate).
+  double load_imbalance = 1.0;
+  /// 1 − recomputed/total pixels over all frame spans (0 when unknown).
+  double coherence_savings = 0.0;
+  std::int64_t pixels_recomputed = 0;
+  std::int64_t pixels_total = 0;
+
+  bool empty() const { return ranks.empty(); }
+
+  /// Fixed-width text table (the render_farm_cli --report output).
+  std::string to_text() const;
+};
+
+/// Computes per-rank utilization from a sorted or unsorted event list.
+/// `elapsed_seconds` is the farm run's total duration (virtual or wall);
+/// `world_size` the number of ranks including the master.
+UtilizationReport compute_utilization(const std::vector<TraceEvent>& events,
+                                      int world_size, double elapsed_seconds);
+
+}  // namespace now

@@ -9,7 +9,11 @@ namespace now {
 
 RenderMaster::RenderMaster(const AnimatedScene& scene,
                            const MasterConfig& config)
-    : scene_(scene), config_(config) {}
+    : scene_(scene), config_(config) {
+  if (config_.tracer != nullptr && !config_.tracer->enabled()) {
+    config_.tracer = nullptr;
+  }
+}
 
 void RenderMaster::on_start(Context& ctx) {
   const int frames = scene_.frame_count();
@@ -119,6 +123,13 @@ void RenderMaster::assign(Context& ctx, int worker, const RenderTask& task) {
     ctx.send_after(state.lease_seconds, kTagLeaseCheck,
                    encode_lease_check(check));
   }
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "task.assign", ctx.now(),
+                            {{"worker", worker},
+                             {"task", task.task_id},
+                             {"first_frame", task.first_frame},
+                             {"frames", task.frame_count}});
+  }
   ctx.send(worker, kTagTask, encode_task(task));
 }
 
@@ -164,6 +175,12 @@ bool RenderMaster::try_adaptive_split(Context& ctx) {
   req.task_id = s.task.task_id;
   req.new_end_frame = s.end_frame - best_remaining / 2;
   s.awaiting_ack = true;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "task.shrink", ctx.now(),
+                            {{"victim", victim},
+                             {"task", req.task_id},
+                             {"new_end_frame", req.new_end_frame}});
+  }
   ctx.send(victim, kTagShrink, encode_shrink(req));
   return true;
 }
@@ -187,6 +204,13 @@ void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
     stolen.first_frame = ack.honored_end_frame;
     stolen.frame_count = s.end_frame - ack.honored_end_frame;
     s.end_frame = ack.honored_end_frame;
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(ctx.rank(), "sched", "task.split", ctx.now(),
+                              {{"victim", msg.source},
+                               {"task", stolen.task_id},
+                               {"first_frame", stolen.first_frame},
+                               {"frames", stolen.frame_count}});
+    }
     pending_.push_back(stolen);
     ++report_.adaptive_splits;
   }
@@ -257,6 +281,12 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   s.last_progress = ctx.now();
   s.ping_time = -1.0;
 
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "frame.result", ctx.now(),
+                            {{"worker", msg.source},
+                             {"frame", frame},
+                             {"full", result.full_render ? 1 : 0}});
+  }
   ++report_.frame_results;
   report_.rays_total += result.rays;
   report_.shadow_rays_total += result.shadow_rays;
@@ -298,6 +328,13 @@ void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
     reclaim.first_frame = s.next_expected;
     reclaim.frame_count = s.end_frame - s.next_expected;
     reassigned_tasks_.insert(reclaim.task_id);
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(ctx.rank(), "sched", "task.reclaim", ctx.now(),
+                              {{"worker", worker},
+                               {"task", reclaim.task_id},
+                               {"first_frame", reclaim.first_frame},
+                               {"frames", reclaim.frame_count}});
+    }
     pending_.push_back(reclaim);
     ++fault_report_.tasks_reassigned;
     fault_report_.frames_reassigned += reclaim.frame_count;
@@ -308,6 +345,10 @@ void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
 void RenderMaster::declare_dead(Context& ctx, int worker) {
   WorkerState& s = workers_[worker];
   if (s.dead) return;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "worker.dead", ctx.now(),
+                            {{"worker", worker}});
+  }
   ++fault_report_.deaths_detected;
   fault_report_.detection_latency_seconds += ctx.now() - s.last_heard;
   cancel_and_reclaim(ctx, worker);
@@ -361,6 +402,11 @@ void RenderMaster::handle_lease_check(Context& ctx, const Message& msg) {
     // Lease expired. One explicit ping, one grace period, then judgment.
     s.ping_time = now;
     ++fault_report_.pings_sent;
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(ctx.rank(), "sched", "lease.ping", now,
+                              {{"worker", check.worker},
+                               {"task", check.task_id}});
+    }
     ctx.send(check.worker, kTagPing, {});
     LeaseCheck grace = check;
     grace.phase = 1;

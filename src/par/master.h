@@ -33,6 +33,7 @@
 #include "src/fault/fault_tolerance.h"
 #include "src/image/framebuffer.h"
 #include "src/net/runtime.h"
+#include "src/obs/event_trace.h"
 #include "src/par/cost_model.h"
 #include "src/par/partition.h"
 #include "src/par/protocol.h"
@@ -48,6 +49,9 @@ struct MasterConfig {
   /// Directory for per-frame targa output ("" disables file writing).
   std::string output_dir;
   std::string output_prefix = "frame";
+  /// Scheduling-decision instants (task.assign, task.split, lease.ping,
+  /// worker.dead, ...) on the master's timeline. Null disables.
+  EventTracer* tracer = nullptr;
 };
 
 struct MasterReport {

@@ -1,5 +1,6 @@
 #include "src/par/render_farm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -29,6 +30,67 @@ int resolved_worker_count(const FarmConfig& config) {
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::invalid_argument("FarmConfig: " + what);
+}
+
+// End-of-run publication: fold the actor reports into the registry so every
+// backend reports through the same metric names.
+void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
+                     const MasterReport& master,
+                     const std::vector<WorkerReport>& workers,
+                     const FaultReport& faults) {
+  reg.gauge("farm.elapsed_seconds").set(runtime.elapsed_seconds);
+  reg.counter("net.messages")
+      .inc(static_cast<std::uint64_t>(runtime.messages));
+  reg.counter("net.bytes").inc(static_cast<std::uint64_t>(runtime.bytes));
+
+  reg.counter("master.frame_results")
+      .inc(static_cast<std::uint64_t>(master.frame_results));
+  reg.counter("master.adaptive_splits")
+      .inc(static_cast<std::uint64_t>(master.adaptive_splits));
+  reg.counter("master.frames_completed")
+      .inc(static_cast<std::uint64_t>(master.frames_completed));
+  reg.counter("master.rays_total").inc(master.rays_total);
+  reg.counter("master.shadow_rays_total").inc(master.shadow_rays_total);
+  reg.counter("master.pixels_recomputed")
+      .inc(static_cast<std::uint64_t>(master.pixels_recomputed_total));
+  reg.counter("master.full_renders")
+      .inc(static_cast<std::uint64_t>(master.full_renders));
+  reg.gauge("master.worker_compute_seconds")
+      .set(master.worker_compute_seconds);
+  for (std::size_t w = 1; w < master.frames_by_worker.size(); ++w) {
+    reg.counter("rank." + std::to_string(w) + ".frames")
+        .inc(static_cast<std::uint64_t>(master.frames_by_worker[w]));
+  }
+
+  std::int64_t peak_mark_bytes = 0;
+  for (const WorkerReport& r : workers) {
+    reg.counter("worker.tasks_completed")
+        .inc(static_cast<std::uint64_t>(r.tasks_completed));
+    reg.counter("worker.frames_rendered")
+        .inc(static_cast<std::uint64_t>(r.frames_rendered));
+    reg.counter("worker.rays").inc(r.rays);
+    reg.counter("worker.pixels_recomputed")
+        .inc(static_cast<std::uint64_t>(r.pixels_recomputed));
+    reg.gauge("worker.compute_seconds").add(r.compute_seconds);
+    peak_mark_bytes = std::max(peak_mark_bytes, r.peak_mark_bytes);
+  }
+  reg.gauge("worker.peak_mark_bytes")
+      .set(static_cast<double>(peak_mark_bytes));
+
+  reg.counter("recovery.deaths_detected")
+      .inc(static_cast<std::uint64_t>(faults.deaths_detected));
+  reg.counter("recovery.pings_sent")
+      .inc(static_cast<std::uint64_t>(faults.pings_sent));
+  reg.counter("recovery.tasks_reassigned")
+      .inc(static_cast<std::uint64_t>(faults.tasks_reassigned));
+  reg.counter("recovery.frames_reassigned")
+      .inc(static_cast<std::uint64_t>(faults.frames_reassigned));
+  reg.counter("recovery.results_ignored")
+      .inc(static_cast<std::uint64_t>(faults.results_ignored));
+  reg.gauge("recovery.lost_work_seconds").set(faults.lost_work_seconds);
+  reg.gauge("recovery.restart_work_seconds").set(faults.restart_work_seconds);
+  reg.gauge("recovery.detection_latency_seconds")
+      .set(faults.detection_latency_seconds);
 }
 
 }  // namespace
@@ -97,18 +159,29 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   }
   const int worker_count = static_cast<int>(speeds.size());
 
+  // One registry + tracer pair shared by every layer of the run. Both are
+  // safe to hand out unconditionally: a disabled registry deals in no-op
+  // instruments, a disabled tracer is normalized to null by its consumers.
+  MetricsRegistry registry(config.obs.metrics);
+  EventTracer tracer(config.obs.trace);
+  RuntimeObs obs{&tracer, &registry};
+
   MasterConfig master_config;
   master_config.partition = config.partition;
   master_config.cost = config.cost;
   master_config.fault = config.fault;
   master_config.output_dir = config.output_dir;
   master_config.output_prefix = config.output_prefix;
+  master_config.tracer = &tracer;
   RenderMaster master(scene, master_config);
 
   WorkerConfig worker_config;
   worker_config.coherence = config.coherence;
+  worker_config.coherence.metrics = &registry;
   worker_config.cost = config.cost;
   worker_config.sparse_returns = config.sparse_returns;
+  worker_config.tracer = &tracer;
+  worker_config.metrics = &registry;
   std::vector<std::unique_ptr<RenderWorker>> workers;
   workers.reserve(static_cast<std::size_t>(worker_count));
   for (int i = 0; i < worker_count; ++i) {
@@ -132,18 +205,18 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
                                speeds.end());
       sim_config.ethernet = config.ethernet;
       sim_config.fault_plan = fault_plan;
+      sim_config.obs = obs;
       SimRuntime runtime(std::move(sim_config));
-      result.sim = runtime.run_sim(actors);
-      result.runtime = result.sim;
+      result.runtime = runtime.run(actors);
       break;
     }
     case FarmBackend::kThreads: {
-      ThreadRuntime runtime(fault_plan);
+      ThreadRuntime runtime(fault_plan, obs);
       result.runtime = runtime.run(actors);
       break;
     }
     case FarmBackend::kTcp: {
-      TcpRuntime runtime(fault_plan);
+      TcpRuntime runtime(fault_plan, TcpOptions{}, obs);
       result.runtime = runtime.run(actors);
       break;
     }
@@ -153,6 +226,16 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   result.master = master.report();
   for (auto& w : workers) result.workers.push_back(w->report());
   result.faults = master.fault_report();
+
+  publish_reports(registry, result.runtime, result.master, result.workers,
+                  result.faults);
+  result.metrics = registry.snapshot();
+  if (config.obs.trace) {
+    result.trace_events = tracer.sorted_events();
+    result.utilization =
+        compute_utilization(result.trace_events, worker_count + 1,
+                            result.elapsed_seconds);
+  }
   return result;
 }
 

@@ -14,6 +14,9 @@
 
 #include "src/fault/fault_plan.h"
 #include "src/fault/fault_tolerance.h"
+#include "src/obs/event_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
 #include "src/par/master.h"
 #include "src/par/worker.h"
 #include "src/sim/sim_runtime.h"
@@ -27,6 +30,17 @@ enum class FarmBackend {
 };
 
 const char* to_string(FarmBackend backend);
+
+struct FarmObsConfig {
+  /// Record structured trace events (per-frame render spans, cross-rank
+  /// sends/receives, scheduling decisions, fault injections) and compute the
+  /// utilization report. Off by default: every tracer call is a lock.
+  bool trace = false;
+  /// Aggregate counters/gauges/histograms into FarmResult::metrics. On by
+  /// default; when disabled, instrumented code receives shared no-op
+  /// instruments and FarmResult::metrics comes back empty.
+  bool metrics = true;
+};
 
 struct FarmConfig {
   FarmBackend backend = FarmBackend::kSim;
@@ -51,6 +65,7 @@ struct FarmConfig {
   FaultToleranceConfig fault;
   std::string output_dir;  // per-frame targa output ("" = keep in memory)
   std::string output_prefix = "frame";
+  FarmObsConfig obs;
 };
 
 struct FarmResult {
@@ -59,8 +74,15 @@ struct FarmResult {
   RuntimeStats runtime;
   MasterReport master;
   std::vector<WorkerReport> workers;
-  FaultReport faults;   // detection / recovery accounting (master's view)
-  SimRuntimeStats sim;  // populated for kSim only
+  FaultReport faults;  // detection / recovery accounting (master's view)
+  /// Unified metrics snapshot — the one reporting path shared by all three
+  /// backends. Backend-specific series (e.g. sim.* and rank.* gauges from
+  /// the simulator) simply appear here when the backend publishes them.
+  MetricsSnapshot metrics;
+  /// Populated when obs.trace: all events, and the per-worker
+  /// busy/comm/idle breakdown computed from them.
+  std::vector<TraceEvent> trace_events;
+  UtilizationReport utilization;
 };
 
 /// Validates `config` against `scene` and throws std::invalid_argument with

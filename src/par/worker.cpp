@@ -5,6 +5,20 @@
 
 namespace now {
 
+RenderWorker::RenderWorker(const AnimatedScene& scene,
+                           const WorkerConfig& config)
+    : scene_(scene), config_(config) {
+  if (config_.tracer != nullptr && !config_.tracer->enabled()) {
+    config_.tracer = nullptr;
+  }
+  if (config_.metrics != nullptr) {
+    frame_seconds_hist_ = &config_.metrics->histogram(
+        "worker.frame_seconds", Histogram::default_seconds_bounds());
+    result_bytes_hist_ = &config_.metrics->histogram(
+        "net.frame_result_bytes", Histogram::default_bytes_bounds());
+  }
+}
+
 void RenderWorker::on_start(Context& ctx) {
   ctx.send(0, kTagHello, {});
 }
@@ -64,9 +78,30 @@ void RenderWorker::render_next_frame(Context& ctx) {
     return;
   }
 
+  // The render span covers the real computation plus the charged virtual
+  // time: in the sim the clock only moves at charge(), in the wall-clock
+  // runtimes the render itself moves now().
+  const double span_start = ctx.now();
+  if (config_.tracer != nullptr) {
+    config_.tracer->begin(ctx.rank(), "frame", "frame.render", span_start,
+                          {{"frame", next_frame_},
+                           {"task", task_->task_id}});
+  }
+
   const FrameRenderResult r = renderer_->render_frame(next_frame_, &fb_);
   const double cost = config_.cost.frame_compute_seconds(r);
   ctx.charge(cost);
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->end(
+        ctx.rank(), "frame", "frame.render", ctx.now(),
+        {{"frame", next_frame_},
+         {"pixels_recomputed", r.pixels_recomputed},
+         {"pixels_total", static_cast<std::int64_t>(task_->region.area())},
+         {"full", r.full_render ? 1 : 0},
+         {"rays", static_cast<std::int64_t>(r.stats.total_rays())}});
+  }
+  if (frame_seconds_hist_ != nullptr) frame_seconds_hist_->observe(cost);
 
   FrameResult out;
   out.task_id = task_->task_id;
@@ -79,7 +114,11 @@ void RenderWorker::render_next_frame(Context& ctx) {
   out.payload = (r.full_render || !config_.sparse_returns)
                     ? make_dense_payload(fb_, task_->region)
                     : make_sparse_payload(fb_, task_->region, r.recomputed);
-  ctx.send(0, kTagFrameResult, encode_frame_result(out));
+  std::string encoded = encode_frame_result(out);
+  if (result_bytes_hist_ != nullptr) {
+    result_bytes_hist_->observe(static_cast<double>(encoded.size()));
+  }
+  ctx.send(0, kTagFrameResult, std::move(encoded));
 
   ++report_.frames_rendered;
   report_.peak_mark_bytes = std::max(

@@ -15,6 +15,8 @@
 
 #include "src/core/coherent_renderer.h"
 #include "src/net/runtime.h"
+#include "src/obs/event_trace.h"
+#include "src/obs/metrics.h"
 #include "src/par/cost_model.h"
 #include "src/par/protocol.h"
 #include "src/scene/animated_scene.h"
@@ -26,6 +28,11 @@ struct WorkerConfig {
   CostModel cost;
   /// Send only recomputed pixels on incremental frames (saves Ethernet).
   bool sparse_returns = true;
+  /// Per-frame render spans (cat "frame") on this worker's timeline; the
+  /// utilization report derives busy time from them. Null disables.
+  EventTracer* tracer = nullptr;
+  /// Sink for worker.frame_seconds / net.frame_result_bytes histograms.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct WorkerReport {
@@ -42,8 +49,7 @@ struct WorkerReport {
 
 class RenderWorker final : public Actor {
  public:
-  RenderWorker(const AnimatedScene& scene, const WorkerConfig& config)
-      : scene_(scene), config_(config) {}
+  RenderWorker(const AnimatedScene& scene, const WorkerConfig& config);
 
   void on_start(Context& ctx) override;
   void on_message(Context& ctx, const Message& msg) override;
@@ -63,6 +69,10 @@ class RenderWorker final : public Actor {
   Framebuffer fb_;
   std::int32_t next_frame_ = 0;
   std::int32_t end_frame_ = 0;
+
+  // Cached instruments: one pointer chase per frame, no name lookups.
+  Histogram* frame_seconds_hist_ = nullptr;
+  Histogram* result_bytes_hist_ = nullptr;
 
   WorkerReport report_;
 };

@@ -64,8 +64,11 @@ class SimState {
     for (int rank = 0; rank < n; ++rank) contexts_.emplace_back(this, rank);
     if (!config_.fault_plan.empty()) {
       validate_fault_plan(config_.fault_plan, n);
-      injector_ = std::make_unique<FaultInjector>(config_.fault_plan, n);
+      injector_ = std::make_unique<FaultInjector>(config_.fault_plan, n,
+                                                  config_.obs.tracer);
     }
+    tracer_ = config_.obs.tracer;
+    if (tracer_ != nullptr && !tracer_->enabled()) tracer_ = nullptr;
   }
 
   SimRuntimeStats run() {
@@ -82,8 +85,19 @@ class SimState {
       SimEvent ev = queue_.top();
       queue_.pop();
       if (ev.kind == SimEvent::kNetworkEntry) {
-        double deliver = ethernet_.transmit(
-            ev.time, static_cast<std::int64_t>(ev.msg.payload.size()));
+        const std::int64_t bytes =
+            static_cast<std::int64_t>(ev.msg.payload.size());
+        double deliver = ethernet_.transmit(ev.time, bytes);
+        if (tracer_) {
+          // The wire time (queueing for the shared medium + transmission),
+          // on the *sender's* timeline; injected delay spikes are charged to
+          // the fault injector, not to communication.
+          tracer_->complete(ev.msg.source, "net", "net.send", ev.time,
+                            deliver - ev.time,
+                            {{"dest", ev.dest},
+                             {"tag", ev.msg.tag},
+                             {"bytes", bytes}});
+        }
         if (injector_) {
           deliver += injector_->delivery_delay(ev.dest, ev.time);
         }
@@ -110,6 +124,18 @@ class SimState {
       stats.fault_crashes = injector_->crashes_triggered();
       stats.fault_dropped_messages = injector_->messages_dropped();
       stats.fault_duplicated_messages = injector_->messages_duplicated();
+    }
+    if (MetricsRegistry* metrics = config_.obs.metrics) {
+      metrics->gauge("sim.ethernet_busy_seconds")
+          .set(stats.ethernet_busy_seconds);
+      metrics->gauge("sim.ethernet_contention_seconds")
+          .set(stats.ethernet_contention_seconds);
+      for (int rank = 0; rank < n; ++rank) {
+        const std::string prefix = "rank." + std::to_string(rank);
+        metrics->gauge(prefix + ".busy_seconds").set(busy_[rank]);
+        metrics->gauge(prefix + ".finish_seconds").set(local_time_[rank]);
+      }
+      if (injector_) injector_->export_metrics(metrics);
     }
     return stats;
   }
@@ -176,6 +202,15 @@ class SimState {
     // An actor busy past the delivery time handles the message when free —
     // a PVM worker only polls between frames.
     ctx.current_time = std::max(local_time_[ev.dest], ev.time);
+    if (tracer_ && ev.msg.source != ev.dest) {
+      // Timestamped when the handler runs (not wire arrival), which keeps
+      // the receiving rank's timeline monotone.
+      tracer_->instant(
+          ev.dest, "net", "net.recv", ctx.current_time,
+          {{"src", ev.msg.source},
+           {"tag", ev.msg.tag},
+           {"bytes", static_cast<std::int64_t>(ev.msg.payload.size())}});
+    }
     actors_[ev.dest]->on_message(ctx, ev.msg);
     local_time_[ev.dest] = ctx.current_time;
   }
@@ -183,6 +218,7 @@ class SimState {
   const SimConfig& config_;
   const std::vector<Actor*>& actors_;
   EthernetModel ethernet_;
+  EventTracer* tracer_ = nullptr;  // null when absent or disabled
   std::unique_ptr<FaultInjector> injector_;
   std::priority_queue<SimEvent, std::vector<SimEvent>, EventLater> queue_;
   std::vector<SimContext> contexts_;

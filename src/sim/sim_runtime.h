@@ -31,6 +31,10 @@ struct SimConfig {
   FaultPlan fault_plan;
   /// Safety valve against protocol bugs: abort after this many events.
   std::int64_t max_events = 500'000'000;
+  /// Observability sinks: cross-rank send/recv trace events (virtual
+  /// timestamps, so traces are bit-reproducible) and end-of-run sim.* /
+  /// rank.* metrics.
+  RuntimeObs obs;
 };
 
 struct SimRuntimeStats : RuntimeStats {

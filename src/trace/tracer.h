@@ -31,6 +31,11 @@ struct TraceStats {
   }
 
   TraceStats& operator+=(const TraceStats& o);
+
+  friend TraceStats operator+(TraceStats a, const TraceStats& b) {
+    a += b;
+    return a;
+  }
 };
 
 /// Observer of every traced ray segment. `t_end` is the parameter at which

@@ -152,7 +152,7 @@ TEST(FaultSim, WorkerDeathIsDetectedAndRecoveredPixelExact) {
   config.fault_plan.events.push_back(FaultPlan::crash_after_frames(1, 2));
 
   const FarmResult result = render_farm(scene, config);
-  EXPECT_EQ(result.sim.fault_crashes, 1);
+  EXPECT_EQ(result.metrics.counter("fault.crashes"), 1u);
   EXPECT_EQ(result.faults.deaths_detected, 1);
   EXPECT_GE(result.faults.pings_sent, 1);
   EXPECT_GE(result.faults.tasks_reassigned, 1);
@@ -235,7 +235,7 @@ TEST(FaultSim, LostFrameResultIsReRendered) {
       FaultPlan::drop_nth(1, 2, kTagFrameResult));
 
   const FarmResult result = render_farm(scene, config);
-  EXPECT_EQ(result.sim.fault_dropped_messages, 1);
+  EXPECT_EQ(result.metrics.counter("fault.messages_dropped"), 1u);
   EXPECT_EQ(result.faults.deaths_detected, 0);
   EXPECT_GE(result.faults.tasks_reassigned, 1);
   EXPECT_GT(result.faults.lost_work_seconds, 0.0);
@@ -255,7 +255,7 @@ TEST(FaultSim, LostFinalFrameResultIsReclaimedAtTaskEnd) {
       FaultPlan::drop_nth(1, 4, kTagFrameResult));
 
   const FarmResult result = render_farm(scene, config);
-  EXPECT_EQ(result.sim.fault_dropped_messages, 1);
+  EXPECT_EQ(result.metrics.counter("fault.messages_dropped"), 1u);
   EXPECT_GE(result.faults.tasks_reassigned, 1);
   EXPECT_EQ(result.master.frames_completed, scene.frame_count());
   const auto ref = reference_frames(scene, config.coherence.trace);
@@ -269,7 +269,7 @@ TEST(FaultSim, DuplicatedFrameResultIsIgnoredExactlyOnce) {
       FaultPlan::duplicate_nth(2, 1, kTagFrameResult));
 
   const FarmResult result = render_farm(scene, config);
-  EXPECT_EQ(result.sim.fault_duplicated_messages, 1);
+  EXPECT_EQ(result.metrics.counter("fault.messages_duplicated"), 1u);
   EXPECT_GE(result.faults.results_ignored, 1);
   EXPECT_EQ(result.faults.deaths_detected, 0);
   EXPECT_EQ(result.master.frames_completed, scene.frame_count());

@@ -1,0 +1,189 @@
+// Metrics registry: exact concurrent aggregation, frozen histogram bucket
+// layouts, allocation-free no-op instruments when disabled, and
+// deterministic JSON rendering.
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "src/obs/event_trace.h"
+
+// Global allocation counter: the disabled-registry test asserts the hot path
+// performs zero heap allocations. Counting in operator new keeps the test
+// independent of allocator internals (works under ASan too, which wraps
+// malloc underneath these replacements).
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as a mismatched pair
+// when it can trace the pointer to a new-expression; with new and delete
+// both replaced on top of malloc/free the pairing is consistent.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace now {
+namespace {
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test.hits");
+  Gauge& gauge = registry.gauge("test.level");
+
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.inc();
+        gauge.add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  // Gauge::add is a CAS loop: lossless under contention, and the sum of
+  // 80,000 ones is exactly representable in a double.
+  EXPECT_EQ(gauge.value(), static_cast<double>(kThreads) * kIncrements);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("test.hits"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramObservations) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("test.latency", {1.0, 2.0, 4.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        hist.observe(static_cast<double>(t % 4) + 0.5);  // 0.5/1.5/2.5/3.5
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservations);
+  const std::vector<std::uint64_t> counts = hist.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u * kObservations);  // 0.5 x2 threads
+  EXPECT_EQ(counts[1], 2u * kObservations);  // 1.5
+  EXPECT_EQ(counts[2], 4u * kObservations);  // 2.5 and 3.5 (<= 4.0)
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundariesAreStable) {
+  // The first call for a name freezes the layout; later calls with other
+  // bounds return the same instrument.
+  MetricsRegistry registry;
+  Histogram& a = registry.histogram("h", {1.0, 10.0});
+  Histogram& b = registry.histogram("h", {5.0});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.bounds(), (std::vector<double>{1.0, 10.0}));
+
+  // Inclusive upper bounds: a value exactly on a boundary lands in that
+  // bucket, not the next one.
+  a.observe(1.0);
+  a.observe(10.0);
+  a.observe(10.000001);
+  const std::vector<std::uint64_t> counts = a.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);  // overflow
+
+  // The shared default layouts are fixed across runs and PRs: spot-check
+  // their anchors instead of hard-coding entire arrays.
+  const std::vector<double>& secs = Histogram::default_seconds_bounds();
+  ASSERT_FALSE(secs.empty());
+  EXPECT_DOUBLE_EQ(secs.front(), 1e-3);
+  const std::vector<double>& bytes = Histogram::default_bytes_bounds();
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_DOUBLE_EQ(bytes.front(), 64.0);
+  for (std::size_t i = 1; i < secs.size(); ++i) EXPECT_GT(secs[i], secs[i - 1]);
+  for (std::size_t i = 1; i < bytes.size(); ++i) {
+    EXPECT_GT(bytes[i], bytes[i - 1]);
+  }
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryIsAllocationFreeNoOp) {
+  MetricsRegistry registry(false);
+  EXPECT_FALSE(registry.enabled());
+
+  // Warm up: the shared no-op instruments are created on first touch (and
+  // function-local static guards may allocate once), before measuring.
+  registry.counter("warmup").inc();
+  registry.gauge("warmup").set(1.0);
+  registry.histogram("warmup").observe(1.0);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    registry.counter("noop.counter").inc();
+    registry.gauge("noop.gauge").set(static_cast<double>(i));
+    registry.histogram("noop.hist").observe(static_cast<double>(i));
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+
+  // Nothing recorded above may surface in the snapshot.
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.counter("noop.counter"), 0u);
+  EXPECT_EQ(snap.gauge("noop.gauge"), 0.0);
+}
+
+TEST(MetricsSnapshotTest, JsonIsValidAndDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("b.count").inc(42);
+  registry.counter("a.count").inc(7);
+  registry.gauge("speed \"quoted\"\n").set(0.125);
+  registry.histogram("lat", {0.5, 1.0}).observe(0.25);
+
+  const std::string json = registry.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(json_syntax_ok(json, &error)) << error << "\n" << json;
+  // Deterministic: same registry state, identical bytes.
+  EXPECT_EQ(json, registry.snapshot().to_json());
+  // Names are sorted in the output.
+  EXPECT_LT(json.find("a.count"), json.find("b.count"));
+}
+
+TEST(MetricsSnapshotTest, EmptyRegistrySnapshotsToValidJson) {
+  MetricsRegistry registry;
+  const std::string json = registry.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(json_syntax_ok(json, &error)) << error;
+}
+
+}  // namespace
+}  // namespace now

@@ -207,6 +207,23 @@ TEST(TraceStats, Accumulation) {
   b.refraction_rays = 4;
   a += b;
   EXPECT_EQ(a.total_rays(), 10u);
+
+  // Binary + matches += without mutating the operands.
+  const TraceStats c = a + b;
+  EXPECT_EQ(c.total_rays(), 17u);
+  EXPECT_EQ(c.reflection_rays, 6u);
+  EXPECT_EQ(a.total_rays(), 10u);
+  EXPECT_EQ(b.total_rays(), 7u);
+}
+
+TEST(TraceStats, TotalRaysIsOverflowSafe) {
+  // Every field is uint64_t; sums near 2^32 must not wrap.
+  TraceStats s;
+  s.camera_rays = (std::uint64_t{1} << 32) - 1;
+  s.shadow_rays = (std::uint64_t{1} << 32) - 1;
+  EXPECT_EQ(s.total_rays(), ((std::uint64_t{1} << 32) - 1) * 2);
+  const TraceStats doubled = s + s;
+  EXPECT_EQ(doubled.total_rays(), ((std::uint64_t{1} << 32) - 1) * 4);
 }
 
 }  // namespace

@@ -4,7 +4,16 @@
 //   $ ./render_farm_cli scene.scene [--backend sim|threads|tcp]
 //        [--scheme seq|frame|hybrid] [--workers N] [--speeds a,b,c]
 //        [--block N] [--no-coherence] [--out DIR]
+//        [--journal FILE] [--resume] [--speculate]
 //        [--trace-out FILE] [--metrics-out FILE] [--report]
+//
+// Crash recovery: --journal appends a crash-consistent record of every
+// committed region-frame (fsync'd, CRC-framed) alongside atomically-renamed
+// frame files; after a crash, rerunning with --resume replays the journal,
+// keeps the completed frames, and renders only the remainder — the final
+// animation is byte-identical to an uninterrupted run. --speculate
+// duplicates the slowest in-flight task onto idle workers at the end of the
+// run and keeps whichever copy finishes first.
 //
 // Observability: --trace-out writes a Chrome trace-event JSON file (open it
 // in Perfetto / chrome://tracing; under --backend sim the file is
@@ -93,6 +102,12 @@ int main(int argc, char** argv) {
       config.coherence.enabled = false;
     } else if (arg == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (arg == "--journal" && i + 1 < argc) {
+      config.journal_path = argv[++i];
+    } else if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg == "--speculate") {
+      config.speculation = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -142,6 +157,14 @@ int main(int argc, char** argv) {
   }
   const FarmResult result = render_farm(scene, config);
 
+  if (result.resume.resumed) {
+    std::printf("resume: %d frame(s) restored, %d demoted, %lld journal "
+                "record(s) replayed%s\n",
+                result.resume.frames_restored, result.resume.frames_demoted,
+                static_cast<long long>(result.resume.records_replayed),
+                result.resume.journal_truncated ? " (torn tail discarded)"
+                                                : "");
+  }
   std::printf("time: %s (%s)\n", format_hms(result.elapsed_seconds).c_str(),
               config.backend == FarmBackend::kSim ? "virtual cluster time"
                                                   : "wall clock");

@@ -1,0 +1,63 @@
+#include "src/ckpt/recovery.h"
+
+#include <cstdio>
+
+#include "src/image/image_io.h"
+
+namespace now {
+
+std::string frame_file_path(const std::string& dir, const std::string& prefix,
+                            int frame) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "/%s_%04d.tga", prefix.c_str(), frame);
+  return dir + name;
+}
+
+RecoveryState build_recovery(const std::string& journal_path,
+                             const std::string& frames_dir,
+                             const std::string& prefix, int width, int height,
+                             int frame_count) {
+  RecoveryState state;
+  const JournalReplay replay = replay_journal(journal_path);
+  if (!replay.ok) {
+    state.error = replay.error;
+    return state;
+  }
+  if (replay.header.width != width || replay.header.height != height ||
+      replay.header.frame_count != frame_count) {
+    state.error = "journal was written for a different animation (" +
+                  std::to_string(replay.header.width) + "x" +
+                  std::to_string(replay.header.height) + ", " +
+                  std::to_string(replay.header.frame_count) + " frames)";
+    return state;
+  }
+
+  state.ok = true;
+  state.records_replayed = replay.records;
+  state.journal_truncated = replay.truncated_tail;
+  state.journal_valid_bytes = replay.valid_bytes;
+  state.frames.assign(static_cast<std::size_t>(frame_count), std::nullopt);
+
+  for (int f = 0; f < frame_count; ++f) {
+    if (!replay.frame_complete[f]) continue;
+    const auto digest_it = replay.frame_digest.find(f);
+    Framebuffer fb;
+    const bool loaded =
+        read_tga(&fb, frame_file_path(frames_dir, prefix, f)) &&
+        fb.width() == width && fb.height() == height &&
+        digest_it != replay.frame_digest.end() &&
+        digest_frame(fb) == digest_it->second;
+    if (loaded) {
+      state.frames[f] = std::move(fb);
+      ++state.frames_restored;
+    } else {
+      // The journal promised this frame but the disk disagrees (deleted,
+      // truncated by a concurrent crash, edited): re-render it.
+      ++state.frames_demoted;
+    }
+  }
+  state.frames_to_render = frame_count - state.frames_restored;
+  return state;
+}
+
+}  // namespace now

@@ -1,0 +1,57 @@
+// Resume support: fold a replayed journal and the output frame directory
+// into the state render_farm() needs to skip completed work.
+//
+// The durable pixel state of a run is the set of atomically-renamed frame
+// targa files; the journal's kFrameComplete records say which frames those
+// are and what their pixel digests were. build_recovery() loads each
+// completed frame back, verifies its digest, and marks everything else —
+// frames whose file is missing, truncated, or altered, and frames whose
+// region commits were lost with the master's memory — for re-rendering.
+// Re-rendering is byte-identical to the interrupted run's output by the
+// coherence algorithm's core guarantee, so a resumed animation is
+// indistinguishable from an uninterrupted one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/journal.h"
+#include "src/image/framebuffer.h"
+
+namespace now {
+
+struct RecoveryState {
+  /// Usable for resume. When false, `error` explains (missing journal, no
+  /// valid header, dimension mismatch with the scene).
+  bool ok = false;
+  std::string error;
+
+  /// Restored image per completed-and-verified frame; nullopt = re-render.
+  std::vector<std::optional<Framebuffer>> frames;
+  int frames_restored = 0;
+  int frames_to_render = 0;
+  /// Completed per the journal but failed to load or verify from disk —
+  /// demoted to re-render.
+  int frames_demoted = 0;
+
+  std::int64_t records_replayed = 0;
+  bool journal_truncated = false;
+  /// Valid journal prefix length; the resuming writer truncates to this.
+  std::size_t journal_valid_bytes = 0;
+};
+
+/// Name of frame `frame`'s targa file under `dir` with `prefix` — the single
+/// naming scheme shared by the master's writer and the resume loader.
+std::string frame_file_path(const std::string& dir, const std::string& prefix,
+                            int frame);
+
+/// Replay `journal_path` and load completed frames from `frames_dir`.
+/// `width`/`height`/`frame_count` are the scene's, cross-checked against the
+/// journal header so a journal from a different animation is rejected.
+RecoveryState build_recovery(const std::string& journal_path,
+                             const std::string& frames_dir,
+                             const std::string& prefix, int width, int height,
+                             int frame_count);
+
+}  // namespace now

@@ -22,9 +22,11 @@ bool FaultInjector::crashed_locked(int rank, double now) {
   if (rank < 0 || rank >= static_cast<int>(ranks_.size())) return false;
   RankState& state = ranks_[rank];
   if (state.crashed) return true;
-  for (const FaultEvent& e : plan_.events) {
-    if (e.kind == FaultKind::kCrash && e.rank == rank && e.at_time >= 0.0 &&
-        now >= e.at_time) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.kind == FaultKind::kCrash && e.rank == rank && !event_fired_[i] &&
+        e.at_time >= 0.0 && now >= e.at_time) {
+      event_fired_[i] = true;
       state.crashed = true;
       ++crashes_;
       if (tracer_) tracer_->instant(rank, "fault", "fault.crash", now);
@@ -32,6 +34,20 @@ bool FaultInjector::crashed_locked(int rank, double now) {
     }
   }
   return false;
+}
+
+void FaultInjector::revive(int rank, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rank < 0 || rank >= static_cast<int>(ranks_.size())) return;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (plan_.events[i].kind == FaultKind::kCrash &&
+        plan_.events[i].rank == rank) {
+      event_fired_[i] = true;
+    }
+  }
+  ranks_[rank].crashed = false;
+  ++rejoins_;
+  if (tracer_) tracer_->instant(rank, "fault", "fault.rejoin", now);
 }
 
 FaultInjector::SendFaults FaultInjector::on_send(int src, int /*dest*/,
@@ -45,9 +61,11 @@ FaultInjector::SendFaults FaultInjector::on_send(int src, int /*dest*/,
     ++state.progress_sends;
     // after_frames crash: the N-th result is delivered, then the rank dies.
     if (!state.crashed) {
-      for (const FaultEvent& e : plan_.events) {
-        if (e.kind == FaultKind::kCrash && e.rank == src &&
+      for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent& e = plan_.events[i];
+        if (e.kind == FaultKind::kCrash && e.rank == src && !event_fired_[i] &&
             e.after_frames >= 0 && state.progress_sends >= e.after_frames) {
+          event_fired_[i] = true;
           state.crashed = true;
           ++crashes_;
           if (tracer_) tracer_->instant(src, "fault", "fault.crash", now);
@@ -113,6 +131,11 @@ int FaultInjector::crashes_triggered() const {
   return crashes_;
 }
 
+int FaultInjector::rejoins_triggered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejoins_;
+}
+
 std::int64_t FaultInjector::messages_dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
@@ -127,6 +150,7 @@ void FaultInjector::export_metrics(MetricsRegistry* registry) const {
   if (registry == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
   registry->counter("fault.crashes").inc(static_cast<std::uint64_t>(crashes_));
+  registry->counter("fault.rejoins").inc(static_cast<std::uint64_t>(rejoins_));
   registry->counter("fault.messages_dropped")
       .inc(static_cast<std::uint64_t>(dropped_));
   registry->counter("fault.messages_duplicated")

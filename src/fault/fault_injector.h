@@ -45,6 +45,13 @@ class FaultInjector {
   /// True once `rank` is crashed; evaluates pending at_time triggers.
   bool crashed(int rank, double now);
 
+  /// Elastic membership: un-crash `rank` (a kRejoin event fired). All of the
+  /// rank's crash events are consumed — fired or not — so the rank cannot
+  /// immediately re-crash on a stale at_time trigger; "rejoin at T" means
+  /// the rank is alive from T onward, whichever order the runtime happened
+  /// to observe the crash in.
+  void revive(int rank, double now);
+
   /// Per-send hook for live ranks (call after a crashed() check; the send
   /// that arms an after_frames trigger is still delivered).
   SendFaults on_send(int src, int dest, int tag, double now);
@@ -54,6 +61,7 @@ class FaultInjector {
 
   // -- counters (for stats/tests) -----------------------------------------
   int crashes_triggered() const;
+  int rejoins_triggered() const;
   std::int64_t messages_dropped() const;
   std::int64_t messages_duplicated() const;
 
@@ -73,8 +81,9 @@ class FaultInjector {
   };
   std::vector<RankState> ranks_;
   std::vector<std::int64_t> event_matches_;  // per drop/dup event
-  std::vector<bool> event_fired_;
+  std::vector<bool> event_fired_;            // drop/dup/crash: consumed
   int crashes_ = 0;
+  int rejoins_ = 0;
   std::int64_t dropped_ = 0;
   std::int64_t duplicated_ = 0;
 };

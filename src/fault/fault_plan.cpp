@@ -12,6 +12,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDuplicateMessage: return "duplicate";
     case FaultKind::kDelaySpike: return "delay";
     case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kRejoin: return "rejoin";
   }
   return "unknown";
 }
@@ -19,6 +20,20 @@ const char* to_string(FaultKind kind) {
 bool FaultPlan::has_crashes() const {
   for (const FaultEvent& e : events) {
     if (e.kind == FaultKind::kCrash) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::has_rejoins() const {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kRejoin) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::rank_rejoins(int rank) const {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kRejoin && e.rank == rank) return true;
   }
   return false;
 }
@@ -79,6 +94,14 @@ FaultEvent FaultPlan::slowdown_window(int rank, double t_begin, double t_end,
   return e;
 }
 
+FaultEvent FaultPlan::rejoin_at(int rank, double time) {
+  FaultEvent e;
+  e.kind = FaultKind::kRejoin;
+  e.rank = rank;
+  e.at_time = time;
+  return e;
+}
+
 void validate_fault_plan(const FaultPlan& plan, int world_size) {
   for (std::size_t i = 0; i < plan.events.size(); ++i) {
     const FaultEvent& e = plan.events[i];
@@ -121,6 +144,39 @@ void validate_fault_plan(const FaultPlan& plan, int world_size) {
           throw std::invalid_argument(where + "factor must be > 0");
         }
         break;
+      case FaultKind::kRejoin: {
+        if (!(e.at_time >= 0.0) || !std::isfinite(e.at_time)) {
+          throw std::invalid_argument(where + "at_time must be >= 0");
+        }
+        // A rejoin only makes sense against exactly one crash of the same
+        // rank, and (when the crash is time-triggered) strictly after it —
+        // multiple crash/rejoin cycles per rank are not modeled.
+        int crashes = 0;
+        double crash_time = -1.0;
+        int rejoins = 0;
+        for (const FaultEvent& other : plan.events) {
+          if (other.rank != e.rank) continue;
+          if (other.kind == FaultKind::kCrash) {
+            ++crashes;
+            crash_time = other.at_time;
+          } else if (other.kind == FaultKind::kRejoin) {
+            ++rejoins;
+          }
+        }
+        if (crashes != 1) {
+          throw std::invalid_argument(
+              where + "rank must have exactly one crash event to rejoin");
+        }
+        if (rejoins != 1) {
+          throw std::invalid_argument(
+              where + "rank may have at most one rejoin event");
+        }
+        if (crash_time >= 0.0 && !(e.at_time > crash_time)) {
+          throw std::invalid_argument(
+              where + "rejoin must be scheduled after the rank's crash");
+        }
+        break;
+      }
     }
   }
 }

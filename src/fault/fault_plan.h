@@ -25,6 +25,7 @@ enum class FaultKind {
   kDuplicateMessage,  // deliver the n-th matching message twice
   kDelaySpike,        // extra delivery latency into rank during a window
   kSlowdown,          // scale rank's compute speed during a window (sim only)
+  kRejoin,            // a crashed rank restarts and re-announces itself
 };
 
 const char* to_string(FaultKind kind);
@@ -35,8 +36,10 @@ struct FaultEvent {
   /// message, the receiver of delayed deliveries, the slowed machine).
   int rank = -1;
 
-  // -- kCrash trigger (set exactly one) -----------------------------------
-  /// Crash once the rank's clock reaches this time.
+  // -- kCrash / kRejoin trigger --------------------------------------------
+  /// kCrash: crash once the rank's clock reaches this time (set exactly one
+  /// of at_time / after_frames). kRejoin: restart the rank at this time
+  /// (at_time is required).
   double at_time = -1.0;
   /// Crash immediately after the rank has delivered this many progress
   /// messages (frame results); the N-th result itself still arrives.
@@ -62,9 +65,16 @@ struct FaultPlan {
   /// Tag counted as "one frame of progress" for after_frames crash triggers.
   /// render_farm() sets this to the protocol's frame-result tag.
   int progress_tag = -1;
+  /// Tag delivered to a rank when its kRejoin event fires (the "you have
+  /// been restarted" signal). render_farm() sets this to the protocol's
+  /// rejoin tag; -1 disables rejoin delivery.
+  int rejoin_tag = -1;
 
   bool empty() const { return events.empty(); }
   bool has_crashes() const;
+  bool has_rejoins() const;
+  /// True when `rank` has a kRejoin event scheduled.
+  bool rank_rejoins(int rank) const;
 
   // Convenience builders.
   static FaultEvent crash_at(int rank, double time);
@@ -75,6 +85,7 @@ struct FaultPlan {
                                  double extra_seconds);
   static FaultEvent slowdown_window(int rank, double t_begin, double t_end,
                                     double factor);
+  static FaultEvent rejoin_at(int rank, double time);
 };
 
 /// Throws std::invalid_argument with a precise message when an event is

@@ -34,6 +34,21 @@ struct FaultToleranceConfig {
 struct FaultReport {
   int deaths_detected = 0;
   int pings_sent = 0;
+  /// Workers re-admitted after a crash (elastic membership): a Hello from a
+  /// dead rank clears its death sentence; the rank starts fresh and pays a
+  /// full first-frame coherence restart on its next assignment.
+  int workers_rejoined = 0;
+  // -- end-game speculation -----------------------------------------------
+  /// Tasks cloned to idle workers when the pending queue ran dry.
+  int speculations_launched = 0;
+  /// Speculation pairs resolved with a surviving winner (one copy beat the
+  /// other to the remaining frames; the loser was shrunk away).
+  int speculations_won = 0;
+  /// Region-frames delivered by the losing copy after the winner had
+  /// already committed them (discarded by the idempotent-commit gate).
+  std::int64_t speculation_frames_wasted = 0;
+  /// Compute seconds carried by those discarded duplicate results.
+  double speculation_wasted_seconds = 0.0;
   /// Tasks re-enqueued: dead workers' remainders plus ranges reclaimed when
   /// a frame result was lost in transit.
   int tasks_reassigned = 0;

@@ -1,5 +1,9 @@
 #include "src/image/image_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -89,6 +93,33 @@ bool decode_tga(Framebuffer* fb, const std::string& bytes) {
 
 bool write_tga(const Framebuffer& fb, const std::string& path) {
   return write_file(path, encode_tga(fb));
+}
+
+bool write_tga_atomic(const Framebuffer& fb, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::string bytes = encode_tga(fb);
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  bool ok = true;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool read_tga(Framebuffer* fb, const std::string& path) {

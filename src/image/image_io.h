@@ -16,6 +16,11 @@ bool write_tga(const Framebuffer& fb, const std::string& path);
 /// origin). Returns false on I/O failure or unsupported format.
 bool read_tga(Framebuffer* fb, const std::string& path);
 
+/// Crash-safe write_tga: write to a temp file in the same directory, fsync,
+/// then rename over `path`. A crash mid-write leaves at most a stale temp
+/// file — `path` is always absent or a complete frame, never torn.
+bool write_tga_atomic(const Framebuffer& fb, const std::string& path);
+
 /// Write `fb` as a binary PPM (P6).
 bool write_ppm(const Framebuffer& fb, const std::string& path);
 

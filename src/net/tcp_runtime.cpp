@@ -10,16 +10,22 @@
 #include <cassert>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "src/net/crc32.h"
 #include "src/net/thread_runtime.h"
 
 namespace now {
 namespace {
+
+// Frames larger than this cannot be legitimate (the largest real payload is
+// one dense frame of pixels); a bigger length means the stream desynced.
+constexpr std::uint32_t kMaxFrameLength = 1u << 30;
 
 // MSG_NOSIGNAL: a peer whose socket was severed (crash injection, real
 // death) must surface as a failed write, not a SIGPIPE killing the process.
@@ -60,6 +66,7 @@ struct FrameHeader {
   std::int32_t source;
   std::int32_t tag;
   std::uint32_t length;
+  std::uint32_t crc;  // crc32 of the payload bytes
 };
 
 void set_receive_timeout(int fd, double seconds) {
@@ -90,10 +97,16 @@ int make_listener(std::uint16_t* port) {
   return fd;
 }
 
-int connect_loopback(std::uint16_t port, const TcpOptions& options) {
+int connect_loopback(std::uint16_t port, const TcpOptions& options, int rank,
+                     Counter* retries) {
   int last_errno = 0;
   for (int attempt = 0; attempt < std::max(1, options.connect_attempts);
        ++attempt) {
+    if (attempt > 0) {
+      if (retries != nullptr) retries->inc();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          connect_backoff_seconds(options, rank, attempt - 1)));
+    }
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error("socket() failed");
     sockaddr_in addr{};
@@ -107,8 +120,6 @@ int connect_loopback(std::uint16_t port, const TcpOptions& options) {
     }
     last_errno = errno;
     ::close(fd);
-    std::this_thread::sleep_for(std::chrono::duration<double>(
-        options.connect_retry_delay_seconds));
   }
   throw std::runtime_error(std::string("connect failed after retries: ") +
                            std::strerror(last_errno));
@@ -117,8 +128,8 @@ int connect_loopback(std::uint16_t port, const TcpOptions& options) {
 class TcpContext final : public Context {
  public:
   TcpContext(int rank, int world_size, Mailbox* own_mailbox,
-             std::vector<int>* socket_of_rank, std::mutex* send_mu,
-             std::atomic<bool>* stop_flag,
+             std::vector<std::atomic<int>>* socket_of_rank,
+             std::mutex* send_mu, std::atomic<bool>* stop_flag,
              std::vector<Mailbox>* all_mailboxes,
              std::atomic<std::int64_t>* messages,
              std::atomic<std::int64_t>* bytes,
@@ -170,8 +181,12 @@ class TcpContext final : public Context {
       bytes_->fetch_add(copies * static_cast<std::int64_t>(payload.size()),
                         std::memory_order_relaxed);
       // Master: socket to `dest`. Worker: its own socket to the master.
-      const int fd =
-          rank_ == 0 ? (*socket_of_rank_)[dest] : (*socket_of_rank_)[rank_];
+      // The table entry is atomic because a rejoin replaces it mid-run.
+      const int fd = rank_ == 0
+                         ? (*socket_of_rank_)[dest].load(
+                               std::memory_order_acquire)
+                         : (*socket_of_rank_)[rank_].load(
+                               std::memory_order_acquire);
       const Message msg{rank_, tag, std::move(payload)};
       const std::int64_t frame_bytes =
           static_cast<std::int64_t>(msg.payload.size());
@@ -219,7 +234,7 @@ class TcpContext final : public Context {
   int rank_;
   int world_size_;
   Mailbox* own_mailbox_;
-  std::vector<int>* socket_of_rank_;
+  std::vector<std::atomic<int>>* socket_of_rank_;
   std::mutex* send_mu_;
   std::atomic<bool>* stop_flag_;
   std::vector<Mailbox>* all_mailboxes_;
@@ -234,23 +249,74 @@ class TcpContext final : public Context {
 
 }  // namespace
 
-bool tcp_write_message(int fd, const Message& msg) {
+double connect_backoff_seconds(const TcpOptions& options, int rank,
+                               int attempt) {
+  double delay = options.connect_backoff_base_seconds *
+                 std::ldexp(1.0, std::min(attempt, 30));
+  delay = std::min(delay, options.connect_backoff_max_seconds);
+  // splitmix64-style hash of (rank, attempt) → jitter factor in [0.5, 1):
+  // deterministic (same schedule every run) but decorrelated across ranks.
+  std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                         rank))
+                     << 32) ^
+                    static_cast<std::uint32_t>(attempt) ^
+                    0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const double unit =
+      static_cast<double>(x >> 11) / 9007199254740992.0;  // [0, 1)
+  return delay * (0.5 + 0.5 * unit);
+}
+
+std::string tcp_encode_frame(const Message& msg) {
   FrameHeader header{msg.source, msg.tag,
-                     static_cast<std::uint32_t>(msg.payload.size())};
-  if (!write_all(fd, &header, sizeof(header))) return false;
-  return msg.payload.empty() ||
-         write_all(fd, msg.payload.data(), msg.payload.size());
+                     static_cast<std::uint32_t>(msg.payload.size()),
+                     crc32(msg.payload.data(), msg.payload.size())};
+  std::string out(reinterpret_cast<const char*>(&header), sizeof(header));
+  out += msg.payload;
+  return out;
+}
+
+bool tcp_write_message(int fd, const Message& msg) {
+  const std::string frame = tcp_encode_frame(msg);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+TcpReadStatus tcp_read_frame(int fd, Message* msg,
+                             const std::function<bool()>& keep_going) {
+  FrameHeader header;
+  if (!read_all(fd, &header, sizeof(header), keep_going)) {
+    return TcpReadStatus::kClosed;
+  }
+  if (header.length > kMaxFrameLength) return TcpReadStatus::kClosed;
+  msg->source = header.source;
+  msg->tag = header.tag;
+  msg->payload.resize(header.length);
+  if (header.length != 0 &&
+      !read_all(fd, msg->payload.data(), header.length, keep_going)) {
+    return TcpReadStatus::kClosed;
+  }
+  if (crc32(msg->payload.data(), msg->payload.size()) != header.crc) {
+    // The frame structure was intact (we consumed exactly `length` bytes,
+    // the stream stays aligned) but the payload was damaged in flight:
+    // surface it as corruption so the caller can count and drop it.
+    return TcpReadStatus::kCorrupt;
+  }
+  return TcpReadStatus::kOk;
 }
 
 bool tcp_read_message(int fd, Message* msg,
                       const std::function<bool()>& keep_going) {
-  FrameHeader header;
-  if (!read_all(fd, &header, sizeof(header), keep_going)) return false;
-  msg->source = header.source;
-  msg->tag = header.tag;
-  msg->payload.resize(header.length);
-  return header.length == 0 ||
-         read_all(fd, msg->payload.data(), header.length, keep_going);
+  for (;;) {
+    switch (tcp_read_frame(fd, msg, keep_going)) {
+      case TcpReadStatus::kOk: return true;
+      case TcpReadStatus::kClosed: return false;
+      case TcpReadStatus::kCorrupt: continue;  // dropped message
+    }
+  }
 }
 
 bool tcp_read_message(int fd, Message* msg) {
@@ -263,40 +329,28 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
 
   std::uint16_t port = 0;
   const int listener = make_listener(&port);
+  // The accept loop must notice shutdown (and keep the listener open for
+  // mid-run rejoins), so it wakes on the same timeout as the data sockets.
+  set_receive_timeout(listener, options_.receive_timeout_seconds);
 
-  // socket_of_rank: for the master (rank 0), index w = socket to worker w;
-  // for workers, index 0 = socket to the master.
-  std::vector<int> sockets(static_cast<std::size_t>(n), -1);
-
-  // Workers connect and announce their rank; the master accepts n-1 times.
-  std::vector<std::thread> connectors;
-  for (int rank = 1; rank < n; ++rank) {
-    connectors.emplace_back([&, rank] {
-      const int fd = connect_loopback(port, options_);
-      const std::int32_t r = rank;
-      write_all(fd, &r, sizeof(r));
-      sockets[rank] = fd;  // each worker writes only its own slot
-    });
+  // Socket tables, atomic because a rejoin swaps entries mid-run:
+  // master_sockets[w] = master's socket to worker w; worker_sockets[w] =
+  // worker w's socket to the master.
+  std::vector<std::atomic<int>> master_sockets(static_cast<std::size_t>(n));
+  std::vector<std::atomic<int>> worker_sockets(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    master_sockets[i].store(-1);
+    worker_sockets[i].store(-1);
   }
-  std::vector<int> master_sockets(static_cast<std::size_t>(n), -1);
-  for (int i = 1; i < n; ++i) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) throw std::runtime_error("accept failed");
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::int32_t rank = -1;
-    if (!read_all(fd, &rank, sizeof(rank), nullptr) || rank < 1 || rank >= n) {
-      ::close(fd);
-      throw std::runtime_error("bad rank handshake");
-    }
-    master_sockets[rank] = fd;
-  }
-  for (auto& t : connectors) t.join();
-  ::close(listener);
-  for (int w = 1; w < n; ++w) {
-    set_receive_timeout(master_sockets[w], options_.receive_timeout_seconds);
-    set_receive_timeout(sockets[w], options_.receive_timeout_seconds);
-  }
+  // Sockets replaced by a rejoin are parked here and closed at shutdown —
+  // their reader pumps may still hold the fd until they notice the close.
+  std::mutex retired_mu;
+  std::vector<int> retired_fds;
+  const auto retire_fd = [&](int fd) {
+    if (fd < 0) return;
+    std::lock_guard<std::mutex> lock(retired_mu);
+    retired_fds.push_back(fd);
+  };
 
   std::vector<Mailbox> mailboxes(n);
   std::atomic<bool> stop_flag{false};
@@ -311,33 +365,47 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
 
   EventTracer* tracer = obs_.tracer;
   if (tracer != nullptr && !tracer->enabled()) tracer = nullptr;
+  Counter* corrupt_frames =
+      obs_.metrics != nullptr ? &obs_.metrics->counter("net.corrupt_frames")
+                              : nullptr;
+  Counter* connect_retries =
+      obs_.metrics != nullptr ? &obs_.metrics->counter("net.connect_retries")
+                              : nullptr;
 
   std::unique_ptr<FaultInjector> injector;
   if (!plan_.empty()) {
     injector = std::make_unique<FaultInjector>(plan_, n, tracer);
   }
 
-  // Crash realization: sever both ends of the rank's connection, once.
-  std::vector<std::once_flag> kill_once(static_cast<std::size_t>(n));
+  // Crash realization: sever both ends of the rank's connection. The
+  // per-rank membership mutex serializes this against a rejoin replacing the
+  // sockets — a stale kill (observed the crash just before the revive) must
+  // not sever the fresh connection, hence the crashed() re-check under the
+  // lock.
+  std::vector<std::mutex> membership_mus(static_cast<std::size_t>(n));
+  std::vector<std::atomic<bool>> rank_killed(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) rank_killed[i].store(false);
   const std::function<void(int)> kill_rank = [&](int rank) {
     if (rank < 1 || rank >= n) return;
-    std::call_once(kill_once[rank], [&, rank] {
-      ::shutdown(master_sockets[rank], SHUT_RDWR);
-      ::shutdown(sockets[rank], SHUT_RDWR);
-    });
+    std::lock_guard<std::mutex> lock(membership_mus[rank]);
+    if (injector != nullptr && !injector->crashed(rank, wall_now())) return;
+    if (rank_killed[rank].exchange(true)) return;
+    ::shutdown(master_sockets[rank].load(), SHUT_RDWR);
+    ::shutdown(worker_sockets[rank].load(), SHUT_RDWR);
   };
 
-  TimerQueue timers([&](int dest, Message msg) {
-    if (dest < 0 || dest >= n) return;
-    if (injector != nullptr && injector->crashed(dest, wall_now())) return;
-    mailboxes[dest].push(std::move(msg));
-  });
-
-  // Reader pumps: master gets one per worker socket; each worker gets one.
-  // SO_RCVTIMEO wakes them periodically to notice stop or a timed crash.
+  // Reader pumps are spawned at startup AND mid-run (rejoins, late
+  // accepts); the vector is locked for spawning and joined after every
+  // spawner has stopped.
+  std::mutex readers_mu;
   std::vector<std::thread> readers;
-  for (int w = 1; w < n; ++w) {
-    readers.emplace_back([&, w] {
+  TimerQueue* timers_ptr = nullptr;  // set right after construction below
+
+  // Pump for one master-side connection to worker w: reads w's frames into
+  // the master's mailbox until the socket dies.
+  const auto spawn_master_pump = [&](int w, int fd) {
+    std::lock_guard<std::mutex> lock(readers_mu);
+    readers.emplace_back([&, w, fd] {
       const auto keep_going = [&] {
         if (injector != nullptr && injector->crashed(w, wall_now())) {
           kill_rank(w);
@@ -346,17 +414,28 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
         return !stop_flag.load(std::memory_order_acquire);
       };
       Message msg;
-      while (tcp_read_message(master_sockets[w], &msg, keep_going)) {
+      for (;;) {
+        const TcpReadStatus st = tcp_read_frame(fd, &msg, keep_going);
+        if (st == TcpReadStatus::kClosed) break;
+        if (st == TcpReadStatus::kCorrupt) {
+          if (corrupt_frames != nullptr) corrupt_frames->inc();
+          continue;  // CRC mismatch == dropped message
+        }
         const double delay =
             injector != nullptr ? injector->delivery_delay(0, wall_now()) : 0.0;
         if (delay > 0.0) {
-          timers.schedule(delay, 0, std::move(msg));
+          timers_ptr->schedule(delay, 0, std::move(msg));
         } else {
           mailboxes[0].push(std::move(msg));
         }
       }
     });
-    readers.emplace_back([&, w] {
+  };
+  // Pump for worker w's own connection: reads the master's frames into w's
+  // mailbox.
+  const auto spawn_worker_pump = [&](int w, int fd) {
+    std::lock_guard<std::mutex> lock(readers_mu);
+    readers.emplace_back([&, w, fd] {
       const auto keep_going = [&] {
         if (injector != nullptr && injector->crashed(w, wall_now())) {
           kill_rank(w);
@@ -365,7 +444,13 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
         return !stop_flag.load(std::memory_order_acquire);
       };
       Message msg;
-      while (tcp_read_message(sockets[w], &msg, keep_going)) {
+      for (;;) {
+        const TcpReadStatus st = tcp_read_frame(fd, &msg, keep_going);
+        if (st == TcpReadStatus::kClosed) break;
+        if (st == TcpReadStatus::kCorrupt) {
+          if (corrupt_frames != nullptr) corrupt_frames->inc();
+          continue;
+        }
         if (injector != nullptr && injector->crashed(w, wall_now())) {
           kill_rank(w);
           break;
@@ -373,19 +458,113 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
         const double delay =
             injector != nullptr ? injector->delivery_delay(w, wall_now()) : 0.0;
         if (delay > 0.0) {
-          timers.schedule(delay, w, std::move(msg));
+          timers_ptr->schedule(delay, w, std::move(msg));
         } else {
           mailboxes[w].push(std::move(msg));
         }
       }
     });
+  };
+
+  // A rejoining worker dials a brand-new connection (its old one was
+  // severed at crash time), re-handshakes its rank — the accept loop
+  // installs the master side — and is marked alive again. Runs on the timer
+  // thread when the kRejoin event fires.
+  const auto rejoin_rank = [&](int rank) -> bool {
+    std::unique_lock<std::mutex> lock(membership_mus[rank]);
+    injector->revive(rank, wall_now());
+    int fd = -1;
+    try {
+      fd = connect_loopback(port, options_, rank, connect_retries);
+    } catch (const std::runtime_error&) {
+      return false;  // listener gone: the run is already shutting down
+    }
+    const std::int32_t r = rank;
+    if (!write_all(fd, &r, sizeof(r))) {
+      ::close(fd);
+      return false;
+    }
+    set_receive_timeout(fd, options_.receive_timeout_seconds);
+    retire_fd(worker_sockets[rank].exchange(fd));
+    rank_killed[rank].store(false);
+    lock.unlock();
+    spawn_worker_pump(rank, fd);
+    return true;
+  };
+
+  TimerQueue timers([&](int dest, Message msg) {
+    if (dest < 0 || dest >= n) return;
+    if (injector != nullptr && plan_.rejoin_tag >= 0 &&
+        msg.tag == plan_.rejoin_tag && msg.source == dest) {
+      // Reconnect first so the worker's re-Hello has a live socket to ride.
+      if (rejoin_rank(dest)) mailboxes[dest].push(std::move(msg));
+      return;
+    }
+    if (injector != nullptr && injector->crashed(dest, wall_now())) return;
+    mailboxes[dest].push(std::move(msg));
+  });
+  timers_ptr = &timers;
+  if (injector != nullptr && plan_.rejoin_tag >= 0) {
+    for (const FaultEvent& e : plan_.events) {
+      if (e.kind != FaultKind::kRejoin) continue;
+      timers.schedule(e.at_time, e.rank, Message{e.rank, plan_.rejoin_tag, {}});
+    }
+  }
+
+  // Persistent accept loop: initial connections and mid-run rejoins both
+  // land here. Each accepted socket handshakes its rank, replaces the
+  // rank's master-side slot, and gets its own reader pump.
+  std::atomic<int> accepted_initial{0};
+  std::thread acceptor([&] {
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;  // timeout tick: re-check stop
+        }
+        break;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::int32_t rank = -1;
+      if (!read_all(fd, &rank, sizeof(rank), nullptr) || rank < 1 ||
+          rank >= n) {
+        ::close(fd);
+        continue;
+      }
+      set_receive_timeout(fd, options_.receive_timeout_seconds);
+      retire_fd(master_sockets[rank].exchange(fd));
+      spawn_master_pump(rank, fd);
+      accepted_initial.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  // Workers connect and announce their rank before their actor threads
+  // start (a worker's first act is a Hello through its socket).
+  std::vector<std::thread> connectors;
+  for (int rank = 1; rank < n; ++rank) {
+    connectors.emplace_back([&, rank] {
+      const int fd = connect_loopback(port, options_, rank, connect_retries);
+      const std::int32_t r = rank;
+      write_all(fd, &r, sizeof(r));
+      set_receive_timeout(fd, options_.receive_timeout_seconds);
+      worker_sockets[rank].store(fd, std::memory_order_release);
+      spawn_worker_pump(rank, fd);
+    });
+  }
+  for (auto& t : connectors) t.join();
+  // Wait for the master side of every initial connection: the first
+  // master→worker send must not race the handshake.
+  while (accepted_initial.load(std::memory_order_acquire) < n - 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
   std::vector<std::mutex> send_mus(n);
   std::vector<std::thread> threads;
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([&, rank] {
-      std::vector<int>& table = rank == 0 ? master_sockets : sockets;
+      std::vector<std::atomic<int>>& table =
+          rank == 0 ? master_sockets : worker_sockets;
       TcpContext ctx(rank, n, &mailboxes[rank], &table, &send_mus[rank],
                      &stop_flag, &mailboxes, &messages, &bytes, epoch,
                      injector.get(), &timers, &kill_rank, tracer);
@@ -406,17 +585,27 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   }
   for (auto& t : threads) t.join();
   timers.shutdown();
+  stop_flag.store(true, std::memory_order_release);
+  acceptor.join();
+  ::close(listener);
 
-  // Close sockets to unblock the reader pumps, then join them.
+  // Sever the live sockets to unblock the reader pumps, then join and close
+  // everything (including connections retired by rejoins).
   for (int w = 1; w < n; ++w) {
-    ::shutdown(master_sockets[w], SHUT_RDWR);
-    ::shutdown(sockets[w], SHUT_RDWR);
+    ::shutdown(master_sockets[w].load(), SHUT_RDWR);
+    ::shutdown(worker_sockets[w].load(), SHUT_RDWR);
   }
-  for (auto& t : readers) t.join();
+  {
+    // No spawner is alive (timers and acceptor joined above), so the vector
+    // is stable now.
+    std::lock_guard<std::mutex> lock(readers_mu);
+    for (auto& t : readers) t.join();
+  }
   for (int w = 1; w < n; ++w) {
-    ::close(master_sockets[w]);
-    ::close(sockets[w]);
+    if (master_sockets[w].load() >= 0) ::close(master_sockets[w].load());
+    if (worker_sockets[w].load() >= 0) ::close(worker_sockets[w].load());
   }
+  for (const int fd : retired_fds) ::close(fd);
 
   RuntimeStats stats;
   stats.elapsed_seconds = wall_now();

@@ -10,13 +10,20 @@
 //
 // Robustness: every data socket carries a receive timeout (SO_RCVTIMEO), so
 // the reader pumps wake periodically instead of blocking forever on a
-// vanished peer, and connect() retries a bounded number of times before
-// surfacing an error. A FaultPlan makes crashes real at the socket level:
-// when a worker's crash triggers, both ends of its connection are shut
-// down — the master stops hearing from it exactly as if the process died.
+// vanished peer; connect() retries with exponential backoff and
+// deterministic per-rank jitter (net.connect_retries counts the retries);
+// and every frame carries a CRC-32 over its payload — a corrupt frame is
+// counted (net.corrupt_frames) and treated as a dropped message, never
+// delivered. A FaultPlan makes crashes real at the socket level: when a
+// worker's crash triggers, both ends of its connection are shut down — the
+// master stops hearing from it exactly as if the process died. The listener
+// stays open for the whole run, so a kRejoin event can reconnect the rank
+// mid-run: the worker dials in again, re-handshakes, and re-announces
+// itself to the master (elastic membership).
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "src/fault/fault_injector.h"
 #include "src/net/runtime.h"
@@ -24,13 +31,25 @@
 namespace now {
 
 struct TcpOptions {
-  /// SO_RCVTIMEO on every data socket; bounds how long a reader pump can
-  /// sleep before noticing shutdown or a triggered crash.
+  /// SO_RCVTIMEO on every data socket (and the listener); bounds how long a
+  /// reader pump or the accept loop can sleep before noticing shutdown, a
+  /// triggered crash, or a pending rejoin.
   double receive_timeout_seconds = 0.25;
   /// Bounded connect-retry loop (ECONNREFUSED/EINTR) before giving up.
   int connect_attempts = 20;
-  double connect_retry_delay_seconds = 0.05;
+  /// Exponential backoff between connect attempts: the delay before retry
+  /// k is min(base · 2^k, max), scaled by a deterministic jitter in
+  /// [0.5, 1) derived from (rank, attempt) — concurrent retries from
+  /// different ranks desynchronize without any shared RNG, and the same
+  /// rank backs off identically on every run.
+  double connect_backoff_base_seconds = 0.01;
+  double connect_backoff_max_seconds = 0.5;
 };
+
+/// The backoff schedule itself, exposed pure for tests: delay in seconds
+/// before attempt `attempt` (0-based) of `rank`'s connect loop.
+double connect_backoff_seconds(const TcpOptions& options, int rank,
+                               int attempt);
 
 class TcpRuntime final : public Runtime {
  public:
@@ -48,11 +67,30 @@ class TcpRuntime final : public Runtime {
   RuntimeObs obs_;
 };
 
-/// Frame helpers shared with the tests: [i32 source][i32 tag][u32 len][bytes].
+// -- frame helpers, shared with the tests -----------------------------------
+// On-wire frame: [i32 source][i32 tag][u32 len][u32 crc32(payload)][bytes].
+
+enum class TcpReadStatus {
+  kOk,       // a frame arrived and its payload CRC checked out
+  kCorrupt,  // a well-framed message whose payload failed its CRC; the
+             // stream stays aligned — callers count it and read on
+  kClosed,   // EOF, hard error, or keep_going said stop
+};
+
+/// Serialize `msg` into its on-wire frame (header + payload). Exposed so
+/// tests can craft deliberately corrupted frames.
+std::string tcp_encode_frame(const Message& msg);
+
 bool tcp_write_message(int fd, const Message& msg);
+
+/// Read one frame. On a receive timeout consults `keep_going` and aborts
+/// (kClosed) once it says stop; null = wait forever.
+TcpReadStatus tcp_read_frame(int fd, Message* msg,
+                             const std::function<bool()>& keep_going);
+
+/// As tcp_read_frame, but corrupt frames are silently skipped (dropped):
+/// returns true on the next intact message, false when the stream ends.
 bool tcp_read_message(int fd, Message* msg);
-/// As tcp_read_message, but on a receive timeout consults `keep_going` and
-/// aborts (returning false) once it says stop. Null = wait forever.
 bool tcp_read_message(int fd, Message* msg,
                       const std::function<bool()>& keep_going);
 

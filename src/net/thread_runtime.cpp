@@ -190,9 +190,26 @@ RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
     const double t = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - epoch)
                          .count();
-    if (injector != nullptr && injector->crashed(dest, t)) return;
+    if (injector != nullptr) {
+      if (plan_.rejoin_tag >= 0 && msg.tag == plan_.rejoin_tag &&
+          msg.source == dest) {
+        // The restart signal must reach the dead rank: revive first, then
+        // let the delivery through.
+        injector->revive(dest, t);
+      } else if (injector->crashed(dest, t)) {
+        return;
+      }
+    }
     mailboxes[dest].push(std::move(msg));
   });
+  // Rejoin events ride the timer: at their scheduled wall time the rank is
+  // revived and handed the rejoin tag so it re-announces itself.
+  if (injector != nullptr && plan_.rejoin_tag >= 0) {
+    for (const FaultEvent& e : plan_.events) {
+      if (e.kind != FaultKind::kRejoin) continue;
+      timers.schedule(e.at_time, e.rank, Message{e.rank, plan_.rejoin_tag, {}});
+    }
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(n);

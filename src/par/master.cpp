@@ -6,6 +6,19 @@
 #include "src/image/image_io.h"
 
 namespace now {
+namespace {
+
+// Key for the idempotent-commit gate: a region rect packed into 16-bit
+// lanes (image dimensions are far below 65536).
+std::uint64_t rect_key(const PixelRect& r) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.x0)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.y0)) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.width))
+          << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.height));
+}
+
+}  // namespace
 
 RenderMaster::RenderMaster(const AnimatedScene& scene,
                            const MasterConfig& config)
@@ -25,6 +38,28 @@ void RenderMaster::on_start(Context& ctx) {
   frame_area_missing_.assign(static_cast<std::size_t>(frames),
                              std::int64_t{w} * h);
   area_frames_missing_ = std::int64_t{w} * h * frames;
+  committed_rects_.assign(static_cast<std::size_t>(frames), {});
+
+  // Resume: frames the previous run completed (journal record + verified
+  // targa on disk) are restored wholesale and never re-enter scheduling.
+  std::vector<char> restored(static_cast<std::size_t>(frames), 0);
+  if (config_.recovery != nullptr) {
+    const RecoveryState& rec = *config_.recovery;
+    for (int f = 0; f < frames; ++f) {
+      if (f < static_cast<int>(rec.frames.size()) &&
+          rec.frames[f].has_value()) {
+        frames_[f] = *rec.frames[f];
+        frame_area_missing_[f] = 0;
+        area_frames_missing_ -= std::int64_t{w} * h;
+        restored[f] = 1;
+        ++report_.frames_restored;
+      }
+    }
+    if (config_.tracer != nullptr && report_.frames_restored > 0) {
+      config_.tracer->instant(ctx.rank(), "sched", "resume.restore", ctx.now(),
+                              {{"frames", report_.frames_restored}});
+    }
+  }
 
   const int worker_count = ctx.world_size() - 1;
   assert(worker_count >= 1);
@@ -40,15 +75,59 @@ void RenderMaster::on_start(Context& ctx) {
       }
     }
   }
-  std::vector<RenderTask> tasks =
-      make_initial_tasks(partition, w, h, frames, worker_count);
   std::int64_t covered = 0;
-  for (RenderTask& task : tasks) {
-    task.task_id = next_task_id_++;
-    covered += static_cast<std::int64_t>(task.region.area()) * task.frame_count;
-    pending_.push_back(task);
+  const auto enqueue = [&](std::vector<RenderTask> tasks, int frame_offset) {
+    for (RenderTask& task : tasks) {
+      task.task_id = next_task_id_++;
+      task.first_frame += frame_offset;
+      covered +=
+          static_cast<std::int64_t>(task.region.area()) * task.frame_count;
+      pending_.push_back(task);
+    }
+  };
+  if (report_.frames_restored == 0) {
+    enqueue(make_initial_tasks(partition, w, h, frames, worker_count), 0);
+  } else {
+    // Partition each maximal run of incomplete frames independently; cuts
+    // are shifted into run-local frame numbers. A task's first frame is a
+    // dense render anyway, so restored frames are free task boundaries.
+    int f = 0;
+    while (f < frames) {
+      if (restored[f]) {
+        ++f;
+        continue;
+      }
+      int b = f;
+      while (b < frames && !restored[b]) ++b;
+      PartitionConfig run = partition;
+      run.sequence_cuts.clear();
+      for (const int cut : partition.sequence_cuts) {
+        if (cut > f && cut < b) run.sequence_cuts.push_back(cut - f);
+      }
+      enqueue(make_initial_tasks(run, w, h, b - f, worker_count), f);
+      f = b;
+    }
   }
   assert(covered == area_frames_missing_ && "tasks must tile area × frames");
+
+  if (!config_.journal_path.empty()) {
+    JournalOptions jopts;
+    jopts.fsync = config_.journal_fsync;
+    if (config_.recovery != nullptr) {
+      journal_ = JournalWriter::resume(
+          config_.journal_path, config_.recovery->journal_valid_bytes, jopts);
+    } else {
+      JournalHeader header;
+      header.width = w;
+      header.height = h;
+      header.frame_count = frames;
+      journal_ = JournalWriter::create(config_.journal_path, header, jopts);
+    }
+    report_.journal_ok = journal_ != nullptr && journal_->good();
+    sync_journal_stats();
+  }
+  // Everything restored: stop before any worker is put to work.
+  maybe_finish(ctx);
 }
 
 void RenderMaster::on_message(Context& ctx, const Message& msg) {
@@ -60,8 +139,10 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
   }
   switch (msg.tag) {
     case kTagHello:
+      handle_idle(ctx, msg.source, /*hello=*/true);
+      break;
     case kTagRequest:
-      handle_idle(ctx, msg.source);
+      handle_idle(ctx, msg.source, /*hello=*/false);
       break;
     case kTagFrameResult:
       handle_frame_result(ctx, msg);
@@ -79,9 +160,26 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
   }
 }
 
-void RenderMaster::handle_idle(Context& ctx, int worker) {
+void RenderMaster::handle_idle(Context& ctx, int worker, bool hello) {
   WorkerState& state = workers_[worker];
-  if (state.dead) return;
+  if (state.dead) {
+    if (!hello) return;
+    // Elastic membership: a Hello from a declared-dead rank means the
+    // process restarted. Re-admit it with a clean slate — its old task was
+    // already reclaimed at death, and its first new frame is a dense
+    // coherence restart like any fresh assignment. A stale idle-queue entry
+    // from before the death stays valid, so don't enqueue twice.
+    const bool was_queued = state.queued;
+    state = WorkerState{};
+    state.queued = was_queued;
+    state.last_heard = ctx.now();
+    state.last_progress = ctx.now();
+    ++fault_report_.workers_rejoined;
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(ctx.rank(), "sched", "worker.rejoin", ctx.now(),
+                              {{"worker", worker}});
+    }
+  }
   state.known = true;
   if (state.active && !state.cancelled &&
       state.next_expected < state.end_frame) {
@@ -92,6 +190,10 @@ void RenderMaster::handle_idle(Context& ctx, int worker) {
   }
   state.active = false;
   state.cancelled = false;
+  // A worker asking for work has no task left to shrink; a shrink ack still
+  // in flight (e.g. the shrink reached a rank that crashed and rejoined)
+  // will arrive with nothing to steal and is harmless.
+  state.awaiting_ack = false;
   if (!state.queued) {
     state.queued = true;
     idle_.push_back(worker);
@@ -133,6 +235,14 @@ void RenderMaster::assign(Context& ctx, int worker, const RenderTask& task) {
   ctx.send(worker, kTagTask, encode_task(task));
 }
 
+bool RenderMaster::task_fully_committed(const RenderTask& task) const {
+  for (std::int32_t f = task.first_frame; f < task.end_frame(); ++f) {
+    if (frame_area_missing_[f] == 0) continue;
+    if (committed_rects_[f].count(rect_key(task.region)) == 0) return false;
+  }
+  return true;
+}
+
 void RenderMaster::try_dispatch(Context& ctx) {
   while (!idle_.empty()) {
     const int worker = idle_.front();
@@ -142,14 +252,108 @@ void RenderMaster::try_dispatch(Context& ctx) {
       continue;
     }
     if (!pending_.empty()) {
+      // A speculation winner (or an overlap from reclaim) may have covered
+      // this task entirely while it waited: drop it instead of paying a
+      // worker to render duplicates.
+      if (task_fully_committed(pending_.front())) {
+        pending_.pop_front();
+        continue;
+      }
       idle_.pop_front();
       workers_[worker].queued = false;
       assign(ctx, worker, pending_.front());
       pending_.pop_front();
       continue;
     }
-    if (!config_.partition.adaptive || !try_adaptive_split(ctx)) break;
-    // A split is in flight; idle workers wait for the ack.
+    if (config_.partition.adaptive && try_adaptive_split(ctx)) {
+      // A split is in flight; idle workers wait for the ack.
+      break;
+    }
+    if (config_.speculate && try_speculate(ctx)) continue;
+    break;
+  }
+}
+
+bool RenderMaster::try_speculate(Context& ctx) {
+  // End-game gate: nothing pending, and strictly more idle live workers
+  // than tasks still running — duplicating the straggler costs capacity
+  // that would otherwise sit idle until the last frame lands.
+  int idle_live = 0;
+  for (const int w : idle_) {
+    if (!workers_[w].dead) ++idle_live;
+  }
+  int active_tasks = 0;
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    const WorkerState& s = workers_[w];
+    if (s.active && !s.cancelled && !s.dead) ++active_tasks;
+  }
+  if (active_tasks == 0 || idle_live <= active_tasks) return false;
+
+  // Victim: the active worker with the most unreported frames, not mid-
+  // shrink, and not already paired (one speculative copy per task).
+  int victim = -1;
+  std::int32_t best_remaining = 0;
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    const WorkerState& s = workers_[w];
+    if (!s.active || s.awaiting_ack || s.dead || s.cancelled) continue;
+    if (spec_partner_.count(s.task.task_id) > 0) continue;
+    const std::int32_t remaining = s.end_frame - s.next_expected;
+    if (remaining > best_remaining) {
+      best_remaining = remaining;
+      victim = w;
+    }
+  }
+  if (victim < 0 || best_remaining < 1) return false;
+
+  const WorkerState& vs = workers_[victim];
+  RenderTask clone;
+  clone.task_id = next_task_id_++;
+  clone.region = vs.task.region;
+  clone.first_frame = vs.next_expected;
+  clone.frame_count = vs.end_frame - vs.next_expected;
+  spec_partner_[clone.task_id] = vs.task.task_id;
+  spec_partner_[vs.task.task_id] = clone.task_id;
+  spec_tasks_.insert(clone.task_id);
+  spec_tasks_.insert(vs.task.task_id);
+  ++fault_report_.speculations_launched;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "task.speculate", ctx.now(),
+                            {{"victim", victim},
+                             {"task", clone.task_id},
+                             {"first_frame", clone.first_frame},
+                             {"frames", clone.frame_count}});
+  }
+  const int worker = idle_.front();
+  idle_.pop_front();
+  workers_[worker].queued = false;
+  assign(ctx, worker, clone);
+  return true;
+}
+
+void RenderMaster::finish_speculation(Context& ctx, std::int32_t winner_task,
+                                      std::int32_t loser_task) {
+  spec_partner_.erase(winner_task);
+  spec_partner_.erase(loser_task);
+  ++fault_report_.speculations_won;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "speculate.won", ctx.now(),
+                            {{"winner", winner_task}, {"loser", loser_task}});
+  }
+  // Shrink the losing copy back to what it already delivered; its remaining
+  // frames are committed, so the master's view of its task ends now.
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    WorkerState& s = workers_[w];
+    if (!s.active || s.dead || s.cancelled || s.task.task_id != loser_task) {
+      continue;
+    }
+    s.end_frame = std::min(s.end_frame, s.next_expected);
+    if (!s.awaiting_ack) {
+      ShrinkRequest req;
+      req.task_id = loser_task;
+      req.new_end_frame = s.next_expected;
+      s.awaiting_ack = true;
+      ctx.send(w, kTagShrink, encode_shrink(req));
+    }
     break;
   }
 }
@@ -161,6 +365,9 @@ bool RenderMaster::try_adaptive_split(Context& ctx) {
   for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
     const WorkerState& s = workers_[w];
     if (!s.active || s.awaiting_ack || s.dead || s.cancelled) continue;
+    // A paired task's remainder is already being rendered twice; splitting
+    // it a third way only manufactures duplicates.
+    if (spec_partner_.count(s.task.task_id) > 0) continue;
     const std::int32_t remaining = s.end_frame - s.next_expected;
     if (remaining > best_remaining) {
       best_remaining = remaining;
@@ -269,6 +476,33 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   const PixelRect& region = result.payload.rect;
   assert(frame >= 0 && frame < static_cast<int>(frames_.size()));
 
+  // Idempotent-commit gate: a (region, frame) already committed — by a
+  // speculation partner or an overlapping reclaim — is acknowledged for the
+  // sender's progress but applied nowhere. Both copies render identical
+  // pixels (the coherence guarantee), so skipping the apply also keeps the
+  // sender's later sparse results valid against frames_[frame - 1].
+  const bool fresh =
+      committed_rects_[frame].insert(rect_key(region)).second;
+  s.next_expected = frame + 1;
+  s.last_progress = ctx.now();
+  s.ping_time = -1.0;
+  if (!fresh) {
+    if (spec_tasks_.count(result.task_id) > 0) {
+      ++fault_report_.speculation_frames_wasted;
+      fault_report_.speculation_wasted_seconds += result.compute_seconds;
+    } else {
+      discard_result(result, /*wasted_work=*/true);
+    }
+    if (s.next_expected >= s.end_frame) {
+      const auto it = spec_partner_.find(result.task_id);
+      if (it != spec_partner_.end()) {
+        finish_speculation(ctx, result.task_id, it->second);
+      }
+    }
+    maybe_finish(ctx);
+    return;
+  }
+
   // Sparse results carry only recomputed pixels; the rest of the region is
   // unchanged from the previous frame, which this worker already delivered.
   if (!result.payload.dense) {
@@ -276,10 +510,14 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
     frames_[frame].blit(region, frames_[frame - 1].extract(region));
   }
   apply_payload(&frames_[frame], result.payload);
-
-  s.next_expected = frame + 1;
-  s.last_progress = ctx.now();
-  s.ping_time = -1.0;
+  if (journal_ != nullptr) {
+    RegionCommitRecord rc;
+    rc.task_id = result.task_id;
+    rc.rect = region;
+    rc.frame = frame;
+    rc.digest = digest_rect(frames_[frame], region);
+    journal_->region_commit(rc);
+  }
 
   if (config_.tracer != nullptr) {
     config_.tracer->instant(ctx.rank(), "sched", "frame.result", ctx.now(),
@@ -306,14 +544,72 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   if (frame_area_missing_[frame] == 0) {
     ++report_.frames_completed;
     ctx.charge(config_.cost.master_frame_write_seconds);
+    // Write-ahead order: the frame file is atomically in place (temp file +
+    // rename) before the record that declares it durable, so a resume never
+    // trusts a frame that isn't wholly on disk.
     if (!config_.output_dir.empty()) {
-      char name[64];
-      std::snprintf(name, sizeof(name), "/%s_%04d.tga",
-                    config_.output_prefix.c_str(), frame);
-      write_tga(frames_[frame], config_.output_dir + name);
+      write_tga_atomic(frames_[frame],
+                       frame_file_path(config_.output_dir,
+                                       config_.output_prefix, frame));
+    }
+    if (journal_ != nullptr) {
+      FrameCompleteRecord fc;
+      fc.frame = frame;
+      fc.digest = digest_frame(frames_[frame]);
+      journal_->frame_complete(fc);
+    }
+  }
+  if (journal_ != nullptr &&
+      journal_->commits_since_checkpoint() >=
+          std::max(1, config_.journal_checkpoint_every)) {
+    write_checkpoint();
+  }
+  sync_journal_stats();
+
+  if (s.next_expected >= s.end_frame) {
+    const auto it = spec_partner_.find(result.task_id);
+    if (it != spec_partner_.end()) {
+      finish_speculation(ctx, result.task_id, it->second);
     }
   }
   maybe_finish(ctx);
+}
+
+void RenderMaster::write_checkpoint() {
+  if (journal_ == nullptr) return;
+  CheckpointRecord cp;
+  cp.completed.assign(frames_.size(), false);
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    cp.completed[f] = frame_area_missing_[f] == 0;
+  }
+  for (const RenderTask& t : pending_) {
+    CheckpointRecord::Task task;
+    task.task_id = t.task_id;
+    task.rect = t.region;
+    task.first_frame = t.first_frame;
+    task.frame_count = t.frame_count;
+    cp.pending.push_back(task);
+  }
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    const WorkerState& s = workers_[w];
+    if (!s.active || s.cancelled || s.dead) continue;
+    CheckpointRecord::WorkerView view;
+    view.worker = w;
+    view.task_id = s.task.task_id;
+    view.rect = s.task.region;
+    view.next_expected = s.next_expected;
+    view.end_frame = s.end_frame;
+    cp.in_flight.push_back(view);
+  }
+  journal_->checkpoint(cp);
+}
+
+void RenderMaster::sync_journal_stats() {
+  if (journal_ == nullptr) return;
+  report_.journal_records = journal_->records_appended();
+  report_.journal_bytes = journal_->bytes_appended();
+  report_.journal_checkpoints = journal_->checkpoints_written();
+  report_.journal_ok = journal_->good();
 }
 
 void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
@@ -321,6 +617,14 @@ void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
   if (!s.active || s.cancelled) return;
   s.cancelled = true;
   cancelled_tasks_.insert(s.task.task_id);
+  // A cancelled half of a speculated pair just dissolves the pair: the
+  // survivor keeps rendering, the reclaim below double-covers the range,
+  // and the idempotent-commit gate keeps whichever copy lands first.
+  const auto it = spec_partner_.find(s.task.task_id);
+  if (it != spec_partner_.end()) {
+    spec_partner_.erase(it->second);
+    spec_partner_.erase(s.task.task_id);
+  }
   if (s.end_frame > s.next_expected) {
     RenderTask reclaim;
     reclaim.task_id = next_task_id_++;
@@ -435,7 +739,13 @@ void RenderMaster::handle_lease_check(Context& ctx, const Message& msg) {
 }
 
 void RenderMaster::maybe_finish(Context& ctx) {
-  if (stopping_ || area_frames_missing_ != 0 || !pending_.empty()) return;
+  if (stopping_ || area_frames_missing_ != 0) return;
+  // Every pixel is committed, so anything still pending (speculation
+  // leftovers, reclaim overlap) is duplicate work by definition.
+  while (!pending_.empty() && task_fully_committed(pending_.front())) {
+    pending_.pop_front();
+  }
+  if (!pending_.empty()) return;
   stopping_ = true;
   for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
     if (!workers_[w].dead) ctx.send(w, kTagStop, {});

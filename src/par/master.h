@@ -24,12 +24,16 @@
 // on a dead rank.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/ckpt/journal.h"
+#include "src/ckpt/recovery.h"
 #include "src/fault/fault_tolerance.h"
 #include "src/image/framebuffer.h"
 #include "src/net/runtime.h"
@@ -49,6 +53,23 @@ struct MasterConfig {
   /// Directory for per-frame targa output ("" disables file writing).
   std::string output_dir;
   std::string output_prefix = "frame";
+  /// Render journal ("" disables): every committed region-frame is appended
+  /// as a checksummed, fsync'd record, frame TGAs are written atomically
+  /// *before* their completion record, and the scheduler state is compacted
+  /// into periodic checkpoint records. A crashed run resumes from the
+  /// journal + frame files via `recovery`.
+  std::string journal_path;
+  bool journal_fsync = true;
+  /// Checkpoint record every N region-frame commits.
+  int journal_checkpoint_every = 64;
+  /// Replayed journal state from a previous run (null = fresh start). The
+  /// master restores the completed frames, re-enqueues only the incomplete
+  /// remainder, and appends to the journal's valid prefix.
+  const RecoveryState* recovery = nullptr;
+  /// End-game speculation: when the pending queue is empty and idle workers
+  /// outnumber active tasks, clone the slowest task onto an idle worker and
+  /// keep whichever copy commits first (duplicate commits are idempotent).
+  bool speculate = false;
   /// Scheduling-decision instants (task.assign, task.split, lease.ping,
   /// worker.dead, ...) on the master's timeline. Null disables.
   EventTracer* tracer = nullptr;
@@ -65,6 +86,12 @@ struct MasterReport {
   double worker_compute_seconds = 0.0; // sum of reference-seconds charged
   /// Region-frames delivered per worker rank (rank 0 stays 0).
   std::vector<std::int64_t> frames_by_worker;
+  // -- recovery (journal + resume) -------------------------------------
+  std::int64_t frames_restored = 0;     // whole frames loaded from disk
+  std::int64_t journal_records = 0;     // records appended this run
+  std::int64_t journal_bytes = 0;       // bytes appended this run
+  std::int64_t journal_checkpoints = 0; // checkpoint records this run
+  bool journal_ok = true;               // false after any journal I/O error
 };
 
 class RenderMaster final : public Actor {
@@ -97,13 +124,28 @@ class RenderMaster final : public Actor {
   };
 
   void handle_frame_result(Context& ctx, const Message& msg);
-  void handle_idle(Context& ctx, int worker);
+  /// `hello` distinguishes kTagHello (may re-admit a dead rank: elastic
+  /// membership) from kTagRequest (a dead rank's requests stay ignored).
+  void handle_idle(Context& ctx, int worker, bool hello);
   void handle_shrink_ack(Context& ctx, const Message& msg);
   void handle_lease_check(Context& ctx, const Message& msg);
   void try_dispatch(Context& ctx);
   bool try_adaptive_split(Context& ctx);
+  /// End-game: clone the slowest active task onto an idle worker. Returns
+  /// true when a clone was dispatched.
+  bool try_speculate(Context& ctx);
+  /// One copy of a speculated pair finished its range: dissolve the pair
+  /// and shrink the losing copy away.
+  void finish_speculation(Context& ctx, std::int32_t winner_task,
+                          std::int32_t loser_task);
   void assign(Context& ctx, int worker, const RenderTask& task);
   void maybe_finish(Context& ctx);
+  /// Every region-frame of `task` already committed (or its frames fully
+  /// assembled): assigning it would be pure duplicate work.
+  bool task_fully_committed(const RenderTask& task) const;
+  /// Append a compacted scheduler checkpoint to the journal.
+  void write_checkpoint();
+  void sync_journal_stats();
   /// Write off the worker's current task: results for it are ignored from
   /// now on, and the frames not yet delivered are re-enqueued as a fresh
   /// task (whose first frame will be a full coherence-restart render).
@@ -126,6 +168,18 @@ class RenderMaster final : public Actor {
 
   std::set<std::int32_t> cancelled_tasks_;   // results discarded
   std::set<std::int32_t> reassigned_tasks_;  // recovery tasks (restart cost)
+
+  /// Idempotent-commit gate: per frame, the packed rects already applied.
+  /// A duplicate (rect, frame) commit — a speculation loser, an overlap
+  /// from reclaim — is skipped entirely (no pixel write, no accounting, no
+  /// journal record).
+  std::vector<std::set<std::uint64_t>> committed_rects_;
+  /// Speculated task pairs, keyed both ways (task_id → partner task_id).
+  std::map<std::int32_t, std::int32_t> spec_partner_;
+  /// Every task id that was ever half of a pair: duplicate commits from
+  /// these are speculation waste, not protocol anomalies.
+  std::set<std::int32_t> spec_tasks_;
+  std::unique_ptr<JournalWriter> journal_;
 
   MasterReport report_;
   FaultReport fault_report_;

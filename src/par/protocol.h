@@ -35,6 +35,7 @@ enum MsgTag : int {
   kTagPing = 9,         // master → worker: liveness probe
   kTagPong = 10,        // worker → master: liveness answer
   kTagLeaseCheck = 11,  // master → itself (timer): evaluate a worker's lease
+  kTagRejoin = 12,      // runtime → worker: your process restarted; re-Hello
 };
 
 struct RenderTask {

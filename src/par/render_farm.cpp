@@ -91,6 +91,26 @@ void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
   reg.gauge("recovery.restart_work_seconds").set(faults.restart_work_seconds);
   reg.gauge("recovery.detection_latency_seconds")
       .set(faults.detection_latency_seconds);
+  reg.counter("recovery.workers_rejoined")
+      .inc(static_cast<std::uint64_t>(faults.workers_rejoined));
+  reg.counter("recovery.speculations_launched")
+      .inc(static_cast<std::uint64_t>(faults.speculations_launched));
+  reg.counter("recovery.speculations_won")
+      .inc(static_cast<std::uint64_t>(faults.speculations_won));
+  reg.counter("recovery.speculation_frames_wasted")
+      .inc(static_cast<std::uint64_t>(faults.speculation_frames_wasted));
+  reg.gauge("recovery.speculation_wasted_seconds")
+      .set(faults.speculation_wasted_seconds);
+
+  reg.counter("ckpt.frames_restored")
+      .inc(static_cast<std::uint64_t>(master.frames_restored));
+  reg.counter("ckpt.journal_records")
+      .inc(static_cast<std::uint64_t>(master.journal_records));
+  reg.counter("ckpt.journal_bytes")
+      .inc(static_cast<std::uint64_t>(master.journal_bytes));
+  reg.counter("ckpt.journal_checkpoints")
+      .inc(static_cast<std::uint64_t>(master.journal_checkpoints));
+  reg.gauge("ckpt.journal_ok").set(master.journal_ok ? 1.0 : 0.0);
 }
 
 }  // namespace
@@ -133,11 +153,30 @@ void validate_farm_config(const AnimatedScene& scene,
       fail("fault.ping_grace_seconds must be > 0 when fault.enabled");
     }
   }
+  if (!config.journal_path.empty() && config.output_dir.empty()) {
+    fail("journal_path requires output_dir; the journal's frame records "
+         "point at the frame files");
+  }
+  if (config.resume && config.journal_path.empty()) {
+    fail("resume requires journal_path");
+  }
+  if (config.journal_checkpoint_every < 1) {
+    fail("journal_checkpoint_every must be >= 1");
+  }
   if (!config.fault_plan.empty()) {
     validate_fault_plan(config.fault_plan, worker_count + 1);
     if (config.fault_plan.has_crashes() && !config.fault.enabled) {
-      fail("fault_plan contains crashes but fault.enabled is false; the "
-           "master would wait forever on the crashed rank");
+      // A crashed rank that rejoins re-announces itself, which lets the
+      // master recover even without lease-based detection; a crash with no
+      // rejoin needs the detector.
+      for (const FaultEvent& ev : config.fault_plan.events) {
+        if (ev.kind == FaultKind::kCrash &&
+            !config.fault_plan.rank_rejoins(ev.rank)) {
+          fail("fault_plan contains a crash without a rejoin but "
+               "fault.enabled is false; the master would wait forever on "
+               "the crashed rank");
+        }
+      }
     }
     if (config.backend != FarmBackend::kSim) {
       for (const FaultEvent& ev : config.fault_plan.events) {
@@ -172,7 +211,31 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   master_config.fault = config.fault;
   master_config.output_dir = config.output_dir;
   master_config.output_prefix = config.output_prefix;
+  master_config.journal_path = config.journal_path;
+  master_config.journal_fsync = config.journal_fsync;
+  master_config.journal_checkpoint_every = config.journal_checkpoint_every;
+  master_config.speculate = config.speculation;
   master_config.tracer = &tracer;
+
+  // Resume: replay the journal and reload completed frames before the
+  // master starts. `recovery` must outlive the runtime run below.
+  RecoveryState recovery;
+  ResumeReport resume_report;
+  if (config.resume) {
+    recovery = build_recovery(config.journal_path, config.output_dir,
+                              config.output_prefix, scene.width(),
+                              scene.height(), scene.frame_count());
+    if (!recovery.ok) {
+      throw std::invalid_argument("FarmConfig: resume failed: " +
+                                  recovery.error);
+    }
+    master_config.recovery = &recovery;
+    resume_report.resumed = true;
+    resume_report.frames_restored = recovery.frames_restored;
+    resume_report.frames_demoted = recovery.frames_demoted;
+    resume_report.records_replayed = recovery.records_replayed;
+    resume_report.journal_truncated = recovery.journal_truncated;
+  }
   RenderMaster master(scene, master_config);
 
   WorkerConfig worker_config;
@@ -192,9 +255,11 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   actors.push_back(&master);
   for (auto& w : workers) actors.push_back(w.get());
 
-  // Crash-after-N-frames triggers count the rank's frame-result sends.
+  // Crash-after-N-frames triggers count the rank's frame-result sends;
+  // rejoin events are delivered to the revived rank under kTagRejoin.
   FaultPlan fault_plan = config.fault_plan;
   fault_plan.progress_tag = kTagFrameResult;
+  fault_plan.rejoin_tag = kTagRejoin;
 
   FarmResult result;
   switch (config.backend) {
@@ -226,6 +291,7 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   result.master = master.report();
   for (auto& w : workers) result.workers.push_back(w->report());
   result.faults = master.fault_report();
+  result.resume = resume_report;
 
   publish_reports(registry, result.runtime, result.master, result.workers,
                   result.faults);

@@ -65,7 +65,31 @@ struct FarmConfig {
   FaultToleranceConfig fault;
   std::string output_dir;  // per-frame targa output ("" = keep in memory)
   std::string output_prefix = "frame";
+  /// Crash-consistent render journal ("" = no journal). Requires
+  /// output_dir: the journal's frame-complete records point at the frame
+  /// files, which are the durable pixel state a resume restores from.
+  std::string journal_path;
+  /// Resume an interrupted run: replay journal_path, restore completed
+  /// frames from output_dir, render only the remainder. The resumed output
+  /// is byte-identical to an uninterrupted run's.
+  bool resume = false;
+  bool journal_fsync = true;
+  int journal_checkpoint_every = 64;
+  /// End-game speculation: duplicate the slowest in-flight task onto idle
+  /// workers and keep whichever copy commits first.
+  bool speculation = false;
   FarmObsConfig obs;
+};
+
+/// What a resume recovered before rendering started.
+struct ResumeReport {
+  bool resumed = false;
+  int frames_restored = 0;
+  /// Journal-complete frames whose file was missing or failed its digest —
+  /// demoted to re-render.
+  int frames_demoted = 0;
+  std::int64_t records_replayed = 0;
+  bool journal_truncated = false;  // the crash left a torn tail
 };
 
 struct FarmResult {
@@ -75,6 +99,7 @@ struct FarmResult {
   MasterReport master;
   std::vector<WorkerReport> workers;
   FaultReport faults;  // detection / recovery accounting (master's view)
+  ResumeReport resume;  // what a --resume run restored
   /// Unified metrics snapshot — the one reporting path shared by all three
   /// backends. Backend-specific series (e.g. sim.* and rank.* gauges from
   /// the simulator) simply appear here when the backend publishes them.

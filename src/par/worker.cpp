@@ -49,6 +49,15 @@ void RenderWorker::on_message(Context& ctx, const Message& msg) {
       break;
     case kTagStop:
       break;  // the runtime winds down after the master's stop()
+    case kTagRejoin:
+      // The runtime restarted this rank's process (elastic membership): all
+      // in-memory state — current task, coherence grid, framebuffer — died
+      // with it. Announce ourselves like a fresh worker; the next task's
+      // first frame is a dense render, as always.
+      task_.reset();
+      renderer_.reset();
+      ctx.send(0, kTagHello, {});
+      break;
     default:
       assert(false && "worker received unexpected tag");
   }

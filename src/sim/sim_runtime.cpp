@@ -73,6 +73,18 @@ class SimState {
 
   SimRuntimeStats run() {
     const int n = static_cast<int>(actors_.size());
+    // Rejoin events are ordinary deliveries on the schedule: when one comes
+    // due, the rank is revived and handed the rejoin tag so it can
+    // re-announce itself (elastic membership).
+    if (injector_ && config_.fault_plan.rejoin_tag >= 0) {
+      for (const FaultEvent& e : config_.fault_plan.events) {
+        if (e.kind != FaultKind::kRejoin) continue;
+        queue_.push(SimEvent{e.at_time, next_seq_++, SimEvent::kDelivery,
+                             e.rank,
+                             Message{e.rank, config_.fault_plan.rejoin_tag,
+                                     {}}});
+      }
+    }
     for (int rank = 0; rank < n; ++rank) {
       invoke_start(rank);
       if (stopped_) break;
@@ -107,7 +119,20 @@ class SimState {
       }
       // A crashed rank is fail-stop inert: pending deliveries — including
       // its own render-loop continuations — evaporate.
-      if (injector_ && injector_->crashed(ev.dest, ev.time)) continue;
+      if (injector_) {
+        if (config_.fault_plan.rejoin_tag >= 0 &&
+            ev.msg.tag == config_.fault_plan.rejoin_tag &&
+            ev.msg.source == ev.dest) {
+          // The restart signal itself must reach the dead rank: revive
+          // before the crash check swallows it.
+          injector_->revive(ev.dest, ev.time);
+          // The restarted process starts a fresh local clock; model the
+          // restart by advancing the rank to the rejoin instant (its stale
+          // pre-crash clock must not leak into post-rejoin timing).
+          local_time_[ev.dest] = std::max(local_time_[ev.dest], ev.time);
+        }
+        if (injector_->crashed(ev.dest, ev.time)) continue;
+      }
       invoke_message(ev);
     }
 

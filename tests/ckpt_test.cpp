@@ -1,0 +1,353 @@
+// Crash-consistency building blocks: CRC32, the render journal's record
+// framing and replay, torn-tail truncation, resume-append, digest helpers,
+// atomic targa writes, and build_recovery's trust-but-verify frame loading.
+#include "src/ckpt/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/ckpt/recovery.h"
+#include "src/image/image_io.h"
+#include "src/net/crc32.h"
+
+namespace now {
+namespace {
+
+std::string test_dir() {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  return dir;
+}
+
+std::string unique_path(const std::string& stem) {
+  static int counter = 0;
+  return test_dir() + "/" + stem + "_" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+         "_" + std::to_string(counter++);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  f << bytes;
+}
+
+Framebuffer gradient_frame(int w, int h, int seed) {
+  Framebuffer fb(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      fb.set(x, y, Rgb8{static_cast<std::uint8_t>((x + seed) & 0xFF),
+                        static_cast<std::uint8_t>((y * 3 + seed) & 0xFF),
+                        static_cast<std::uint8_t>((x ^ y) & 0xFF)});
+    }
+  }
+  return fb;
+}
+
+// -- crc32 ------------------------------------------------------------------
+
+TEST(Crc32, KnownVectorAndIncremental) {
+  // The canonical CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // Seeding with a prefix's CRC continues the stream.
+  const std::uint32_t head = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, head), 0xCBF43926u);
+  // One flipped bit changes the digest.
+  EXPECT_NE(crc32("123456788", 9), crc32("123456789", 9));
+}
+
+// -- journal write / replay -------------------------------------------------
+
+JournalHeader small_header() {
+  JournalHeader h;
+  h.width = 8;
+  h.height = 4;
+  h.frame_count = 3;
+  return h;
+}
+
+RegionCommitRecord sample_commit(int frame) {
+  RegionCommitRecord rc;
+  rc.task_id = 7;
+  rc.rect = PixelRect{0, 0, 8, 4};
+  rc.frame = frame;
+  rc.digest = 0xDEADBEEFu + static_cast<std::uint32_t>(frame);
+  return rc;
+}
+
+TEST(Journal, RoundTripAllRecordTypes) {
+  const std::string path = unique_path("journal_roundtrip");
+  JournalOptions opts;
+  opts.fsync = false;
+  {
+    auto w = JournalWriter::create(path, small_header(), opts);
+    ASSERT_NE(w, nullptr);
+    w->region_commit(sample_commit(0));
+    w->region_commit(sample_commit(1));
+    FrameCompleteRecord fc;
+    fc.frame = 0;
+    fc.digest = 42;
+    w->frame_complete(fc);
+    CheckpointRecord cp;
+    cp.completed = {true, false, false};
+    CheckpointRecord::Task t;
+    t.task_id = 9;
+    t.rect = PixelRect{0, 2, 8, 2};
+    t.first_frame = 1;
+    t.frame_count = 2;
+    cp.pending.push_back(t);
+    CheckpointRecord::WorkerView v;
+    v.worker = 2;
+    v.task_id = 7;
+    v.rect = PixelRect{0, 0, 8, 4};
+    v.next_expected = 2;
+    v.end_frame = 3;
+    cp.in_flight.push_back(v);
+    w->checkpoint(cp);
+    EXPECT_TRUE(w->good());
+    EXPECT_EQ(w->records_appended(), 5);  // header + 2 commits + fc + cp
+    EXPECT_EQ(w->checkpoints_written(), 1);
+  }
+
+  const JournalReplay r = replay_journal(path);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.truncated_tail);
+  EXPECT_EQ(r.records, 5);
+  EXPECT_EQ(r.header.width, 8);
+  EXPECT_EQ(r.header.height, 4);
+  EXPECT_EQ(r.header.frame_count, 3);
+  ASSERT_EQ(r.commits.size(), 2u);
+  EXPECT_EQ(r.commits[1].frame, 1);
+  EXPECT_EQ(r.commits[1].digest, 0xDEADBEEFu + 1);
+  EXPECT_EQ(r.commits[0].rect, (PixelRect{0, 0, 8, 4}));
+  ASSERT_EQ(r.frame_complete.size(), 3u);
+  EXPECT_TRUE(r.frame_complete[0]);
+  EXPECT_FALSE(r.frame_complete[1]);
+  EXPECT_EQ(r.frame_digest.at(0), 42u);
+  ASSERT_TRUE(r.last_checkpoint.has_value());
+  EXPECT_EQ(r.last_checkpoint->completed,
+            (std::vector<bool>{true, false, false}));
+  ASSERT_EQ(r.last_checkpoint->pending.size(), 1u);
+  EXPECT_EQ(r.last_checkpoint->pending[0].task_id, 9);
+  ASSERT_EQ(r.last_checkpoint->in_flight.size(), 1u);
+  EXPECT_EQ(r.last_checkpoint->in_flight[0].next_expected, 2);
+  EXPECT_EQ(r.record_offsets.size(), 5u);
+  EXPECT_EQ(r.record_offsets.back(), r.valid_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsIgnoredAtEveryTruncationPoint) {
+  const std::string path = unique_path("journal_torn");
+  JournalOptions opts;
+  opts.fsync = false;
+  {
+    auto w = JournalWriter::create(path, small_header(), opts);
+    ASSERT_NE(w, nullptr);
+    for (int f = 0; f < 3; ++f) w->region_commit(sample_commit(f));
+  }
+  const std::string bytes = read_file(path);
+  const JournalReplay full = replay_journal(path);
+  ASSERT_TRUE(full.ok);
+  ASSERT_EQ(full.record_offsets.size(), 4u);
+
+  // Cutting mid-record keeps exactly the records before the cut.
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    const std::string cut_path = path + ".cut";
+    write_file(cut_path, bytes.substr(0, len));
+    const JournalReplay r = replay_journal(cut_path);
+    std::int64_t expect_records = 0;
+    for (const std::size_t off : full.record_offsets) {
+      if (off <= len) ++expect_records;
+    }
+    if (len < full.record_offsets[0]) {
+      // Not even a whole header: unusable.
+      EXPECT_FALSE(r.ok) << "len=" << len;
+    } else {
+      ASSERT_TRUE(r.ok) << "len=" << len << ": " << r.error;
+      EXPECT_EQ(r.records, expect_records) << "len=" << len;
+      EXPECT_EQ(r.truncated_tail,
+                len != full.record_offsets[expect_records - 1])
+          << "len=" << len;
+      EXPECT_EQ(r.valid_bytes, full.record_offsets[expect_records - 1]);
+    }
+    std::remove(cut_path.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptMiddleRecordTruncatesReplayThere) {
+  const std::string path = unique_path("journal_corrupt");
+  JournalOptions opts;
+  opts.fsync = false;
+  {
+    auto w = JournalWriter::create(path, small_header(), opts);
+    for (int f = 0; f < 3; ++f) w->region_commit(sample_commit(f));
+  }
+  std::string bytes = read_file(path);
+  const JournalReplay full = replay_journal(path);
+  ASSERT_TRUE(full.ok);
+  // Flip one payload byte inside the second commit record.
+  bytes[full.record_offsets[1] + 10] ^= 0x01;
+  write_file(path, bytes);
+  const JournalReplay r = replay_journal(path);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.commits.size(), 1u);
+  EXPECT_TRUE(r.truncated_tail);
+  EXPECT_EQ(r.valid_bytes, full.record_offsets[1]);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeTruncatesTornTailAndAppends) {
+  const std::string path = unique_path("journal_resume");
+  JournalOptions opts;
+  opts.fsync = false;
+  {
+    auto w = JournalWriter::create(path, small_header(), opts);
+    w->region_commit(sample_commit(0));
+    w->region_commit(sample_commit(1));
+  }
+  // Simulate a crash mid-append: chop the final record in half.
+  const std::string bytes = read_file(path);
+  const JournalReplay before = replay_journal(path);
+  ASSERT_TRUE(before.ok);
+  write_file(path, bytes.substr(0, before.record_offsets[2] - 5));
+  const JournalReplay torn = replay_journal(path);
+  ASSERT_TRUE(torn.ok);
+  ASSERT_TRUE(torn.truncated_tail);
+  EXPECT_EQ(torn.commits.size(), 1u);
+
+  {
+    auto w = JournalWriter::resume(path, torn.valid_bytes, opts);
+    ASSERT_NE(w, nullptr);
+    w->region_commit(sample_commit(2));
+    EXPECT_TRUE(w->good());
+  }
+  const JournalReplay after = replay_journal(path);
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_FALSE(after.truncated_tail);
+  ASSERT_EQ(after.commits.size(), 2u);
+  EXPECT_EQ(after.commits[0].frame, 0);
+  EXPECT_EQ(after.commits[1].frame, 2);  // the torn record stayed dead
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MissingFileReportsNotOk) {
+  const JournalReplay r = replay_journal(unique_path("journal_nonexistent"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Journal, DigestRectCoversExactlyTheRect) {
+  const Framebuffer fb = gradient_frame(16, 8, 1);
+  Framebuffer outside = fb;
+  outside.set(0, 0, Rgb8{255, 255, 255});
+  const PixelRect rect{8, 2, 6, 4};
+  // Changing a pixel outside the rect leaves its digest alone...
+  EXPECT_EQ(digest_rect(fb, rect), digest_rect(outside, rect));
+  // ...changing one inside does not.
+  Framebuffer inside = fb;
+  inside.set(9, 3, Rgb8{255, 255, 255});
+  EXPECT_NE(digest_rect(fb, rect), digest_rect(inside, rect));
+  EXPECT_EQ(digest_frame(fb), digest_rect(fb, fb.full_rect()));
+}
+
+// -- atomic targa writes ----------------------------------------------------
+
+TEST(AtomicTga, WritesReadableFileAndCleansTemp) {
+  const std::string path = unique_path("atomic") + ".tga";
+  const Framebuffer fb = gradient_frame(20, 10, 3);
+  ASSERT_TRUE(write_tga_atomic(fb, path));
+  Framebuffer back;
+  ASSERT_TRUE(read_tga(&back, path));
+  EXPECT_EQ(back, fb);
+  // The rename source must be gone.
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  // Same bytes as the plain writer: atomicity changes durability, not
+  // content.
+  EXPECT_EQ(read_file(path), encode_tga(fb));
+  // Overwrite in place.
+  const Framebuffer fb2 = gradient_frame(20, 10, 9);
+  ASSERT_TRUE(write_tga_atomic(fb2, path));
+  ASSERT_TRUE(read_tga(&back, path));
+  EXPECT_EQ(back, fb2);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicTga, FailsCleanlyOnUnwritableDirectory) {
+  const Framebuffer fb = gradient_frame(4, 4, 0);
+  EXPECT_FALSE(write_tga_atomic(fb, "/nonexistent_dir_zz/frame.tga"));
+}
+
+// -- build_recovery ---------------------------------------------------------
+
+TEST(Recovery, RestoresVerifiedFramesAndDemotesBadOnes) {
+  const std::string dir = test_dir();
+  const std::string prefix =
+      "rec_" + std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  const std::string journal = unique_path("recovery_journal");
+  const int w = 12, h = 6, frames = 4;
+  JournalOptions opts;
+  opts.fsync = false;
+
+  std::vector<Framebuffer> fbs;
+  for (int f = 0; f < frames; ++f) fbs.push_back(gradient_frame(w, h, f));
+  {
+    JournalHeader header;
+    header.width = w;
+    header.height = h;
+    header.frame_count = frames;
+    auto jw = JournalWriter::create(journal, header, opts);
+    ASSERT_NE(jw, nullptr);
+    // Frames 0, 1, 2 complete per the journal; frame 3 never finished.
+    for (int f = 0; f < 3; ++f) {
+      ASSERT_TRUE(
+          write_tga_atomic(fbs[f], frame_file_path(dir, prefix, f)));
+      FrameCompleteRecord fc;
+      fc.frame = f;
+      fc.digest = digest_frame(fbs[f]);
+      jw->frame_complete(fc);
+    }
+  }
+  // Frame 1's file is altered after the fact; frame 2's file vanishes.
+  {
+    Framebuffer tampered = fbs[1];
+    tampered.set(0, 0, Rgb8{1, 2, 3});
+    ASSERT_TRUE(write_tga(tampered, frame_file_path(dir, prefix, 1)));
+  }
+  std::remove(frame_file_path(dir, prefix, 2).c_str());
+
+  const RecoveryState rec =
+      build_recovery(journal, dir, prefix, w, h, frames);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.frames_restored, 1);
+  EXPECT_EQ(rec.frames_demoted, 2);
+  EXPECT_EQ(rec.frames_to_render, 3);
+  ASSERT_EQ(rec.frames.size(), static_cast<std::size_t>(frames));
+  ASSERT_TRUE(rec.frames[0].has_value());
+  EXPECT_EQ(*rec.frames[0], fbs[0]);
+  EXPECT_FALSE(rec.frames[1].has_value());
+  EXPECT_FALSE(rec.frames[2].has_value());
+  EXPECT_FALSE(rec.frames[3].has_value());
+
+  // A journal from a different animation is rejected.
+  const RecoveryState mismatch =
+      build_recovery(journal, dir, prefix, w + 1, h, frames);
+  EXPECT_FALSE(mismatch.ok);
+
+  std::remove(journal.c_str());
+  std::remove(frame_file_path(dir, prefix, 0).c_str());
+  std::remove(frame_file_path(dir, prefix, 1).c_str());
+}
+
+}  // namespace
+}  // namespace now

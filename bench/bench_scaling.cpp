@@ -7,11 +7,13 @@
 // Scalability sweep: cluster sizes 1..16, homogeneous and heterogeneous
 // mixes, for both partitioning schemes, with efficiency relative to the
 // aggregate compute power.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <numeric>
 
 #include "bench/bench_util.h"
+#include "src/core/coherent_renderer.h"
 #include "src/par/render_farm.h"
 #include "src/par/serial.h"
 
@@ -88,12 +90,83 @@ int run(bool quick) {
   return 0;
 }
 
+/// Intra-node sweep: the same sequence rendered at 1/2/4/8 worker threads,
+/// measured in wall-clock time (not simulated) and split into the dense
+/// first frame vs. the sparse incremental remainder. Every frame is checked
+/// byte-identical against the single-threaded run — a mismatch fails the
+/// bench, since determinism is the feature, not a nice-to-have.
+int run_intra_node(bool quick) {
+  CradleParams params;
+  params.frames = quick ? 6 : 16;
+  params.width = quick ? 160 : 320;
+  params.height = quick ? 120 : 240;
+  const AnimatedScene scene = newton_cradle_scene(params);
+  const PixelRect region{0, 0, scene.width(), scene.height()};
+
+  struct Sample {
+    double dense_seconds = 0.0;
+    double sparse_seconds = 0.0;
+    std::vector<Framebuffer> frames;
+  };
+  const auto render_all = [&](int threads) {
+    Sample s;
+    CoherenceOptions options;
+    options.threads = threads;
+    CoherentRenderer renderer(scene, region, options);
+    Framebuffer fb(scene.width(), scene.height());
+    for (int frame = 0; frame < scene.frame_count(); ++frame) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const FrameRenderResult r = renderer.render_frame(frame, &fb);
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      (r.full_render ? s.dense_seconds : s.sparse_seconds) += dt;
+      s.frames.push_back(fb);
+    }
+    return s;
+  };
+
+  std::printf("\nintra-node threading (wall clock, %d frames at %dx%d)\n",
+              scene.frame_count(), scene.width(), scene.height());
+  std::printf("%8s %14s %10s %14s %10s %12s\n", "threads", "dense", "speedup",
+              "sparse", "speedup", "identical");
+  bench::print_rule(74);
+
+  const Sample base = render_all(1);
+  int rc = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    const Sample s = threads == 1 ? base : render_all(threads);
+    bool identical = s.frames.size() == base.frames.size();
+    for (std::size_t f = 0; identical && f < s.frames.size(); ++f) {
+      identical = s.frames[f] == base.frames[f];
+    }
+    if (!identical) rc = 1;
+    std::printf("%8d %13.3fs %10s %13.3fs %10s %12s\n", threads,
+                s.dense_seconds,
+                bench::speedup(base.dense_seconds, s.dense_seconds).c_str(),
+                s.sparse_seconds,
+                bench::speedup(base.sparse_seconds, s.sparse_seconds).c_str(),
+                identical ? "yes" : "MISMATCH");
+    const std::string prefix = "intra.threads_" + std::to_string(threads);
+    bench::bench_registry().gauge(prefix + ".dense_seconds")
+        .set(s.dense_seconds);
+    bench::bench_registry().gauge(prefix + ".sparse_seconds")
+        .set(s.sparse_seconds);
+  }
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "intra-node sweep: threaded output differs from --threads 1\n");
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace now
 
 int main(int argc, char** argv) {
   const now::bench::BenchOptions opts =
       now::bench::parse_bench_options(argc, argv);
-  const int rc = now::run(opts.quick);
+  int rc = now::run(opts.quick);
+  if (rc == 0) rc = now::run_intra_node(opts.quick);
   return rc != 0 ? rc : now::bench::finish_bench(opts);
 }

@@ -3,9 +3,14 @@
 //
 //   $ ./render_farm_cli scene.scene [--backend sim|threads|tcp]
 //        [--scheme seq|frame|hybrid] [--workers N] [--speeds a,b,c]
-//        [--block N] [--no-coherence] [--out DIR]
+//        [--threads N] [--block N] [--no-coherence] [--out DIR]
 //        [--journal FILE] [--resume] [--speculate]
 //        [--trace-out FILE] [--metrics-out FILE] [--report]
+//
+// --threads sets the render threads *inside* each worker (0 = one per
+// hardware thread, the default; output is byte-identical for any value).
+// The sim backend always renders with 1 thread — its compute time is
+// virtual, so real render threads would only add wall-clock noise.
 //
 // Crash recovery: --journal appends a crash-consistent record of every
 // committed region-frame (fsync'd, CRC-framed) alongside atomically-renamed
@@ -96,6 +101,8 @@ int main(int argc, char** argv) {
       config.workers = std::atoi(argv[++i]);
     } else if (arg == "--speeds" && i + 1 < argc) {
       config.worker_speeds = parse_speeds(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.coherence.threads = std::atoi(argv[++i]);
     } else if (arg == "--block" && i + 1 < argc) {
       config.partition.block_size = std::atoi(argv[++i]);
     } else if (arg == "--no-coherence") {

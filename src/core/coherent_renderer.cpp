@@ -1,8 +1,23 @@
 #include "src/core/coherent_renderer.h"
 
 #include <cassert>
+#include <chrono>
 
 namespace now {
+
+namespace {
+
+/// Rows per parallel render chunk. Fixed (not derived from thread count) so
+/// the chunk decomposition — and therefore the merged mark order — is a pure
+/// function of the region, independent of `threads`.
+constexpr int kChunkRows = 4;
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
 
 Aabb animation_extent(const AnimatedScene& scene) {
   Aabb extent;
@@ -15,7 +30,10 @@ Aabb animation_extent(const AnimatedScene& scene) {
 CoherentRenderer::CoherentRenderer(const AnimatedScene& scene,
                                    const PixelRect& region,
                                    const CoherenceOptions& options)
-    : scene_(scene), region_(region), options_(options) {
+    : scene_(scene),
+      region_(region),
+      options_(options),
+      threads_(resolve_thread_count(options.threads)) {
   const VoxelGrid voxels =
       options_.grid_override.has_value()
           ? *options_.grid_override
@@ -75,21 +93,98 @@ FrameRenderResult CoherentRenderer::render_frame(int frame, Framebuffer* fb) {
   return result;
 }
 
+void CoherentRenderer::render_pixels_parallel(const PixelMask* mask,
+                                              bool bump_epochs,
+                                              Framebuffer* fb,
+                                              FrameRenderResult* result) {
+  const int chunk_count = (region_.height + kChunkRows - 1) / kChunkRows;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+    mark_stamp_.assign(
+        static_cast<std::size_t>(threads_),
+        std::vector<std::uint64_t>(
+            static_cast<std::size_t>(grid_->grid().cell_count()), 0));
+    mark_serial_.assign(static_cast<std::size_t>(threads_), 0);
+  }
+
+  struct ChunkState {
+    int y0 = 0;
+    int rows = 0;
+    int worker = 0;
+    std::int64_t pixels = 0;
+    TraceStats stats;
+    std::unique_ptr<BufferedRayRecorder> recorder;
+    double start_seconds = 0.0;
+    double seconds = 0.0;
+  };
+  std::vector<ChunkState> chunks(static_cast<std::size_t>(chunk_count));
+
+  const auto frame_start = std::chrono::steady_clock::now();
+  pool_->parallel_for(chunk_count, [&](int c, int worker) {
+    ChunkState& chunk = chunks[static_cast<std::size_t>(c)];
+    const auto chunk_start = std::chrono::steady_clock::now();
+    chunk.worker = worker;
+    chunk.y0 = region_.y0 + c * kChunkRows;
+    chunk.rows = std::min(kChunkRows, region_.y0 + region_.height - chunk.y0);
+    Tracer tracer(world_, *accel_, options_.trace);
+    if (options_.enabled) {
+      chunk.recorder = std::make_unique<BufferedRayRecorder>(
+          grid_->grid(), options_.record_shadow_rays,
+          &mark_stamp_[static_cast<std::size_t>(worker)],
+          &mark_serial_[static_cast<std::size_t>(worker)]);
+      tracer.set_listener(chunk.recorder.get());
+    }
+    for (int y = chunk.y0; y < chunk.y0 + chunk.rows; ++y) {
+      for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+        if (mask != nullptr && !mask->at(x, y)) continue;
+        if (chunk.recorder != nullptr) chunk.recorder->begin_pixel(x, y);
+        fb->set(x, y, tracer.shade_pixel(x, y, fb->width(), fb->height()));
+        ++chunk.pixels;
+      }
+    }
+    chunk.stats = tracer.stats();
+    const auto chunk_end = std::chrono::steady_clock::now();
+    chunk.start_seconds = seconds_between(frame_start, chunk_start);
+    chunk.seconds = seconds_between(chunk_start, chunk_end);
+  });
+
+  // Deterministic merge: replaying the buffered marks in ascending chunk
+  // order reproduces the sequential row-major mark order exactly; all stat
+  // counters are integers, so chunked summation is byte-identical too.
+  result->chunks.reserve(static_cast<std::size_t>(chunk_count));
+  for (int c = 0; c < chunk_count; ++c) {
+    ChunkState& chunk = chunks[static_cast<std::size_t>(c)];
+    if (chunk.recorder != nullptr) {
+      chunk.recorder->replay(grid_.get(), bump_epochs);
+      recorder_->accumulate(chunk.recorder->stats());
+    }
+    result->stats += chunk.stats;
+    result->pixels_recomputed += chunk.pixels;
+    result->chunks.push_back({c, chunk.worker, chunk.y0, chunk.rows,
+                              chunk.start_seconds, chunk.seconds});
+  }
+}
+
 FrameRenderResult CoherentRenderer::full_render(Framebuffer* fb) {
   FrameRenderResult result;
   result.full_render = true;
   result.pixels_total = region_.area();
-  result.pixels_recomputed = region_.area();
   result.recomputed = PixelMask(fb->width(), fb->height());
-  const std::uint64_t marks_before = recorder_->stats().voxels_visited;
-  result.stats = render_region(tracer_.get(), fb, region_);
-  result.voxels_marked = static_cast<std::int64_t>(
-      recorder_->stats().voxels_visited - marks_before);
   for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
     for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
       result.recomputed.set(x, y, true);
     }
   }
+  const std::uint64_t marks_before = recorder_->stats().voxels_visited;
+  if (threads_ > 1) {
+    render_pixels_parallel(/*mask=*/nullptr, /*bump_epochs=*/false, fb,
+                           &result);
+  } else {
+    result.pixels_recomputed = region_.area();
+    result.stats = render_region(tracer_.get(), fb, region_);
+  }
+  result.voxels_marked = static_cast<std::int64_t>(
+      recorder_->stats().voxels_visited - marks_before);
   return result;
 }
 
@@ -107,6 +202,10 @@ FrameRenderResult CoherentRenderer::incremental_render(int frame,
 
   // 2. Which pixels had rays through those voxels?
   if (dirty.all_dirty) {
+    // Everything is recomputed, so every stored mark is stale: drop them all
+    // now instead of retiring pixel-by-pixel (keeping them would leak marks
+    // for pixels whose rays no longer reach their old voxels).
+    grid_->reset();
     for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
       for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
         result.recomputed.set(x, y, true);
@@ -126,15 +225,20 @@ FrameRenderResult CoherentRenderer::incremental_render(int frame,
   tracer_ = std::make_unique<Tracer>(world_, *accel_, options_.trace);
   tracer_->set_listener(recorder_.get());
 
-  for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
-    for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
-      if (!result.recomputed.at(x, y)) continue;
-      grid_->begin_pixel(x, y);
-      fb->set(x, y, tracer_->shade_pixel(x, y, fb->width(), fb->height()));
-      ++result.pixels_recomputed;
+  if (threads_ > 1) {
+    render_pixels_parallel(&result.recomputed, /*bump_epochs=*/true, fb,
+                           &result);
+  } else {
+    for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
+      for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {
+        if (!result.recomputed.at(x, y)) continue;
+        grid_->begin_pixel(x, y);
+        fb->set(x, y, tracer_->shade_pixel(x, y, fb->width(), fb->height()));
+        ++result.pixels_recomputed;
+      }
     }
+    result.stats = tracer_->stats();  // fresh tracer: stats started at zero
   }
-  result.stats = tracer_->stats();  // fresh tracer: stats started at zero
   result.voxels_marked = static_cast<std::int64_t>(
       recorder_->stats().voxels_visited - marks_before);
 

@@ -19,6 +19,15 @@
 // Granularity is per pixel. Setting `block_size > 0` switches to the
 // Jevans-1992 baseline the paper contrasts against: "if one pixel in the
 // block needs to be updated, all pixels in the block are re-computed."
+//
+// Intra-worker parallelism (`threads`): the region's pixels are sharded into
+// fixed row-band chunks; a thread pool shades chunks concurrently, each with
+// its own Tracer and a BufferedRayRecorder that defers grid marks and ray
+// stats into per-chunk buffers. After the join, buffers are merged into the
+// CoherenceGrid and stats are reduced in ascending chunk order — the
+// framebuffer, the grid's mark lists, and every FrameRenderResult counter
+// are byte-identical to a `threads = 1` render (only the wall-clock
+// `chunks` timing metadata differs; it is empty when sequential).
 #pragma once
 
 #include <memory>
@@ -27,6 +36,7 @@
 #include "src/core/change_detector.h"
 #include "src/core/coherence_grid.h"
 #include "src/core/ray_recorder.h"
+#include "src/core/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/scene/animated_scene.h"
 #include "src/trace/render.h"
@@ -47,6 +57,12 @@ struct CoherenceOptions {
   /// Jevans-style block granularity; 0 = the paper's per-pixel granularity.
   int block_size = 0;
 
+  /// Render threads inside this renderer: 0 = one per hardware thread, 1 =
+  /// sequential. Output is bit-deterministic for every value (render_farm
+  /// forces 1 under the sim backend so virtual-time traces stay
+  /// reproducible).
+  int threads = 0;
+
   /// Coherence-grid resolution heuristic inputs (see VoxelGrid::heuristic).
   double grid_density = 3.0;
   int grid_max_axis = 64;
@@ -57,6 +73,18 @@ struct CoherenceOptions {
   /// Optional metrics sink: per-frame coherence counters (coherence.*) are
   /// published here. Null = no instrumentation, zero overhead.
   MetricsRegistry* metrics = nullptr;
+};
+
+/// Wall-clock timing of one parallel render chunk (a row band of the
+/// region). Timing metadata only: inherently nondeterministic, excluded from
+/// the threads-vs-sequential byte-identity guarantee.
+struct ChunkTiming {
+  int chunk = 0;    // index in fixed row-band order
+  int thread = 0;   // pool worker that rendered it
+  int y0 = 0;       // first image row of the band
+  int rows = 0;
+  double start_seconds = 0.0;  // offset from the frame's render start
+  double seconds = 0.0;        // time spent shading the band
 };
 
 struct FrameRenderResult {
@@ -72,6 +100,9 @@ struct FrameRenderResult {
   /// the renderer's region can be set). Drives sparse network returns and
   /// the Figure 2 predicted-difference images.
   PixelMask recomputed;
+  /// Per-chunk wall timings of the parallel section (empty when the frame
+  /// was rendered sequentially). See ChunkTiming.
+  std::vector<ChunkTiming> chunks;
 };
 
 /// Voxel-grid extent covering the scene's geometry across every frame, so
@@ -91,6 +122,8 @@ class CoherentRenderer {
 
   const CoherenceGrid& coherence_grid() const { return *grid_; }
   const PixelRect& region() const { return region_; }
+  /// Resolved render-thread count (>= 1).
+  int thread_count() const { return threads_; }
 
   /// Predicted-dirty mask for the transition last_frame → last_frame+1
   /// without rendering (used by the Figure 2 accuracy benchmark).
@@ -102,12 +135,26 @@ class CoherentRenderer {
   void rebuild_frame_state(int frame);
   void expand_to_blocks(PixelMask* mask) const;
 
+  /// Shade the region's pixels (those in `mask`, or all when null) on the
+  /// thread pool and merge marks/stats deterministically. `bump_epochs`
+  /// retires each pixel's stale marks before re-marking (incremental path).
+  void render_pixels_parallel(const PixelMask* mask, bool bump_epochs,
+                              Framebuffer* fb, FrameRenderResult* result);
+
   const AnimatedScene& scene_;
   PixelRect region_;
   CoherenceOptions options_;
+  int threads_ = 1;
 
   std::unique_ptr<CoherenceGrid> grid_;
   std::unique_ptr<RayRecorder> recorder_;
+
+  // Parallel-render state, created on first threaded frame: the pool, and
+  // one mark-dedup stamp array + pixel serial per pool worker (see
+  // BufferedRayRecorder).
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::vector<std::uint64_t>> mark_stamp_;
+  std::vector<std::uint64_t> mark_serial_;
 
   // Cached instruments (null when options_.metrics is null): the registry
   // lookup by name happens once at construction, not per frame.

@@ -1,0 +1,86 @@
+#include "src/core/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now {
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  assert(threads >= 1);
+  helpers_.reserve(static_cast<std::size_t>(std::max(0, threads - 1)));
+  for (int i = 1; i < threads; ++i) {
+    helpers_.emplace_back([this, i] { helper_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void ThreadPool::drain_tasks(int worker) {
+  try {
+    for (;;) {
+      const int task = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (task >= task_count_) break;
+      (*job_)(task, worker);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+    // Abandon the remaining tasks: workers polling the counter fall through.
+    next_task_.store(task_count_, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::helper_loop(int worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    drain_tasks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --helpers_active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    int task_count, const std::function<void(int task, int worker)>& fn) {
+  if (task_count <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    task_count_ = task_count;
+    next_task_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    helpers_active_ = static_cast<int>(helpers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_tasks(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return helpers_active_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace now

@@ -1,0 +1,67 @@
+// ThreadPool: the intra-worker compute pool behind CoherentRenderer's
+// multithreaded render paths.
+//
+// A pool of `threads` workers executes parallel_for() jobs: the task indices
+// [0, task_count) are handed out through a shared atomic counter (dynamic
+// load balancing — ray-tracing chunks have wildly uneven costs), the calling
+// thread participates as worker 0, and the call returns only when every task
+// has finished. The pool itself imposes no ordering — callers that need
+// determinism (CoherentRenderer does) buffer per-task results and merge them
+// in task order after the join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace now {
+
+/// Resolve a thread-count knob: 0 means "one per hardware thread", anything
+/// else is used as given (clamped to at least 1).
+int resolve_thread_count(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` helper threads; the caller of parallel_for is the
+  /// remaining worker. `threads` must be >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(helpers_.size()) + 1; }
+
+  /// Run fn(task, worker) for every task in [0, task_count), distributing
+  /// tasks dynamically over all workers; blocks until every task completed.
+  /// `worker` is in [0, thread_count()), unique per concurrent invocation
+  /// (worker 0 is the calling thread). An exception thrown by `fn` stops the
+  /// job (remaining tasks are abandoned) and is rethrown here.
+  void parallel_for(int task_count,
+                    const std::function<void(int task, int worker)>& fn);
+
+ private:
+  void helper_loop(int worker);
+  /// Pull tasks until the counter runs dry; records the first exception.
+  void drain_tasks(int worker);
+
+  std::vector<std::thread> helpers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // helpers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for helpers to finish
+  std::uint64_t generation_ = 0;      // bumped per parallel_for call
+  int helpers_active_ = 0;            // helpers still inside the current job
+  bool stopping_ = false;
+
+  const std::function<void(int, int)>* job_ = nullptr;
+  int task_count_ = 0;
+  std::atomic<int> next_task_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace now

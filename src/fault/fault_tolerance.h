@@ -49,6 +49,9 @@ struct FaultReport {
   std::int64_t speculation_frames_wasted = 0;
   /// Compute seconds carried by those discarded duplicate results.
   double speculation_wasted_seconds = 0.0;
+  /// Assignments a busy worker refused (kTagTaskNack): requeued immediately
+  /// with no restart cost — the worker never started them.
+  int tasks_nacked = 0;
   /// Tasks re-enqueued: dead workers' remainders plus ranges reclaimed when
   /// a frame result was lost in transit.
   int tasks_reassigned = 0;

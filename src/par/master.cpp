@@ -150,6 +150,9 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
     case kTagShrinkAck:
       handle_shrink_ack(ctx, msg);
       break;
+    case kTagTaskNack:
+      handle_task_nack(ctx, msg);
+      break;
     case kTagPong:
       break;  // the heartbeat update above is the whole point
     case kTagLeaseCheck:
@@ -420,6 +423,35 @@ void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
     }
     pending_.push_back(stolen);
     ++report_.adaptive_splits;
+  }
+  try_dispatch(ctx);
+  maybe_finish(ctx);
+}
+
+void RenderMaster::handle_task_nack(Context& ctx, const Message& msg) {
+  TaskNack nack;
+  const bool ok = decode_task_nack(&nack, msg.payload);
+  assert(ok);
+  if (!ok) return;
+  WorkerState& s = workers_[msg.source];
+  if (s.dead || !s.active || s.cancelled || s.task.task_id != nack.task_id) {
+    return;  // stale refusal: the assignment it covers is already gone
+  }
+  // The worker is busy with a different task, so this assignment will never
+  // run. Free the slot and requeue the task verbatim: the worker refused
+  // before rendering any frame of it, so it keeps its id, owes no results,
+  // and pays no coherence-restart accounting.
+  s.active = false;
+  ++fault_report_.tasks_nacked;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "task.nack", ctx.now(),
+                            {{"worker", msg.source},
+                             {"task", nack.task_id}});
+  }
+  if (s.end_frame > s.task.first_frame) {
+    RenderTask requeue = s.task;
+    requeue.frame_count = s.end_frame - s.task.first_frame;
+    pending_.push_back(requeue);
   }
   try_dispatch(ctx);
   maybe_finish(ctx);

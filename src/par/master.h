@@ -128,6 +128,9 @@ class RenderMaster final : public Actor {
   /// membership) from kTagRequest (a dead rank's requests stay ignored).
   void handle_idle(Context& ctx, int worker, bool hello);
   void handle_shrink_ack(Context& ctx, const Message& msg);
+  /// A busy worker refused an assignment: requeue it immediately instead of
+  /// letting it sit on the refusing worker until its lease expires.
+  void handle_task_nack(Context& ctx, const Message& msg);
   void handle_lease_check(Context& ctx, const Message& msg);
   void try_dispatch(Context& ctx);
   bool try_adaptive_split(Context& ctx);

@@ -70,6 +70,17 @@ bool decode_lease_check(LeaseCheck* check, const std::string& payload) {
          r.u8(&check->phase) && r.done();
 }
 
+std::string encode_task_nack(const TaskNack& nack) {
+  WireWriter w;
+  w.i32(nack.task_id);
+  return w.take();
+}
+
+bool decode_task_nack(TaskNack* nack, const std::string& payload) {
+  WireReader r(payload);
+  return r.i32(&nack->task_id) && r.done();
+}
+
 std::string encode_frame_result(const FrameResult& result) {
   WireWriter w;
   w.i32(result.task_id);

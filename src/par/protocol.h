@@ -36,6 +36,7 @@ enum MsgTag : int {
   kTagPong = 10,        // worker → master: liveness answer
   kTagLeaseCheck = 11,  // master → itself (timer): evaluate a worker's lease
   kTagRejoin = 12,      // runtime → worker: your process restarted; re-Hello
+  kTagTaskNack = 13,    // worker → master: busy with another task, requeue
 };
 
 struct RenderTask {
@@ -82,6 +83,17 @@ struct LeaseCheck {
 
 std::string encode_lease_check(const LeaseCheck& check);
 bool decode_lease_check(LeaseCheck* check, const std::string& payload);
+
+/// Worker refuses an assignment because it is already busy with a different
+/// task (a stale-state dispatch, e.g. right after a lease-expiry
+/// reassignment raced with the worker's revival). The master requeues the
+/// task immediately instead of waiting out the lease.
+struct TaskNack {
+  std::int32_t task_id = -1;
+};
+
+std::string encode_task_nack(const TaskNack& nack);
+bool decode_task_nack(TaskNack* nack, const std::string& payload);
 
 struct FrameResult {
   std::int32_t task_id = -1;

@@ -72,6 +72,8 @@ void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
     reg.counter("worker.pixels_recomputed")
         .inc(static_cast<std::uint64_t>(r.pixels_recomputed));
     reg.gauge("worker.compute_seconds").add(r.compute_seconds);
+    reg.counter("worker.tasks_shrunk_away")
+        .inc(static_cast<std::uint64_t>(r.tasks_shrunk_away));
     peak_mark_bytes = std::max(peak_mark_bytes, r.peak_mark_bytes);
   }
   reg.gauge("worker.peak_mark_bytes")
@@ -81,6 +83,8 @@ void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
       .inc(static_cast<std::uint64_t>(faults.deaths_detected));
   reg.counter("recovery.pings_sent")
       .inc(static_cast<std::uint64_t>(faults.pings_sent));
+  reg.counter("recovery.tasks_nacked")
+      .inc(static_cast<std::uint64_t>(faults.tasks_nacked));
   reg.counter("recovery.tasks_reassigned")
       .inc(static_cast<std::uint64_t>(faults.tasks_reassigned));
   reg.counter("recovery.frames_reassigned")
@@ -132,6 +136,9 @@ void validate_farm_config(const AnimatedScene& scene,
   }
   if (!std::isfinite(config.master_speed) || config.master_speed <= 0.0) {
     fail("master_speed must be finite and > 0");
+  }
+  if (config.coherence.threads < 0) {
+    fail("coherence.threads must be >= 0 (0 = one per hardware thread)");
   }
   if (config.partition.block_size < 1) {
     fail("partition.block_size must be >= 1");
@@ -241,6 +248,11 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   WorkerConfig worker_config;
   worker_config.coherence = config.coherence;
   worker_config.coherence.metrics = &registry;
+  if (config.backend == FarmBackend::kSim) {
+    // The sim charges virtual compute time per frame; real render threads
+    // would only perturb wall-clock noise into its deterministic traces.
+    worker_config.coherence.threads = 1;
+  }
   worker_config.cost = config.cost;
   worker_config.sparse_returns = config.sparse_returns;
   worker_config.tracer = &tracer;

@@ -14,6 +14,8 @@ RenderWorker::RenderWorker(const AnimatedScene& scene,
   if (config_.metrics != nullptr) {
     frame_seconds_hist_ = &config_.metrics->histogram(
         "worker.frame_seconds", Histogram::default_seconds_bounds());
+    chunk_seconds_hist_ = &config_.metrics->histogram(
+        "worker.chunk_seconds", Histogram::default_seconds_bounds());
     result_bytes_hist_ = &config_.metrics->histogram(
         "net.frame_result_bytes", Histogram::default_bytes_bounds());
   }
@@ -29,9 +31,19 @@ void RenderWorker::on_message(Context& ctx, const Message& msg) {
       RenderTask task;
       const bool ok = decode_task(&task, msg.payload);
       assert(ok);
-      // A duplicated assignment while busy is dropped, not asserted: under
-      // fault injection the master's message can legitimately arrive twice.
-      if (ok && !task_.has_value()) start_task(ctx, task);
+      // A duplicated assignment of the current task is dropped, not
+      // asserted: under fault injection the master's message can
+      // legitimately arrive twice. A *different* task while busy means the
+      // master's view of us is stale (e.g. a revived worker it had written
+      // off) — NACK it so the task is requeued immediately instead of
+      // sitting on a dead assignment until its lease expires.
+      if (ok && !task_.has_value()) {
+        start_task(ctx, task);
+      } else if (ok && task_->task_id != task.task_id) {
+        TaskNack nack;
+        nack.task_id = task.task_id;
+        ctx.send(0, kTagTaskNack, encode_task_nack(nack));
+      }
       break;
     }
     case kTagContinue:
@@ -79,10 +91,12 @@ void RenderWorker::start_task(Context& ctx, const RenderTask& task) {
 void RenderWorker::render_next_frame(Context& ctx) {
   assert(task_.has_value());
   if (next_frame_ >= end_frame_) {
-    // Shrunk to nothing before we got here.
+    // Shrunk to nothing before we got here: the task's end was reached by a
+    // shrink, not by rendering, so it is not a completed task — count it
+    // separately (and still ask for more work).
     task_.reset();
     renderer_.reset();
-    ++report_.tasks_completed;
+    ++report_.tasks_shrunk_away;
     ctx.send(0, kTagRequest, {});
     return;
   }
@@ -111,6 +125,24 @@ void RenderWorker::render_next_frame(Context& ctx) {
          {"rays", static_cast<std::int64_t>(r.stats.total_rays())}});
   }
   if (frame_seconds_hist_ != nullptr) frame_seconds_hist_->observe(cost);
+
+  // Intra-node parallelism instrumentation: one complete (X) span and one
+  // histogram sample per parallel render chunk. r.chunks is wall-clock data
+  // and is empty when the frame rendered sequentially (threads = 1).
+  for (const ChunkTiming& chunk : r.chunks) {
+    if (chunk_seconds_hist_ != nullptr) {
+      chunk_seconds_hist_->observe(chunk.seconds);
+    }
+    if (config_.tracer != nullptr) {
+      config_.tracer->complete(ctx.rank(), "frame", "frame.render.chunk",
+                               span_start + chunk.start_seconds, chunk.seconds,
+                               {{"frame", next_frame_},
+                                {"chunk", chunk.chunk},
+                                {"thread", chunk.thread},
+                                {"y0", chunk.y0},
+                                {"rows", chunk.rows}});
+    }
+  }
 
   FrameResult out;
   out.task_id = task_->task_id;

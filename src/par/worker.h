@@ -37,6 +37,10 @@ struct WorkerConfig {
 
 struct WorkerReport {
   int tasks_completed = 0;
+  /// Tasks whose remaining range was shrunk to nothing: the end was reached
+  /// by a shrink, not by rendering a final frame. Not "completed" — the
+  /// stolen remainder is finished (and counted) by whoever received it.
+  int tasks_shrunk_away = 0;
   int frames_rendered = 0;
   std::uint64_t rays = 0;
   std::int64_t pixels_recomputed = 0;
@@ -72,6 +76,7 @@ class RenderWorker final : public Actor {
 
   // Cached instruments: one pointer chase per frame, no name lookups.
   Histogram* frame_seconds_hist_ = nullptr;
+  Histogram* chunk_seconds_hist_ = nullptr;
   Histogram* result_bytes_hist_ = nullptr;
 
   WorkerReport report_;

@@ -205,6 +205,94 @@ TEST_F(WorkerProtocol, StopIsQuiet) {
   EXPECT_TRUE(ctx_.sent.empty());
 }
 
+TEST_F(WorkerProtocol, BusyWorkerNacksDifferentTaskOnly) {
+  worker_.on_message(
+      ctx_, msg_from(0, kTagTask, encode_task({5, {0, 0, 32, 24}, 0, 4})));
+  // A duplicate of the current assignment is silently dropped (it can
+  // legitimately arrive twice under fault injection).
+  worker_.on_message(
+      ctx_, msg_from(0, kTagTask, encode_task({5, {0, 0, 32, 24}, 0, 4})));
+  EXPECT_FALSE(ctx_.has(kTagTaskNack));
+  // A *different* task while busy is refused so the master can requeue it.
+  worker_.on_message(
+      ctx_, msg_from(0, kTagTask, encode_task({9, {0, 0, 32, 24}, 4, 2})));
+  TaskNack nack;
+  ASSERT_TRUE(decode_task_nack(&nack, ctx_.take(kTagTaskNack, 0).payload));
+  EXPECT_EQ(nack.task_id, 9);
+  // The refusal leaves the current task untouched.
+  const std::vector<int> frames = drain_continuations();
+  EXPECT_EQ(frames, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(worker_.report().tasks_completed, 1);
+}
+
+TEST_F(WorkerProtocol, ShrinkToZeroFramesCountsShrunkAwayNotCompleted) {
+  worker_.on_message(
+      ctx_, msg_from(0, kTagTask, encode_task({4, {0, 0, 32, 24}, 0, 4})));
+  // The whole range is stolen before the first frame renders.
+  worker_.on_message(ctx_, msg_from(0, kTagShrink, encode_shrink({4, 0})));
+  ShrinkAck ack;
+  ASSERT_TRUE(decode_shrink_ack(&ack, ctx_.take(kTagShrinkAck).payload));
+  EXPECT_EQ(ack.honored_end_frame, 0);
+  const std::vector<int> frames = drain_continuations();
+  EXPECT_TRUE(frames.empty());
+  // The worker still asks for more work, but the empty task is not a
+  // completion.
+  ctx_.take(kTagRequest, 0);
+  EXPECT_EQ(worker_.report().tasks_completed, 0);
+  EXPECT_EQ(worker_.report().tasks_shrunk_away, 1);
+  EXPECT_EQ(worker_.report().frames_rendered, 0);
+}
+
+// Property: shrinking the task's end to the worker's exact progress at every
+// possible frame boundary always accounts the task exactly once — completed
+// when the worker rendered through its (post-shrink) end inside the render
+// loop, shrunk-away when a shrink emptied the remainder first.
+TEST_F(WorkerProtocol, ShrinkAtEveryFrameBoundaryAccountsTaskExactlyOnce) {
+  const int total = 5;
+  for (int boundary = 0; boundary <= total; ++boundary) {
+    SCOPED_TRACE("boundary " + std::to_string(boundary));
+    RenderWorker worker(scene_, WorkerConfig{});
+    RecordingContext ctx(1, 2);
+    worker.on_message(
+        ctx, msg_from(0, kTagTask,
+                      encode_task({boundary, {0, 0, 32, 24}, 0, total})));
+    // Render exactly `boundary` frames.
+    int rendered = 0;
+    for (int i = 0; i < boundary; ++i) {
+      ctx.take(kTagContinue);
+      worker.on_message(ctx, msg_from(1, kTagContinue));
+      while (ctx.has(kTagFrameResult)) {
+        ctx.take(kTagFrameResult);
+        ++rendered;
+      }
+    }
+    ASSERT_EQ(rendered, boundary);
+    // Shrink to the worker's exact progress.
+    worker.on_message(ctx, msg_from(0, kTagShrink,
+                                    encode_shrink({boundary, boundary})));
+    ShrinkAck ack;
+    ASSERT_TRUE(decode_shrink_ack(&ack, ctx.take(kTagShrinkAck).payload));
+    if (boundary == total) {
+      // The task completed inside the render loop before the shrink landed.
+      EXPECT_EQ(ack.honored_end_frame, -1);
+    } else {
+      EXPECT_EQ(ack.honored_end_frame, boundary);
+    }
+    // Drain whatever continuation is still pending: no further frame may
+    // render past the boundary.
+    while (ctx.has(kTagContinue)) {
+      ctx.take(kTagContinue);
+      worker.on_message(ctx, msg_from(1, kTagContinue));
+      EXPECT_FALSE(ctx.has(kTagFrameResult));
+    }
+    ctx.take(kTagRequest, 0);
+    EXPECT_FALSE(ctx.has(kTagRequest));  // exactly one
+    EXPECT_EQ(worker.report().frames_rendered, boundary);
+    EXPECT_EQ(worker.report().tasks_completed, boundary == total ? 1 : 0);
+    EXPECT_EQ(worker.report().tasks_shrunk_away, boundary == total ? 0 : 1);
+  }
+}
+
 // ---------------------------------------------------------------- master --
 
 class MasterProtocol : public ::testing::Test {
@@ -392,6 +480,51 @@ TEST_F(WorkerProtocol, MalformedTaskAndShrinkAreIgnored) {
   EXPECT_FALSE(ctx_.has(kTagShrinkAck));
 }
 #endif  // NDEBUG
+
+TEST_F(MasterProtocol, TaskNackRequeuesImmediately) {
+  auto master = make_master(PartitionScheme::kSequenceDivision, false);
+  RecordingContext ctx(0, 3);
+  master->on_start(ctx);
+  master->on_message(ctx, msg_from(1, kTagHello));
+  RenderTask t1;
+  ASSERT_TRUE(decode_task(&t1, ctx.take(kTagTask, 1).payload));
+  master->on_message(ctx, msg_from(2, kTagHello));
+  RenderTask t2;
+  ASSERT_TRUE(decode_task(&t2, ctx.take(kTagTask, 2).payload));
+
+  // Worker 1 refuses t1 (its state says it is busy with something else):
+  // the task is requeued immediately, no lease timeout involved.
+  master->on_message(ctx, msg_from(1, kTagTaskNack,
+                                   encode_task_nack({t1.task_id})));
+  EXPECT_EQ(master->fault_report().tasks_nacked, 1);
+  EXPECT_FALSE(ctx.has(kTagTask));  // no idle worker to take it yet
+  // A stale duplicate refusal is ignored (the slot is already freed).
+  master->on_message(ctx, msg_from(1, kTagTaskNack,
+                                   encode_task_nack({t1.task_id})));
+  EXPECT_EQ(master->fault_report().tasks_nacked, 1);
+
+  // Worker 2 finishes its own range and asks for more: it must receive the
+  // refused task verbatim — same id, same range, no restart accounting.
+  Framebuffer fb(32, 24);
+  for (int f = t2.first_frame; f < t2.end_frame(); ++f) {
+    master->on_message(ctx, msg_from(2, kTagFrameResult,
+                                     render_result(t2, f, &fb)));
+  }
+  master->on_message(ctx, msg_from(2, kTagRequest));
+  RenderTask requeued;
+  ASSERT_TRUE(decode_task(&requeued, ctx.take(kTagTask, 2).payload));
+  EXPECT_EQ(requeued.task_id, t1.task_id);
+  EXPECT_EQ(requeued.first_frame, t1.first_frame);
+  EXPECT_EQ(requeued.frame_count, t1.frame_count);
+  EXPECT_EQ(master->fault_report().tasks_reassigned, 0);
+
+  for (int f = requeued.first_frame; f < requeued.end_frame(); ++f) {
+    master->on_message(ctx, msg_from(2, kTagFrameResult,
+                                     render_result(requeued, f, &fb)));
+  }
+  master->on_message(ctx, msg_from(2, kTagRequest));
+  EXPECT_TRUE(ctx.stopped);
+}
 
 TEST_F(MasterProtocol, StaticModeNeverShrinks) {
   auto master = make_master(PartitionScheme::kSequenceDivision, false);

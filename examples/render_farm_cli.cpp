@@ -4,6 +4,7 @@
 //   $ ./render_farm_cli scene.scene [--backend sim|threads|tcp]
 //        [--scheme seq|frame|hybrid] [--workers N] [--speeds a,b,c]
 //        [--threads N] [--block N] [--no-coherence] [--out DIR]
+//        [--frame-codec raw|delta] [--no-pipeline]
 //        [--journal FILE] [--resume] [--speculate]
 //        [--trace-out FILE] [--metrics-out FILE] [--report]
 //
@@ -11,6 +12,14 @@
 // hardware thread, the default; output is byte-identical for any value).
 // The sim backend always renders with 1 thread — its compute time is
 // virtual, so real render threads would only add wall-clock noise.
+//
+// Frame transport: --frame-codec delta (the default) sends incremental
+// frames as value-diffed sparse runs in a compressed, CRC-checked envelope;
+// raw sends the uncompressed payloads of earlier versions. Final frames are
+// byte-identical either way — only wire bytes change. --no-pipeline
+// disables the per-worker sender thread that overlaps each frame's
+// encode+send with the next frame's render (threads/tcp backends only; the
+// sim always sends inline).
 //
 // Crash recovery: --journal appends a crash-consistent record of every
 // committed region-frame (fsync'd, CRC-framed) alongside atomically-renamed
@@ -107,6 +116,14 @@ int main(int argc, char** argv) {
       config.partition.block_size = std::atoi(argv[++i]);
     } else if (arg == "--no-coherence") {
       config.coherence.enabled = false;
+    } else if (arg == "--frame-codec" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (!parse_frame_codec(v, &config.frame_codec)) {
+        std::fprintf(stderr, "unknown frame codec '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (arg == "--no-pipeline") {
+      config.pipeline = false;
     } else if (arg == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
     } else if (arg == "--journal" && i + 1 < argc) {

@@ -27,12 +27,27 @@ struct DirtyVoxels {
   bool empty() const { return !all_dirty && cells.empty(); }
 };
 
+/// Reusable allocations for find_dirty_voxels. A renderer calls the
+/// detector once per frame with the same grid; reusing the dedup bitset
+/// turns a cell_count-sized allocation + zero-fill per call into a sweep
+/// over only the cells actually dirtied.
+struct DirtyScratch {
+  std::vector<std::uint8_t> seen;
+};
+
 /// Compute the dirty voxels for the transition prev → next. `changed_ids`
 /// are the scene object ids whose transforms differ between the frames
 /// (AnimatedScene::changed_objects); both worlds must carry those ids.
 DirtyVoxels find_dirty_voxels(const VoxelGrid& grid, const World& prev,
                               const World& next,
                               const std::vector<int>& changed_ids);
+
+/// Same, reusing `scratch` across calls (must be used with one grid at a
+/// time; the bitset is returned all-zero).
+DirtyVoxels find_dirty_voxels(const VoxelGrid& grid, const World& prev,
+                              const World& next,
+                              const std::vector<int>& changed_ids,
+                              DirtyScratch* scratch);
 
 /// Rasterize one primitive's voxel footprint into `cells` (deduplicated via
 /// `seen`, a bitset of grid.cell_count() entries).

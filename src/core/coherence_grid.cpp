@@ -9,7 +9,11 @@ CoherenceGrid::CoherenceGrid(const VoxelGrid& grid, const PixelRect& region)
       region_(region),
       cells_(static_cast<std::size_t>(grid.cell_count())),
       pixel_epoch_(static_cast<std::size_t>(region.area()), 0),
-      pixel_marks_(static_cast<std::size_t>(region.area()), 0) {}
+      pixel_marks_(static_cast<std::size_t>(region.area()), 0) {
+  stats_.fixed_bytes =
+      static_cast<std::int64_t>(region.area()) * 2 * sizeof(std::uint32_t) +
+      static_cast<std::int64_t>(cells_.size()) * sizeof(std::vector<Mark>);
+}
 
 void CoherenceGrid::mark(int cell, int x, int y) {
   assert(region_.contains(x, y));
@@ -22,7 +26,12 @@ void CoherenceGrid::mark(int cell, int x, int y) {
       list.back().epoch == epoch) {
     return;
   }
+  // Capacity-delta accounting: compaction and reset shrink sizes but never
+  // release capacity, so allocation only ever grows here.
+  const std::size_t before = list.capacity();
   list.push_back({pixel, epoch});
+  stats_.reserved_marks +=
+      static_cast<std::int64_t>(list.capacity() - before);
   ++stats_.total_marks;
   ++stats_.live_marks;
   ++pixel_marks_[pixel];
@@ -44,7 +53,8 @@ void CoherenceGrid::reset() {
 }
 
 void CoherenceGrid::collect_pixels(const std::vector<std::uint32_t>& cells,
-                                   PixelMask* out) {
+                                   PixelMask* out,
+                                   std::vector<std::uint32_t>* pixels) {
   for (const std::uint32_t cell : cells) {
     std::vector<Mark>& list = cells_[cell];
     std::size_t keep = 0;
@@ -53,7 +63,10 @@ void CoherenceGrid::collect_pixels(const std::vector<std::uint32_t>& cells,
       list[keep++] = m;
       const int x = region_.x0 + static_cast<int>(m.pixel) % region_.width;
       const int y = region_.y0 + static_cast<int>(m.pixel) / region_.width;
-      out->set(x, y, true);
+      if (!out->at(x, y)) {
+        out->set(x, y, true);
+        if (pixels != nullptr) pixels->push_back(m.pixel);
+      }
     }
     stats_.total_marks -= static_cast<std::int64_t>(list.size() - keep);
     list.resize(keep);

@@ -29,8 +29,19 @@ struct CoherenceGridStats {
   std::int64_t live_marks = 0;
   std::int64_t total_marks = 0;  // live + stale currently stored
   std::int64_t compactions = 0;
+  /// Mark slots *allocated* across all cell lists (vector capacities).
+  /// Compaction and reset shrink sizes but keep capacity, so this is the
+  /// memory high-water behavior the allocator actually sees.
+  std::int64_t reserved_marks = 0;
+  /// Fixed overhead allocated at construction: the per-pixel epoch and
+  /// live-mark arrays plus the cell-list headers.
+  std::int64_t fixed_bytes = 0;
+  /// Allocated footprint, not live-entry count: stale-but-stored marks and
+  /// grown-but-unused capacity both occupy real memory, and the paper's
+  /// "memory proportional to image area" claim is about the allocation.
   std::int64_t bytes() const {
-    return total_marks * static_cast<std::int64_t>(2 * sizeof(std::uint32_t));
+    return fixed_bytes +
+           reserved_marks * static_cast<std::int64_t>(2 * sizeof(std::uint32_t));
   }
 };
 
@@ -54,8 +65,12 @@ class CoherenceGrid {
 
   /// Union of the live pixels of the given voxel cells into `out` (mask in
   /// full-image coordinates). Scanned lists are compacted in passing.
-  void collect_pixels(const std::vector<std::uint32_t>& cells,
-                      PixelMask* out);
+  /// When `pixels` is non-null it additionally receives the region-local
+  /// index of every pixel newly set in `out` (deduplicated via the mask, in
+  /// scan order — not sorted); callers that iterate only the dirty pixels
+  /// avoid rescanning the whole region.
+  void collect_pixels(const std::vector<std::uint32_t>& cells, PixelMask* out,
+                      std::vector<std::uint32_t>* pixels = nullptr);
 
   /// Drop stale marks everywhere when they exceed `stale_fraction` of all
   /// stored marks. Returns true if a compaction ran.

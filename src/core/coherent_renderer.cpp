@@ -1,5 +1,6 @@
 #include "src/core/coherent_renderer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -198,9 +199,15 @@ FrameRenderResult CoherentRenderer::incremental_render(int frame,
   World next = scene_.world_at(frame);
   const std::vector<int> changed = scene_.changed_objects(last_frame_, frame);
   const DirtyVoxels dirty =
-      find_dirty_voxels(grid_->grid(), world_, next, changed);
+      find_dirty_voxels(grid_->grid(), world_, next, changed, &dirty_scratch_);
 
   // 2. Which pixels had rays through those voxels?
+  // The sequential per-pixel path can shade straight off the dirty-pixel
+  // list instead of rescanning the whole region against the mask; block
+  // expansion and the parallel path mutate/consume the mask, so they keep
+  // the scan.
+  const bool use_pixel_list =
+      threads_ == 1 && options_.block_size == 0 && !dirty.all_dirty;
   if (dirty.all_dirty) {
     // Everything is recomputed, so every stored mark is stale: drop them all
     // now instead of retiring pixel-by-pixel (keeping them would leak marks
@@ -213,7 +220,9 @@ FrameRenderResult CoherentRenderer::incremental_render(int frame,
     }
     result.dirty_voxels = grid_->grid().cell_count();
   } else {
-    grid_->collect_pixels(dirty.cells, &result.recomputed);
+    dirty_pixels_.clear();
+    grid_->collect_pixels(dirty.cells, &result.recomputed,
+                          use_pixel_list ? &dirty_pixels_ : nullptr);
     result.dirty_voxels = static_cast<std::int64_t>(dirty.cells.size());
   }
   if (options_.block_size > 0) expand_to_blocks(&result.recomputed);
@@ -228,6 +237,21 @@ FrameRenderResult CoherentRenderer::incremental_render(int frame,
   if (threads_ > 1) {
     render_pixels_parallel(&result.recomputed, /*bump_epochs=*/true, fb,
                            &result);
+  } else if (use_pixel_list) {
+    // Ascending region-local index is exactly row-major order within the
+    // region, so shading off the sorted list reproduces the masked scan —
+    // same begin_pixel order, same mark order — while skipping the
+    // region-area scan entirely on low-motion frames.
+    std::sort(dirty_pixels_.begin(), dirty_pixels_.end());
+    for (const std::uint32_t p : dirty_pixels_) {
+      const int x = region_.x0 + static_cast<int>(p) % region_.width;
+      const int y = region_.y0 + static_cast<int>(p) / region_.width;
+      grid_->begin_pixel(x, y);
+      fb->set(x, y, tracer_->shade_pixel(x, y, fb->width(), fb->height()));
+    }
+    result.pixels_recomputed =
+        static_cast<std::int64_t>(dirty_pixels_.size());
+    result.stats = tracer_->stats();  // fresh tracer: stats started at zero
   } else {
     for (int y = region_.y0; y < region_.y0 + region_.height; ++y) {
       for (int x = region_.x0; x < region_.x0 + region_.width; ++x) {

@@ -149,6 +149,12 @@ class CoherentRenderer {
   std::unique_ptr<CoherenceGrid> grid_;
   std::unique_ptr<RayRecorder> recorder_;
 
+  // Per-frame scratch reused across the incremental hot loop: the change
+  // detector's voxel-dedup bitset and the dirty-pixel list from
+  // collect_pixels (sorted ascending = row-major shading order).
+  DirtyScratch dirty_scratch_;
+  std::vector<std::uint32_t> dirty_pixels_;
+
   // Parallel-render state, created on first threaded frame: the pool, and
   // one mark-dedup stamp array + pixel serial per pool worker (see
   // BufferedRayRecorder).

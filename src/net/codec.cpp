@@ -1,0 +1,205 @@
+#include "src/net/codec.h"
+
+#include <algorithm>
+
+#include "src/net/crc32.h"
+
+namespace now {
+namespace {
+
+constexpr std::uint8_t kMethodStored = 0;
+constexpr std::uint8_t kMethodRle = 1;
+constexpr std::uint8_t kMethodDeltaRle = 2;
+
+// Refuse to allocate for absurd declared sizes: the largest legitimate frame
+// payload is a dense full image, far below this.
+constexpr std::size_t kMaxRawSize = std::size_t{1} << 30;
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+// Control byte c < 128: c+1 literal bytes follow. c >= 129: the next byte is
+// repeated c-126 times (runs of 3..129). 128 is never produced.
+std::string rle_compress(const std::string& raw) {
+  std::string out;
+  const std::size_t n = raw.size();
+  std::size_t lit_start = 0;
+  const auto flush_literals = [&](std::size_t end) {
+    std::size_t s = lit_start;
+    while (s < end) {
+      const std::size_t len = std::min<std::size_t>(128, end - s);
+      out.push_back(static_cast<char>(len - 1));
+      out.append(raw, s, len);
+      s += len;
+    }
+  };
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t run = 1;
+    while (i + run < n && raw[i + run] == raw[i] && run < 129) ++run;
+    if (run >= 3) {
+      flush_literals(i);
+      out.push_back(static_cast<char>(128 + run - 2));
+      out.push_back(raw[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(n);
+  return out;
+}
+
+bool rle_decompress(std::string* out, const char* p, std::size_t len,
+                    std::size_t raw_size) {
+  out->clear();
+  out->reserve(raw_size);
+  std::size_t i = 0;
+  while (i < len) {
+    const unsigned c = static_cast<unsigned char>(p[i++]);
+    if (c < 128) {
+      const std::size_t take = c + 1;
+      if (i + take > len || out->size() + take > raw_size) return false;
+      out->append(p + i, take);
+      i += take;
+    } else {
+      if (c == 128 || i >= len) return false;
+      const std::size_t repeat = c - 126;
+      if (out->size() + repeat > raw_size) return false;
+      out->append(repeat, p[i++]);
+    }
+  }
+  return out->size() == raw_size;
+}
+
+std::string delta_transform(const std::string& raw) {
+  std::string out;
+  out.resize(raw.size());
+  unsigned char prev = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const unsigned char b = static_cast<unsigned char>(raw[i]);
+    out[i] = static_cast<char>(static_cast<unsigned char>(b - prev));
+    prev = b;
+  }
+  return out;
+}
+
+void undelta_in_place(std::string* raw) {
+  unsigned char prev = 0;
+  for (char& c : *raw) {
+    prev = static_cast<unsigned char>(static_cast<unsigned char>(c) + prev);
+    c = static_cast<char>(prev);
+  }
+}
+
+std::string with_header(std::uint8_t method, std::size_t raw_size,
+                        std::string body) {
+  std::string out;
+  out.reserve(kCompressHeaderBytes + body.size());
+  out.push_back(static_cast<char>(method));
+  put_u32(&out, static_cast<std::uint32_t>(raw_size));
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FrameCodec codec) {
+  switch (codec) {
+    case FrameCodec::kRaw: return "raw";
+    case FrameCodec::kDelta: return "delta";
+  }
+  return "unknown";
+}
+
+bool parse_frame_codec(const std::string& name, FrameCodec* out) {
+  if (name == "raw") {
+    *out = FrameCodec::kRaw;
+    return true;
+  }
+  if (name == "delta") {
+    *out = FrameCodec::kDelta;
+    return true;
+  }
+  return false;
+}
+
+std::string store_bytes(const std::string& raw) {
+  return with_header(kMethodStored, raw.size(), raw);
+}
+
+std::string compress_bytes(const std::string& raw) {
+  std::string rle = rle_compress(raw);
+  std::string delta_rle = rle_compress(delta_transform(raw));
+  if (rle.size() < raw.size() && rle.size() <= delta_rle.size()) {
+    return with_header(kMethodRle, raw.size(), std::move(rle));
+  }
+  if (delta_rle.size() < raw.size()) {
+    return with_header(kMethodDeltaRle, raw.size(), std::move(delta_rle));
+  }
+  return store_bytes(raw);
+}
+
+bool decompress_bytes(std::string* raw, const char* packed, std::size_t len) {
+  if (len < kCompressHeaderBytes) return false;
+  const auto method = static_cast<std::uint8_t>(packed[0]);
+  const std::size_t raw_size =
+      get_u32(reinterpret_cast<const unsigned char*>(packed) + 1);
+  if (raw_size > kMaxRawSize) return false;
+  const char* body = packed + kCompressHeaderBytes;
+  const std::size_t body_len = len - kCompressHeaderBytes;
+  switch (method) {
+    case kMethodStored:
+      if (body_len != raw_size) return false;
+      raw->assign(body, body_len);
+      return true;
+    case kMethodRle:
+      return rle_decompress(raw, body, body_len, raw_size);
+    case kMethodDeltaRle:
+      if (!rle_decompress(raw, body, body_len, raw_size)) return false;
+      undelta_in_place(raw);
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool decompress_bytes(std::string* raw, const std::string& packed) {
+  return decompress_bytes(raw, packed.data(), packed.size());
+}
+
+std::string encode_frame_payload(const std::string& payload_bytes,
+                                 std::uint8_t kind, FrameCodec codec) {
+  std::string out;
+  out.push_back(static_cast<char>(kFramePayloadVersion));
+  out.push_back(static_cast<char>(kind));
+  put_u32(&out, crc32(payload_bytes));
+  out += codec == FrameCodec::kDelta ? compress_bytes(payload_bytes)
+                                     : store_bytes(payload_bytes);
+  return out;
+}
+
+bool decode_frame_payload(std::string* payload_bytes, std::uint8_t* kind,
+                          const std::string& wire) {
+  if (wire.size() < 6) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(wire.data());
+  if (p[0] != kFramePayloadVersion) return false;
+  if (p[1] != kFrameKindKey && p[1] != kFrameKindDelta) return false;
+  *kind = p[1];
+  const std::uint32_t crc = get_u32(p + 2);
+  if (!decompress_bytes(payload_bytes, wire.data() + 6, wire.size() - 6)) {
+    return false;
+  }
+  return crc32(*payload_bytes) == crc;
+}
+
+}  // namespace now

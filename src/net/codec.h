@@ -1,0 +1,85 @@
+// Frame-payload codec: makes frame delivery proportional to *change*, not
+// image size.
+//
+// The paper's cluster shares one 10 Mb/s Ethernet, so shipping every frame
+// densely back to the master is the scaling ceiling. Frame coherence already
+// tells the worker exactly which pixels changed; this codec layers on top:
+//
+//   * a cheap general byte compressor (RLE and byte-delta+RLE, with a
+//     stored-raw fallback so the worst case is raw + a 5-byte header), and
+//   * a versioned frame envelope tagging each payload as a key frame
+//     (self-contained, where coherence restarts) or a delta frame (sparse
+//     runs decoded against the master's committed predecessor), carrying a
+//     CRC over the *decoded* payload bytes so corruption detection — and the
+//     checkpoint journal's pixel digests — are unchanged by compression.
+//
+// Byte-level only: this layer never interprets pixels, so it sits in net/
+// under the runtimes and above the framing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace now {
+
+/// Frame transport selection (FarmConfig / --frame-codec).
+///   kRaw   — legacy transport: payload bytes go on the wire stored
+///            uncompressed (still inside the versioned envelope).
+///   kDelta — payloads are value-diffed against the previous frame, and the
+///            envelope body is compressed (best of RLE / delta+RLE / stored).
+enum class FrameCodec {
+  kRaw,
+  kDelta,
+};
+
+const char* to_string(FrameCodec codec);
+bool parse_frame_codec(const std::string& name, FrameCodec* out);
+
+// -- general byte compressor ------------------------------------------------
+//
+// Output layout: u8 method, u32le raw_size, body.
+//   method 0 — stored (body = input verbatim)
+//   method 1 — RLE: control byte c < 128 → c+1 literal bytes follow;
+//              c >= 129 → the next byte repeats c-126 times (3..129).
+//   method 2 — byte-delta (d[i] = raw[i] - raw[i-1]) then RLE; smooth
+//              gradients become long zero runs.
+// compress_bytes picks the smallest encoding, so the worst case is
+// raw + 5 bytes (stored).
+
+/// Header bytes prepended to every compressed block.
+inline constexpr std::size_t kCompressHeaderBytes = 5;
+
+std::string compress_bytes(const std::string& raw);
+/// Stored-only encoding (no compression scans): the kRaw fast path.
+std::string store_bytes(const std::string& raw);
+/// Strict inverse: validates the method tag, the declared size, and every
+/// control byte; never reads out of bounds. False on malformed input.
+bool decompress_bytes(std::string* raw, const char* packed, std::size_t len);
+bool decompress_bytes(std::string* raw, const std::string& packed);
+
+// -- versioned frame envelope -----------------------------------------------
+//
+// Layout: u8 version, u8 kind, u32le crc32(payload bytes), compressed body.
+// The CRC covers the *decoded* payload (the pixel-structure bytes), so a
+// receiver detects corruption after decompression exactly as it would have
+// detected it on an uncompressed wire.
+
+inline constexpr std::uint8_t kFramePayloadVersion = 1;
+/// Self-contained frame: a dense payload that needs no predecessor. Every
+/// task's first frame — fresh assignments, reclaims, speculative clones,
+/// post-resume remainders — is a key frame, because the worker's coherence
+/// state restarts there.
+inline constexpr std::uint8_t kFrameKindKey = 0;
+/// Sparse frame decoded against the master's committed predecessor frame of
+/// the same task region.
+inline constexpr std::uint8_t kFrameKindDelta = 1;
+
+std::string encode_frame_payload(const std::string& payload_bytes,
+                                 std::uint8_t kind, FrameCodec codec);
+/// False on: short input, unknown version or kind, undecodable body, or a
+/// CRC mismatch between the envelope and the decoded bytes.
+bool decode_frame_payload(std::string* payload_bytes, std::uint8_t* kind,
+                          const std::string& wire);
+
+}  // namespace now

@@ -68,6 +68,12 @@ class Actor {
   virtual ~Actor() = default;
   virtual void on_start(Context& ctx) = 0;
   virtual void on_message(Context& ctx, const Message& msg) = 0;
+  /// Called exactly once per actor after its message loop ends and before
+  /// its Context dies — the only safe place to join helper threads that
+  /// still hold the Context (e.g. a worker's send pipeline). Note the loop
+  /// can end without any preceding callback on this actor, so cleanup must
+  /// not live in a message handler. Default: nothing.
+  virtual void on_shutdown(Context& ctx) { (void)ctx; }
 };
 
 struct RuntimeStats {

@@ -581,6 +581,7 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
         }
         actors[rank]->on_message(ctx, msg);
       }
+      actors[rank]->on_shutdown(ctx);
     });
   }
   for (auto& t : threads) t.join();

@@ -231,6 +231,7 @@ RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
         }
         actors[rank]->on_message(ctx, msg);
       }
+      actors[rank]->on_shutdown(ctx);
     });
   }
   for (auto& t : threads) t.join();

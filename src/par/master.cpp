@@ -26,6 +26,9 @@ RenderMaster::RenderMaster(const AnimatedScene& scene,
   if (config_.tracer != nullptr && !config_.tracer->enabled()) {
     config_.tracer = nullptr;
   }
+  if (config_.metrics != nullptr) {
+    decode_failures_ = &config_.metrics->counter("net.frame_decode_failures");
+  }
 }
 
 void RenderMaster::on_start(Context& ctx) {
@@ -464,9 +467,15 @@ void RenderMaster::discard_result(const FrameResult& result, bool wasted_work) {
 
 void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   FrameResult result;
-  const bool ok = decode_frame_result(&result, msg.payload);
-  assert(ok);
-  if (!ok) return;
+  if (!decode_frame_result(&result, msg.payload)) {
+    // The envelope failed to decode: CRC mismatch, bad version, or
+    // malformed structure. Count it and treat the message as lost — the
+    // per-sender chain now has a gap, which the next valid result from this
+    // worker (or its lease) turns into a cancel-and-reclaim.
+    if (decode_failures_ != nullptr) decode_failures_->inc();
+    ++fault_report_.results_ignored;
+    return;
+  }
 
   WorkerState& s = workers_[msg.source];
   if (s.dead || cancelled_tasks_.count(result.task_id) > 0) {
@@ -508,6 +517,16 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   const PixelRect& region = result.payload.rect;
   assert(frame >= 0 && frame < static_cast<int>(frames_.size()));
 
+  if (!result.payload.dense && (frame == 0 || frame == s.task.first_frame)) {
+    // A task's first frame is always a dense key frame (fresh renderer, full
+    // render): a sparse payload here references a predecessor this
+    // assignment never rendered and can only be corruption that slipped past
+    // the CRC. Drop it like a lost message; the gap machinery recovers.
+    if (decode_failures_ != nullptr) decode_failures_->inc();
+    discard_result(result, /*wasted_work=*/true);
+    return;
+  }
+
   // Idempotent-commit gate: a (region, frame) already committed — by a
   // speculation partner or an overlapping reclaim — is acknowledged for the
   // sender's progress but applied nowhere. Both copies render identical
@@ -542,6 +561,9 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
     frames_[frame].blit(region, frames_[frame - 1].extract(region));
   }
   apply_payload(&frames_[frame], result.payload);
+  // The journal digest runs over *decoded* pixels (the assembled frame),
+  // never wire bytes, so raw and delta transports produce identical journal
+  // records and a run may resume under either codec.
   if (journal_ != nullptr) {
     RegionCommitRecord rc;
     rc.task_id = result.task_id;

@@ -38,6 +38,7 @@
 #include "src/image/framebuffer.h"
 #include "src/net/runtime.h"
 #include "src/obs/event_trace.h"
+#include "src/obs/metrics.h"
 #include "src/par/cost_model.h"
 #include "src/par/partition.h"
 #include "src/par/protocol.h"
@@ -73,6 +74,10 @@ struct MasterConfig {
   /// Scheduling-decision instants (task.assign, task.split, lease.ping,
   /// worker.dead, ...) on the master's timeline. Null disables.
   EventTracer* tracer = nullptr;
+  /// Sink for net.frame_decode_failures (results whose envelope failed to
+  /// decode — CRC mismatch, bad version, malformed payload — and were
+  /// treated as lost messages). Null disables.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct MasterReport {
@@ -183,6 +188,7 @@ class RenderMaster final : public Actor {
   /// these are speculation waste, not protocol anomalies.
   std::set<std::int32_t> spec_tasks_;
   std::unique_ptr<JournalWriter> journal_;
+  Counter* decode_failures_ = nullptr;  // null when metrics are off
 
   MasterReport report_;
   FaultReport fault_report_;

@@ -81,8 +81,9 @@ bool decode_task_nack(TaskNack* nack, const std::string& payload) {
   return r.i32(&nack->task_id) && r.done();
 }
 
-std::string encode_frame_result(const FrameResult& result) {
+std::string encode_frame_result(const FrameResult& result, FrameCodec codec) {
   WireWriter w;
+  w.u8(kFrameResultVersion);
   w.i32(result.task_id);
   w.i32(result.frame);
   w.u64(result.rays);
@@ -90,20 +91,30 @@ std::string encode_frame_result(const FrameResult& result) {
   w.i64(result.pixels_recomputed);
   w.u8(result.full_render);
   w.f64(result.compute_seconds);
-  w.str(encode_payload(result.payload));
+  w.str(encode_frame_payload(
+      encode_payload(result.payload),
+      result.payload.dense ? kFrameKindKey : kFrameKindDelta, codec));
   return w.take();
 }
 
 bool decode_frame_result(FrameResult* result, const std::string& payload) {
   WireReader r(payload);
-  std::string pixels;
-  if (!(r.i32(&result->task_id) && r.i32(&result->frame) &&
+  std::uint8_t version = 0;
+  std::string envelope;
+  if (!(r.u8(&version) && version == kFrameResultVersion &&
+        r.i32(&result->task_id) && r.i32(&result->frame) &&
         r.u64(&result->rays) && r.u64(&result->shadow_rays) &&
         r.i64(&result->pixels_recomputed) && r.u8(&result->full_render) &&
-        r.f64(&result->compute_seconds) && r.str(&pixels) && r.done())) {
+        r.f64(&result->compute_seconds) && r.str(&envelope) && r.done())) {
     return false;
   }
-  return decode_payload(&result->payload, pixels);
+  std::string pixels;
+  std::uint8_t kind = kFrameKindKey;
+  if (!decode_frame_payload(&pixels, &kind, envelope)) return false;
+  if (!decode_payload(&result->payload, pixels)) return false;
+  // The envelope kind and the payload layout are redundant on purpose: a
+  // disagreement means the bytes were tampered with or mis-assembled.
+  return (kind == kFrameKindKey) == result->payload.dense;
 }
 
 }  // namespace now

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/image/pixel_codec.h"
+#include "src/net/codec.h"
 #include "src/net/message.h"
 #include "src/trace/tracer.h"
 
@@ -95,6 +96,12 @@ struct TaskNack {
 std::string encode_task_nack(const TaskNack& nack);
 bool decode_task_nack(TaskNack* nack, const std::string& payload);
 
+/// Version tag leading every encoded FrameResult. Bumped in PR 5 when the
+/// pixel payload moved into the compressed key/delta frame envelope
+/// (src/net/codec.h); a decoder refuses any other version rather than
+/// misinterpreting bytes.
+inline constexpr std::uint8_t kFrameResultVersion = 2;
+
 struct FrameResult {
   std::int32_t task_id = -1;
   std::int32_t frame = 0;
@@ -105,9 +112,21 @@ struct FrameResult {
   std::int64_t pixels_recomputed = 0;
   std::uint8_t full_render = 0;
   double compute_seconds = 0.0;  // reference-machine cost the worker charged
+
+  /// A dense payload is a self-contained key frame; a sparse payload is a
+  /// delta frame the master decodes against the task's committed
+  /// predecessor. The wire kind tag must agree with the payload layout —
+  /// decode_frame_result rejects a mismatch as corruption.
+  bool key_frame() const { return payload.dense; }
 };
 
-std::string encode_frame_result(const FrameResult& result);
+/// `codec` controls the envelope body: kRaw stores the payload bytes
+/// verbatim, kDelta compresses them. Decoding is transparent to the choice.
+std::string encode_frame_result(const FrameResult& result,
+                                FrameCodec codec = FrameCodec::kRaw);
+/// Validates the version byte, the envelope CRC (computed over the decoded
+/// payload bytes), the payload structure, and key/delta-vs-layout
+/// consistency. False means the message must be treated as lost in transit.
 bool decode_frame_result(FrameResult* result, const std::string& payload);
 
 }  // namespace now

@@ -223,6 +223,7 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   master_config.journal_checkpoint_every = config.journal_checkpoint_every;
   master_config.speculate = config.speculation;
   master_config.tracer = &tracer;
+  master_config.metrics = &registry;
 
   // Resume: replay the journal and reload completed frames before the
   // master starts. `recovery` must outlive the runtime run below.
@@ -255,6 +256,12 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   }
   worker_config.cost = config.cost;
   worker_config.sparse_returns = config.sparse_returns;
+  worker_config.frame_codec = config.frame_codec;
+  // The sim runtime is sequential and its contexts are not thread-safe, so
+  // it always sends inline; the codec still applies (and changes simulated
+  // Ethernet transmit times, since the sim charges by payload size).
+  worker_config.pipeline =
+      config.pipeline && config.backend != FarmBackend::kSim;
   worker_config.tracer = &tracer;
   worker_config.metrics = &registry;
   std::vector<std::unique_ptr<RenderWorker>> workers;

@@ -1,0 +1,156 @@
+#include "src/par/send_pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+namespace now {
+
+SendPipeline::SendPipeline(const SendPipelineOptions& options)
+    : options_(options) {
+  if (options_.max_queued_frames < 1) options_.max_queued_frames = 1;
+  if (options_.tracer != nullptr && !options_.tracer->enabled()) {
+    options_.tracer = nullptr;
+  }
+  if (options_.metrics != nullptr) {
+    bytes_raw_ = &options_.metrics->counter("net.frame_bytes_raw");
+    bytes_wire_ = &options_.metrics->counter("net.frame_bytes_wire");
+    key_frames_ = &options_.metrics->counter("net.key_frames");
+    delta_frames_ = &options_.metrics->counter("net.delta_frames");
+    dropped_ = &options_.metrics->counter("net.pipeline_dropped");
+    result_bytes_ = &options_.metrics->histogram(
+        "net.frame_result_bytes", Histogram::default_bytes_bounds());
+  }
+}
+
+SendPipeline::~SendPipeline() { shutdown(); }
+
+void SendPipeline::encode_and_send(Context& ctx, Item& item) {
+  const FrameResult& result = *item.frame;
+  const double start = ctx.now();
+  std::string encoded = encode_frame_result(result, options_.codec);
+  // "Raw" is what this frame would have cost on the wire without the codec:
+  // the exact uncompressed payload encoding. The wire counter is what it
+  // actually cost; the ratio is the codec's whole value proposition.
+  if (bytes_raw_ != nullptr) {
+    bytes_raw_->inc(static_cast<std::uint64_t>(encoded_size(result.payload)));
+    bytes_wire_->inc(static_cast<std::uint64_t>(encoded.size()));
+    (result.key_frame() ? key_frames_ : delta_frames_)->inc();
+    result_bytes_->observe(static_cast<double>(encoded.size()));
+  }
+  if (options_.tracer != nullptr) {
+    // Threaded mode runs on wall-clock backends, so ctx.now() spans are real
+    // durations of encode + send on the sender thread's lane.
+    options_.tracer->complete(
+        ctx.rank(), "net", "net.send_pipeline", start, ctx.now() - start,
+        {{"frame", result.frame},
+         {"task", result.task_id},
+         {"key", result.key_frame() ? 1 : 0},
+         {"bytes", static_cast<std::int64_t>(encoded.size())}});
+  }
+  ctx.send(0, kTagFrameResult, std::move(encoded));
+}
+
+void SendPipeline::send_control(Context& ctx, int tag, std::string payload) {
+  if (!options_.threaded) {
+    ctx.send(0, tag, std::move(payload));
+    return;
+  }
+  enqueue(ctx, Item{tag, std::move(payload), std::nullopt}, /*is_frame=*/false);
+}
+
+void SendPipeline::send_frame(Context& ctx, FrameResult result) {
+  if (!options_.threaded) {
+    Item item{kTagFrameResult, {}, std::move(result)};
+    encode_and_send(ctx, item);
+    return;
+  }
+  enqueue(ctx, Item{kTagFrameResult, {}, std::move(result)},
+          /*is_frame=*/true);
+}
+
+void SendPipeline::enqueue(Context& ctx, Item item, bool is_frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    // The pipeline is already wound down (shutdown raced a late send): fall
+    // back to an inline send rather than losing the message.
+    lock.unlock();
+    if (is_frame) {
+      encode_and_send(ctx, item);
+    } else {
+      ctx.send(0, item.tag, std::move(item.payload));
+    }
+    return;
+  }
+  if (is_frame) {
+    // Double buffer: block while the sender still owes max_queued_frames
+    // results. This is the render/send overlap boundary — the caller renders
+    // frame t+1 while the sender encodes and ships frame t.
+    space_cv_.wait(lock, [&] {
+      return stop_ || queued_frames_ < options_.max_queued_frames;
+    });
+    if (stop_) {
+      lock.unlock();
+      encode_and_send(ctx, item);
+      return;
+    }
+    ++queued_frames_;
+  }
+  ctx_ = &ctx;
+  if (!started_) {
+    started_ = true;
+    sender_ = std::thread([this] { run(); });
+  }
+  queue_.push_back(std::move(item));
+  cv_.notify_one();
+}
+
+void SendPipeline::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;  // leftovers are counted and dropped by shutdown()
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    const bool is_frame = item.frame.has_value();
+    Context* ctx = ctx_;
+    lock.unlock();
+    if (is_frame) {
+      encode_and_send(*ctx, item);
+    } else {
+      ctx->send(0, item.tag, std::move(item.payload));
+    }
+    lock.lock();
+    if (is_frame) {
+      --queued_frames_;
+      space_cv_.notify_all();
+    }
+  }
+}
+
+void SendPipeline::discard_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dropped_ != nullptr) {
+    dropped_->inc(static_cast<std::uint64_t>(queue_.size()));
+  }
+  queue_.clear();
+  queued_frames_ = 0;
+  space_cv_.notify_all();
+}
+
+void SendPipeline::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    if (dropped_ != nullptr) {
+      dropped_->inc(static_cast<std::uint64_t>(queue_.size()));
+    }
+    queue_.clear();
+    queued_frames_ = 0;
+  }
+  cv_.notify_all();
+  space_cv_.notify_all();
+  if (sender_.joinable()) sender_.join();
+}
+
+}  // namespace now

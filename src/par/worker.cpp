@@ -4,10 +4,22 @@
 #include <cassert>
 
 namespace now {
+namespace {
+
+SendPipelineOptions pipeline_options(const WorkerConfig& config) {
+  SendPipelineOptions opts;
+  opts.codec = config.frame_codec;
+  opts.threaded = config.pipeline;
+  opts.tracer = config.tracer;
+  opts.metrics = config.metrics;
+  return opts;
+}
+
+}  // namespace
 
 RenderWorker::RenderWorker(const AnimatedScene& scene,
                            const WorkerConfig& config)
-    : scene_(scene), config_(config) {
+    : scene_(scene), config_(config), pipeline_(pipeline_options(config)) {
   if (config_.tracer != nullptr && !config_.tracer->enabled()) {
     config_.tracer = nullptr;
   }
@@ -16,13 +28,19 @@ RenderWorker::RenderWorker(const AnimatedScene& scene,
         "worker.frame_seconds", Histogram::default_seconds_bounds());
     chunk_seconds_hist_ = &config_.metrics->histogram(
         "worker.chunk_seconds", Histogram::default_seconds_bounds());
-    result_bytes_hist_ = &config_.metrics->histogram(
-        "net.frame_result_bytes", Histogram::default_bytes_bounds());
   }
 }
 
 void RenderWorker::on_start(Context& ctx) {
-  ctx.send(0, kTagHello, {});
+  pipeline_.send_control(ctx, kTagHello, {});
+}
+
+void RenderWorker::on_shutdown(Context& ctx) {
+  (void)ctx;
+  // Joins the sender thread while the Context is still alive; anything left
+  // in the queue is a duplicate by construction (the master only stops the
+  // farm once every pixel is committed).
+  pipeline_.shutdown();
 }
 
 void RenderWorker::on_message(Context& ctx, const Message& msg) {
@@ -42,7 +60,7 @@ void RenderWorker::on_message(Context& ctx, const Message& msg) {
       } else if (ok && task_->task_id != task.task_id) {
         TaskNack nack;
         nack.task_id = task.task_id;
-        ctx.send(0, kTagTaskNack, encode_task_nack(nack));
+        pipeline_.send_control(ctx, kTagTaskNack, encode_task_nack(nack));
       }
       break;
     }
@@ -57,18 +75,22 @@ void RenderWorker::on_message(Context& ctx, const Message& msg) {
       break;
     }
     case kTagPing:
-      ctx.send(0, kTagPong, {});
+      pipeline_.send_control(ctx, kTagPong, {});
       break;
     case kTagStop:
       break;  // the runtime winds down after the master's stop()
     case kTagRejoin:
       // The runtime restarted this rank's process (elastic membership): all
-      // in-memory state — current task, coherence grid, framebuffer — died
-      // with it. Announce ourselves like a fresh worker; the next task's
-      // first frame is a dense render, as always.
+      // in-memory state — current task, coherence grid, framebuffer, and the
+      // old process's outbound queue — died with it. Drop anything still
+      // pending in the pipeline (the real process's buffers are gone) and
+      // announce ourselves like a fresh worker; the next task's first frame
+      // is a dense key frame, as always.
+      pipeline_.discard_pending();
       task_.reset();
       renderer_.reset();
-      ctx.send(0, kTagHello, {});
+      prev_region_.clear();
+      pipeline_.send_control(ctx, kTagHello, {});
       break;
     default:
       assert(false && "worker received unexpected tag");
@@ -81,10 +103,13 @@ void RenderWorker::start_task(Context& ctx, const RenderTask& task) {
   next_frame_ = task.first_frame;
   end_frame_ = task.end_frame();
   // Fresh coherence state per task: the first frame of every task is a full
-  // render (the cost that separates the partitioning schemes).
+  // render (the cost that separates the partitioning schemes) and therefore
+  // a dense key frame on the wire — reassigned, speculative, and
+  // post-resume tasks never reference a predecessor they did not render.
   renderer_ = std::make_unique<CoherentRenderer>(scene_, task.region,
                                                  config_.coherence);
   fb_ = Framebuffer(scene_.width(), scene_.height());
+  prev_region_.clear();
   ctx.send(ctx.rank(), kTagContinue, {});
 }
 
@@ -97,7 +122,7 @@ void RenderWorker::render_next_frame(Context& ctx) {
     task_.reset();
     renderer_.reset();
     ++report_.tasks_shrunk_away;
-    ctx.send(0, kTagRequest, {});
+    pipeline_.send_control(ctx, kTagRequest, {});
     return;
   }
 
@@ -152,19 +177,42 @@ void RenderWorker::render_next_frame(Context& ctx) {
   out.pixels_recomputed = r.pixels_recomputed;
   out.full_render = r.full_render ? 1 : 0;
   out.compute_seconds = cost;
-  out.payload = (r.full_render || !config_.sparse_returns)
-                    ? make_dense_payload(fb_, task_->region)
-                    : make_sparse_payload(fb_, task_->region, r.recomputed);
-  std::string encoded = encode_frame_result(out);
-  if (result_bytes_hist_ != nullptr) {
-    result_bytes_hist_->observe(static_cast<double>(encoded.size()));
+  const PixelRect& region = task_->region;
+  const bool dense_return = r.full_render || !config_.sparse_returns;
+  const bool track_delta =
+      config_.frame_codec == FrameCodec::kDelta && config_.sparse_returns;
+  if (dense_return || !track_delta) {
+    out.payload = dense_return
+                      ? make_dense_payload(fb_, region)
+                      : make_sparse_payload(fb_, region, r.recomputed);
+    if (track_delta) prev_region_ = fb_.extract(region);
+  } else {
+    // The coherence mask is conservative: it marks every pixel that *might*
+    // have changed, and many recomputed pixels land on the same color.
+    // Diffing against the previous frame keeps only real changes on the
+    // wire; the master rebuilds from its committed predecessor, so the
+    // final image is byte-identical to the raw path.
+    assert(static_cast<int>(prev_region_.size()) == region.area());
+    PixelMask changed(fb_.width(), fb_.height());
+    int idx = 0;
+    for (int y = region.y0; y < region.y0 + region.height; ++y) {
+      for (int x = region.x0; x < region.x0 + region.width; ++x, ++idx) {
+        if (!r.recomputed.at(x, y)) continue;
+        const Rgb8 c = fb_.at(x, y);
+        if (c != prev_region_[idx]) {
+          changed.set(x, y, true);
+          prev_region_[idx] = c;
+        }
+      }
+    }
+    out.payload = make_sparse_payload(fb_, region, changed);
   }
-  ctx.send(0, kTagFrameResult, std::move(encoded));
+  pipeline_.send_frame(ctx, std::move(out));
 
   ++report_.frames_rendered;
   report_.peak_mark_bytes = std::max(
       report_.peak_mark_bytes, renderer_->coherence_grid().stats().bytes());
-  report_.rays += out.rays;
+  report_.rays += r.stats.total_rays();
   report_.pixels_recomputed += r.pixels_recomputed;
   report_.compute_seconds += cost;
 
@@ -173,7 +221,7 @@ void RenderWorker::render_next_frame(Context& ctx) {
     task_.reset();
     renderer_.reset();
     ++report_.tasks_completed;
-    ctx.send(0, kTagRequest, {});
+    pipeline_.send_control(ctx, kTagRequest, {});
   } else {
     ctx.send(ctx.rank(), kTagContinue, {});
   }
@@ -194,7 +242,7 @@ void RenderWorker::handle_shrink(Context& ctx, const ShrinkRequest& req) {
     end_frame_ = std::min(end_frame_, honored);
     ack.honored_end_frame = end_frame_;
   }
-  ctx.send(0, kTagShrinkAck, encode_shrink_ack(ack));
+  pipeline_.send_control(ctx, kTagShrinkAck, encode_shrink_ack(ack));
 }
 
 }  // namespace now

@@ -19,6 +19,7 @@
 #include "src/obs/metrics.h"
 #include "src/par/cost_model.h"
 #include "src/par/protocol.h"
+#include "src/par/send_pipeline.h"
 #include "src/scene/animated_scene.h"
 
 namespace now {
@@ -28,6 +29,16 @@ struct WorkerConfig {
   CostModel cost;
   /// Send only recomputed pixels on incremental frames (saves Ethernet).
   bool sparse_returns = true;
+  /// Wire codec for frame results. kDelta additionally value-diffs
+  /// recomputed pixels against the previous frame (the coherence mask is
+  /// conservative: a recomputed pixel often lands on the same color) and
+  /// compresses the payload; the master reconstructs against its committed
+  /// predecessor, so final frames are byte-identical either way.
+  FrameCodec frame_codec = FrameCodec::kRaw;
+  /// Encode + send frame t on a dedicated sender thread while frame t+1
+  /// renders. Requires a wall-clock runtime (sim Contexts are not
+  /// thread-safe); leave false there and sends stay inline.
+  bool pipeline = false;
   /// Per-frame render spans (cat "frame") on this worker's timeline; the
   /// utilization report derives busy time from them. Null disables.
   EventTracer* tracer = nullptr;
@@ -57,6 +68,7 @@ class RenderWorker final : public Actor {
 
   void on_start(Context& ctx) override;
   void on_message(Context& ctx, const Message& msg) override;
+  void on_shutdown(Context& ctx) override;
 
   const WorkerReport& report() const { return report_; }
 
@@ -67,17 +79,20 @@ class RenderWorker final : public Actor {
 
   const AnimatedScene& scene_;
   WorkerConfig config_;
+  SendPipeline pipeline_;
 
   std::optional<RenderTask> task_;
   std::unique_ptr<CoherentRenderer> renderer_;
   Framebuffer fb_;
+  /// Previous frame's region pixels (row-major), kept only under kDelta:
+  /// the baseline the value-diff shrinks the sparse mask against.
+  std::vector<Rgb8> prev_region_;
   std::int32_t next_frame_ = 0;
   std::int32_t end_frame_ = 0;
 
   // Cached instruments: one pointer chase per frame, no name lookups.
   Histogram* frame_seconds_hist_ = nullptr;
   Histogram* chunk_seconds_hist_ = nullptr;
-  Histogram* result_bytes_hist_ = nullptr;
 
   WorkerReport report_;
 };

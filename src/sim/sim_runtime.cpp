@@ -136,6 +136,17 @@ class SimState {
       invoke_message(ev);
     }
 
+    // The runtime contract promises every actor an on_shutdown before its
+    // Context dies; the sim delivers them sequentially once the schedule
+    // drains. Virtual time does not advance (shutdown is bookkeeping, not
+    // simulated work).
+    for (int rank = 0; rank < n; ++rank) {
+      SimContext& ctx = contexts_[rank];
+      ctx.current_time = local_time_[rank];
+      actors_[rank]->on_shutdown(ctx);
+      local_time_[rank] = ctx.current_time;
+    }
+
     SimRuntimeStats stats;
     stats.rank_busy_seconds = busy_;
     stats.rank_finish_time = local_time_;

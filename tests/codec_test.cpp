@@ -1,0 +1,264 @@
+// Frame-payload codec tests: compressor round trips (random data, runs at
+// control-byte boundaries, incompressible input), the worst-case size bound,
+// strict rejection of malformed blocks, and the versioned envelope's
+// CRC-over-decoded-bytes corruption detection.
+#include "src/net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/image/pixel_codec.h"
+#include "src/math/rng.h"
+#include "src/par/protocol.h"
+
+namespace now {
+namespace {
+
+std::string random_bytes(Rng* rng, std::size_t n, int alphabet) {
+  std::string out(n, '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<char>(
+        rng->next_below(static_cast<std::uint32_t>(alphabet)));
+  }
+  return out;
+}
+
+void expect_round_trip(const std::string& raw) {
+  const std::string packed = compress_bytes(raw);
+  // Worst case: stored fallback, raw + header. Never more.
+  EXPECT_LE(packed.size(), raw.size() + kCompressHeaderBytes);
+  std::string back;
+  ASSERT_TRUE(decompress_bytes(&back, packed)) << "len " << raw.size();
+  EXPECT_EQ(back, raw);
+}
+
+TEST(Compressor, RoundTripsEdgeCases) {
+  expect_round_trip("");
+  expect_round_trip("x");
+  expect_round_trip("ab");
+  expect_round_trip(std::string(2, 'a'));   // run below RLE threshold
+  expect_round_trip(std::string(3, 'a'));   // minimum run
+  expect_round_trip(std::string(129, 'a'));  // exactly one max-length run
+  expect_round_trip(std::string(130, 'a'));  // max run + 1 leftover
+  expect_round_trip(std::string(128, 'x') + std::string(129, 'y'));
+  expect_round_trip(std::string(10000, '\0'));
+}
+
+TEST(Compressor, RoundTripsLiteralBlockBoundaries) {
+  // 127 / 128 / 129 distinct bytes straddle the max literal block (128).
+  Rng rng(1);
+  for (const std::size_t n : {127u, 128u, 129u, 255u, 256u, 257u}) {
+    std::string raw(n, '\0');
+    for (std::size_t i = 0; i < n; ++i) raw[i] = static_cast<char>(i * 37 + 11);
+    expect_round_trip(raw);
+  }
+}
+
+TEST(Compressor, RoundTripsRandomDataAcrossEntropies) {
+  Rng rng(42);
+  // alphabet 1 → all zero (max compressible); 256 → incompressible.
+  for (const int alphabet : {1, 2, 4, 32, 256}) {
+    for (const std::size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+      expect_round_trip(random_bytes(&rng, n, alphabet));
+    }
+  }
+}
+
+TEST(Compressor, CompressesRunsAndGradients) {
+  // Flat background: RLE should crush it.
+  const std::string flat(4096, '\7');
+  EXPECT_LT(compress_bytes(flat).size(), flat.size() / 10);
+  // Smooth gradient: byte-delta turns each 16-byte step into a short zero
+  // run plus one literal (~4:1), where plain RLE finds nothing.
+  std::string ramp(4096, '\0');
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<char>(i / 16);
+  }
+  EXPECT_LT(compress_bytes(ramp).size(), ramp.size() / 2);
+}
+
+TEST(Compressor, StoredPathIsExact) {
+  Rng rng(7);
+  const std::string raw = random_bytes(&rng, 333, 256);
+  const std::string packed = store_bytes(raw);
+  EXPECT_EQ(packed.size(), raw.size() + kCompressHeaderBytes);
+  std::string back;
+  ASSERT_TRUE(decompress_bytes(&back, packed));
+  EXPECT_EQ(back, raw);
+}
+
+TEST(Compressor, RejectsMalformedBlocks) {
+  std::string back;
+  // Too short for the header.
+  EXPECT_FALSE(decompress_bytes(&back, std::string("\0\0\0", 3)));
+  // Unknown method.
+  std::string bad = store_bytes("abc");
+  bad[0] = 9;
+  EXPECT_FALSE(decompress_bytes(&back, bad));
+  // Stored block whose body length disagrees with the declared size.
+  bad = store_bytes("abc");
+  bad.pop_back();
+  EXPECT_FALSE(decompress_bytes(&back, bad));
+  bad = store_bytes("abc") + "x";
+  EXPECT_FALSE(decompress_bytes(&back, bad));
+  // Truncated RLE body (drop the tail of a valid compressed block).
+  const std::string packed = compress_bytes(std::string(1000, 'z'));
+  ASSERT_EQ(packed[0], 1);  // RLE wins on a pure run
+  bad = packed.substr(0, packed.size() - 1);
+  EXPECT_FALSE(decompress_bytes(&back, bad));
+  // RLE body that stops short of the declared raw size.
+  bad = packed;
+  bad[1] = static_cast<char>(0xFF);  // raw_size lies (little-endian low byte)
+  EXPECT_FALSE(decompress_bytes(&back, bad));
+  // Absurd declared size with a tiny body.
+  bad = std::string(1, '\0') + std::string("\xFF\xFF\xFF\x7F", 4) + "ab";
+  EXPECT_FALSE(decompress_bytes(&back, bad));
+  // The reserved RLE control byte (128) is invalid.
+  bad = std::string(1, '\1');
+  bad += std::string("\x02\x00\x00\x00", 4);
+  bad += static_cast<char>(128);
+  bad += "ab";
+  EXPECT_FALSE(decompress_bytes(&back, bad));
+}
+
+TEST(Envelope, RoundTripsBothKindsAndCodecs) {
+  Rng rng(3);
+  for (const FrameCodec codec : {FrameCodec::kRaw, FrameCodec::kDelta}) {
+    for (const std::uint8_t kind : {kFrameKindKey, kFrameKindDelta}) {
+      const std::string payload = random_bytes(&rng, 500, 8);
+      const std::string wire = encode_frame_payload(payload, kind, codec);
+      std::string back;
+      std::uint8_t got_kind = 255;
+      ASSERT_TRUE(decode_frame_payload(&back, &got_kind, wire));
+      EXPECT_EQ(back, payload);
+      EXPECT_EQ(got_kind, kind);
+    }
+  }
+}
+
+TEST(Envelope, DetectsCorruptionEverywhere) {
+  Rng rng(5);
+  const std::string payload = random_bytes(&rng, 300, 4);
+  const std::string wire =
+      encode_frame_payload(payload, kFrameKindKey, FrameCodec::kDelta);
+  std::string back;
+  std::uint8_t kind = 0;
+  // Flipping any single bit must be caught: version/kind checks, the
+  // compressor's structural validation, or the CRC over decoded bytes. The
+  // one exception is the kind byte flipping to the *other valid kind* —
+  // that is caught one layer up (decode_frame_result's kind⇔payload check).
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::string bad = wire;
+    bad[i] ^= 0x01;
+    if (i == 1) continue;  // key↔delta flip: valid at this layer by design
+    EXPECT_FALSE(decode_frame_payload(&back, &kind, bad)) << "byte " << i;
+  }
+  // Truncations at every length.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(decode_frame_payload(&back, &kind, wire.substr(0, len)))
+        << "len " << len;
+  }
+}
+
+TEST(Envelope, RejectsUnknownVersionAndKind) {
+  const std::string wire =
+      encode_frame_payload("abc", kFrameKindKey, FrameCodec::kRaw);
+  std::string back;
+  std::uint8_t kind = 0;
+  std::string bad = wire;
+  bad[0] = 99;
+  EXPECT_FALSE(decode_frame_payload(&back, &kind, bad));
+  bad = wire;
+  bad[1] = 7;
+  EXPECT_FALSE(decode_frame_payload(&back, &kind, bad));
+}
+
+// -- frame-result integration ---------------------------------------------
+
+FrameResult sparse_result(Rng* rng, const PixelRect& rect, double density) {
+  Framebuffer fb(rect.x0 + rect.width, rect.y0 + rect.height);
+  PixelMask mask(fb.width(), fb.height());
+  for (int y = rect.y0; y < rect.y0 + rect.height; ++y) {
+    for (int x = rect.x0; x < rect.x0 + rect.width; ++x) {
+      fb.set(x, y, Rgb8{static_cast<std::uint8_t>(rng->next_below(256)),
+                        static_cast<std::uint8_t>(rng->next_below(256)),
+                        static_cast<std::uint8_t>(rng->next_below(256))});
+      if (rng->next_double() < density) mask.set(x, y, true);
+    }
+  }
+  FrameResult result;
+  result.task_id = 4;
+  result.frame = 9;
+  result.payload = make_sparse_payload(fb, rect, mask);
+  return result;
+}
+
+TEST(FrameResultCodec, RandomMasksRoundTripUnderBothCodecs) {
+  Rng rng(11);
+  const PixelRect rect{3, 2, 37, 29};  // odd sizes hit run boundaries
+  for (const FrameCodec codec : {FrameCodec::kRaw, FrameCodec::kDelta}) {
+    for (const double density : {0.0, 0.01, 0.3, 1.0}) {
+      const FrameResult result = sparse_result(&rng, rect, density);
+      FrameResult out;
+      ASSERT_TRUE(
+          decode_frame_result(&out, encode_frame_result(result, codec)));
+      EXPECT_EQ(out.payload.dense, result.payload.dense);
+      EXPECT_EQ(out.payload.rect, rect);
+      EXPECT_EQ(encode_payload(out.payload), encode_payload(result.payload));
+    }
+  }
+}
+
+TEST(FrameResultCodec, KindMustMatchPayloadShape) {
+  Rng rng(13);
+  FrameResult result = sparse_result(&rng, {0, 0, 16, 16}, 0.1);
+  ASSERT_FALSE(result.payload.dense);
+  std::string wire = encode_frame_result(result, FrameCodec::kRaw);
+  // The envelope is the trailing str field; its kind byte sits one past the
+  // envelope start. Flip delta→key: the envelope itself stays valid, but
+  // the payload inside is sparse, so decode_frame_result must reject the
+  // inconsistency.
+  const std::string envelope = encode_frame_payload(
+      encode_payload(result.payload), kFrameKindDelta, FrameCodec::kRaw);
+  const std::size_t kind_pos = wire.size() - envelope.size() + 1;
+  ASSERT_EQ(static_cast<std::uint8_t>(wire[kind_pos]), kFrameKindDelta);
+  wire[kind_pos] = static_cast<char>(kFrameKindKey);
+  FrameResult out;
+  EXPECT_FALSE(decode_frame_result(&out, wire));
+}
+
+TEST(FrameResultCodec, RejectsTruncationAtEveryLength) {
+  Rng rng(17);
+  const FrameResult result = sparse_result(&rng, {0, 0, 24, 18}, 0.2);
+  const std::string wire = encode_frame_result(result, FrameCodec::kDelta);
+  FrameResult out;
+  for (std::size_t len = 0; len < wire.size(); len += 3) {
+    EXPECT_FALSE(decode_frame_result(&out, wire.substr(0, len)));
+  }
+  EXPECT_FALSE(decode_frame_result(&out, wire + "x"));
+}
+
+TEST(FrameResultCodec, IncompressiblePayloadStaysNearRaw) {
+  Rng rng(19);
+  const FrameResult result = sparse_result(&rng, {0, 0, 64, 64}, 1.0);
+  const std::size_t raw_size = encoded_size(result.payload);
+  const std::string wire = encode_frame_result(result, FrameCodec::kDelta);
+  // Envelope (6) + compress header (5) + fixed fields is the only overhead
+  // allowed on incompressible pixels.
+  EXPECT_LE(wire.size(), raw_size + 64);
+}
+
+TEST(FrameCodecName, ParsesAndPrints) {
+  FrameCodec codec = FrameCodec::kRaw;
+  EXPECT_TRUE(parse_frame_codec("delta", &codec));
+  EXPECT_EQ(codec, FrameCodec::kDelta);
+  EXPECT_TRUE(parse_frame_codec("raw", &codec));
+  EXPECT_EQ(codec, FrameCodec::kRaw);
+  EXPECT_FALSE(parse_frame_codec("zstd", &codec));
+  EXPECT_STREQ(to_string(FrameCodec::kDelta), "delta");
+  EXPECT_STREQ(to_string(FrameCodec::kRaw), "raw");
+}
+
+}  // namespace
+}  // namespace now

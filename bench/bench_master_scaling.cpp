@@ -1,0 +1,162 @@
+// The sharded-master scaling experiment: how much traffic does the central
+// coordinator absorb as the farm grows, and does splitting the framebuffer
+// into shards (--shards N) actually remove the master-bytes bottleneck?
+//
+// Sweep: 16–64 sim workers × shards {1, 2, 4, 8}. For each cell we report
+// wall-in-sim frames/sec and the scheduler's inbound byte rate — with one
+// master that rate carries every pixel of the animation; with shards it
+// carries only fixed-size commit digests.
+//
+// Gate (exit code): at shards=4 the scheduler's inbound bytes must be
+// independent of pixel volume — rendering 4× the pixels must not raise
+// them appreciably — while the single-master configuration demonstrably
+// scales with pixels. This is the acceptance criterion of the subsystem:
+// scheduler load proportional to results, not resolution.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/par/render_farm.h"
+
+namespace now {
+namespace {
+
+struct Cell {
+  double elapsed = 0.0;
+  double frames_per_sec = 0.0;
+  std::uint64_t sched_bytes = 0;        // scheduler-inbound frame + digests
+  std::uint64_t sched_pixel_bytes = 0;  // frame payloads landing at rank 0
+  std::uint64_t shard_pixel_bytes = 0;  // frame payloads landing at shards
+};
+
+Cell run_cell(const AnimatedScene& scene, int workers, int shards) {
+  FarmConfig config;
+  config.backend = FarmBackend::kSim;
+  config.worker_speeds.assign(static_cast<std::size_t>(workers), 1.0);
+  config.partition.scheme = PartitionScheme::kSequenceDivision;
+  config.partition.adaptive = true;
+  config.partition.min_split_frames = 2;
+  config.shards = shards;
+  const FarmResult result = render_farm(scene, config);
+
+  Cell cell;
+  cell.elapsed = result.elapsed_seconds;
+  cell.frames_per_sec = scene.frame_count() / result.elapsed_seconds;
+  cell.sched_pixel_bytes = result.metrics.counter("endpoint.0.frame_bytes");
+  cell.sched_bytes = cell.sched_pixel_bytes +
+                     result.metrics.counter("endpoint.0.digest_bytes");
+  ShardMap map;
+  map.shard_count = shards;
+  map.worker_count = workers;
+  map.frame_count = scene.frame_count();
+  for (int s = 0; s < shards && map.sharded(); ++s) {
+    cell.shard_pixel_bytes += result.metrics.counter(
+        "endpoint." + std::to_string(map.rank_of_shard(s)) + ".frame_bytes");
+  }
+  return cell;
+}
+
+int run(const bench::BenchOptions& opts) {
+  CradleParams params;
+  params.frames = opts.quick ? 16 : 45;
+  params.width = opts.quick ? 160 : 320;
+  params.height = opts.quick ? 120 : 240;
+  const AnimatedScene scene = newton_cradle_scene(params);
+
+  std::printf("master scaling — Newton, %d frames at %dx%d, sim backend\n\n",
+              scene.frame_count(), scene.width(), scene.height());
+  std::printf("%8s %7s %12s %12s %16s %14s\n", "workers", "shards",
+              "elapsed", "frames/s", "sched bytes", "sched KB/s");
+  bench::print_rule(76);
+
+  const std::vector<int> worker_counts =
+      opts.quick ? std::vector<int>{8, 16} : std::vector<int>{16, 32, 64};
+  for (const int workers : worker_counts) {
+    for (const int shards : {1, 2, 4, 8}) {
+      const Cell cell = run_cell(scene, workers, shards);
+      std::printf("%8d %7d %12s %12.2f %16s %14.1f\n", workers, shards,
+                  bench::hms(cell.elapsed).c_str(), cell.frames_per_sec,
+                  bench::with_commas(cell.sched_bytes).c_str(),
+                  static_cast<double>(cell.sched_bytes) / cell.elapsed /
+                      1024.0);
+      const std::string prefix = "master_scaling.w" + std::to_string(workers) +
+                                 ".s" + std::to_string(shards) + ".";
+      bench::bench_registry()
+          .counter(prefix + "sched_bytes")
+          .inc(cell.sched_bytes);
+      bench::bench_registry()
+          .gauge(prefix + "frames_per_sec")
+          .set(cell.frames_per_sec);
+    }
+    std::printf("\n");
+  }
+
+  // The gate: quadruple the pixel volume (2× each dimension) at fixed
+  // worker count and compare scheduler-inbound bytes. Digests have no
+  // pixels in them, so the sharded scheduler must be flat; the single
+  // master carries the framebuffer and must scale.
+  CradleParams small = params;
+  small.width = params.width / 2;
+  small.height = params.height / 2;
+  const AnimatedScene small_scene = newton_cradle_scene(small);
+  const int gate_workers = opts.quick ? 8 : 16;
+
+  const Cell single_small = run_cell(small_scene, gate_workers, 1);
+  const Cell single_large = run_cell(scene, gate_workers, 1);
+  const Cell shard_small = run_cell(small_scene, gate_workers, 4);
+  const Cell shard_large = run_cell(scene, gate_workers, 4);
+
+  const double single_ratio = static_cast<double>(single_large.sched_bytes) /
+                              static_cast<double>(single_small.sched_bytes);
+  const double shard_ratio = static_cast<double>(shard_large.sched_bytes) /
+                             static_cast<double>(shard_small.sched_bytes);
+  std::printf("pixel-volume gate (%d workers, %dx%d -> %dx%d = 4x pixels)\n",
+              gate_workers, small.width, small.height, params.width,
+              params.height);
+  std::printf("  shards=1 scheduler bytes: %s -> %s  (x%.2f, pixel-bound)\n",
+              bench::with_commas(single_small.sched_bytes).c_str(),
+              bench::with_commas(single_large.sched_bytes).c_str(),
+              single_ratio);
+  std::printf("  shards=4 scheduler bytes: %s -> %s  (x%.2f, digest-bound)\n",
+              bench::with_commas(shard_small.sched_bytes).c_str(),
+              bench::with_commas(shard_large.sched_bytes).c_str(),
+              shard_ratio);
+  std::printf("  shards=4 pixel bytes rerouted to shards: %s "
+              "(at scheduler: %s)\n",
+              bench::with_commas(shard_large.shard_pixel_bytes).c_str(),
+              bench::with_commas(shard_large.sched_pixel_bytes).c_str());
+  bench::bench_registry()
+      .gauge("master_scaling.gate.single_ratio")
+      .set(single_ratio);
+  bench::bench_registry()
+      .gauge("master_scaling.gate.shard_ratio")
+      .set(shard_ratio);
+
+  // Flat means "within scheduling noise": the digest count varies only with
+  // task/result counts (identical here), so 1.25 is generous. The single
+  // master must visibly scale toward the 4x pixel factor.
+  const bool sharded_flat = shard_ratio < 1.25;
+  const bool single_scales = single_ratio > 2.0;
+  const bool no_pixels_at_scheduler =
+      shard_large.sched_pixel_bytes == 0 && shard_large.shard_pixel_bytes > 0;
+  std::printf("\ngate: sharded flat (x%.2f < 1.25): %s;  single master "
+              "pixel-bound (x%.2f > 2.0): %s;  zero pixel bytes at "
+              "scheduler: %s\n",
+              shard_ratio, sharded_flat ? "PASS" : "FAIL", single_ratio,
+              single_scales ? "PASS" : "FAIL",
+              no_pixels_at_scheduler ? "PASS" : "FAIL");
+  if (!sharded_flat || !single_scales || !no_pixels_at_scheduler) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace now
+
+int main(int argc, char** argv) {
+  const now::bench::BenchOptions opts = now::bench::parse_bench_options(argc,
+                                                                        argv);
+  const int rc = now::run(opts);
+  const int finish = now::bench::finish_bench(opts);
+  return rc != 0 ? rc : finish;
+}

@@ -5,7 +5,7 @@
 //        [--scheme seq|frame|hybrid] [--workers N] [--speeds a,b,c]
 //        [--threads N] [--block N] [--no-coherence] [--out DIR]
 //        [--frame-codec raw|delta] [--no-pipeline]
-//        [--journal FILE] [--resume] [--speculate]
+//        [--journal FILE] [--resume] [--speculate] [--shards N]
 //        [--trace-out FILE] [--metrics-out FILE] [--report]
 //
 // --threads sets the render threads *inside* each worker (0 = one per
@@ -28,6 +28,12 @@
 // animation is byte-identical to an uninterrupted run. --speculate
 // duplicates the slowest in-flight task onto idle workers at the end of the
 // run and keeps whichever copy finishes first.
+//
+// Sharded framebuffer: --shards N (default 1) splits the master into a thin
+// scheduler plus N framebuffer shards, each owning a contiguous frame range
+// — workers stream pixels straight to the owning shard, the scheduler sees
+// only small digests. Output is byte-identical to --shards 1; a journaled
+// sharded run must resume with the same shard count.
 //
 // Observability: --trace-out writes a Chrome trace-event JSON file (open it
 // in Perfetto / chrome://tracing; under --backend sim the file is
@@ -132,6 +138,8 @@ int main(int argc, char** argv) {
       config.resume = true;
     } else if (arg == "--speculate") {
       config.speculation = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      config.shards = std::atoi(argv[++i]);
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -173,13 +181,16 @@ int main(int argc, char** argv) {
   config.output_dir = out_dir;
   config.output_prefix = "farm";
   config.obs.trace = !trace_path.empty() || report;
+  FarmResult result;
   try {
     validate_farm_config(scene, config);
+    // render_farm can also throw invalid_argument: resume replay rejects a
+    // journal whose --shards count differs from this run's.
+    result = render_farm(scene, config);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "invalid configuration: %s\n", e.what());
     return 2;
   }
-  const FarmResult result = render_farm(scene, config);
 
   if (result.resume.resumed) {
     std::printf("resume: %d frame(s) restored, %d demoted, %lld journal "

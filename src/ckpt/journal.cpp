@@ -36,13 +36,27 @@ std::string encode_header(const JournalHeader& h) {
   w.i32(h.width);
   w.i32(h.height);
   w.i32(h.frame_count);
+  if (h.version >= 2) {
+    w.i32(h.shard_count);
+    w.i32(h.shard_index);
+  }
   return w.take();
 }
 
 bool decode_header(JournalHeader* h, const std::string& payload) {
   WireReader r(payload);
-  return r.u32(&h->version) && r.i32(&h->width) && r.i32(&h->height) &&
-         r.i32(&h->frame_count) && r.done();
+  if (!(r.u32(&h->version) && r.i32(&h->width) && r.i32(&h->height) &&
+        r.i32(&h->frame_count))) {
+    return false;
+  }
+  if (h->version == 1) {
+    // Pre-shard journal: single master, single implicit segment.
+    h->shard_count = 1;
+    h->shard_index = 0;
+    return r.done();
+  }
+  if (h->version != 2) return false;
+  return r.i32(&h->shard_count) && r.i32(&h->shard_index) && r.done();
 }
 
 std::string encode_region_commit(const RegionCommitRecord& rec) {
@@ -150,6 +164,10 @@ std::string frame_record(JournalRecordType type, const std::string& payload) {
 }
 
 }  // namespace
+
+std::string shard_journal_path(const std::string& base, int shard) {
+  return base + ".shard" + std::to_string(shard);
+}
 
 std::uint32_t digest_rect(const Framebuffer& fb, const PixelRect& rect) {
   std::uint32_t crc = 0;

@@ -39,11 +39,23 @@ enum class JournalRecordType : std::uint8_t {
 };
 
 struct JournalHeader {
-  std::uint32_t version = 1;
+  std::uint32_t version = 2;
   std::int32_t width = 0;
   std::int32_t height = 0;
   std::int32_t frame_count = 0;
+  /// v2: sharded-journal identity. A sharded run (--shards N) writes one
+  /// scheduler journal (shard_index -1, checkpoints only) plus one segment
+  /// per shard (region commits + frame completes for its owned range); a
+  /// single-master run writes exactly the v1 layout with count 1 / index 0.
+  /// Version-1 journals decode with the defaults below, so pre-shard runs
+  /// stay resumable.
+  std::int32_t shard_count = 1;
+  std::int32_t shard_index = 0;
 };
+
+/// Journal-segment path of shard `shard` for a run journaling at `base` —
+/// the single naming scheme shared by the writer and the resume loader.
+std::string shard_journal_path(const std::string& base, int shard);
 
 struct RegionCommitRecord {
   std::int32_t task_id = -1;

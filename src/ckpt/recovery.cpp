@@ -16,7 +16,7 @@ std::string frame_file_path(const std::string& dir, const std::string& prefix,
 RecoveryState build_recovery(const std::string& journal_path,
                              const std::string& frames_dir,
                              const std::string& prefix, int width, int height,
-                             int frame_count) {
+                             int frame_count, int shard_count) {
   RecoveryState state;
   const JournalReplay replay = replay_journal(journal_path);
   if (!replay.ok) {
@@ -31,29 +31,72 @@ RecoveryState build_recovery(const std::string& journal_path,
                   std::to_string(replay.header.frame_count) + " frames)";
     return state;
   }
+  if (replay.header.shard_count != shard_count) {
+    // Ownership ranges — and therefore which segment holds which frame's
+    // records — depend on the shard count. Refuse loudly rather than
+    // resume into silent corruption.
+    state.error = "journal was written with --shards " +
+                  std::to_string(replay.header.shard_count) +
+                  " but this run requested --shards " +
+                  std::to_string(shard_count) +
+                  "; resume with the original shard count";
+    return state;
+  }
 
   state.ok = true;
+  state.shard_count = shard_count;
   state.records_replayed = replay.records;
   state.journal_truncated = replay.truncated_tail;
   state.journal_valid_bytes = replay.valid_bytes;
   state.frames.assign(static_cast<std::size_t>(frame_count), std::nullopt);
 
-  for (int f = 0; f < frame_count; ++f) {
-    if (!replay.frame_complete[f]) continue;
-    const auto digest_it = replay.frame_digest.find(f);
-    Framebuffer fb;
-    const bool loaded =
-        read_tga(&fb, frame_file_path(frames_dir, prefix, f)) &&
-        fb.width() == width && fb.height() == height &&
-        digest_it != replay.frame_digest.end() &&
-        digest_frame(fb) == digest_it->second;
-    if (loaded) {
-      state.frames[f] = std::move(fb);
-      ++state.frames_restored;
-    } else {
-      // The journal promised this frame but the disk disagrees (deleted,
-      // truncated by a concurrent crash, edited): re-render it.
-      ++state.frames_demoted;
+  const auto load_completed = [&](const JournalReplay& rep) {
+    for (int f = 0; f < frame_count; ++f) {
+      if (f >= static_cast<int>(rep.frame_complete.size()) ||
+          !rep.frame_complete[f] || state.frames[f].has_value()) {
+        continue;
+      }
+      const auto digest_it = rep.frame_digest.find(f);
+      Framebuffer fb;
+      const bool loaded =
+          read_tga(&fb, frame_file_path(frames_dir, prefix, f)) &&
+          fb.width() == width && fb.height() == height &&
+          digest_it != rep.frame_digest.end() &&
+          digest_frame(fb) == digest_it->second;
+      if (loaded) {
+        state.frames[f] = std::move(fb);
+        ++state.frames_restored;
+      } else {
+        // The journal promised this frame but the disk disagrees (deleted,
+        // truncated by a concurrent crash, edited): re-render it.
+        ++state.frames_demoted;
+      }
+    }
+  };
+
+  if (shard_count <= 1) {
+    load_completed(replay);
+  } else {
+    // Sharded run: the scheduler journal carries only checkpoints; each
+    // shard's region commits and frame completes live in its own segment.
+    // A segment that is missing or has no valid matching header is treated
+    // as empty — valid_bytes 0 tells the shard to start a fresh segment and
+    // its frames simply re-render.
+    state.shard_valid_bytes.assign(static_cast<std::size_t>(shard_count), 0);
+    for (int i = 0; i < shard_count; ++i) {
+      const JournalReplay seg =
+          replay_journal(shard_journal_path(journal_path, i));
+      if (!seg.ok || seg.header.width != width ||
+          seg.header.height != height ||
+          seg.header.frame_count != frame_count ||
+          seg.header.shard_count != shard_count ||
+          seg.header.shard_index != i) {
+        continue;
+      }
+      state.shard_valid_bytes[i] = seg.valid_bytes;
+      state.records_replayed += seg.records;
+      state.journal_truncated = state.journal_truncated || seg.truncated_tail;
+      load_completed(seg);
     }
   }
   state.frames_to_render = frame_count - state.frames_restored;

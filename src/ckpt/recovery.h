@@ -39,6 +39,13 @@ struct RecoveryState {
   bool journal_truncated = false;
   /// Valid journal prefix length; the resuming writer truncates to this.
   std::size_t journal_valid_bytes = 0;
+
+  /// Sharded run (--shards N > 1): shard count the journal was written
+  /// with, and the valid prefix length of each shard's journal segment. A
+  /// zero entry means the segment was missing or had no valid header — its
+  /// shard starts a fresh segment and its frames re-render.
+  int shard_count = 1;
+  std::vector<std::size_t> shard_valid_bytes;
 };
 
 /// Name of frame `frame`'s targa file under `dir` with `prefix` — the single
@@ -49,9 +56,17 @@ std::string frame_file_path(const std::string& dir, const std::string& prefix,
 /// Replay `journal_path` and load completed frames from `frames_dir`.
 /// `width`/`height`/`frame_count` are the scene's, cross-checked against the
 /// journal header so a journal from a different animation is rejected.
+///
+/// `shard_count` is the run's --shards value and must equal the journal
+/// header's (a sharded journal cannot be resumed with a different shard
+/// count — ownership ranges, and therefore segment contents, would no
+/// longer line up; the mismatch is a hard error, never silent corruption).
+/// With shard_count > 1 the scheduler journal at `journal_path` carries
+/// only checkpoints; completed frames are folded from the per-shard
+/// segments at shard_journal_path(journal_path, i).
 RecoveryState build_recovery(const std::string& journal_path,
                              const std::string& frames_dir,
                              const std::string& prefix, int width, int height,
-                             int frame_count);
+                             int frame_count, int shard_count = 1);
 
 }  // namespace now

@@ -135,7 +135,9 @@ class TcpContext final : public Context {
              std::atomic<std::int64_t>* bytes,
              std::chrono::steady_clock::time_point epoch,
              FaultInjector* injector, TimerQueue* timers,
-             const std::function<void(int)>* kill_rank, EventTracer* tracer)
+             const std::function<void(int)>* kill_rank, EventTracer* tracer,
+             const std::vector<int>* endpoint_index,
+             std::vector<std::atomic<int>>* peer_sockets, int num_endpoints)
       : rank_(rank),
         world_size_(world_size),
         own_mailbox_(own_mailbox),
@@ -149,7 +151,10 @@ class TcpContext final : public Context {
         injector_(injector),
         timers_(timers),
         kill_rank_(kill_rank),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        endpoint_index_(endpoint_index),
+        peer_sockets_(peer_sockets),
+        num_endpoints_(num_endpoints) {}
 
   int rank() const override { return rank_; }
   int world_size() const override { return world_size_; }
@@ -164,8 +169,10 @@ class TcpContext final : public Context {
       own_mailbox_->push(Message{rank_, tag, std::move(payload)});
       return;
     }
-    assert((rank_ == 0 || dest == 0) &&
-           "star topology: slaves only talk to the master");
+    assert((rank_ == 0 || dest == 0 ||
+            (endpoint_index_ != nullptr && (*endpoint_index_)[dest] >= 0)) &&
+           "star + endpoints: slaves talk to the master or a declared "
+           "endpoint");
     int copies = 1;
     if (injector_ != nullptr) {
       const FaultInjector::SendFaults f =
@@ -180,13 +187,21 @@ class TcpContext final : public Context {
       messages_->fetch_add(copies, std::memory_order_relaxed);
       bytes_->fetch_add(copies * static_cast<std::int64_t>(payload.size()),
                         std::memory_order_relaxed);
-      // Master: socket to `dest`. Worker: its own socket to the master.
-      // The table entry is atomic because a rejoin replaces it mid-run.
-      const int fd = rank_ == 0
-                         ? (*socket_of_rank_)[dest].load(
-                               std::memory_order_acquire)
-                         : (*socket_of_rank_)[rank_].load(
-                               std::memory_order_acquire);
+      // Master: socket to `dest`. Worker → master: its own socket to the
+      // master. Worker → endpoint: its dialed peer socket to that endpoint.
+      // Table entries are atomic because a rejoin replaces them mid-run.
+      int fd;
+      if (rank_ == 0) {
+        fd = (*socket_of_rank_)[dest].load(std::memory_order_acquire);
+      } else if (dest == 0) {
+        fd = (*socket_of_rank_)[rank_].load(std::memory_order_acquire);
+      } else {
+        const int ep = (*endpoint_index_)[dest];
+        fd = (*peer_sockets_)[static_cast<std::size_t>(rank_) *
+                                  static_cast<std::size_t>(num_endpoints_) +
+                              static_cast<std::size_t>(ep)]
+                 .load(std::memory_order_acquire);
+      }
       const Message msg{rank_, tag, std::move(payload)};
       const std::int64_t frame_bytes =
           static_cast<std::int64_t>(msg.payload.size());
@@ -245,6 +260,9 @@ class TcpContext final : public Context {
   TimerQueue* timers_;
   const std::function<void(int)>* kill_rank_;
   EventTracer* tracer_;
+  const std::vector<int>* endpoint_index_;       // rank → endpoint slot or -1
+  std::vector<std::atomic<int>>* peer_sockets_;  // [rank * E + slot] → fd
+  int num_endpoints_;
 };
 
 }  // namespace
@@ -333,6 +351,36 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   // mid-run rejoins), so it wakes on the same timeout as the data sockets.
   set_receive_timeout(listener, options_.receive_timeout_seconds);
 
+  // Extra endpoints (framebuffer shards): each gets its own listener that
+  // every non-endpoint worker dials, so pixel traffic bypasses rank 0.
+  const int num_endpoints = static_cast<int>(options_.extra_endpoints.size());
+  std::vector<int> endpoint_index(static_cast<std::size_t>(n), -1);
+  for (int e = 0; e < num_endpoints; ++e) {
+    const int rank = options_.extra_endpoints[static_cast<std::size_t>(e)];
+    if (rank < 1 || rank >= n || endpoint_index[rank] >= 0) {
+      ::close(listener);
+      throw std::invalid_argument(
+          "TcpOptions::extra_endpoints must name distinct non-zero ranks");
+    }
+    endpoint_index[rank] = e;
+  }
+  std::vector<int> endpoint_listeners(static_cast<std::size_t>(num_endpoints),
+                                      -1);
+  std::vector<std::uint16_t> endpoint_ports(
+      static_cast<std::size_t>(num_endpoints), 0);
+  for (int e = 0; e < num_endpoints; ++e) {
+    endpoint_listeners[e] = make_listener(&endpoint_ports[e]);
+    set_receive_timeout(endpoint_listeners[e],
+                        options_.receive_timeout_seconds);
+  }
+  // Ranks that dial the endpoints: every non-zero rank that is not itself an
+  // endpoint (endpoints never message each other, and rank 0 reaches them
+  // over the star like any other dialed-in rank).
+  int num_dialers = 0;
+  for (int r = 1; r < n; ++r) {
+    if (endpoint_index[r] < 0) ++num_dialers;
+  }
+
   // Socket tables, atomic because a rejoin swaps entries mid-run:
   // master_sockets[w] = master's socket to worker w; worker_sockets[w] =
   // worker w's socket to the master.
@@ -342,6 +390,15 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
     master_sockets[i].store(-1);
     worker_sockets[i].store(-1);
   }
+  // peer_sockets[w * E + e] = worker w's dialed socket to endpoint slot e;
+  // endpoint_accept_fds[e * n + w] = endpoint e's accepted socket from w.
+  // Both sides are tracked so a crash can sever the full duplex pair.
+  std::vector<std::atomic<int>> peer_sockets(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(num_endpoints));
+  std::vector<std::atomic<int>> endpoint_accept_fds(
+      static_cast<std::size_t>(num_endpoints) * static_cast<std::size_t>(n));
+  for (auto& s : peer_sockets) s.store(-1);
+  for (auto& s : endpoint_accept_fds) s.store(-1);
   // Sockets replaced by a rejoin are parked here and closed at shutdown —
   // their reader pumps may still hold the fd until they notice the close.
   std::mutex retired_mu;
@@ -392,6 +449,20 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
     if (rank_killed[rank].exchange(true)) return;
     ::shutdown(master_sockets[rank].load(), SHUT_RDWR);
     ::shutdown(worker_sockets[rank].load(), SHUT_RDWR);
+    // A dead worker's endpoint connections die with it: sever its dialed
+    // peer sockets and the endpoint-side accepted ends.
+    for (int e = 0; e < num_endpoints; ++e) {
+      ::shutdown(peer_sockets[static_cast<std::size_t>(rank) *
+                                  static_cast<std::size_t>(num_endpoints) +
+                              static_cast<std::size_t>(e)]
+                     .load(),
+                 SHUT_RDWR);
+      ::shutdown(endpoint_accept_fds[static_cast<std::size_t>(e) *
+                                         static_cast<std::size_t>(n) +
+                                     static_cast<std::size_t>(rank)]
+                     .load(),
+                 SHUT_RDWR);
+    }
   };
 
   // Reader pumps are spawned at startup AND mid-run (rejoins, late
@@ -465,11 +536,42 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
       }
     });
   };
+  // Pump for one endpoint-side accepted connection from worker w: reads w's
+  // frames into endpoint rank e's mailbox until the socket dies.
+  const auto spawn_endpoint_pump = [&](int e, int w, int fd) {
+    std::lock_guard<std::mutex> lock(readers_mu);
+    readers.emplace_back([&, e, w, fd] {
+      const auto keep_going = [&] {
+        if (injector != nullptr && injector->crashed(w, wall_now())) {
+          kill_rank(w);
+          return false;
+        }
+        return !stop_flag.load(std::memory_order_acquire);
+      };
+      Message msg;
+      for (;;) {
+        const TcpReadStatus st = tcp_read_frame(fd, &msg, keep_going);
+        if (st == TcpReadStatus::kClosed) break;
+        if (st == TcpReadStatus::kCorrupt) {
+          if (corrupt_frames != nullptr) corrupt_frames->inc();
+          continue;
+        }
+        const double delay =
+            injector != nullptr ? injector->delivery_delay(e, wall_now()) : 0.0;
+        if (delay > 0.0) {
+          timers_ptr->schedule(delay, e, std::move(msg));
+        } else {
+          mailboxes[e].push(std::move(msg));
+        }
+      }
+    });
+  };
 
   // A rejoining worker dials a brand-new connection (its old one was
   // severed at crash time), re-handshakes its rank — the accept loop
-  // installs the master side — and is marked alive again. Runs on the timer
-  // thread when the kRejoin event fires.
+  // installs the master side — and is marked alive again. With endpoints it
+  // also re-dials every endpoint listener, replacing its peer sockets. Runs
+  // on the timer thread when the kRejoin event fires.
   const auto rejoin_rank = [&](int rank) -> bool {
     std::unique_lock<std::mutex> lock(membership_mus[rank]);
     injector->revive(rank, wall_now());
@@ -485,6 +587,27 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
       return false;
     }
     set_receive_timeout(fd, options_.receive_timeout_seconds);
+    if (endpoint_index[rank] < 0) {
+      for (int e = 0; e < num_endpoints; ++e) {
+        int pfd = -1;
+        try {
+          pfd = connect_loopback(endpoint_ports[e], options_, rank,
+                                 connect_retries);
+        } catch (const std::runtime_error&) {
+          ::close(fd);
+          return false;  // endpoint listener gone: shutdown in progress
+        }
+        if (!write_all(pfd, &r, sizeof(r))) {
+          ::close(pfd);
+          ::close(fd);
+          return false;
+        }
+        retire_fd(peer_sockets[static_cast<std::size_t>(rank) *
+                                   static_cast<std::size_t>(num_endpoints) +
+                               static_cast<std::size_t>(e)]
+                      .exchange(pfd));
+      }
+    }
     retire_fd(worker_sockets[rank].exchange(fd));
     rank_killed[rank].store(false);
     lock.unlock();
@@ -539,8 +662,45 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
     }
   });
 
+  // One persistent accept loop per endpoint: initial worker dials and
+  // post-rejoin re-dials both land here. Same handshake as rank 0's loop.
+  std::vector<std::atomic<int>> endpoint_accepted(
+      static_cast<std::size_t>(num_endpoints));
+  for (auto& c : endpoint_accepted) c.store(0);
+  std::vector<std::thread> endpoint_acceptors;
+  for (int e = 0; e < num_endpoints; ++e) {
+    endpoint_acceptors.emplace_back([&, e] {
+      const int lfd = endpoint_listeners[e];
+      while (!stop_flag.load(std::memory_order_acquire)) {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+            continue;  // timeout tick: re-check stop
+          }
+          break;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::int32_t rank = -1;
+        if (!read_all(fd, &rank, sizeof(rank), nullptr) || rank < 1 ||
+            rank >= n || endpoint_index[rank] >= 0) {
+          ::close(fd);
+          continue;
+        }
+        set_receive_timeout(fd, options_.receive_timeout_seconds);
+        retire_fd(endpoint_accept_fds[static_cast<std::size_t>(e) *
+                                          static_cast<std::size_t>(n) +
+                                      static_cast<std::size_t>(rank)]
+                      .exchange(fd));
+        spawn_endpoint_pump(options_.extra_endpoints[e], rank, fd);
+        endpoint_accepted[e].fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
   // Workers connect and announce their rank before their actor threads
-  // start (a worker's first act is a Hello through its socket).
+  // start (a worker's first act is a Hello through its socket). Non-endpoint
+  // workers additionally dial every endpoint listener.
   std::vector<std::thread> connectors;
   for (int rank = 1; rank < n; ++rank) {
     connectors.emplace_back([&, rank] {
@@ -550,13 +710,31 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
       set_receive_timeout(fd, options_.receive_timeout_seconds);
       worker_sockets[rank].store(fd, std::memory_order_release);
       spawn_worker_pump(rank, fd);
+      if (endpoint_index[rank] < 0) {
+        for (int e = 0; e < num_endpoints; ++e) {
+          const int pfd =
+              connect_loopback(endpoint_ports[e], options_, rank,
+                               connect_retries);
+          write_all(pfd, &r, sizeof(r));
+          peer_sockets[static_cast<std::size_t>(rank) *
+                           static_cast<std::size_t>(num_endpoints) +
+                       static_cast<std::size_t>(e)]
+              .store(pfd, std::memory_order_release);
+        }
+      }
     });
   }
   for (auto& t : connectors) t.join();
-  // Wait for the master side of every initial connection: the first
-  // master→worker send must not race the handshake.
+  // Wait for the receiving side of every initial connection: the first
+  // send over any link must not race its handshake.
   while (accepted_initial.load(std::memory_order_acquire) < n - 1) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int e = 0; e < num_endpoints; ++e) {
+    while (endpoint_accepted[e].load(std::memory_order_acquire) <
+           num_dialers) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
 
   std::vector<std::mutex> send_mus(n);
@@ -567,7 +745,8 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
           rank == 0 ? master_sockets : worker_sockets;
       TcpContext ctx(rank, n, &mailboxes[rank], &table, &send_mus[rank],
                      &stop_flag, &mailboxes, &messages, &bytes, epoch,
-                     injector.get(), &timers, &kill_rank, tracer);
+                     injector.get(), &timers, &kill_rank, tracer,
+                     &endpoint_index, &peer_sockets, num_endpoints);
       actors[rank]->on_start(ctx);
       Message msg;
       while (mailboxes[rank].pop(&msg)) {
@@ -589,6 +768,8 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   stop_flag.store(true, std::memory_order_release);
   acceptor.join();
   ::close(listener);
+  for (auto& t : endpoint_acceptors) t.join();
+  for (const int lfd : endpoint_listeners) ::close(lfd);
 
   // Sever the live sockets to unblock the reader pumps, then join and close
   // everything (including connections retired by rejoins).
@@ -596,15 +777,23 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
     ::shutdown(master_sockets[w].load(), SHUT_RDWR);
     ::shutdown(worker_sockets[w].load(), SHUT_RDWR);
   }
+  for (auto& s : peer_sockets) ::shutdown(s.load(), SHUT_RDWR);
+  for (auto& s : endpoint_accept_fds) ::shutdown(s.load(), SHUT_RDWR);
   {
-    // No spawner is alive (timers and acceptor joined above), so the vector
-    // is stable now.
+    // No spawner is alive (timers, acceptors all joined above), so the
+    // vector is stable now.
     std::lock_guard<std::mutex> lock(readers_mu);
     for (auto& t : readers) t.join();
   }
   for (int w = 1; w < n; ++w) {
     if (master_sockets[w].load() >= 0) ::close(master_sockets[w].load());
     if (worker_sockets[w].load() >= 0) ::close(worker_sockets[w].load());
+  }
+  for (auto& s : peer_sockets) {
+    if (s.load() >= 0) ::close(s.load());
+  }
+  for (auto& s : endpoint_accept_fds) {
+    if (s.load() >= 0) ::close(s.load());
   }
   for (const int fd : retired_fds) ::close(fd);
 

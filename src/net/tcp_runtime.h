@@ -6,7 +6,10 @@
 // Actors still run on threads of this process, but every cross-rank message
 // is serialized, framed, written to a socket and read back on the far side,
 // exercising the full wire path a multi-host PVM/MPI deployment would use.
-// Worker-to-worker sends are rejected (the paper's slaves never communicate).
+// Worker-to-worker sends are rejected (the paper's slaves never communicate)
+// unless the destination is a declared extra endpoint (a framebuffer shard):
+// TcpOptions::extra_endpoints gives those ranks their own listener that
+// every worker dials, so pixel traffic can bypass the master.
 //
 // Robustness: every data socket carries a receive timeout (SO_RCVTIMEO), so
 // the reader pumps wake periodically instead of blocking forever on a
@@ -24,6 +27,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/fault/fault_injector.h"
 #include "src/net/runtime.h"
@@ -44,6 +48,13 @@ struct TcpOptions {
   /// rank backs off identically on every run.
   double connect_backoff_base_seconds = 0.01;
   double connect_backoff_max_seconds = 0.5;
+  /// Ranks that get their own listening socket in addition to rank 0's
+  /// (framebuffer shards). Every other non-zero rank dials every endpoint at
+  /// startup, extending the star into a partial mesh: a send between two
+  /// non-zero ranks is legal only from such a dialer to an endpoint.
+  /// Endpoint ranks still dial rank 0 like workers, so endpoint↔master
+  /// traffic rides the existing star. Empty = classic star topology.
+  std::vector<int> extra_endpoints;
 };
 
 /// The backoff schedule itself, exposed pure for tests: delay in seconds

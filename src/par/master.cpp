@@ -3,22 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/image/image_io.h"
-
 namespace now {
-namespace {
-
-// Key for the idempotent-commit gate: a region rect packed into 16-bit
-// lanes (image dimensions are far below 65536).
-std::uint64_t rect_key(const PixelRect& r) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.x0)) << 48) |
-         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.y0)) << 32) |
-         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.width))
-          << 16) |
-         static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.height));
-}
-
-}  // namespace
 
 RenderMaster::RenderMaster(const AnimatedScene& scene,
                            const MasterConfig& config)
@@ -28,6 +13,10 @@ RenderMaster::RenderMaster(const AnimatedScene& scene,
   }
   if (config_.metrics != nullptr) {
     decode_failures_ = &config_.metrics->counter("net.frame_decode_failures");
+    ep_frame_bytes_ = &config_.metrics->counter("endpoint.0.frame_bytes");
+    ep_digest_bytes_ = &config_.metrics->counter("endpoint.0.digest_bytes");
+    ep_decode_failures_ =
+        &config_.metrics->counter("endpoint.0.frame_decode_failures");
   }
 }
 
@@ -35,9 +24,24 @@ void RenderMaster::on_start(Context& ctx) {
   const int frames = scene_.frame_count();
   const int w = scene_.width();
   const int h = scene_.height();
-  workers_.assign(static_cast<std::size_t>(ctx.world_size()), {});
-  report_.frames_by_worker.assign(static_cast<std::size_t>(ctx.world_size()), 0);
-  frames_.assign(static_cast<std::size_t>(frames), Framebuffer(w, h));
+  const bool sharded = config_.shards.sharded();
+  // In sharded mode the trailing ranks are FrameShard actors, not workers:
+  // every `w < workers_.size()` loop (dispatch, leases, speculation,
+  // checkpoints, liveness) must exclude them, so the bookkeeping vector
+  // stops at the last worker rank.
+  const int worker_count =
+      sharded ? config_.shards.worker_count : ctx.world_size() - 1;
+  assert(worker_count >= 1);
+  assert(!sharded || ctx.world_size() == config_.shards.world_size());
+  workers_.assign(static_cast<std::size_t>(worker_count) + 1, {});
+  report_.frames_by_worker.assign(static_cast<std::size_t>(worker_count) + 1,
+                                  0);
+  if (!sharded) {
+    // Thin scheduler holds no pixels; frames_ stays empty and the shards
+    // own the framebuffers. The area bookkeeping below still runs on
+    // digests, so scheduling decisions are identical either way.
+    frames_.assign(static_cast<std::size_t>(frames), Framebuffer(w, h));
+  }
   frame_area_missing_.assign(static_cast<std::size_t>(frames),
                              std::int64_t{w} * h);
   area_frames_missing_ = std::int64_t{w} * h * frames;
@@ -45,13 +49,15 @@ void RenderMaster::on_start(Context& ctx) {
 
   // Resume: frames the previous run completed (journal record + verified
   // targa on disk) are restored wholesale and never re-enter scheduling.
+  // The thin scheduler marks them complete without touching pixels — the
+  // owning shard loads the images.
   std::vector<char> restored(static_cast<std::size_t>(frames), 0);
   if (config_.recovery != nullptr) {
     const RecoveryState& rec = *config_.recovery;
     for (int f = 0; f < frames; ++f) {
       if (f < static_cast<int>(rec.frames.size()) &&
           rec.frames[f].has_value()) {
-        frames_[f] = *rec.frames[f];
+        if (!sharded) frames_[f] = *rec.frames[f];
         frame_area_missing_[f] = 0;
         area_frames_missing_ -= std::int64_t{w} * h;
         restored[f] = 1;
@@ -63,9 +69,6 @@ void RenderMaster::on_start(Context& ctx) {
                               {{"frames", report_.frames_restored}});
     }
   }
-
-  const int worker_count = ctx.world_size() - 1;
-  assert(worker_count >= 1);
   // Sequence-division tasks should not straddle camera cuts: a shot change
   // forces a full re-render anyway, so cuts are free task boundaries
   // ("any camera movement logically separates one sequence from another").
@@ -113,20 +116,28 @@ void RenderMaster::on_start(Context& ctx) {
   }
   assert(covered == area_frames_missing_ && "tasks must tile area × frames");
 
+  FrameSinkConfig sink;
+  if (!sharded) {
+    // Sharded runs write TGAs at the shards; the scheduler's sink is
+    // journal-only (header + checkpoint records).
+    sink.output_dir = config_.output_dir;
+    sink.output_prefix = config_.output_prefix;
+  }
+  sink.journal_path = config_.journal_path;
+  sink.journal_fsync = config_.journal_fsync;
+  sink.header.width = w;
+  sink.header.height = h;
+  sink.header.frame_count = frames;
+  sink.header.shard_count = sharded ? config_.shards.shard_count : 1;
+  sink.header.shard_index = sharded ? -1 : 0;
+  sink.resume = config_.recovery != nullptr;
+  sink.resume_valid_bytes =
+      config_.recovery != nullptr ? config_.recovery->journal_valid_bytes : 0;
+  sink.metrics = config_.metrics;
+  sink.endpoint_rank = 0;
+  sink_ = std::make_unique<FrameSink>(sink);
   if (!config_.journal_path.empty()) {
-    JournalOptions jopts;
-    jopts.fsync = config_.journal_fsync;
-    if (config_.recovery != nullptr) {
-      journal_ = JournalWriter::resume(
-          config_.journal_path, config_.recovery->journal_valid_bytes, jopts);
-    } else {
-      JournalHeader header;
-      header.width = w;
-      header.height = h;
-      header.frame_count = frames;
-      journal_ = JournalWriter::create(config_.journal_path, header, jopts);
-    }
-    report_.journal_ok = journal_ != nullptr && journal_->good();
+    report_.journal_ok = sink_->journal_ok();
     sync_journal_stats();
   }
   // Everything restored: stop before any worker is put to work.
@@ -149,6 +160,9 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
       break;
     case kTagFrameResult:
       handle_frame_result(ctx, msg);
+      break;
+    case kTagCommitDigest:
+      handle_commit_digest(ctx, msg);
       break;
     case kTagShrinkAck:
       handle_shrink_ack(ctx, msg);
@@ -189,6 +203,15 @@ void RenderMaster::handle_idle(Context& ctx, int worker, bool hello) {
   state.known = true;
   if (state.active && !state.cancelled &&
       state.next_expected < state.end_frame) {
+    if (config_.shards.sharded() && !hello) {
+      // Sharded mode: the worker's results went to the shards and their
+      // digests may still be in flight behind this request (different
+      // senders, no cross-sender ordering). Park the idle transition; the
+      // digest chain catching up — or the task being written off —
+      // releases it. A genuine loss still surfaces through the lease.
+      state.request_pending = true;
+      return;
+    }
     // The worker says its task is finished but results are missing. Sends
     // are per-sender FIFO, so anything still unseen was lost in transit
     // (e.g. the task's final frame result): write it off and re-enqueue.
@@ -196,6 +219,8 @@ void RenderMaster::handle_idle(Context& ctx, int worker, bool hello) {
   }
   state.active = false;
   state.cancelled = false;
+  state.request_pending = false;
+  state.deferred_frames.clear();
   // A worker asking for work has no task left to shrink; a shrink ack still
   // in flight (e.g. the shrink reached a rank that crashed and rejoined)
   // will arrive with nothing to steal and is harmless.
@@ -466,6 +491,17 @@ void RenderMaster::discard_result(const FrameResult& result, bool wasted_work) {
 }
 
 void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
+  if (config_.shards.sharded()) {
+    // Workers route pixels straight to the owning shard; the thin
+    // scheduler holds no framebuffers to apply a result to. Reaching this
+    // is a routing bug, not a runtime fault.
+    assert(false && "frame result delivered to thin scheduler");
+    ++fault_report_.results_ignored;
+    return;
+  }
+  if (ep_frame_bytes_ != nullptr) {
+    ep_frame_bytes_->inc(static_cast<std::int64_t>(msg.payload.size()));
+  }
   FrameResult result;
   if (!decode_frame_result(&result, msg.payload)) {
     // The envelope failed to decode: CRC mismatch, bad version, or
@@ -473,6 +509,7 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
     // per-sender chain now has a gap, which the next valid result from this
     // worker (or its lease) turns into a cancel-and-reclaim.
     if (decode_failures_ != nullptr) decode_failures_->inc();
+    if (ep_decode_failures_ != nullptr) ep_decode_failures_->inc();
     ++fault_report_.results_ignored;
     return;
   }
@@ -523,6 +560,7 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
     // assignment never rendered and can only be corruption that slipped past
     // the CRC. Drop it like a lost message; the gap machinery recovers.
     if (decode_failures_ != nullptr) decode_failures_->inc();
+    if (ep_decode_failures_ != nullptr) ep_decode_failures_->inc();
     discard_result(result, /*wasted_work=*/true);
     return;
   }
@@ -561,17 +599,10 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
     frames_[frame].blit(region, frames_[frame - 1].extract(region));
   }
   apply_payload(&frames_[frame], result.payload);
-  // The journal digest runs over *decoded* pixels (the assembled frame),
-  // never wire bytes, so raw and delta transports produce identical journal
-  // records and a run may resume under either codec.
-  if (journal_ != nullptr) {
-    RegionCommitRecord rc;
-    rc.task_id = result.task_id;
-    rc.rect = region;
-    rc.frame = frame;
-    rc.digest = digest_rect(frames_[frame], region);
-    journal_->region_commit(rc);
-  }
+  // The sink's journal digest runs over *decoded* pixels (the assembled
+  // frame), never wire bytes, so raw and delta transports produce identical
+  // journal records and a run may resume under either codec.
+  sink_->commit_region(result.task_id, region, frame, frames_[frame]);
 
   if (config_.tracer != nullptr) {
     config_.tracer->instant(ctx.rank(), "sched", "frame.result", ctx.now(),
@@ -598,23 +629,13 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   if (frame_area_missing_[frame] == 0) {
     ++report_.frames_completed;
     ctx.charge(config_.cost.master_frame_write_seconds);
-    // Write-ahead order: the frame file is atomically in place (temp file +
-    // rename) before the record that declares it durable, so a resume never
-    // trusts a frame that isn't wholly on disk.
-    if (!config_.output_dir.empty()) {
-      write_tga_atomic(frames_[frame],
-                       frame_file_path(config_.output_dir,
-                                       config_.output_prefix, frame));
-    }
-    if (journal_ != nullptr) {
-      FrameCompleteRecord fc;
-      fc.frame = frame;
-      fc.digest = digest_frame(frames_[frame]);
-      journal_->frame_complete(fc);
-    }
+    // The sink enforces write-ahead order: the frame file is atomically in
+    // place (temp file + rename) before the record that declares it
+    // durable, so a resume never trusts a frame that isn't wholly on disk.
+    sink_->complete_frame(frame, frames_[frame]);
   }
-  if (journal_ != nullptr &&
-      journal_->commits_since_checkpoint() >=
+  if (sink_->journaling() &&
+      sink_->commits_since_checkpoint() >=
           std::max(1, config_.journal_checkpoint_every)) {
     write_checkpoint();
   }
@@ -629,11 +650,193 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
   maybe_finish(ctx);
 }
 
+void RenderMaster::release_pending_request(Context& ctx, int worker) {
+  WorkerState& s = workers_[worker];
+  if (!s.request_pending) return;
+  // The parked kTagRequest finally has its digest chain complete: run the
+  // idle transition it was waiting for.
+  s.request_pending = false;
+  s.active = false;
+  s.cancelled = false;
+  s.awaiting_ack = false;
+  s.deferred_frames.clear();
+  if (!s.queued) {
+    s.queued = true;
+    idle_.push_back(worker);
+  }
+  try_dispatch(ctx);
+}
+
+void RenderMaster::handle_commit_digest(Context& ctx, const Message& msg) {
+  if (ep_digest_bytes_ != nullptr) {
+    ep_digest_bytes_->inc(static_cast<std::int64_t>(msg.payload.size()));
+  }
+  CommitDigest d;
+  if (!decode_commit_digest(&d, msg.payload)) {
+    assert(false && "malformed commit digest from shard");
+    return;
+  }
+  // The digest vouches for a worker message the shard received: credit the
+  // worker's heartbeat even though the bytes came from the shard's rank.
+  const bool known_worker =
+      d.worker >= 1 && d.worker < static_cast<int>(workers_.size());
+  if (known_worker && !workers_[d.worker].dead) {
+    workers_[d.worker].last_heard = ctx.now();
+  }
+  if (d.kind == CommitKind::kDecodeFail) {
+    // The shard could not even decode the envelope, so there is no task to
+    // tie the loss to. The sender's chain now has a gap; the shard rejects
+    // everything after it and the reject digest (or the lease) reclaims.
+    ++fault_report_.results_ignored;
+    return;
+  }
+
+  // ---- Order-independent accounting ------------------------------------
+  // Digest streams from different shards interleave arbitrarily, but a
+  // fresh commit is authoritative no matter when its digest lands: the
+  // shard validated the chain, so the pixels are correct by the coherence
+  // guarantee. Commit totals, the committed-rect mirror, and the area
+  // bookkeeping therefore apply immediately; only *worker progress* (which
+  // drives leases, shrink targets, and reassignment) needs ordering.
+  switch (d.kind) {
+    case CommitKind::kFresh: {
+      assert(d.frame >= 0 &&
+             d.frame < static_cast<int>(frame_area_missing_.size()));
+      committed_rects_[d.frame].insert(rect_key(d.rect));
+      ++report_.frame_results;
+      report_.rays_total += d.rays;
+      report_.shadow_rays_total += d.shadow_rays;
+      report_.pixels_recomputed_total += d.pixels_recomputed;
+      report_.full_renders += d.full_render ? 1 : 0;
+      report_.worker_compute_seconds += d.compute_seconds;
+      if (known_worker) ++report_.frames_by_worker[d.worker];
+      if (d.full_render && reassigned_tasks_.count(d.task_id) > 0) {
+        fault_report_.restart_work_seconds += d.compute_seconds;
+      }
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant(ctx.rank(), "sched", "frame.digest", ctx.now(),
+                                {{"worker", d.worker},
+                                 {"frame", d.frame},
+                                 {"full", d.full_render ? 1 : 0}});
+      }
+      frame_area_missing_[d.frame] -= d.rect.area();
+      area_frames_missing_ -= d.rect.area();
+      assert(frame_area_missing_[d.frame] >= 0);
+      if (frame_area_missing_[d.frame] == 0) ++report_.frames_completed;
+      ++digests_since_checkpoint_;
+      if (sink_->journaling() &&
+          digests_since_checkpoint_ >=
+              std::max(1, config_.journal_checkpoint_every)) {
+        write_checkpoint();
+      }
+      sync_journal_stats();
+      break;
+    }
+    case CommitKind::kDuplicate:
+      // The shard's commit gate caught a (region, frame) already applied —
+      // the speculation loser or an overlap from reclaim.
+      if (spec_tasks_.count(d.task_id) > 0) {
+        ++fault_report_.speculation_frames_wasted;
+        fault_report_.speculation_wasted_seconds += d.compute_seconds;
+      } else {
+        ++fault_report_.results_ignored;
+        fault_report_.lost_work_seconds += d.compute_seconds;
+      }
+      break;
+    case CommitKind::kStale:
+      // Redelivery behind the shard's chain: already accounted once.
+      ++fault_report_.results_ignored;
+      break;
+    case CommitKind::kChainReject:
+      ++fault_report_.results_ignored;
+      fault_report_.lost_work_seconds += d.compute_seconds;
+      break;
+    case CommitKind::kDecodeFail:
+      break;  // handled above
+  }
+
+  // ---- Worker progress (order-dependent) -------------------------------
+  if (!known_worker) {
+    maybe_finish(ctx);
+    return;
+  }
+  WorkerState& s = workers_[d.worker];
+  if (d.kind == CommitKind::kChainReject) {
+    // The shard saw a gap (or an undecodable chain) in this worker's
+    // stream: same recovery as the single master's gap branch — write the
+    // task off, reclaim the remainder, tell the worker to stop.
+    if (!s.dead && s.active && !s.cancelled && s.task.task_id == d.task_id &&
+        cancelled_tasks_.count(d.task_id) == 0) {
+      cancel_and_reclaim(ctx, d.worker);
+      if (s.active && !s.awaiting_ack) {
+        ShrinkRequest req;
+        req.task_id = d.task_id;
+        req.new_end_frame = s.next_expected;
+        s.awaiting_ack = true;
+        ctx.send(d.worker, kTagShrink, encode_shrink(req));
+      }
+      try_dispatch(ctx);
+    }
+    maybe_finish(ctx);
+    return;
+  }
+  if (s.dead || cancelled_tasks_.count(d.task_id) > 0 || !s.active ||
+      s.cancelled || s.task.task_id != d.task_id ||
+      d.frame < s.next_expected) {
+    // Progress for an assignment that no longer exists (or a frame the
+    // chain already passed): the global accounting above was the whole
+    // story.
+    maybe_finish(ctx);
+    return;
+  }
+  if (d.frame > s.next_expected) {
+    if (config_.shards.shard_of(d.frame) ==
+        config_.shards.shard_of(s.next_expected)) {
+      // Gap within one shard's digest stream. Per-sender FIFO holds on the
+      // worker→shard and shard→scheduler edges, so the missing frame was
+      // genuinely lost: cancel and reclaim, as the single master would.
+      cancel_and_reclaim(ctx, d.worker);
+      if (s.active && !s.awaiting_ack) {
+        ShrinkRequest req;
+        req.task_id = d.task_id;
+        req.new_end_frame = s.next_expected;
+        s.awaiting_ack = true;
+        ctx.send(d.worker, kTagShrink, encode_shrink(req));
+      }
+      try_dispatch(ctx);
+      maybe_finish(ctx);
+      return;
+    }
+    // Cross-shard reordering: a later-owned frame's digest overtook an
+    // earlier shard's. Hold it; the chain drains it on catch-up.
+    s.deferred_frames.insert(d.frame);
+    maybe_finish(ctx);
+    return;
+  }
+  // In-order progress: advance the chain and drain anything the reorder
+  // buffer already holds.
+  s.next_expected = d.frame + 1;
+  s.last_progress = ctx.now();
+  s.ping_time = -1.0;
+  while (s.deferred_frames.count(s.next_expected) > 0) {
+    s.deferred_frames.erase(s.next_expected);
+    ++s.next_expected;
+  }
+  if (s.next_expected >= s.end_frame) {
+    const auto it = spec_partner_.find(d.task_id);
+    if (it != spec_partner_.end()) {
+      finish_speculation(ctx, d.task_id, it->second);
+    }
+    release_pending_request(ctx, d.worker);
+  }
+  maybe_finish(ctx);
+}
+
 void RenderMaster::write_checkpoint() {
-  if (journal_ == nullptr) return;
+  if (sink_ == nullptr || !sink_->journaling()) return;
   CheckpointRecord cp;
-  cp.completed.assign(frames_.size(), false);
-  for (std::size_t f = 0; f < frames_.size(); ++f) {
+  cp.completed.assign(frame_area_missing_.size(), false);
+  for (std::size_t f = 0; f < frame_area_missing_.size(); ++f) {
     cp.completed[f] = frame_area_missing_[f] == 0;
   }
   for (const RenderTask& t : pending_) {
@@ -655,15 +858,16 @@ void RenderMaster::write_checkpoint() {
     view.end_frame = s.end_frame;
     cp.in_flight.push_back(view);
   }
-  journal_->checkpoint(cp);
+  sink_->checkpoint(cp);
+  digests_since_checkpoint_ = 0;
 }
 
 void RenderMaster::sync_journal_stats() {
-  if (journal_ == nullptr) return;
-  report_.journal_records = journal_->records_appended();
-  report_.journal_bytes = journal_->bytes_appended();
-  report_.journal_checkpoints = journal_->checkpoints_written();
-  report_.journal_ok = journal_->good();
+  if (sink_ == nullptr || !sink_->journaling()) return;
+  report_.journal_records = sink_->journal_records();
+  report_.journal_bytes = sink_->journal_bytes();
+  report_.journal_checkpoints = sink_->journal_checkpoints();
+  report_.journal_ok = sink_->journal_ok();
 }
 
 void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
@@ -696,6 +900,20 @@ void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
     pending_.push_back(reclaim);
     ++fault_report_.tasks_reassigned;
     fault_report_.frames_reassigned += reclaim.frame_count;
+  }
+  // Digests for the written-off range are moot; a parked request completes
+  // its idle transition now (every caller follows with try_dispatch, and a
+  // rank declared dead right after this is skipped by the dispatch loop).
+  s.deferred_frames.clear();
+  if (s.request_pending) {
+    s.request_pending = false;
+    s.active = false;
+    s.cancelled = false;
+    s.awaiting_ack = false;
+    if (!s.queued) {
+      s.queued = true;
+      idle_.push_back(worker);
+    }
   }
   (void)ctx;
 }
@@ -803,6 +1021,11 @@ void RenderMaster::maybe_finish(Context& ctx) {
   stopping_ = true;
   for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
     if (!workers_[w].dead) ctx.send(w, kTagStop, {});
+  }
+  if (config_.shards.sharded()) {
+    for (int i = 0; i < config_.shards.shard_count; ++i) {
+      ctx.send(config_.shards.rank_of_shard(i), kTagStop, {});
+    }
   }
   ctx.stop();
 }

@@ -43,6 +43,9 @@
 #include "src/par/partition.h"
 #include "src/par/protocol.h"
 #include "src/scene/animated_scene.h"
+#include "src/shard/digest.h"
+#include "src/shard/frame_sink.h"
+#include "src/shard/ownership.h"
 
 namespace now {
 
@@ -78,6 +81,13 @@ struct MasterConfig {
   /// decode — CRC mismatch, bad version, malformed payload — and were
   /// treated as lost messages). Null disables.
   MetricsRegistry* metrics = nullptr;
+  /// Frame ownership map. With shards.shard_count > 1 the master runs as a
+  /// *thin scheduler*: it holds no pixels, workers stream frame results
+  /// directly to the owning FrameShard actor, and the master drives all
+  /// scheduling (leases, reassignment, adaptive splits, speculation,
+  /// checkpoints) from the per-result CommitDigests the shards send back.
+  /// The default (count 1) is the classic single-master pipeline.
+  ShardMap shards;
 };
 
 struct MasterReport {
@@ -126,9 +136,28 @@ class RenderMaster final : public Actor {
     double last_progress = 0.0; // time of assignment or last accepted result
     double ping_time = -1.0;    // when the outstanding ping was sent (-1 none)
     double lease_seconds = 0.0; // current assignment's lease length
+    // -- sharded mode only -----------------------------------------------
+    /// kTagRequest arrived while digests for this task were still in
+    /// flight from the shards (digest streams from different shards may
+    /// reorder around ownership boundaries): the idle transition is parked
+    /// until the digest chain catches up or the task is written off.
+    bool request_pending = false;
+    /// Digest reorder buffer: frames acknowledged by a *different* shard
+    /// than the one next_expected belongs to, held until the chain reaches
+    /// them. A gap within one shard's digests is genuine loss (per-sender
+    /// FIFO), never reordering.
+    std::set<std::int32_t> deferred_frames;
   };
 
   void handle_frame_result(Context& ctx, const Message& msg);
+  /// Sharded mode: one CommitDigest from a shard, the scheduler's only view
+  /// of a worker's result. Order-independent accounting (commit totals,
+  /// area bookkeeping, checkpoints) applies immediately; order-dependent
+  /// worker progress goes through the deferred_frames reorder buffer.
+  void handle_commit_digest(Context& ctx, const Message& msg);
+  /// Digest chain for `worker` advanced to the end of its task (or the task
+  /// was written off): run the parked idle transition, if any.
+  void release_pending_request(Context& ctx, int worker);
   /// `hello` distinguishes kTagHello (may re-admit a dead rank: elastic
   /// membership) from kTagRequest (a dead rank's requests stay ignored).
   void handle_idle(Context& ctx, int worker, bool hello);
@@ -187,8 +216,17 @@ class RenderMaster final : public Actor {
   /// Every task id that was ever half of a pair: duplicate commits from
   /// these are speculation waste, not protocol anomalies.
   std::set<std::int32_t> spec_tasks_;
-  std::unique_ptr<JournalWriter> journal_;
+  /// Durable IO (journal appends + TGA writes), shared with the shard path.
+  /// In sharded mode the sink carries the scheduler's checkpoint-only
+  /// journal and never sees pixels.
+  std::unique_ptr<FrameSink> sink_;
+  /// Sharded mode: fresh commits since the last checkpoint record (the
+  /// scheduler journal has no region commits to count).
+  std::int64_t digests_since_checkpoint_ = 0;
   Counter* decode_failures_ = nullptr;  // null when metrics are off
+  Counter* ep_frame_bytes_ = nullptr;       // endpoint.0.frame_bytes
+  Counter* ep_digest_bytes_ = nullptr;      // endpoint.0.digest_bytes
+  Counter* ep_decode_failures_ = nullptr;   // endpoint.0.frame_decode_failures
 
   MasterReport report_;
   FaultReport fault_report_;

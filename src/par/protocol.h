@@ -38,6 +38,7 @@ enum MsgTag : int {
   kTagLeaseCheck = 11,  // master → itself (timer): evaluate a worker's lease
   kTagRejoin = 12,      // runtime → worker: your process restarted; re-Hello
   kTagTaskNack = 13,    // worker → master: busy with another task, requeue
+  kTagCommitDigest = 14,  // shard → scheduler: CommitDigest for one result
 };
 
 struct RenderTask {

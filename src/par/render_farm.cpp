@@ -37,7 +37,8 @@ int resolved_worker_count(const FarmConfig& config) {
 void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
                      const MasterReport& master,
                      const std::vector<WorkerReport>& workers,
-                     const FaultReport& faults) {
+                     const FaultReport& faults,
+                     const std::vector<ShardReport>& shards) {
   reg.gauge("farm.elapsed_seconds").set(runtime.elapsed_seconds);
   reg.counter("net.messages")
       .inc(static_cast<std::uint64_t>(runtime.messages));
@@ -106,15 +107,51 @@ void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
   reg.gauge("recovery.speculation_wasted_seconds")
       .set(faults.speculation_wasted_seconds);
 
+  // ckpt.* totals are merged across the scheduler journal and every shard
+  // segment, so a sharded run reports the same shape a single-master run
+  // does; the per-segment split is visible under shard.<i>.* below.
+  std::int64_t journal_records = master.journal_records;
+  std::int64_t journal_bytes = master.journal_bytes;
+  bool journal_ok = master.journal_ok;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardReport& s = shards[i];
+    journal_records += s.journal_records;
+    journal_bytes += s.journal_bytes;
+    journal_ok = journal_ok && s.journal_ok;
+    const std::string prefix = "shard." + std::to_string(i) + ".";
+    reg.counter(prefix + "frame_results")
+        .inc(static_cast<std::uint64_t>(s.frame_results));
+    reg.counter(prefix + "frames_committed")
+        .inc(static_cast<std::uint64_t>(s.frames_committed));
+    reg.counter(prefix + "frames_completed")
+        .inc(static_cast<std::uint64_t>(s.frames_completed));
+    reg.counter(prefix + "frames_restored")
+        .inc(static_cast<std::uint64_t>(s.frames_restored));
+    reg.counter(prefix + "duplicates")
+        .inc(static_cast<std::uint64_t>(s.duplicates));
+    reg.counter(prefix + "stale_results")
+        .inc(static_cast<std::uint64_t>(s.stale_results));
+    reg.counter(prefix + "chain_rejects")
+        .inc(static_cast<std::uint64_t>(s.chain_rejects));
+    reg.counter(prefix + "decode_failures")
+        .inc(static_cast<std::uint64_t>(s.decode_failures));
+    reg.counter(prefix + "frame_bytes")
+        .inc(static_cast<std::uint64_t>(s.frame_bytes));
+    reg.counter(prefix + "journal_records")
+        .inc(static_cast<std::uint64_t>(s.journal_records));
+    reg.counter(prefix + "journal_bytes")
+        .inc(static_cast<std::uint64_t>(s.journal_bytes));
+  }
+
   reg.counter("ckpt.frames_restored")
       .inc(static_cast<std::uint64_t>(master.frames_restored));
   reg.counter("ckpt.journal_records")
-      .inc(static_cast<std::uint64_t>(master.journal_records));
+      .inc(static_cast<std::uint64_t>(journal_records));
   reg.counter("ckpt.journal_bytes")
-      .inc(static_cast<std::uint64_t>(master.journal_bytes));
+      .inc(static_cast<std::uint64_t>(journal_bytes));
   reg.counter("ckpt.journal_checkpoints")
       .inc(static_cast<std::uint64_t>(master.journal_checkpoints));
-  reg.gauge("ckpt.journal_ok").set(master.journal_ok ? 1.0 : 0.0);
+  reg.gauge("ckpt.journal_ok").set(journal_ok ? 1.0 : 0.0);
 }
 
 }  // namespace
@@ -170,6 +207,24 @@ void validate_farm_config(const AnimatedScene& scene,
   if (config.journal_checkpoint_every < 1) {
     fail("journal_checkpoint_every must be >= 1");
   }
+  if (config.shards < 1) fail("shards must be >= 1");
+  if (config.shards > scene.frame_count()) {
+    fail("shards must not exceed the frame count (a shard with no owned "
+         "frames would idle forever)");
+  }
+  if (config.shards > 1 && !config.fault_plan.empty() &&
+      !config.fault.enabled) {
+    for (const FaultEvent& ev : config.fault_plan.events) {
+      if (ev.kind == FaultKind::kDropMessage) {
+        // With one master, every loss shows up as a gap in the worker's
+        // result stream at rank 0. A sharded run can lose the last frame a
+        // worker sends to one shard without the next shard ever knowing —
+        // that loss is only detectable by the progress lease.
+        fail("dropped messages with shards > 1 require fault.enabled; a "
+             "loss at an ownership boundary is only detected by the lease");
+      }
+    }
+  }
   if (!config.fault_plan.empty()) {
     validate_fault_plan(config.fault_plan, worker_count + 1);
     if (config.fault_plan.has_crashes() && !config.fault.enabled) {
@@ -205,6 +260,14 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   }
   const int worker_count = static_cast<int>(speeds.size());
 
+  // Frame ownership: identity when shards == 1 (owner_rank is always 0 and
+  // nothing below changes), a contiguous near-even split otherwise.
+  ShardMap shard_map;
+  shard_map.shard_count = config.shards;
+  shard_map.worker_count = worker_count;
+  shard_map.frame_count = scene.frame_count();
+  const bool sharded = shard_map.sharded();
+
   // One registry + tracer pair shared by every layer of the run. Both are
   // safe to hand out unconditionally: a disabled registry deals in no-op
   // instruments, a disabled tracer is normalized to null by its consumers.
@@ -224,6 +287,7 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   master_config.speculate = config.speculation;
   master_config.tracer = &tracer;
   master_config.metrics = &registry;
+  master_config.shards = shard_map;
 
   // Resume: replay the journal and reload completed frames before the
   // master starts. `recovery` must outlive the runtime run below.
@@ -232,7 +296,8 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   if (config.resume) {
     recovery = build_recovery(config.journal_path, config.output_dir,
                               config.output_prefix, scene.width(),
-                              scene.height(), scene.frame_count());
+                              scene.height(), scene.frame_count(),
+                              config.shards);
     if (!recovery.ok) {
       throw std::invalid_argument("FarmConfig: resume failed: " +
                                   recovery.error);
@@ -264,15 +329,41 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
       config.pipeline && config.backend != FarmBackend::kSim;
   worker_config.tracer = &tracer;
   worker_config.metrics = &registry;
+  worker_config.shards = shard_map;
   std::vector<std::unique_ptr<RenderWorker>> workers;
   workers.reserve(static_cast<std::size_t>(worker_count));
   for (int i = 0; i < worker_count; ++i) {
     workers.push_back(std::make_unique<RenderWorker>(scene, worker_config));
   }
 
+  // Framebuffer shards ride at the tail of the rank space so worker ranks
+  // stay 1..worker_count on every backend.
+  std::vector<std::unique_ptr<FrameShard>> shards;
+  if (sharded) {
+    for (int i = 0; i < config.shards; ++i) {
+      ShardConfig shard_config;
+      shard_config.map = shard_map;
+      shard_config.shard_index = i;
+      shard_config.width = scene.width();
+      shard_config.height = scene.height();
+      shard_config.cost = config.cost;
+      shard_config.output_dir = config.output_dir;
+      shard_config.output_prefix = config.output_prefix;
+      if (!config.journal_path.empty()) {
+        shard_config.journal_path = shard_journal_path(config.journal_path, i);
+      }
+      shard_config.journal_fsync = config.journal_fsync;
+      shard_config.recovery = config.resume ? &recovery : nullptr;
+      shard_config.tracer = &tracer;
+      shard_config.metrics = &registry;
+      shards.push_back(std::make_unique<FrameShard>(shard_config));
+    }
+  }
+
   std::vector<Actor*> actors;
   actors.push_back(&master);
   for (auto& w : workers) actors.push_back(w.get());
+  for (auto& s : shards) actors.push_back(s.get());
 
   // Crash-after-N-frames triggers count the rank's frame-result sends;
   // rejoin events are delivered to the revived rank under kTagRejoin.
@@ -287,6 +378,10 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
       sim_config.speeds.push_back(config.master_speed);
       sim_config.speeds.insert(sim_config.speeds.end(), speeds.begin(),
                                speeds.end());
+      // Shards are IO machines of the master's class, not renderers.
+      for (int i = 0; i < static_cast<int>(shards.size()); ++i) {
+        sim_config.speeds.push_back(config.master_speed);
+      }
       sim_config.ethernet = config.ethernet;
       sim_config.fault_plan = fault_plan;
       sim_config.obs = obs;
@@ -300,26 +395,47 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
       break;
     }
     case FarmBackend::kTcp: {
-      TcpRuntime runtime(fault_plan, TcpOptions{}, obs);
+      TcpOptions tcp_options;
+      // Each shard rank gets its own listener; workers dial every endpoint
+      // so frame results can bypass rank 0 entirely.
+      for (int i = 0; i < static_cast<int>(shards.size()); ++i) {
+        tcp_options.extra_endpoints.push_back(shard_map.rank_of_shard(i));
+      }
+      TcpRuntime runtime(fault_plan, tcp_options, obs);
       result.runtime = runtime.run(actors);
       break;
     }
   }
   result.elapsed_seconds = result.runtime.elapsed_seconds;
-  result.frames = master.frames();
+  if (sharded) {
+    // The thin scheduler holds no pixels: stitch the animation back
+    // together from the shards' owned ranges.
+    result.frames.assign(static_cast<std::size_t>(scene.frame_count()),
+                         Framebuffer(scene.width(), scene.height()));
+    for (auto& s : shards) {
+      for (int f = 0; f < s->owned_frames(); ++f) {
+        result.frames[static_cast<std::size_t>(s->first_frame() + f)] =
+            s->frames()[static_cast<std::size_t>(f)];
+      }
+      result.shards.push_back(s->report());
+    }
+  } else {
+    result.frames = master.frames();
+  }
   result.master = master.report();
   for (auto& w : workers) result.workers.push_back(w->report());
   result.faults = master.fault_report();
   result.resume = resume_report;
 
   publish_reports(registry, result.runtime, result.master, result.workers,
-                  result.faults);
+                  result.faults, result.shards);
   result.metrics = registry.snapshot();
   if (config.obs.trace) {
     result.trace_events = tracer.sorted_events();
-    result.utilization =
-        compute_utilization(result.trace_events, worker_count + 1,
-                            result.elapsed_seconds);
+    result.utilization = compute_utilization(
+        result.trace_events,
+        worker_count + 1 + static_cast<int>(shards.size()),
+        result.elapsed_seconds);
   }
   return result;
 }

@@ -19,6 +19,7 @@
 #include "src/obs/report.h"
 #include "src/par/master.h"
 #include "src/par/worker.h"
+#include "src/shard/shard.h"
 #include "src/sim/sim_runtime.h"
 
 namespace now {
@@ -87,6 +88,15 @@ struct FarmConfig {
   /// End-game speculation: duplicate the slowest in-flight task onto idle
   /// workers and keep whichever copy commits first.
   bool speculation = false;
+  /// Framebuffer shards. 1 (default) is the classic single master. N > 1
+  /// splits the master into a thin scheduler (rank 0) plus N FrameShard
+  /// actors (ranks workers+1 .. workers+N), each owning a contiguous frame
+  /// range: workers stream pixels straight to the owning shard, which
+  /// decodes, journals to its own segment, and writes its own TGAs, while
+  /// the scheduler sees only small per-result digests. Output is
+  /// byte-identical to shards == 1 on every backend. A journaled sharded
+  /// run must resume with the same shard count.
+  int shards = 1;
   FarmObsConfig obs;
 };
 
@@ -107,6 +117,8 @@ struct FarmResult {
   RuntimeStats runtime;
   MasterReport master;
   std::vector<WorkerReport> workers;
+  /// Per-shard reports (empty when shards == 1).
+  std::vector<ShardReport> shards;
   FaultReport faults;  // detection / recovery accounting (master's view)
   ResumeReport resume;  // what a --resume run restored
   /// Unified metrics snapshot — the one reporting path shared by all three

@@ -47,7 +47,8 @@ void SendPipeline::encode_and_send(Context& ctx, Item& item) {
          {"key", result.key_frame() ? 1 : 0},
          {"bytes", static_cast<std::int64_t>(encoded.size())}});
   }
-  ctx.send(0, kTagFrameResult, std::move(encoded));
+  ctx.send(options_.shards.owner_rank(result.frame), kTagFrameResult,
+           std::move(encoded));
 }
 
 void SendPipeline::send_control(Context& ctx, int tag, std::string payload) {

@@ -38,6 +38,7 @@
 #include "src/obs/event_trace.h"
 #include "src/obs/metrics.h"
 #include "src/par/protocol.h"
+#include "src/shard/ownership.h"
 
 namespace now {
 
@@ -54,6 +55,11 @@ struct SendPipelineOptions {
   /// Sink for net.frame_bytes_raw / net.frame_bytes_wire /
   /// net.key_frames / net.delta_frames / net.pipeline_dropped.
   MetricsRegistry* metrics = nullptr;
+  /// Frame ownership: each frame result is sent to owner_rank(frame) — the
+  /// owning FrameShard in sharded mode, rank 0 otherwise. Control traffic
+  /// always goes to the scheduler at rank 0. Per-destination FIFO is
+  /// preserved (one sender, sequential sends).
+  ShardMap shards;
 };
 
 class SendPipeline {

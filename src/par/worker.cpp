@@ -12,6 +12,7 @@ SendPipelineOptions pipeline_options(const WorkerConfig& config) {
   opts.threaded = config.pipeline;
   opts.tracer = config.tracer;
   opts.metrics = config.metrics;
+  opts.shards = config.shards;
   return opts;
 }
 
@@ -178,7 +179,10 @@ void RenderWorker::render_next_frame(Context& ctx) {
   out.full_render = r.full_render ? 1 : 0;
   out.compute_seconds = cost;
   const PixelRect& region = task_->region;
-  const bool dense_return = r.full_render || !config_.sparse_returns;
+  // Ownership boundaries force a dense key frame: the next shard holds no
+  // predecessor pixels for this region, so a sparse chain must never cross.
+  const bool dense_return = r.full_render || !config_.sparse_returns ||
+                            config_.shards.key_frame_boundary(next_frame_);
   const bool track_delta =
       config_.frame_codec == FrameCodec::kDelta && config_.sparse_returns;
   if (dense_return || !track_delta) {

@@ -44,6 +44,12 @@ struct WorkerConfig {
   EventTracer* tracer = nullptr;
   /// Sink for worker.frame_seconds / net.frame_result_bytes histograms.
   MetricsRegistry* metrics = nullptr;
+  /// Frame ownership map: results go to owner_rank(frame), and the frame
+  /// right after an ownership boundary is promoted to a dense key frame so
+  /// no sparse chain ever crosses shards (the receiving shard has no
+  /// predecessor pixels to decode against). Default: single master, no
+  /// promotion.
+  ShardMap shards;
 };
 
 struct WorkerReport {

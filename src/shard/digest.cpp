@@ -1,0 +1,52 @@
+#include "src/shard/digest.h"
+
+#include "src/net/message.h"
+
+namespace now {
+
+std::uint64_t rect_key(const PixelRect& r) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.x0)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.y0)) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.width))
+          << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.height));
+}
+
+std::string encode_commit_digest(const CommitDigest& d) {
+  WireWriter w;
+  w.i32(d.worker);
+  w.i32(d.task_id);
+  w.i32(d.frame);
+  w.i32(d.rect.x0);
+  w.i32(d.rect.y0);
+  w.i32(d.rect.width);
+  w.i32(d.rect.height);
+  w.u8(static_cast<std::uint8_t>(d.kind));
+  w.u8(d.full_render);
+  w.u64(d.rays);
+  w.u64(d.shadow_rays);
+  w.i64(d.pixels_recomputed);
+  w.f64(d.compute_seconds);
+  return w.take();
+}
+
+bool decode_commit_digest(CommitDigest* d, const std::string& payload) {
+  WireReader r(payload);
+  std::uint8_t kind = 0;
+  if (!(r.i32(&d->worker) && r.i32(&d->task_id) && r.i32(&d->frame) &&
+        r.i32(&d->rect.x0) && r.i32(&d->rect.y0) && r.i32(&d->rect.width) &&
+        r.i32(&d->rect.height) && r.u8(&kind) && r.u8(&d->full_render) &&
+        r.u64(&d->rays) && r.u64(&d->shadow_rays) &&
+        r.i64(&d->pixels_recomputed) && r.f64(&d->compute_seconds) &&
+        r.done())) {
+    return false;
+  }
+  if (kind < static_cast<std::uint8_t>(CommitKind::kFresh) ||
+      kind > static_cast<std::uint8_t>(CommitKind::kDecodeFail)) {
+    return false;
+  }
+  d->kind = static_cast<CommitKind>(kind);
+  return true;
+}
+
+}  // namespace now

@@ -1,0 +1,61 @@
+// CommitDigest: the shard → scheduler wire record (kTagCommitDigest).
+//
+// In sharded mode the scheduler never sees pixels; a shard answers every
+// frame result it receives with one fixed-size digest saying what became of
+// it. The scheduler drives all of its existing machinery — progress leases,
+// gap detection, speculation bookkeeping, global completion accounting —
+// from these digests alone, which is what makes its inbound bytes
+// proportional to results, not pixel volume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/image/framebuffer.h"
+
+namespace now {
+
+enum class CommitKind : std::uint8_t {
+  /// Chain-valid, first commit of this (rect, frame): pixels applied,
+  /// journaled, and durable at the shard.
+  kFresh = 1,
+  /// Chain-valid but the (rect, frame) was already committed (a speculation
+  /// partner or reclaim overlap landed first). The sender's chain still
+  /// advanced — both copies render identical pixels.
+  kDuplicate = 2,
+  /// Redelivery of a frame behind the sender's chain (duplicated message).
+  kStale = 3,
+  /// The result broke its task's sparse chain at this shard (a gap, a
+  /// sparse first frame, out-of-range): nothing applied, and nothing from
+  /// this task will be until it is reassigned. The scheduler reclaims.
+  kChainReject = 4,
+  /// The envelope failed to decode (CRC, version, structure); treated as a
+  /// lost message. task_id/frame are -1.
+  kDecodeFail = 5,
+};
+
+struct CommitDigest {
+  /// Rank of the worker whose frame result this digest covers (the shard
+  /// relays msg.source; the scheduler credits this rank's heartbeat).
+  std::int32_t worker = -1;
+  std::int32_t task_id = -1;
+  std::int32_t frame = -1;
+  PixelRect rect;
+  CommitKind kind = CommitKind::kFresh;
+  std::uint8_t full_render = 0;
+  // Worker-reported accounting, forwarded for the scheduler's farm totals.
+  std::uint64_t rays = 0;
+  std::uint64_t shadow_rays = 0;
+  std::int64_t pixels_recomputed = 0;
+  double compute_seconds = 0.0;
+};
+
+std::string encode_commit_digest(const CommitDigest& d);
+bool decode_commit_digest(CommitDigest* d, const std::string& payload);
+
+/// Key for the idempotent-commit gate: a region rect packed into 16-bit
+/// lanes (image dimensions are far below 65536). Shared by the scheduler's
+/// mirror and each shard's authoritative gate.
+std::uint64_t rect_key(const PixelRect& r);
+
+}  // namespace now

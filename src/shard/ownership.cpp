@@ -1,0 +1,28 @@
+#include "src/shard/ownership.h"
+
+#include <cassert>
+
+namespace now {
+
+int ShardMap::shard_of(int frame) const {
+  assert(frame >= 0 && frame < frame_count);
+  if (shard_count <= 1) return 0;
+  const int base = frame_count / shard_count;
+  const int extra = frame_count % shard_count;
+  // The first `extra` shards own base+1 frames each.
+  const int fat = extra * (base + 1);
+  if (frame < fat) return frame / (base + 1);
+  return extra + (frame - fat) / base;
+}
+
+std::pair<int, int> ShardMap::range_of(int shard) const {
+  assert(shard >= 0 && shard < shard_count);
+  if (shard_count <= 1) return {0, frame_count};
+  const int base = frame_count / shard_count;
+  const int extra = frame_count % shard_count;
+  const int first = shard * base + (shard < extra ? shard : extra);
+  const int len = base + (shard < extra ? 1 : 0);
+  return {first, first + len};
+}
+
+}  // namespace now

@@ -1,0 +1,119 @@
+// FrameShard: one framebuffer/IO shard of the sharded master (rank
+// worker_count+1+shard_index). It owns a contiguous frame range of the
+// animation: workers send their (delta-coded) frame results straight here,
+// the shard decodes them against its own committed predecessor state,
+// verifies the idempotent-commit gate, journals each commit to its own
+// crash-consistent segment, writes its own TGAs, and answers every result
+// with a CommitDigest to the scheduler (rank 0).
+//
+// Frame assembly is the single-master algorithm verbatim, restricted to the
+// owned range, so a sharded run's frames are byte-identical to the
+// single-master run's. The one structural difference is chain validation:
+// the shard sees only a slice of each worker's result stream, so it tracks
+// a per-task chain (first result must be dense; sparse results must arrive
+// in frame order with an owned predecessor) and rejects anything that would
+// decode against pixels it does not have — the scheduler turns a reject
+// digest into the same cancel-and-reclaim a single master performs on a
+// stream gap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/recovery.h"
+#include "src/image/framebuffer.h"
+#include "src/net/runtime.h"
+#include "src/obs/event_trace.h"
+#include "src/obs/metrics.h"
+#include "src/par/cost_model.h"
+#include "src/shard/digest.h"
+#include "src/shard/frame_sink.h"
+#include "src/shard/ownership.h"
+
+namespace now {
+
+struct ShardConfig {
+  ShardMap map;
+  int shard_index = 0;
+  int width = 0;
+  int height = 0;
+  CostModel cost;
+  /// Per-frame targa output for owned frames ("" disables).
+  std::string output_dir;
+  std::string output_prefix = "frame";
+  /// This shard's journal segment ("" disables journaling).
+  std::string journal_path;
+  bool journal_fsync = true;
+  /// Replayed state from a previous run (null = fresh start): restored
+  /// frames in the owned range are loaded, and the segment is appended to
+  /// from its valid prefix.
+  const RecoveryState* recovery = nullptr;
+  EventTracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+struct ShardReport {
+  std::int64_t frame_results = 0;     // decoded results received
+  std::int64_t frames_committed = 0;  // fresh region-frame commits
+  std::int64_t frames_completed = 0;  // owned frames fully assembled
+  std::int64_t frames_restored = 0;   // owned frames loaded on resume
+  std::int64_t duplicates = 0;        // commit-gate hits (chain advanced)
+  std::int64_t stale_results = 0;     // redeliveries behind the chain
+  std::int64_t chain_rejects = 0;     // results that broke their chain
+  std::int64_t decode_failures = 0;   // envelopes that failed to decode
+  std::int64_t frame_bytes = 0;       // wire payload bytes received
+  std::int64_t journal_records = 0;
+  std::int64_t journal_bytes = 0;
+  bool journal_ok = true;
+};
+
+class FrameShard final : public Actor {
+ public:
+  explicit FrameShard(const ShardConfig& config);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& msg) override;
+
+  /// Owned frames, indexed by global frame number minus first_frame().
+  /// Valid after the runtime finishes.
+  const std::vector<Framebuffer>& frames() const { return frames_; }
+  int first_frame() const { return first_; }
+  int owned_frames() const { return static_cast<int>(frames_.size()); }
+  const ShardReport& report() const { return report_; }
+
+ private:
+  /// Per-task slice of the worker's result chain as seen by this shard.
+  struct Chain {
+    std::int32_t next = -1;  // next frame a chain-valid result must carry
+    bool started = false;    // first (dense) result seen
+    bool broken = false;     // rejected once; everything later is rejected
+  };
+
+  void handle_frame_result(Context& ctx, const Message& msg);
+  void send_digest(Context& ctx, const CommitDigest& d);
+  void sync_journal_stats();
+
+  ShardConfig config_;
+  int first_ = 0;
+  int end_ = 0;
+  std::vector<Framebuffer> frames_;
+  std::vector<std::int64_t> area_missing_;
+  /// Authoritative idempotent-commit gate for owned frames (the scheduler
+  /// keeps a digest-fed mirror for scheduling decisions only).
+  std::vector<std::set<std::uint64_t>> committed_rects_;
+  std::map<std::int32_t, Chain> chains_;
+  std::unique_ptr<FrameSink> sink_;
+
+  // Per-endpoint instruments (null when metrics are off).
+  Counter* decode_failures_ = nullptr;     // global net.frame_decode_failures
+  Counter* ep_decode_failures_ = nullptr;  // endpoint.<rank>.frame_decode_...
+  Counter* ep_frame_bytes_ = nullptr;      // endpoint.<rank>.frame_bytes
+
+  ShardReport report_;
+};
+
+}  // namespace now

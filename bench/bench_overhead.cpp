@@ -10,8 +10,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 #include "src/par/cost_model.h"
+#include "src/par/render_farm.h"
 
 namespace now {
 namespace {
@@ -98,6 +101,62 @@ int run(bool quick) {
       .set(100.0 * (wall_fc - wall_plain) / wall_fc);
   reg.gauge("overhead.disabled_registry_pct").set(obs_pct);
   reg.gauge("overhead.virtual_mark_pct").set(100.0 * mark_cost / total);
+
+  // -- live telemetry plane: on vs off on the Table-1 scene -----------------
+  // The tentpole's standing constraint is that the sampler, the status
+  // endpoint and the flight recorder stay observably cheap when armed. Run
+  // the paper's Newton farm on real threads both ways (min of two runs each
+  // to damp scheduler noise) and gate the delta.
+  CradleParams farm_params;
+  farm_params.frames = quick ? 12 : 45;
+  farm_params.width = params.width;
+  farm_params.height = params.height;
+  const AnimatedScene farm_scene = newton_cradle_scene(farm_params);
+
+  FarmConfig base;
+  base.backend = FarmBackend::kThreads;
+  base.workers = 3;
+  base.partition.scheme = PartitionScheme::kFrameDivision;
+
+  FarmConfig telemetry = base;
+  telemetry.obs.sample_interval_seconds = 0.1;
+  telemetry.obs.status_port = 0;  // ephemeral: live /metrics + /status
+  telemetry.obs.flight_recorder = true;
+  telemetry.obs.flight_dir = "";  // ring only; no implicit flush
+
+  const auto farm_wall = [&](const FarmConfig& cfg) {
+    double best = 0.0;
+    for (int i = 0; i < 2; ++i) {
+      const FarmResult r = render_farm(farm_scene, cfg);
+      if (i == 0 || r.elapsed_seconds < best) best = r.elapsed_seconds;
+    }
+    return best;
+  };
+  const double wall_off = farm_wall(base);
+  const double wall_on = farm_wall(telemetry);
+  const double telemetry_pct =
+      wall_off > 0.0 ? 100.0 * (wall_on - wall_off) / wall_off : 0.0;
+
+  std::printf("\nlive telemetry plane — Newton farm (%d frames, threads):\n",
+              farm_scene.frame_count());
+  std::printf("  telemetry off     %7.3f s\n", wall_off);
+  std::printf("  telemetry on      %7.3f s  (sampler + /status + recorder)\n",
+              wall_on);
+  // The 3% gate is defined on the full Table-1 scene; the sub-second quick
+  // farm gets headroom for scheduler noise so CI doesn't flake.
+  const double gate_pct = quick ? 10.0 : 3.0;
+  std::printf("  plane overhead    %+6.1f%%  (gate: < %.0f%%)\n",
+              telemetry_pct, gate_pct);
+
+  reg.gauge("overhead.telemetry_off_seconds").set(wall_off);
+  reg.gauge("overhead.telemetry_on_seconds").set(wall_on);
+  reg.gauge("overhead.telemetry_pct").set(telemetry_pct);
+  if (telemetry_pct >= gate_pct) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry plane costs %.1f%% wall clock (gate %.0f%%)\n",
+                 telemetry_pct, gate_pct);
+    return 1;
+  }
   return 0;
 }
 

@@ -7,6 +7,8 @@
 //        [--frame-codec raw|delta] [--no-pipeline]
 //        [--journal FILE] [--resume] [--speculate] [--shards N]
 //        [--trace-out FILE] [--metrics-out FILE] [--report]
+//        [--status-port P] [--sample-interval S] [--flight-recorder [DIR]]
+//        [--kill-worker R]
 //
 // --threads sets the render threads *inside* each worker (0 = one per
 // hardware thread, the default; output is byte-identical for any value).
@@ -42,6 +44,21 @@
 // The trace file is validated before writing; an invalid trace is a bug and
 // exits non-zero.
 //
+// Live telemetry: --status-port P starts an HTTP listener on 127.0.0.1:P
+// (0 = ephemeral; the bound port is printed) serving GET /metrics
+// (Prometheus text) and GET /status (scheduler JSON: per-worker lease/task
+// state, queue depth, shard progress, stragglers, recent throughput) while
+// the render runs — wall-clock backends only, inert under sim.
+// --sample-interval S sets the scheduler's telemetry sampling period in
+// seconds (default 0.25 when the status port is on; under sim the interval
+// is virtual time). --flight-recorder [DIR] keeps a bounded in-memory ring
+// of recent trace events per rank and flushes trace-crash-<rank>.json into
+// DIR (default .) when a rank dies — by fault injection or fatal signal.
+// --kill-worker R injects a deterministic crash of worker rank R after its
+// second frame result and enables short-lease failure detection, so the run
+// exercises death → reclaim → recovery end to end (pair with
+// --flight-recorder to get R's crash trace).
+//
 // With --backend threads or tcp, rendering runs with real parallelism on
 // this machine (wall-clock timing); with sim (default) it runs on the
 // deterministic virtual cluster with per-worker speed factors.
@@ -56,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/flight_recorder.h"
 #include "src/par/render_farm.h"
 #include "src/par/serial.h"
 #include "src/scene/scene_parser.h"
@@ -146,6 +164,30 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--status-port" && i + 1 < argc) {
+      config.obs.status_port = std::atoi(argv[++i]);
+    } else if (arg == "--sample-interval" && i + 1 < argc) {
+      config.obs.sample_interval_seconds = std::atof(argv[++i]);
+    } else if (arg == "--flight-recorder") {
+      config.obs.flight_recorder = true;
+      // Optional directory operand (next arg not starting with --).
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        config.obs.flight_dir = argv[++i];
+      }
+    } else if (arg == "--kill-worker" && i + 1 < argc) {
+      // Deterministic fail-stop: the rank dies right after delivering its
+      // 2nd frame result. Enables lease-based detection with short leases so
+      // the run recovers (and, with --flight-recorder, flushes the dead
+      // rank's crash trace) without external process surgery.
+      FaultEvent ev;
+      ev.kind = FaultKind::kCrash;
+      ev.rank = std::atoi(argv[++i]);
+      ev.after_frames = 2;
+      config.fault_plan.events.push_back(ev);
+      config.fault.enabled = true;
+      config.fault.lease_base_seconds = 5.0;
+      config.fault.lease_per_frame_seconds = 0.5;
+      config.fault.ping_grace_seconds = 2.0;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -212,6 +254,17 @@ int main(int argc, char** argv) {
               static_cast<double>(result.runtime.bytes) / 1e6,
               static_cast<long long>(result.master.adaptive_splits));
   std::printf("frames written to %s/farm_NNNN.tga\n", out_dir.c_str());
+  if (result.status_port >= 0) {
+    std::printf("status endpoint: http://127.0.0.1:%d served %lld "
+                "request(s) (/metrics, /status)\n",
+                result.status_port,
+                static_cast<long long>(result.status_requests));
+  }
+  if (config.obs.flight_recorder) {
+    std::printf("flight recorder: armed, crash traces land in %s/"
+                "trace-crash-<rank>.json\n",
+                config.obs.flight_dir.c_str());
+  }
 
   if (!trace_path.empty()) {
     const std::string json = chrome_trace_json(result.trace_events);

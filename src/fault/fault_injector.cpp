@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/flight_recorder.h"
+
 namespace now {
 
 FaultInjector::FaultInjector(FaultPlan plan, int world_size,
@@ -30,6 +32,7 @@ bool FaultInjector::crashed_locked(int rank, double now) {
       state.crashed = true;
       ++crashes_;
       if (tracer_) tracer_->instant(rank, "fault", "fault.crash", now);
+      flush_flight_locked(rank);
       return true;
     }
   }
@@ -69,6 +72,7 @@ FaultInjector::SendFaults FaultInjector::on_send(int src, int /*dest*/,
           state.crashed = true;
           ++crashes_;
           if (tracer_) tracer_->instant(src, "fault", "fault.crash", now);
+          flush_flight_locked(src);
           break;
         }
       }
@@ -124,6 +128,19 @@ double FaultInjector::charge_scale(int rank, double now) const {
     }
   }
   return scale;
+}
+
+void FaultInjector::flush_flight_locked(int rank) {
+  // A fault-injected death is the moment the flight recorder exists for:
+  // dump the dead rank's retained tail as its crash trace. The tracer's
+  // fault.crash instant above is already in the ring, so the file records
+  // its own cause of death.
+  if (tracer_ == nullptr) return;
+  FlightRecorder* fr = tracer_->flight_recorder();
+  if (fr == nullptr) return;
+  const std::string dir = fr->flush_dir();
+  if (dir.empty()) return;
+  fr->flush_rank(rank, dir);
 }
 
 int FaultInjector::crashes_triggered() const {

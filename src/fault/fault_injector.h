@@ -71,6 +71,9 @@ class FaultInjector {
 
  private:
   bool crashed_locked(int rank, double now);
+  /// Crash fired for `rank`: if the tracer carries a FlightRecorder with a
+  /// flush directory configured, write the rank's crash trace now.
+  void flush_flight_locked(int rank);
 
   mutable std::mutex mu_;
   FaultPlan plan_;

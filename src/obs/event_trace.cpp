@@ -6,38 +6,66 @@
 #include <cstdlib>
 #include <map>
 
+#include "src/obs/flight_recorder.h"
+
 namespace now {
 
 void EventTracer::record(TraceEvent ev) {
+  // The flight recorder sees every event (bounded ring, no growth); the
+  // export buffer only grows when export tracing was requested.
+  if (flight_ != nullptr) flight_->record(ev);
+  if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(ev));
 }
 
 void EventTracer::begin(int rank, const char* cat, const char* name, double ts,
                         std::vector<TraceEvent::Arg> args) {
-  if (!enabled_) return;
-  record({TraceEvent::Phase::kBegin, rank, ts, 0.0, cat, name,
+  if (!enabled()) return;
+  record({TraceEvent::Phase::kBegin, rank, ts, 0.0, 0, cat, name,
           std::move(args)});
 }
 
 void EventTracer::end(int rank, const char* cat, const char* name, double ts,
                       std::vector<TraceEvent::Arg> args) {
-  if (!enabled_) return;
-  record({TraceEvent::Phase::kEnd, rank, ts, 0.0, cat, name, std::move(args)});
+  if (!enabled()) return;
+  record({TraceEvent::Phase::kEnd, rank, ts, 0.0, 0, cat, name,
+          std::move(args)});
 }
 
 void EventTracer::instant(int rank, const char* cat, const char* name,
                           double ts, std::vector<TraceEvent::Arg> args) {
-  if (!enabled_) return;
-  record({TraceEvent::Phase::kInstant, rank, ts, 0.0, cat, name,
+  if (!enabled()) return;
+  record({TraceEvent::Phase::kInstant, rank, ts, 0.0, 0, cat, name,
           std::move(args)});
 }
 
 void EventTracer::complete(int rank, const char* cat, const char* name,
                            double ts, double dur,
                            std::vector<TraceEvent::Arg> args) {
-  if (!enabled_) return;
-  record({TraceEvent::Phase::kComplete, rank, ts, dur, cat, name,
+  if (!enabled()) return;
+  record({TraceEvent::Phase::kComplete, rank, ts, dur, 0, cat, name,
+          std::move(args)});
+}
+
+void EventTracer::flow_start(int rank, std::uint64_t id, double ts,
+                             std::vector<TraceEvent::Arg> args) {
+  if (!enabled()) return;
+  record({TraceEvent::Phase::kFlowStart, rank, ts, 0.0, id, "flow", "frame",
+          std::move(args)});
+}
+
+void EventTracer::flow_step(int rank, std::uint64_t id, double ts,
+                            std::vector<TraceEvent::Arg> args) {
+  if (!enabled()) return;
+  record({TraceEvent::Phase::kFlowStep, rank, ts, 0.0, id, "flow", "frame",
+          std::move(args)});
+}
+
+void EventTracer::flow_end(int rank, std::uint64_t id, double ts,
+                           std::vector<TraceEvent::Arg> args) {
+  if (!enabled()) return;
+  record({TraceEvent::Phase::kFlowEnd, rank, ts, 0.0, id, "flow", "frame",
           std::move(args)});
 }
 
@@ -82,6 +110,15 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
       out += buf;
     }
     if (ev.phase == TraceEvent::Phase::kInstant) out += ", \"s\": \"t\"";
+    if (ev.phase == TraceEvent::Phase::kFlowStart ||
+        ev.phase == TraceEvent::Phase::kFlowStep ||
+        ev.phase == TraceEvent::Phase::kFlowEnd) {
+      out += ", \"id\": ";
+      out += std::to_string(ev.flow_id);
+      // Bind the arrow head to the enclosing slice, matching how the start
+      // binds to the slice it was emitted inside.
+      if (ev.phase == TraceEvent::Phase::kFlowEnd) out += ", \"bp\": \"e\"";
+    }
     out += ", \"cat\": \"";
     out += ev.cat;
     out += "\", \"name\": \"";
@@ -352,6 +389,13 @@ bool validate_chrome_trace(const std::string& json, std::string* error) {
   }
   std::map<int, double> last_ts;
   std::map<int, std::vector<std::string>> open_spans;
+  struct FlowSeen {
+    double min_start_ts = 0.0;
+    double min_other_ts = 0.0;
+    bool has_start = false;
+    bool has_other = false;
+  };
+  std::map<std::uint64_t, FlowSeen> flows;
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& ev = events->array[i];
     const std::string at = "event " + std::to_string(i) + ": ";
@@ -399,6 +443,23 @@ bool validate_chrome_trace(const std::string& json, std::string* error) {
       if (dur == nullptr || dur->kind != JsonValue::kNumber) {
         return set_error(at + "X event missing dur");
       }
+    } else if (phase == 's' || phase == 't' || phase == 'f') {
+      const JsonValue* id = ev.find("id");
+      if (id == nullptr || id->kind != JsonValue::kNumber) {
+        return set_error(at + "flow event missing id");
+      }
+      FlowSeen& seen = flows[static_cast<std::uint64_t>(id->number)];
+      if (phase == 's') {
+        if (!seen.has_start || ts->number < seen.min_start_ts) {
+          seen.min_start_ts = ts->number;
+        }
+        seen.has_start = true;
+      } else {
+        if (!seen.has_other || ts->number < seen.min_other_ts) {
+          seen.min_other_ts = ts->number;
+        }
+        seen.has_other = true;
+      }
     }
   }
   for (const auto& [rank, stack] : open_spans) {
@@ -407,7 +468,45 @@ bool validate_chrome_trace(const std::string& json, std::string* error) {
                        std::to_string(rank));
     }
   }
+  for (const auto& [id, seen] : flows) {
+    if (!seen.has_start) {
+      return set_error("flow id " + std::to_string(id) +
+                       " has steps but no start");
+    }
+    if (seen.has_other && seen.min_other_ts < seen.min_start_ts) {
+      return set_error("flow id " + std::to_string(id) +
+                       " steps before its earliest start");
+    }
+  }
   return true;
+}
+
+FlowChainStats flow_chain_stats(const std::vector<TraceEvent>& events) {
+  struct Chain {
+    bool start = false, step = false, end = false;
+    int first_rank = -1;
+    bool multi_rank = false;
+  };
+  std::map<std::uint64_t, Chain> chains;
+  for (const TraceEvent& ev : events) {
+    if (ev.phase != TraceEvent::Phase::kFlowStart &&
+        ev.phase != TraceEvent::Phase::kFlowStep &&
+        ev.phase != TraceEvent::Phase::kFlowEnd) {
+      continue;
+    }
+    Chain& c = chains[ev.flow_id];
+    if (ev.phase == TraceEvent::Phase::kFlowStart) c.start = true;
+    if (ev.phase == TraceEvent::Phase::kFlowStep) c.step = true;
+    if (ev.phase == TraceEvent::Phase::kFlowEnd) c.end = true;
+    if (c.first_rank == -1) c.first_rank = ev.rank;
+    if (ev.rank != c.first_rank) c.multi_rank = true;
+  }
+  FlowChainStats stats;
+  stats.total = static_cast<std::int64_t>(chains.size());
+  for (const auto& [id, c] : chains) {
+    if (c.start && c.step && c.end && c.multi_rank) ++stats.connected;
+  }
+  return stats;
 }
 
 }  // namespace now

@@ -1,13 +1,19 @@
-// Structured event tracing: spans (B/E pairs), instant events and complete
-// (X) events recorded per actor rank, timestamped in whatever clock the
-// runtime runs on — virtual seconds under SimRuntime (bit-reproducible),
-// wall seconds under the thread/TCP runtimes.
+// Structured event tracing: spans (B/E pairs), instant events, complete
+// (X) events and cross-rank flow events (s/t/f chains) recorded per actor
+// rank, timestamped in whatever clock the runtime runs on — virtual seconds
+// under SimRuntime (bit-reproducible), wall seconds under the thread/TCP
+// runtimes.
 //
 // The export format is Chrome trace-event JSON ("traceEvents" array with
 // microsecond timestamps, pid 0, tid = rank), loadable in Perfetto or
 // chrome://tracing. Events are exported sorted per rank by timestamp with
 // insertion order as the tie-break, so a deterministic run produces a
 // byte-identical trace file.
+//
+// Flow events carry a 64-bit flow id minted by the scheduler at task
+// assignment (see trace_flow_id); Chrome binds s/t/f events with the same
+// (cat, name, id) into one arrow chain, so a frame's life — assign, render,
+// send, commit — renders as a single connected line across rank timelines.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +23,17 @@
 
 namespace now {
 
+class FlightRecorder;
+
 struct TraceEvent {
   enum class Phase : char {
     kBegin = 'B',
     kEnd = 'E',
     kInstant = 'i',
     kComplete = 'X',
+    kFlowStart = 's',
+    kFlowStep = 't',
+    kFlowEnd = 'f',
   };
 
   /// One key/value argument. Keys and categories are string literals so an
@@ -36,17 +47,35 @@ struct TraceEvent {
   int rank = 0;             // exported as tid
   double ts_seconds = 0.0;  // virtual (sim) or wall (threads/tcp)
   double dur_seconds = 0.0; // kComplete only
+  std::uint64_t flow_id = 0;  // kFlowStart/Step/End only
   const char* cat = "";     // e.g. "frame", "net", "task", "lease", "fault"
   const char* name = "";
   std::vector<Arg> args;
 };
 
+/// The per-frame flow id: a task's trace context (minted nonzero by the
+/// scheduler at assignment and carried through every protocol message)
+/// combined with the frame number. Frame counts are far below 2^24, so the
+/// id is collision-free and still exact in a JSON double.
+inline std::uint64_t trace_flow_id(std::uint64_t trace_ctx,
+                                   std::int32_t frame) {
+  return (trace_ctx << 24) | static_cast<std::uint32_t>(frame & 0xFFFFFF);
+}
+
 class EventTracer {
  public:
   explicit EventTracer(bool enabled = false) : enabled_(enabled) {}
 
-  /// Disabled tracer: every record call returns before taking the lock.
-  bool enabled() const { return enabled_; }
+  /// True when events are observable — recorded for export, mirrored into a
+  /// flight-recorder ring, or both. A fully disabled tracer returns from
+  /// every record call before taking the lock.
+  bool enabled() const { return enabled_ || flight_ != nullptr; }
+
+  /// Mirrors every recorded event into `fr`'s bounded per-rank rings (in
+  /// addition to — or, when export tracing is off, instead of — the export
+  /// buffer). Call before actors are constructed: they snapshot enabled().
+  void set_flight_recorder(FlightRecorder* fr) { flight_ = fr; }
+  FlightRecorder* flight_recorder() const { return flight_; }
 
   void begin(int rank, const char* cat, const char* name, double ts,
              std::vector<TraceEvent::Arg> args = {});
@@ -56,6 +85,16 @@ class EventTracer {
                std::vector<TraceEvent::Arg> args = {});
   void complete(int rank, const char* cat, const char* name, double ts,
                 double dur, std::vector<TraceEvent::Arg> args = {});
+
+  /// Cross-rank flow chain: one start at assignment, steps at every hop,
+  /// one end at the authoritative commit. All three share cat "flow" and
+  /// name "frame" — Chrome binds flow arrows on (cat, name, id).
+  void flow_start(int rank, std::uint64_t id, double ts,
+                  std::vector<TraceEvent::Arg> args = {});
+  void flow_step(int rank, std::uint64_t id, double ts,
+                 std::vector<TraceEvent::Arg> args = {});
+  void flow_end(int rank, std::uint64_t id, double ts,
+                std::vector<TraceEvent::Arg> args = {});
 
   std::size_t size() const;
 
@@ -67,6 +106,7 @@ class EventTracer {
   void record(TraceEvent ev);
 
   const bool enabled_;
+  FlightRecorder* flight_ = nullptr;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
@@ -77,11 +117,25 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events);
 
 /// Validates a Chrome trace-event JSON document: well-formed JSON, a
 /// top-level "traceEvents" array, every event carrying ph/tid/ts/name,
-/// timestamps non-decreasing per tid, and B/E span pairs balanced per tid.
-/// On failure returns false and describes the first problem in `*error`.
+/// timestamps non-decreasing per tid, B/E span pairs balanced per tid, flow
+/// events carrying an id, and every flow id's earliest event being a flow
+/// start (requeued tasks may re-start a flow; a step or end with no start
+/// is a broken chain). On failure returns false and describes the first
+/// problem in `*error`.
 bool validate_chrome_trace(const std::string& json, std::string* error);
 
 /// Bare JSON well-formedness check (used for metrics files too).
 bool json_syntax_ok(const std::string& json, std::string* error);
+
+/// Connectivity census over flow chains: a chain is connected when it has a
+/// start, at least one step, an end, and spans at least two ranks — i.e. the
+/// frame's life is traceable scheduler -> worker -> committer in one arrow
+/// chain. Chains without an end (speculation losers, reclaimed tasks) count
+/// toward `total` only.
+struct FlowChainStats {
+  std::int64_t total = 0;      // distinct flow ids
+  std::int64_t connected = 0;  // ids with s + t + f across >= 2 ranks
+};
+FlowChainStats flow_chain_stats(const std::vector<TraceEvent>& events);
 
 }  // namespace now

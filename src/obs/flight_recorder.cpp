@@ -1,0 +1,127 @@
+#include "src/obs/flight_recorder.h"
+
+#include <csignal>
+#include <fstream>
+
+namespace now {
+
+void FlightRecorder::record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Ring& ring = rings_[ev.rank];
+  ++recorded_;
+  if (!ring.wrapped) {
+    ring.buf.push_back(ev);
+    if (static_cast<int>(ring.buf.size()) == capacity_) {
+      ring.wrapped = true;
+      ring.next = 0;
+    }
+    return;
+  }
+  ring.buf[ring.next] = ev;
+  ring.next = (ring.next + 1) % ring.buf.size();
+  ++evicted_;
+}
+
+std::vector<TraceEvent> FlightRecorder::rank_events(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = rings_.find(rank);
+  if (it == rings_.end()) return {};
+  const Ring& ring = it->second;
+  if (!ring.wrapped) return ring.buf;
+  std::vector<TraceEvent> out;
+  out.reserve(ring.buf.size());
+  for (std::size_t i = 0; i < ring.buf.size(); ++i) {
+    out.push_back(ring.buf[(ring.next + i) % ring.buf.size()]);
+  }
+  return out;
+}
+
+std::vector<int> FlightRecorder::ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.reserve(rings_.size());
+  for (const auto& [rank, ring] : rings_) out.push_back(rank);
+  return out;
+}
+
+std::int64_t FlightRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::int64_t FlightRecorder::events_evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::string FlightRecorder::crash_trace_path(const std::string& dir,
+                                             int rank) {
+  std::string path = dir.empty() ? std::string(".") : dir;
+  if (path.back() != '/') path += '/';
+  path += "trace-crash-" + std::to_string(rank) + ".json";
+  return path;
+}
+
+bool FlightRecorder::flush_rank(int rank, const std::string& dir) const {
+  const std::vector<TraceEvent> events = rank_events(rank);
+  if (events.empty()) return false;
+  std::ofstream f(crash_trace_path(dir, rank), std::ios::binary);
+  if (!f) return false;
+  f << chrome_trace_json(events);
+  return f.good();
+}
+
+void FlightRecorder::set_flush_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_dir_ = dir;
+}
+
+std::string FlightRecorder::flush_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_dir_;
+}
+
+int FlightRecorder::flush_all(const std::string& dir) const {
+  int written = 0;
+  for (const int rank : ranks()) {
+    if (flush_rank(rank, dir)) ++written;
+  }
+  return written;
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal flush. One armed recorder per process; the handler flushes,
+// restores default disposition, and re-raises so the exit status still says
+// what killed us.
+
+namespace {
+
+FlightRecorder* g_crash_recorder = nullptr;
+std::string* g_crash_dir = nullptr;
+
+void crash_flush_handler(int sig) {
+  if (g_crash_recorder != nullptr && g_crash_dir != nullptr) {
+    g_crash_recorder->flush_all(*g_crash_dir);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_flush(FlightRecorder* recorder, const std::string& dir) {
+  static const int kSignals[] = {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGTERM};
+  if (recorder == nullptr) {
+    for (const int sig : kSignals) std::signal(sig, SIG_DFL);
+    g_crash_recorder = nullptr;
+    delete g_crash_dir;
+    g_crash_dir = nullptr;
+    return;
+  }
+  g_crash_recorder = recorder;
+  delete g_crash_dir;
+  g_crash_dir = new std::string(dir);
+  for (const int sig : kSignals) std::signal(sig, crash_flush_handler);
+}
+
+}  // namespace now

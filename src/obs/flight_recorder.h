@@ -1,0 +1,83 @@
+// FlightRecorder: a bounded in-memory ring of the most recent trace events
+// per rank, kept even when export tracing is off, so a crash still leaves a
+// readable tail of what each rank was doing. An EventTracer mirrors every
+// event it sees into the recorder (EventTracer::set_flight_recorder); on
+// abort — a fault-injected death, a fatal signal, or an explicit flush —
+// each rank's ring is written as a standalone Chrome trace file
+// `trace-crash-<rank>.json` in the chosen directory.
+//
+// Memory is strictly bounded: `capacity` events per rank, oldest evicted
+// first. Crash trace files are diagnostics, never gated artifacts: a
+// fault-injected death flushes the dead rank's ring on every backend (when a
+// flush directory is configured), and frames/journals/metrics are untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/event_trace.h"
+
+namespace now {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int capacity_per_rank = 4096)
+      : capacity_(capacity_per_rank < 1 ? 1 : capacity_per_rank) {}
+
+  /// Appends `ev` to its rank's ring, evicting the oldest event when full.
+  void record(const TraceEvent& ev);
+
+  /// The rank's retained events, oldest first.
+  std::vector<TraceEvent> rank_events(int rank) const;
+
+  /// Ranks with at least one retained event, ascending.
+  std::vector<int> ranks() const;
+
+  std::int64_t events_recorded() const;
+  std::int64_t events_evicted() const;
+  int capacity_per_rank() const { return capacity_; }
+
+  /// Path a flush for `rank` writes to: `<dir>/trace-crash-<rank>.json`.
+  static std::string crash_trace_path(const std::string& dir, int rank);
+
+  /// Writes `rank`'s ring as a standalone Chrome trace file. The file is one
+  /// rank's partial view — cross-rank flow starts and span partners may live
+  /// on other ranks or have been evicted — so it is loadable JSON but not
+  /// held to the merged-trace validator's flow/span-balance rules. Returns
+  /// false when the rank has no events or the file cannot be written.
+  bool flush_rank(int rank, const std::string& dir) const;
+
+  /// Flushes every populated rank; returns the number of files written.
+  int flush_all(const std::string& dir) const;
+
+  /// Directory that implicit flushes (fault-injected deaths) write into.
+  /// "" (the default) disables implicit flushing.
+  void set_flush_dir(const std::string& dir);
+  std::string flush_dir() const;
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;  // capacity_ slots once wrapped
+    std::size_t next = 0;         // insertion cursor, valid once wrapped
+    bool wrapped = false;
+  };
+
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::string flush_dir_;
+  std::map<int, Ring> rings_;
+  std::int64_t recorded_ = 0;
+  std::int64_t evicted_ = 0;
+};
+
+/// Installs process-wide fatal-signal handlers (SIGSEGV, SIGBUS, SIGABRT,
+/// SIGFPE, SIGTERM) that flush `recorder` into `dir` before re-raising the
+/// signal with default disposition. Best-effort: the flush allocates, which
+/// is not async-signal-safe, but a crash dump that usually works beats none.
+/// Passing nullptr uninstalls. Only one recorder can be armed per process.
+void install_crash_flush(FlightRecorder* recorder, const std::string& dir);
+
+}  // namespace now

@@ -13,10 +13,20 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double value) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  // NaN would violate lower_bound's ordering requirements and poison the
+  // sum; route it straight to the overflow bucket, excluded from sum().
+  const bool is_nan = value != value;
+  const std::size_t idx =
+      is_nan ? bounds_.size()
+             : static_cast<std::size_t>(
+                   std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                   bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  if (idx == bounds_.size()) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (is_nan) return;
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + value,
                                      std::memory_order_relaxed)) {
@@ -141,7 +151,8 @@ std::string MetricsSnapshot::to_json() const {
       if (i > 0) out += ", ";
       out += std::to_string(h.counts[i]);
     }
-    out += "], \"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    out += "], \"count\": " + std::to_string(h.count) +
+           ", \"overflow\": " + std::to_string(h.overflow) + ", \"sum\": ";
     append_double(&out, h.sum);
     out += "}";
   }
@@ -204,7 +215,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     hs.bounds = h->bounds();
     hs.counts = h->counts();
     hs.count = h->count();
+    hs.overflow = h->overflow();
     hs.sum = h->sum();
+    // Out-of-range samples surface as an explicit counter next to the
+    // histogram, so overflow is visible without reading bucket arrays.
+    if (hs.overflow > 0) snap.counters[name + ".overflow"] = hs.overflow;
     snap.histograms[name] = std::move(hs);
   }
   return snap;

@@ -49,8 +49,13 @@ class Gauge {
 };
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
-/// order; one overflow bucket is appended. The layout is frozen at creation
-/// so bucket indices stay comparable across runs and PRs.
+/// order; one explicit overflow bucket is appended. The layout is frozen at
+/// creation so bucket indices stay comparable across runs and PRs.
+///
+/// Out-of-range samples are not silently clamped into the last bounded
+/// bucket: they land in the overflow bucket and are separately counted by
+/// overflow(), which snapshots surface as a `<name>.overflow` counter. A NaN
+/// sample counts as overflow and is excluded from sum().
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -62,6 +67,10 @@ class Histogram {
   std::vector<std::uint64_t> counts() const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Samples above the last bound (or NaN) — the overflow bucket's count.
+  std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
 
   /// Default layouts (exponential): seconds from 1 ms to ~17 min, and bytes
   /// from 64 B to 16 MB.
@@ -72,6 +81,7 @@ class Histogram {
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> overflow_{0};
   std::atomic<double> sum_{0.0};
 };
 
@@ -79,6 +89,7 @@ struct HistogramSnapshot {
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
   std::uint64_t count = 0;
+  std::uint64_t overflow = 0;  // == counts.back()
   double sum = 0.0;
 };
 

@@ -72,7 +72,19 @@ UtilizationReport compute_utilization(const std::vector<TraceEvent>& events,
                                       double elapsed_seconds) {
   UtilizationReport report;
   report.elapsed_seconds = elapsed_seconds;
-  if (world_size < 1 || elapsed_seconds <= 0.0) return report;
+  if (world_size < 1) return report;
+  if (elapsed_seconds <= 0.0) {
+    // Zero-duration run (quick abort, immediate fault): there is no time to
+    // apportion, so report the well-defined empty state — every rank fully
+    // idle with fractions that still sum to 1 — instead of dividing by zero.
+    for (int rank = 0; rank < world_size; ++rank) {
+      RankUtilization u;
+      u.rank = rank;
+      u.idle_frac = 1.0;
+      report.ranks.push_back(u);
+    }
+    return report;
+  }
 
   std::vector<std::vector<Interval>> busy(world_size);
   std::vector<std::vector<Interval>> comm(world_size);

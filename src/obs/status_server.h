@@ -1,0 +1,74 @@
+// StatusServer: a tiny HTTP/1.0 listener giving curl-able visibility into a
+// running farm. Two routes:
+//
+//   GET /metrics  -> Prometheus text exposition of the MetricsRegistry
+//   GET /status   -> JSON the scheduler publishes each sample tick
+//                    (per-worker lease/task state, shard commit counts,
+//                    queue depth, recent throughput)
+//
+// The server owns one accept thread on 127.0.0.1 (port 0 = ephemeral; the
+// bound port is queryable for tests). Responses are produced by caller-
+// supplied providers, so the server knows nothing about farm internals —
+// providers must be thread-safe (registry snapshots are; the scheduler
+// publishes /status through the mutex-guarded StatusBoard below).
+//
+// Under the sim runtime the server is simply never constructed: the live
+// plane is inert and cannot perturb a deterministic run.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace now {
+
+/// Renders a metrics snapshot in Prometheus text exposition format 0.0.4:
+/// dots become underscores, counters get a `# TYPE ... counter` header,
+/// gauges `gauge`, histograms the `_bucket{le="..."}` / `_sum` / `_count`
+/// triplet (with the overflow bucket as le="+Inf"). Deterministic: sorted
+/// names, fixed float formatting.
+std::string prometheus_text(const MetricsSnapshot& snap);
+
+/// Mutex-guarded mailbox between the scheduler (writer) and the status
+/// endpoint (reader): the scheduler renders its /status JSON once per
+/// sample tick and publishes it here; readers get the latest snapshot.
+class StatusBoard {
+ public:
+  void publish(std::string json);
+  std::string latest() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string json_ = "{}\n";
+};
+
+class StatusServer {
+ public:
+  using Provider = std::function<std::string()>;
+
+  /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port) and starts the
+  /// accept thread. Check ok() — a failed bind leaves the server inert.
+  StatusServer(int port, Provider metrics_text, Provider status_json);
+  ~StatusServer();
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  bool ok() const;
+  /// The actually bound port (differs from the requested one when 0).
+  int port() const;
+  std::int64_t requests_served() const;
+
+  /// Stops the accept thread and closes the socket (idempotent).
+  void stop();
+
+  struct Impl;  // opaque; public only so the .cpp's helpers can name it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace now

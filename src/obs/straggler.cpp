@@ -1,0 +1,85 @@
+#include "src/obs/straggler.h"
+
+#include <cmath>
+
+namespace now {
+
+double StragglerDetector::fleet_mean_locked() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [worker, s] : stats_) {
+    if (s.n >= config_.min_samples) {
+      sum += s.ewma;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+bool StragglerDetector::observe(int worker, double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN/negative: treat as instant
+  Stats& s = stats_[worker];
+  if (s.n == 0) {
+    s.ewma = seconds;
+    s.dev = 0.0;
+  } else {
+    const double a = config_.alpha;
+    s.dev = (1.0 - a) * s.dev + a * std::fabs(seconds - s.ewma);
+    s.ewma = (1.0 - a) * s.ewma + a * seconds;
+  }
+  ++s.n;
+
+  // Flag against the fleet: clearly above the mean AND outside the worker's
+  // own noise band, so a uniformly-noisy fleet flags nobody. Requires at
+  // least two qualifying workers — "slower than whom?" needs a peer.
+  const double mean = fleet_mean_locked();
+  int qualifying = 0;
+  for (const auto& [w, st] : stats_) {
+    if (st.n >= config_.min_samples) ++qualifying;
+  }
+  bool transition = false;
+  if (s.n >= config_.min_samples && qualifying >= 2 && mean > 0.0) {
+    if (!s.flagged && s.ewma > mean * config_.threshold &&
+        s.ewma - mean > s.dev) {
+      s.flagged = true;
+      transition = true;
+      ++transitions_;
+    } else if (s.flagged && s.ewma < mean * config_.clear_ratio) {
+      s.flagged = false;
+    }
+  }
+  return transition;
+}
+
+bool StragglerDetector::is_straggler(int worker) const {
+  const auto it = stats_.find(worker);
+  return it != stats_.end() && it->second.flagged;
+}
+
+std::vector<int> StragglerDetector::stragglers() const {
+  std::vector<int> out;
+  for (const auto& [worker, s] : stats_) {
+    if (s.flagged) out.push_back(worker);
+  }
+  return out;
+}
+
+double StragglerDetector::expected_seconds(int worker) const {
+  const auto it = stats_.find(worker);
+  if (it != stats_.end() && it->second.n >= config_.min_samples) {
+    return it->second.ewma > 0.0 ? it->second.ewma : 1.0;
+  }
+  const double mean = fleet_mean_locked();
+  return mean > 0.0 ? mean : 1.0;
+}
+
+double StragglerDetector::fleet_mean_seconds() const {
+  return fleet_mean_locked();
+}
+
+int StragglerDetector::samples(int worker) const {
+  const auto it = stats_.find(worker);
+  return it == stats_.end() ? 0 : it->second.n;
+}
+
+}  // namespace now

@@ -1,0 +1,70 @@
+// StragglerDetector: rolling per-worker render-time statistics that flag
+// outlier workers. Each committed frame's observed render time — elapsed on
+// the worker's own clock, so machine speed and slowdowns show through —
+// feeds an EWMA and an EWMA absolute deviation per worker; a worker whose smoothed time exceeds
+// the fleet mean by the configured factor (and by more than its own noise
+// band) is flagged a straggler, with hysteresis so a worker flaps neither
+// on one slow frame nor on one fast one.
+//
+// The scheduler owns one detector and feeds it on every fresh commit —
+// a deterministic order under SimRuntime, so flag transitions (and the
+// sched.stragglers counter they increment) are bit-reproducible. The
+// end-game speculation heuristic consumes expected_seconds(): victims are
+// ranked by predicted remaining work (remaining frames x smoothed per-frame
+// time) instead of raw frame counts, so a slow worker with few frames left
+// can outrank a fast worker with many.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace now {
+
+struct StragglerConfig {
+  double alpha = 0.2;       // EWMA smoothing for mean and deviation
+  double threshold = 1.75;  // flag when ewma > fleet_mean * threshold
+  double clear_ratio = 1.25;  // unflag when ewma < fleet_mean * clear_ratio
+  int min_samples = 3;      // frames before a worker can be flagged
+};
+
+class StragglerDetector {
+ public:
+  explicit StragglerDetector(StragglerConfig config = {})
+      : config_(config) {}
+
+  /// Records one frame's compute time for `worker`. Returns true when this
+  /// observation newly flags the worker as a straggler (a transition, not a
+  /// level — the caller counts transitions into sched.stragglers).
+  bool observe(int worker, double seconds);
+
+  bool is_straggler(int worker) const;
+  std::vector<int> stragglers() const;
+
+  /// Smoothed per-frame seconds for `worker`: its EWMA once it has
+  /// min_samples, else the fleet mean, else 1.0 — always positive, so
+  /// remaining-work products rank sanely even before data arrives.
+  double expected_seconds(int worker) const;
+
+  /// Mean of qualifying workers' EWMAs (0 when none qualify yet).
+  double fleet_mean_seconds() const;
+
+  std::int64_t flag_transitions() const { return transitions_; }
+  int samples(int worker) const;
+
+ private:
+  struct Stats {
+    double ewma = 0.0;
+    double dev = 0.0;  // EWMA of |sample - ewma|
+    int n = 0;
+    bool flagged = false;
+  };
+
+  double fleet_mean_locked() const;
+
+  StragglerConfig config_;
+  std::map<int, Stats> stats_;
+  std::int64_t transitions_ = 0;
+};
+
+}  // namespace now

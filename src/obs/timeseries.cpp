@@ -1,0 +1,69 @@
+#include "src/obs/timeseries.h"
+
+namespace now {
+
+void TimeSeriesSampler::push(const std::string& name, TimePoint p) {
+  Ring& ring = series_[name];
+  if (!ring.wrapped) {
+    ring.buf.push_back(p);
+    if (ring.buf.size() == capacity_) {
+      ring.wrapped = true;
+      ring.next = 0;
+    }
+    return;
+  }
+  ring.buf[ring.next] = p;
+  ring.next = (ring.next + 1) % ring.buf.size();
+}
+
+void TimeSeriesSampler::sample(double t, const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ticks_;
+  for (const auto& [name, value] : snap.counters) {
+    push(name, {t, static_cast<double>(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    push(name, {t, value});
+  }
+}
+
+std::vector<TimePoint> TimeSeriesSampler::ordered(const Ring& ring) const {
+  if (!ring.wrapped) return ring.buf;
+  std::vector<TimePoint> out;
+  out.reserve(ring.buf.size());
+  for (std::size_t i = 0; i < ring.buf.size(); ++i) {
+    out.push_back(ring.buf[(ring.next + i) % ring.buf.size()]);
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeriesSampler::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) out.push_back(name);
+  return out;
+}
+
+std::vector<TimePoint> TimeSeriesSampler::series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return ordered(it->second);
+}
+
+double TimeSeriesSampler::rate_per_second(const std::string& name) const {
+  const std::vector<TimePoint> points = series(name);
+  if (points.size() < 2) return 0.0;
+  const double dt = points.back().t - points.front().t;
+  if (dt <= 0.0) return 0.0;
+  return (points.back().value - points.front().value) / dt;
+}
+
+std::int64_t TimeSeriesSampler::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+}  // namespace now

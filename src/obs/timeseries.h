@@ -1,0 +1,66 @@
+// TimeSeriesSampler: periodic snapshots of a MetricsRegistry's counters and
+// gauges into bounded per-series ring buffers — the farm's recent history,
+// cheap enough to keep always and small enough to never grow (capacity
+// samples per series, oldest evicted first).
+//
+// The master drives sampling from its own message loop (a self-timer under
+// every runtime), so under SimRuntime the sample clock is virtual time and
+// the retained series are bit-reproducible. Readers (the status endpoint)
+// take the lock briefly and copy; the sampler itself never blocks on them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace now {
+
+struct TimePoint {
+  double t = 0.0;      // seconds (virtual under sim, wall otherwise)
+  double value = 0.0;  // counter or gauge value at t
+};
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(std::size_t capacity_per_series = 512)
+      : capacity_(capacity_per_series < 2 ? 2 : capacity_per_series) {}
+
+  /// Records every counter and gauge in `snap` at time `t`. Histograms are
+  /// tracked through their count/sum would-be series only if exported as
+  /// gauges by the caller; the sampler itself stores scalars only.
+  void sample(double t, const MetricsSnapshot& snap);
+
+  /// Series names seen so far, ascending.
+  std::vector<std::string> series_names() const;
+
+  /// Retained points for one series, oldest first (empty if unknown).
+  std::vector<TimePoint> series(const std::string& name) const;
+
+  /// Mean increase per second of a (monotone) counter series over its
+  /// retained window; 0 when fewer than two samples or no time elapsed.
+  double rate_per_second(const std::string& name) const;
+
+  std::int64_t ticks() const;
+  std::size_t capacity_per_series() const { return capacity_; }
+
+ private:
+  struct Ring {
+    std::vector<TimePoint> buf;
+    std::size_t next = 0;
+    bool wrapped = false;
+  };
+
+  void push(const std::string& name, TimePoint p);
+  std::vector<TimePoint> ordered(const Ring& ring) const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> series_;
+  std::int64_t ticks_ = 0;
+};
+
+}  // namespace now

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 
 namespace now {
 
 RenderMaster::RenderMaster(const AnimatedScene& scene,
                            const MasterConfig& config)
-    : scene_(scene), config_(config) {
+    : scene_(scene), config_(config), straggler_(config.straggler) {
   if (config_.tracer != nullptr && !config_.tracer->enabled()) {
     config_.tracer = nullptr;
   }
@@ -17,6 +19,10 @@ RenderMaster::RenderMaster(const AnimatedScene& scene,
     ep_digest_bytes_ = &config_.metrics->counter("endpoint.0.digest_bytes");
     ep_decode_failures_ =
         &config_.metrics->counter("endpoint.0.frame_decode_failures");
+    frames_committed_live_ =
+        &config_.metrics->counter("sched.frames_committed");
+    stragglers_flagged_ = &config_.metrics->counter("sched.stragglers");
+    queue_depth_ = &config_.metrics->gauge("sched.queue_depth");
   }
 }
 
@@ -142,9 +148,22 @@ void RenderMaster::on_start(Context& ctx) {
   }
   // Everything restored: stop before any worker is put to work.
   maybe_finish(ctx);
+  if (!stopping_ && config_.sample_interval_seconds > 0.0 &&
+      (config_.sampler != nullptr || config_.status != nullptr)) {
+    ctx.send_after(config_.sample_interval_seconds, kTagSampleTick, {});
+  }
+  if (queue_depth_ != nullptr) {
+    queue_depth_->set(static_cast<double>(pending_.size()));
+  }
 }
 
 void RenderMaster::on_message(Context& ctx, const Message& msg) {
+  if (msg.tag == kTagSampleTick) {
+    // Telemetry must be observably free: no compute charge, no heartbeat
+    // bookkeeping, nothing sent across ranks — handled before everything.
+    handle_sample_tick(ctx);
+    return;
+  }
   ctx.charge(config_.cost.master_per_message_seconds);
   // Every message a live worker sends doubles as a heartbeat.
   if (msg.source >= 1 && msg.source < static_cast<int>(workers_.size())) {
@@ -233,7 +252,11 @@ void RenderMaster::handle_idle(Context& ctx, int worker, bool hello) {
   maybe_finish(ctx);
 }
 
-void RenderMaster::assign(Context& ctx, int worker, const RenderTask& task) {
+void RenderMaster::assign(Context& ctx, int worker, RenderTask task) {
+  // Mint the trace context here — a deterministic nonzero function of the
+  // task id — so a requeued task (nack, reclaim) restarts the same flow
+  // chain and every result/digest can be tied back to this assignment.
+  task.trace_ctx = static_cast<std::uint64_t>(task.task_id) + 1;
   WorkerState& state = workers_[worker];
   state.active = true;
   state.cancelled = false;
@@ -262,6 +285,14 @@ void RenderMaster::assign(Context& ctx, int worker, const RenderTask& task) {
                              {"task", task.task_id},
                              {"first_frame", task.first_frame},
                              {"frames", task.frame_count}});
+    // One flow start per frame in the assignment: each frame's life is its
+    // own chain (render → send → commit → ack), all anchored here.
+    for (std::int32_t f = task.first_frame; f < task.end_frame(); ++f) {
+      config_.tracer->flow_start(
+          ctx.rank(), trace_flow_id(task.trace_ctx, f), ctx.now(),
+          {{"worker", worker}, {"task", task.task_id}, {"frame", f},
+           {"step", 0}});
+    }
   }
   ctx.send(worker, kTagTask, encode_task(task));
 }
@@ -303,6 +334,9 @@ void RenderMaster::try_dispatch(Context& ctx) {
     if (config_.speculate && try_speculate(ctx)) continue;
     break;
   }
+  if (queue_depth_ != nullptr) {
+    queue_depth_->set(static_cast<double>(pending_.size()));
+  }
 }
 
 bool RenderMaster::try_speculate(Context& ctx) {
@@ -320,16 +354,25 @@ bool RenderMaster::try_speculate(Context& ctx) {
   }
   if (active_tasks == 0 || idle_live <= active_tasks) return false;
 
-  // Victim: the active worker with the most unreported frames, not mid-
-  // shrink, and not already paired (one speculative copy per task).
+  // Victim: the active worker expected to hold the end-game longest, not
+  // mid-shrink, and not already paired (one speculative copy per task).
+  // Expected cost is remaining frames × the worker's EWMA per-frame render
+  // time from the straggler detector, so a rank that has been consistently
+  // slow is duplicated ahead of one that merely holds more frames. With no
+  // samples yet every worker scores at the fleet mean and this reduces to
+  // the old most-remaining rule.
   int victim = -1;
   std::int32_t best_remaining = 0;
+  double best_score = 0.0;
   for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
     const WorkerState& s = workers_[w];
     if (!s.active || s.awaiting_ack || s.dead || s.cancelled) continue;
     if (spec_partner_.count(s.task.task_id) > 0) continue;
     const std::int32_t remaining = s.end_frame - s.next_expected;
-    if (remaining > best_remaining) {
+    if (remaining < 1) continue;
+    const double score = remaining * straggler_.expected_seconds(w);
+    if (score > best_score) {
+      best_score = score;
       best_remaining = remaining;
       victim = w;
     }
@@ -610,6 +653,8 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
                              {"frame", frame},
                              {"full", result.full_render ? 1 : 0}});
   }
+  note_commit(ctx, msg.source, result.task_id, result.trace_ctx, frame,
+              result.render_seconds);
   ++report_.frame_results;
   report_.rays_total += result.rays;
   report_.shadow_rays_total += result.shadow_rays;
@@ -719,6 +764,8 @@ void RenderMaster::handle_commit_digest(Context& ctx, const Message& msg) {
                                  {"frame", d.frame},
                                  {"full", d.full_render ? 1 : 0}});
       }
+      note_commit(ctx, d.worker, d.task_id, d.trace_ctx, d.frame,
+                  d.render_seconds);
       frame_area_missing_[d.frame] -= d.rect.area();
       area_frames_missing_ -= d.rect.area();
       assert(frame_area_missing_[d.frame] >= 0);
@@ -1010,12 +1057,135 @@ void RenderMaster::handle_lease_check(Context& ctx, const Message& msg) {
   declare_dead(ctx, check.worker);
 }
 
+void RenderMaster::handle_sample_tick(Context& ctx) {
+  // A tick racing the shutdown broadcast is dropped and not re-armed; the
+  // runtime abandons anything still queued once the scheduler stops.
+  if (stopping_) return;
+  ++report_.telemetry_samples;
+  if (config_.sampler != nullptr && config_.metrics != nullptr) {
+    config_.sampler->sample(ctx.now(), config_.metrics->snapshot());
+  }
+  if (config_.status != nullptr) {
+    config_.status->publish(render_status_json(ctx));
+  }
+  ctx.send_after(config_.sample_interval_seconds, kTagSampleTick, {});
+}
+
+namespace {
+
+void append_json_double(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("0");  // JSON cannot carry inf/nan
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string RenderMaster::render_status_json(Context& ctx) const {
+  std::string j = "{";
+  j += "\"now\": ";
+  append_json_double(&j, ctx.now());
+  j += ", \"stopping\": ";
+  j += stopping_ ? "true" : "false";
+  j += ", \"pending_tasks\": " + std::to_string(pending_.size());
+  j += ", \"frames_completed\": " + std::to_string(report_.frames_completed);
+  j += ", \"frame_results\": " + std::to_string(report_.frame_results);
+  j += ", \"straggler_flags\": " + std::to_string(report_.straggler_flags);
+  j += ", \"telemetry_samples\": " + std::to_string(report_.telemetry_samples);
+  j += ", \"throughput_fps\": ";
+  append_json_double(&j, config_.sampler != nullptr
+                             ? config_.sampler->rate_per_second(
+                                   "sched.frames_committed")
+                             : 0.0);
+  j += ", \"workers\": [";
+  bool first = true;
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    const WorkerState& s = workers_[w];
+    if (!first) j += ", ";
+    first = false;
+    const char* state = s.dead        ? "dead"
+                        : !s.known    ? "unknown"
+                        : s.cancelled ? "cancelled"
+                        : s.active    ? "active"
+                                      : "idle";
+    j += "{\"rank\": " + std::to_string(w);
+    j += ", \"state\": \"" + std::string(state) + "\"";
+    j += ", \"task\": " + std::to_string(s.active ? s.task.task_id : -1);
+    j += ", \"next_expected\": " + std::to_string(s.next_expected);
+    j += ", \"end_frame\": " + std::to_string(s.end_frame);
+    j += ", \"last_heard\": ";
+    append_json_double(&j, s.last_heard);
+    j += ", \"straggler\": ";
+    j += straggler_.is_straggler(w) ? "true" : "false";
+    j += "}";
+  }
+  j += "], \"stragglers\": [";
+  first = true;
+  for (const int w : straggler_.stragglers()) {
+    if (!first) j += ", ";
+    first = false;
+    j += std::to_string(w);
+  }
+  j += "]";
+  if (config_.shards.sharded()) {
+    j += ", \"shards\": [";
+    for (int i = 0; i < config_.shards.shard_count; ++i) {
+      if (i > 0) j += ", ";
+      const auto range = config_.shards.range_of(i);
+      std::int64_t done = 0;
+      for (int f = range.first; f < range.second; ++f) {
+        if (frame_area_missing_[f] == 0) ++done;
+      }
+      j += "{\"shard\": " + std::to_string(i);
+      j += ", \"rank\": " + std::to_string(config_.shards.rank_of_shard(i));
+      j += ", \"first_frame\": " + std::to_string(range.first);
+      j += ", \"end_frame\": " + std::to_string(range.second);
+      j += ", \"frames_done\": " + std::to_string(done);
+      j += "}";
+    }
+    j += "]";
+  }
+  j += "}\n";
+  return j;
+}
+
+void RenderMaster::note_commit(Context& ctx, int worker, std::int32_t task_id,
+                               std::uint64_t trace_ctx, std::int32_t frame,
+                               double render_seconds) {
+  if (frames_committed_live_ != nullptr) frames_committed_live_->inc();
+  if (config_.tracer != nullptr && trace_ctx != 0) {
+    // Close the frame's flow chain: assignment → render → send → commit all
+    // bind to this id, so the ack renders as one connected arc in the trace.
+    config_.tracer->flow_end(
+        ctx.rank(), trace_flow_id(trace_ctx, frame), ctx.now(),
+        {{"worker", worker}, {"task", task_id}, {"frame", frame},
+         {"step", 4}});
+  }
+  if (worker < 1 || worker >= static_cast<int>(workers_.size())) return;
+  if (straggler_.observe(worker, render_seconds)) {
+    ++report_.straggler_flags;
+    if (stragglers_flagged_ != nullptr) stragglers_flagged_->inc();
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(
+          ctx.rank(), "sched", "worker.straggler", ctx.now(),
+          {{"worker", worker}, {"task", task_id}, {"frame", frame}});
+    }
+  }
+}
+
 void RenderMaster::maybe_finish(Context& ctx) {
   if (stopping_ || area_frames_missing_ != 0) return;
   // Every pixel is committed, so anything still pending (speculation
   // leftovers, reclaim overlap) is duplicate work by definition.
   while (!pending_.empty() && task_fully_committed(pending_.front())) {
     pending_.pop_front();
+  }
+  if (queue_depth_ != nullptr) {
+    queue_depth_->set(static_cast<double>(pending_.size()));
   }
   if (!pending_.empty()) return;
   stopping_ = true;

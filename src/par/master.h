@@ -39,6 +39,9 @@
 #include "src/net/runtime.h"
 #include "src/obs/event_trace.h"
 #include "src/obs/metrics.h"
+#include "src/obs/status_server.h"
+#include "src/obs/straggler.h"
+#include "src/obs/timeseries.h"
 #include "src/par/cost_model.h"
 #include "src/par/partition.h"
 #include "src/par/protocol.h"
@@ -81,6 +84,20 @@ struct MasterConfig {
   /// decode — CRC mismatch, bad version, malformed payload — and were
   /// treated as lost messages). Null disables.
   MetricsRegistry* metrics = nullptr;
+  /// Live telemetry plane: when sample_interval_seconds > 0 (and a sampler
+  /// or status board is attached) the master arms a kTagSampleTick
+  /// self-timer that snapshots `metrics` into `sampler`'s bounded rings and
+  /// publishes the /status JSON into `status`. The tick handler charges no
+  /// compute and sends nothing cross-rank, so under SimRuntime the ticks
+  /// ride virtual time without changing any gated output.
+  double sample_interval_seconds = 0.0;
+  TimeSeriesSampler* sampler = nullptr;
+  StatusBoard* status = nullptr;
+  /// Straggler-detection thresholds. Detection itself is always-on
+  /// bookkeeping fed by fresh commits; it surfaces through the
+  /// sched.stragglers counter, worker.straggler trace instants, and the
+  /// speculation victim ranking.
+  StragglerConfig straggler;
   /// Frame ownership map. With shards.shard_count > 1 the master runs as a
   /// *thin scheduler*: it holds no pixels, workers stream frame results
   /// directly to the owning FrameShard actor, and the master drives all
@@ -107,6 +124,9 @@ struct MasterReport {
   std::int64_t journal_bytes = 0;       // bytes appended this run
   std::int64_t journal_checkpoints = 0; // checkpoint records this run
   bool journal_ok = true;               // false after any journal I/O error
+  // -- live telemetry ---------------------------------------------------
+  std::int64_t straggler_flags = 0;     // worker → straggler transitions
+  std::int64_t telemetry_samples = 0;   // sample ticks taken
 };
 
 class RenderMaster final : public Actor {
@@ -166,6 +186,18 @@ class RenderMaster final : public Actor {
   /// letting it sit on the refusing worker until its lease expires.
   void handle_task_nack(Context& ctx, const Message& msg);
   void handle_lease_check(Context& ctx, const Message& msg);
+  /// Telemetry self-timer: snapshot metrics into the sampler, publish the
+  /// /status JSON, re-arm. Never charges compute, never sends cross-rank.
+  void handle_sample_tick(Context& ctx);
+  /// The /status document: per-worker lease/task state, queue depth, shard
+  /// completion counts, stragglers, recent throughput.
+  std::string render_status_json(Context& ctx) const;
+  /// Fresh-commit telemetry shared by the single-master and digest paths:
+  /// close the frame's flow chain, feed the straggler detector, bump the
+  /// live counters.
+  void note_commit(Context& ctx, int worker, std::int32_t task_id,
+                   std::uint64_t trace_ctx, std::int32_t frame,
+                   double render_seconds);
   void try_dispatch(Context& ctx);
   bool try_adaptive_split(Context& ctx);
   /// End-game: clone the slowest active task onto an idle worker. Returns
@@ -175,7 +207,8 @@ class RenderMaster final : public Actor {
   /// and shrink the losing copy away.
   void finish_speculation(Context& ctx, std::int32_t winner_task,
                           std::int32_t loser_task);
-  void assign(Context& ctx, int worker, const RenderTask& task);
+  /// By value: assignment mints the task's trace context before sending.
+  void assign(Context& ctx, int worker, RenderTask task);
   void maybe_finish(Context& ctx);
   /// Every region-frame of `task` already committed (or its frames fully
   /// assembled): assigning it would be pure duplicate work.
@@ -227,6 +260,14 @@ class RenderMaster final : public Actor {
   Counter* ep_frame_bytes_ = nullptr;       // endpoint.0.frame_bytes
   Counter* ep_digest_bytes_ = nullptr;      // endpoint.0.digest_bytes
   Counter* ep_decode_failures_ = nullptr;   // endpoint.0.frame_decode_failures
+  // Live scheduler instruments, registered whenever metrics are on (never
+  // gated on the telemetry plane, so sim metrics JSON is identical with the
+  // plane enabled or disabled). Updated deterministically from commits.
+  Counter* frames_committed_live_ = nullptr;  // sched.frames_committed
+  Counter* stragglers_flagged_ = nullptr;     // sched.stragglers
+  Gauge* queue_depth_ = nullptr;              // sched.queue_depth
+
+  StragglerDetector straggler_;
 
   MasterReport report_;
   FaultReport fault_report_;

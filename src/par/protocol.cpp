@@ -23,13 +23,15 @@ std::string encode_task(const RenderTask& task) {
   put_rect(&w, task.region);
   w.i32(task.first_frame);
   w.i32(task.frame_count);
+  w.u64(task.trace_ctx);
   return w.take();
 }
 
 bool decode_task(RenderTask* task, const std::string& payload) {
   WireReader r(payload);
   return r.i32(&task->task_id) && get_rect(&r, &task->region) &&
-         r.i32(&task->first_frame) && r.i32(&task->frame_count) && r.done();
+         r.i32(&task->first_frame) && r.i32(&task->frame_count) &&
+         r.u64(&task->trace_ctx) && r.done();
 }
 
 std::string encode_shrink(const ShrinkRequest& req) {
@@ -86,11 +88,13 @@ std::string encode_frame_result(const FrameResult& result, FrameCodec codec) {
   w.u8(kFrameResultVersion);
   w.i32(result.task_id);
   w.i32(result.frame);
+  w.u64(result.trace_ctx);
   w.u64(result.rays);
   w.u64(result.shadow_rays);
   w.i64(result.pixels_recomputed);
   w.u8(result.full_render);
   w.f64(result.compute_seconds);
+  w.f64(result.render_seconds);
   w.str(encode_frame_payload(
       encode_payload(result.payload),
       result.payload.dense ? kFrameKindKey : kFrameKindDelta, codec));
@@ -103,9 +107,11 @@ bool decode_frame_result(FrameResult* result, const std::string& payload) {
   std::string envelope;
   if (!(r.u8(&version) && version == kFrameResultVersion &&
         r.i32(&result->task_id) && r.i32(&result->frame) &&
-        r.u64(&result->rays) && r.u64(&result->shadow_rays) &&
+        r.u64(&result->trace_ctx) && r.u64(&result->rays) &&
+        r.u64(&result->shadow_rays) &&
         r.i64(&result->pixels_recomputed) && r.u8(&result->full_render) &&
-        r.f64(&result->compute_seconds) && r.str(&envelope) && r.done())) {
+        r.f64(&result->compute_seconds) && r.f64(&result->render_seconds) &&
+        r.str(&envelope) && r.done())) {
     return false;
   }
   std::string pixels;

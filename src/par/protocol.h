@@ -39,6 +39,7 @@ enum MsgTag : int {
   kTagRejoin = 12,      // runtime → worker: your process restarted; re-Hello
   kTagTaskNack = 13,    // worker → master: busy with another task, requeue
   kTagCommitDigest = 14,  // shard → scheduler: CommitDigest for one result
+  kTagSampleTick = 15,  // master → itself (timer): take a telemetry sample
 };
 
 struct RenderTask {
@@ -46,6 +47,11 @@ struct RenderTask {
   PixelRect region;
   std::int32_t first_frame = 0;
   std::int32_t frame_count = 0;
+  /// Trace context minted by the scheduler at assignment (nonzero) and
+  /// echoed in every FrameResult/CommitDigest the task produces, tying the
+  /// frame's whole life into one cross-rank flow chain. Always on the wire
+  /// — telemetry settings never change message bytes.
+  std::uint64_t trace_ctx = 0;
 
   std::int32_t end_frame() const { return first_frame + frame_count; }
   bool operator==(const RenderTask&) const = default;
@@ -99,13 +105,15 @@ bool decode_task_nack(TaskNack* nack, const std::string& payload);
 
 /// Version tag leading every encoded FrameResult. Bumped in PR 5 when the
 /// pixel payload moved into the compressed key/delta frame envelope
-/// (src/net/codec.h); a decoder refuses any other version rather than
-/// misinterpreting bytes.
-inline constexpr std::uint8_t kFrameResultVersion = 2;
+/// (src/net/codec.h), and again in PR 7 when the trace context and the
+/// worker's observed render time joined the header; a decoder refuses any
+/// other version rather than misinterpreting bytes.
+inline constexpr std::uint8_t kFrameResultVersion = 4;
 
 struct FrameResult {
   std::int32_t task_id = -1;
   std::int32_t frame = 0;
+  std::uint64_t trace_ctx = 0;  // echoed from the RenderTask
   PixelPayload payload;
   // accounting (summed into farm-level statistics by the master)
   std::uint64_t rays = 0;
@@ -113,6 +121,11 @@ struct FrameResult {
   std::int64_t pixels_recomputed = 0;
   std::uint8_t full_render = 0;
   double compute_seconds = 0.0;  // reference-machine cost the worker charged
+  /// Seconds the frame actually took on the worker's own clock — virtual
+  /// (speed- and slowdown-scaled) under sim, wall time elsewhere. This is
+  /// what the scheduler's straggler detector observes: compute_seconds is
+  /// machine-independent by construction and would never show slowness.
+  double render_seconds = 0.0;
 
   /// A dense payload is a self-contained key frame; a sparse payload is a
   /// delta frame the master decodes against the task's committed

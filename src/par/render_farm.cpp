@@ -8,6 +8,9 @@
 
 #include "src/net/tcp_runtime.h"
 #include "src/net/thread_runtime.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/status_server.h"
+#include "src/obs/timeseries.h"
 
 namespace now {
 
@@ -207,6 +210,16 @@ void validate_farm_config(const AnimatedScene& scene,
   if (config.journal_checkpoint_every < 1) {
     fail("journal_checkpoint_every must be >= 1");
   }
+  if (!std::isfinite(config.obs.sample_interval_seconds) ||
+      config.obs.sample_interval_seconds < 0.0) {
+    fail("obs.sample_interval_seconds must be finite and >= 0");
+  }
+  if (config.obs.status_port > 65535) {
+    fail("obs.status_port must be <= 65535");
+  }
+  if (config.obs.flight_capacity < 1) {
+    fail("obs.flight_capacity must be >= 1");
+  }
   if (config.shards < 1) fail("shards must be >= 1");
   if (config.shards > scene.frame_count()) {
     fail("shards must not exceed the frame count (a shard with no owned "
@@ -273,6 +286,26 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   // instruments, a disabled tracer is normalized to null by its consumers.
   MetricsRegistry registry(config.obs.metrics);
   EventTracer tracer(config.obs.trace);
+  // The flight recorder rides on the tracer: attaching it keeps the tracer
+  // "enabled" (every instrumented site keeps emitting) while the export
+  // buffer stays empty unless obs.trace is also on. Attach before any actor
+  // is constructed — actors normalize a disabled tracer to null.
+  FlightRecorder flight(config.obs.flight_capacity);
+  // Fatal-signal flush is armed only while the farm runs (RAII so a throwing
+  // runtime cannot leave handlers pointing at a dead recorder). Fault-
+  // injected deaths flush through the injector instead — see FaultInjector.
+  struct CrashFlushGuard {
+    bool armed = false;
+    ~CrashFlushGuard() {
+      if (armed) install_crash_flush(nullptr, "");
+    }
+  } crash_guard;
+  if (config.obs.flight_recorder) {
+    flight.set_flush_dir(config.obs.flight_dir);
+    tracer.set_flight_recorder(&flight);
+    install_crash_flush(&flight, config.obs.flight_dir);
+    crash_guard.armed = true;
+  }
   RuntimeObs obs{&tracer, &registry};
 
   MasterConfig master_config;
@@ -288,6 +321,24 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   master_config.tracer = &tracer;
   master_config.metrics = &registry;
   master_config.shards = shard_map;
+  master_config.straggler = config.obs.straggler;
+
+  // Live telemetry plane. The sampler runs on every backend (under kSim the
+  // tick is a deterministic self-message on virtual time); the HTTP server
+  // only exists on wall-clock backends.
+  const bool wall_clock = config.backend != FarmBackend::kSim;
+  const bool want_status = wall_clock && config.obs.status_port >= 0;
+  double sample_interval = config.obs.sample_interval_seconds;
+  if (sample_interval <= 0.0 && want_status) {
+    sample_interval = 0.25;  // the endpoint needs a publisher to be useful
+  }
+  TimeSeriesSampler sampler;
+  StatusBoard status_board;
+  if (sample_interval > 0.0) {
+    master_config.sample_interval_seconds = sample_interval;
+    master_config.sampler = &sampler;
+    if (want_status) master_config.status = &status_board;
+  }
 
   // Resume: replay the journal and reload completed frames before the
   // master starts. `recovery` must outlive the runtime run below.
@@ -372,6 +423,18 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   fault_plan.rejoin_tag = kTagRejoin;
 
   FarmResult result;
+
+  // Start the status endpoint before the runtime so /metrics and /status
+  // answer mid-render. Providers snapshot through their own locks; the
+  // server thread never touches actor state directly.
+  std::unique_ptr<StatusServer> status_server;
+  if (want_status) {
+    status_server = std::make_unique<StatusServer>(
+        config.obs.status_port,
+        [&registry] { return prometheus_text(registry.snapshot()); },
+        [&status_board] { return status_board.latest(); });
+    if (status_server->ok()) result.status_port = status_server->port();
+  }
   switch (config.backend) {
     case FarmBackend::kSim: {
       SimConfig sim_config;
@@ -429,6 +492,10 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
 
   publish_reports(registry, result.runtime, result.master, result.workers,
                   result.faults, result.shards);
+  if (status_server != nullptr) {
+    result.status_requests = status_server->requests_served();
+    status_server->stop();
+  }
   result.metrics = registry.snapshot();
   if (config.obs.trace) {
     result.trace_events = tracer.sorted_events();
@@ -436,6 +503,7 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
         result.trace_events,
         worker_count + 1 + static_cast<int>(shards.size()),
         result.elapsed_seconds);
+    result.flow_chains = flow_chain_stats(result.trace_events);
   }
   return result;
 }

@@ -41,6 +41,28 @@ struct FarmObsConfig {
   /// default; when disabled, instrumented code receives shared no-op
   /// instruments and FarmResult::metrics comes back empty.
   bool metrics = true;
+  /// Live telemetry plane: > 0 arms the scheduler's sample tick, which
+  /// snapshots the registry into bounded time-series rings and publishes
+  /// the /status JSON. Under kSim the ticks ride virtual time (so sampling
+  /// is deterministic) and cost no simulated compute; every gated output is
+  /// byte-identical with sampling on or off.
+  double sample_interval_seconds = 0.0;
+  /// HTTP status endpoint on 127.0.0.1 (wall-clock backends only; ignored
+  /// under kSim — the live plane is inert there). 0 picks an ephemeral
+  /// port, -1 disables. Serves GET /metrics (Prometheus text) and
+  /// GET /status (scheduler JSON). Enabling it implies a default sample
+  /// interval when none is set.
+  int status_port = -1;
+  /// Keep a bounded per-rank ring of recent trace events (even with `trace`
+  /// off) and flush a rank's ring as `trace-crash-<rank>.json` into
+  /// `flight_dir` when a fault-injected death fires. Callers wanting a
+  /// flush on real fatal signals arm install_crash_flush() themselves.
+  bool flight_recorder = false;
+  std::string flight_dir = ".";
+  int flight_capacity = 4096;
+  /// Straggler-detection thresholds (always-on commit bookkeeping; feeds
+  /// sched.stragglers and the speculation victim ranking).
+  StragglerConfig straggler;
 };
 
 struct FarmConfig {
@@ -129,6 +151,13 @@ struct FarmResult {
   /// busy/comm/idle breakdown computed from them.
   std::vector<TraceEvent> trace_events;
   UtilizationReport utilization;
+  /// Cross-rank flow chains (one per committed region-frame) found in
+  /// trace_events; connected means start + step + end spanning >= 2 ranks.
+  FlowChainStats flow_chains;
+  /// Actually bound port of the /status endpoint (-1 when it never ran) and
+  /// the number of HTTP requests it answered.
+  int status_port = -1;
+  std::int64_t status_requests = 0;
 };
 
 /// Validates `config` against `scene` and throws std::invalid_argument with

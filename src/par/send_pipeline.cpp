@@ -46,6 +46,13 @@ void SendPipeline::encode_and_send(Context& ctx, Item& item) {
          {"task", result.task_id},
          {"key", result.key_frame() ? 1 : 0},
          {"bytes", static_cast<std::int64_t>(encoded.size())}});
+    if (result.trace_ctx != 0) {
+      // Step 2 of the frame's flow chain: result encoded and on the wire.
+      options_.tracer->flow_step(
+          ctx.rank(), trace_flow_id(result.trace_ctx, result.frame),
+          ctx.now(),
+          {{"task", result.task_id}, {"frame", result.frame}, {"step", 2}});
+    }
   }
   ctx.send(options_.shards.owner_rank(result.frame), kTagFrameResult,
            std::move(encoded));

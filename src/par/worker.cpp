@@ -151,6 +151,12 @@ void RenderWorker::render_next_frame(Context& ctx) {
          {"rays", static_cast<std::int64_t>(r.stats.total_rays())}});
   }
   if (frame_seconds_hist_ != nullptr) frame_seconds_hist_->observe(cost);
+  if (config_.tracer != nullptr && task_->trace_ctx != 0) {
+    // Step 1 of the frame's flow chain: render finished on this rank.
+    config_.tracer->flow_step(
+        ctx.rank(), trace_flow_id(task_->trace_ctx, next_frame_), ctx.now(),
+        {{"task", task_->task_id}, {"frame", next_frame_}, {"step", 1}});
+  }
 
   // Intra-node parallelism instrumentation: one complete (X) span and one
   // histogram sample per parallel render chunk. r.chunks is wall-clock data
@@ -173,11 +179,16 @@ void RenderWorker::render_next_frame(Context& ctx) {
   FrameResult out;
   out.task_id = task_->task_id;
   out.frame = next_frame_;
+  out.trace_ctx = task_->trace_ctx;
   out.rays = r.stats.total_rays();
   out.shadow_rays = r.stats.shadow_rays;
   out.pixels_recomputed = r.pixels_recomputed;
   out.full_render = r.full_render ? 1 : 0;
   out.compute_seconds = cost;
+  // Elapsed on this machine's clock: the sim's charge() already applied the
+  // worker's speed factor and any slowdown window, so a slow machine reports
+  // honestly slow frames here while compute_seconds stays machine-neutral.
+  out.render_seconds = ctx.now() - span_start;
   const PixelRect& region = task_->region;
   // Ownership boundaries force a dense key frame: the next shard holds no
   // predecessor pixels for this region, so a sparse chain must never cross.

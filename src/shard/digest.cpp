@@ -17,6 +17,7 @@ std::string encode_commit_digest(const CommitDigest& d) {
   w.i32(d.worker);
   w.i32(d.task_id);
   w.i32(d.frame);
+  w.u64(d.trace_ctx);
   w.i32(d.rect.x0);
   w.i32(d.rect.y0);
   w.i32(d.rect.width);
@@ -27,6 +28,7 @@ std::string encode_commit_digest(const CommitDigest& d) {
   w.u64(d.shadow_rays);
   w.i64(d.pixels_recomputed);
   w.f64(d.compute_seconds);
+  w.f64(d.render_seconds);
   return w.take();
 }
 
@@ -34,11 +36,12 @@ bool decode_commit_digest(CommitDigest* d, const std::string& payload) {
   WireReader r(payload);
   std::uint8_t kind = 0;
   if (!(r.i32(&d->worker) && r.i32(&d->task_id) && r.i32(&d->frame) &&
-        r.i32(&d->rect.x0) && r.i32(&d->rect.y0) && r.i32(&d->rect.width) &&
+        r.u64(&d->trace_ctx) && r.i32(&d->rect.x0) && r.i32(&d->rect.y0) &&
+        r.i32(&d->rect.width) &&
         r.i32(&d->rect.height) && r.u8(&kind) && r.u8(&d->full_render) &&
         r.u64(&d->rays) && r.u64(&d->shadow_rays) &&
         r.i64(&d->pixels_recomputed) && r.f64(&d->compute_seconds) &&
-        r.done())) {
+        r.f64(&d->render_seconds) && r.done())) {
     return false;
   }
   if (kind < static_cast<std::uint8_t>(CommitKind::kFresh) ||

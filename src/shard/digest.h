@@ -40,6 +40,9 @@ struct CommitDigest {
   std::int32_t worker = -1;
   std::int32_t task_id = -1;
   std::int32_t frame = -1;
+  /// Trace context relayed from the FrameResult, so the scheduler can close
+  /// the frame's cross-rank flow chain at digest time (0 on decode failure).
+  std::uint64_t trace_ctx = 0;
   PixelRect rect;
   CommitKind kind = CommitKind::kFresh;
   std::uint8_t full_render = 0;
@@ -48,6 +51,9 @@ struct CommitDigest {
   std::uint64_t shadow_rays = 0;
   std::int64_t pixels_recomputed = 0;
   double compute_seconds = 0.0;
+  /// Elapsed render time on the worker's own clock (see
+  /// FrameResult::render_seconds) — feeds the scheduler's straggler EWMAs.
+  double render_seconds = 0.0;
 };
 
 std::string encode_commit_digest(const CommitDigest& d);

@@ -129,12 +129,14 @@ void FrameShard::handle_frame_result(Context& ctx, const Message& msg) {
   ++report_.frame_results;
   d.task_id = result.task_id;
   d.frame = result.frame;
+  d.trace_ctx = result.trace_ctx;
   d.rect = result.payload.rect;
   d.full_render = result.full_render;
   d.rays = result.rays;
   d.shadow_rays = result.shadow_rays;
   d.pixels_recomputed = result.pixels_recomputed;
   d.compute_seconds = result.compute_seconds;
+  d.render_seconds = result.render_seconds;
 
   const int frame = result.frame;
   assert(frame >= first_ && frame < end_ &&
@@ -229,6 +231,11 @@ void FrameShard::handle_frame_result(Context& ctx, const Message& msg) {
                             {{"worker", msg.source},
                              {"frame", frame},
                              {"full", result.full_render ? 1 : 0}});
+    if (result.trace_ctx != 0) {
+      config_.tracer->flow_step(
+          ctx.rank(), trace_flow_id(result.trace_ctx, frame), ctx.now(),
+          {{"task", result.task_id}, {"frame", frame}, {"step", 3}});
+    }
   }
 
   area_missing_[local] -= region.area();

@@ -8,7 +8,8 @@
 //        [--journal FILE] [--resume] [--speculate] [--shards N]
 //        [--trace-out FILE] [--metrics-out FILE] [--report]
 //        [--status-port P] [--sample-interval S] [--flight-recorder [DIR]]
-//        [--kill-worker R]
+//        [--kill-worker R] [--kill-shard S] [--kill-scheduler]
+//        [--chaos-seed N]
 //
 // --threads sets the render threads *inside* each worker (0 = one per
 // hardware thread, the default; output is byte-identical for any value).
@@ -59,6 +60,20 @@
 // exercises death → reclaim → recovery end to end (pair with
 // --flight-recorder to get R's crash trace).
 //
+// Failure drills for the other rank classes: --kill-shard S kills
+// framebuffer shard S (0-based; requires --shards > S and --journal) after
+// its second committed digest and restarts it one second later — the
+// scheduler rolls the shard's incomplete frames back and the replacement
+// rebuilds committed state from its journal segment. --kill-scheduler kills
+// rank 0 after its third task assignment (sim backend with --journal only);
+// the run ends partial and a rerun with --resume restarts the scheduler
+// from its checkpoint, byte-identical to an uninterrupted run.
+// --chaos-seed N expands seed N into a randomized fault schedule (kills,
+// drops, duplicates, reorders, delays — exactly the soak harness's
+// generator), prints it, and runs under it; the same seed and shape always
+// replays the same schedule. All drills flush trace-crash-<rank>.json for
+// every induced death when --flight-recorder is armed.
+//
 // With --backend threads or tcp, rendering runs with real parallelism on
 // this machine (wall-clock timing); with sim (default) it runs on the
 // deterministic virtual cluster with per-worker speed factors.
@@ -73,7 +88,9 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/chaos.h"
 #include "src/obs/flight_recorder.h"
+#include "src/par/protocol.h"
 #include "src/par/render_farm.h"
 #include "src/par/serial.h"
 #include "src/scene/scene_parser.h"
@@ -115,6 +132,28 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool report = false;
+  bool kill_worker = false;
+  int kill_shard = -1;
+  bool kill_scheduler = false;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+  // Shared by every failure drill. Progress leases must outlast an honest
+  // frame render or healthy workers get written off as dead: under sim a
+  // demo frame costs minutes of *virtual* time (which is free to wait out),
+  // so leases are generous there; under threads/tcp frames render at real
+  // speed and short wall-clock leases keep detection snappy.
+  const auto arm_drill_leases = [&config] {
+    config.fault.enabled = true;
+    if (config.backend == FarmBackend::kSim) {
+      config.fault.lease_base_seconds = 900.0;
+      config.fault.lease_per_frame_seconds = 240.0;
+      config.fault.ping_grace_seconds = 300.0;
+    } else {
+      config.fault.lease_base_seconds = 5.0;
+      config.fault.lease_per_frame_seconds = 0.5;
+      config.fault.ping_grace_seconds = 2.0;
+    }
+  };
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -184,14 +223,71 @@ int main(int argc, char** argv) {
       ev.rank = std::atoi(argv[++i]);
       ev.after_frames = 2;
       config.fault_plan.events.push_back(ev);
-      config.fault.enabled = true;
-      config.fault.lease_base_seconds = 5.0;
-      config.fault.lease_per_frame_seconds = 0.5;
-      config.fault.ping_grace_seconds = 2.0;
+      kill_worker = true;
+    } else if (arg == "--kill-shard" && i + 1 < argc) {
+      // Shard index, resolved to its world rank after all flags are parsed
+      // (the rank depends on --workers/--speeds and --shards).
+      kill_shard = std::atoi(argv[++i]);
+    } else if (arg == "--kill-scheduler") {
+      kill_scheduler = true;
+    } else if (arg == "--chaos-seed" && i + 1 < argc) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
     }
+  }
+
+  const int worker_count = config.worker_speeds.empty()
+                               ? config.workers
+                               : static_cast<int>(config.worker_speeds.size());
+  if (kill_worker) arm_drill_leases();
+  if (kill_shard >= 0) {
+    if (config.shards <= 1 || kill_shard >= config.shards) {
+      std::fprintf(stderr,
+                   "--kill-shard %d needs --shards greater than %d\n",
+                   kill_shard, kill_shard);
+      return 2;
+    }
+    if (config.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "--kill-shard needs --journal: the replacement rebuilds "
+                   "from its journal segment\n");
+      return 2;
+    }
+    const int rank = 1 + worker_count + kill_shard;
+    config.fault_plan.events.push_back(FaultPlan::crash_after_frames(rank, 2));
+    config.fault_plan.events.push_back(FaultPlan::rejoin_after_crash(rank, 1.0));
+    arm_drill_leases();
+    std::printf("drill: shard %d (rank %d) dies after its 2nd digest, "
+                "restarts 1s later\n", kill_shard, rank);
+  }
+  if (kill_scheduler) {
+    if (config.backend != FarmBackend::kSim || config.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "--kill-scheduler needs --backend sim and --journal (the "
+                   "restart path is a --resume rerun)\n");
+      return 2;
+    }
+    config.fault_plan.events.push_back(FaultPlan::crash_after_frames(0, 3));
+    std::printf("drill: scheduler dies after its 3rd task assignment\n");
+  }
+  if (chaos) {
+    ChaosConfig cc;
+    cc.seed = chaos_seed;
+    cc.worker_count = worker_count;
+    cc.shard_count = config.shards;
+    cc.journaled = !config.journal_path.empty();
+    cc.sim = config.backend == FarmBackend::kSim;
+    cc.result_tag = kTagFrameResult;
+    const FaultPlan plan = make_chaos_plan(cc);
+    config.fault_plan.events.insert(config.fault_plan.events.end(),
+                                    plan.events.begin(), plan.events.end());
+    arm_drill_leases();
+    std::printf("chaos seed %llu:\n%s",
+                static_cast<unsigned long long>(chaos_seed),
+                describe_fault_plan(plan).c_str());
   }
 
   const ParseResult parsed = parse_scene_file(scene_path);
@@ -253,7 +349,29 @@ int main(int argc, char** argv) {
               static_cast<long long>(result.runtime.messages),
               static_cast<double>(result.runtime.bytes) / 1e6,
               static_cast<long long>(result.master.adaptive_splits));
-  std::printf("frames written to %s/farm_NNNN.tga\n", out_dir.c_str());
+  if (config.fault.enabled || !config.fault_plan.events.empty()) {
+    std::printf("recovery: %d death(s) detected, %d worker rejoin(s), "
+                "%d shard failure(s), %d shard rebuild(s), %lld frame(s) "
+                "reassigned\n",
+                result.faults.deaths_detected, result.faults.workers_rejoined,
+                result.faults.shards_failed, result.faults.shards_rejoined,
+                static_cast<long long>(result.faults.frames_reassigned));
+  }
+  const long long frames_done = result.master.frames_completed +
+                                result.resume.frames_restored;
+  const bool incomplete = frames_done < scene.frame_count();
+  if (incomplete && !kill_scheduler) {
+    std::fprintf(stderr,
+                 "INCOMPLETE: %lld of %d frame(s) finished — the farm "
+                 "stopped before the render was done\n",
+                 frames_done, scene.frame_count());
+  } else if (!incomplete) {
+    std::printf("frames written to %s/farm_NNNN.tga\n", out_dir.c_str());
+  }
+  if (kill_scheduler) {
+    std::printf("scheduler was killed mid-run: rerun with --resume to "
+                "restart it from the journal's checkpoint\n");
+  }
   if (result.status_port >= 0) {
     std::printf("status endpoint: http://127.0.0.1:%d served %lld "
                 "request(s) (/metrics, /status)\n",
@@ -297,5 +415,7 @@ int main(int argc, char** argv) {
   if (report) {
     std::printf("\n%s", result.utilization.to_text().c_str());
   }
-  return 0;
+  // A scheduler-kill drill is *supposed* to end partial (the restart is a
+  // --resume rerun); every other incomplete render is a failure.
+  return (incomplete && !kill_scheduler) ? 1 : 0;
 }

@@ -114,6 +114,17 @@ std::string encode_checkpoint(const CheckpointRecord& rec) {
     w.i32(v.next_expected);
     w.i32(v.end_frame);
   }
+  // v2 trailer: scheduler-restart state. Old readers never existed for this
+  // format (decode tolerates its absence instead).
+  w.i32(rec.next_task_id);
+  w.u32(static_cast<std::uint32_t>(rec.stragglers.size()));
+  for (const CheckpointRecord::StragglerStat& s : rec.stragglers) {
+    w.i32(s.worker);
+    w.f64(s.ewma);
+    w.f64(s.dev);
+    w.i32(s.n);
+    w.u8(s.flagged ? 1 : 0);
+  }
   return w.take();
 }
 
@@ -144,6 +155,21 @@ bool decode_checkpoint(CheckpointRecord* rec, const std::string& payload) {
           r.i32(&v.next_expected) && r.i32(&v.end_frame))) {
       return false;
     }
+  }
+  if (r.done()) return true;  // pre-restart checkpoint: no trailer
+  std::uint32_t stragglers = 0;
+  if (!r.i32(&rec->next_task_id) || !r.u32(&stragglers) ||
+      stragglers > (1u << 20)) {
+    return false;
+  }
+  rec->stragglers.assign(stragglers, {});
+  for (CheckpointRecord::StragglerStat& s : rec->stragglers) {
+    std::uint8_t flagged = 0;
+    if (!(r.i32(&s.worker) && r.f64(&s.ewma) && r.f64(&s.dev) && r.i32(&s.n) &&
+          r.u8(&flagged))) {
+      return false;
+    }
+    s.flagged = flagged != 0;
   }
   return r.done();
 }

@@ -86,10 +86,26 @@ struct CheckpointRecord {
     std::int32_t next_expected = 0;
     std::int32_t end_frame = 0;
   };
+  /// Per-worker straggler statistics (EWMA render time, deviation band,
+  /// sample count, flagged level) so a restarted scheduler ranks
+  /// speculation victims with the dead run's knowledge instead of cold.
+  struct StragglerStat {
+    std::int32_t worker = -1;
+    double ewma = 0.0;
+    double dev = 0.0;
+    std::int32_t n = 0;
+    bool flagged = false;
+  };
 
   std::vector<bool> completed;  // one bit per frame
   std::vector<Task> pending;
   std::vector<WorkerView> in_flight;
+
+  // -- v2 trailer (scheduler checkpoint/restart). Absent in records written
+  // before scheduler restart existed; decode leaves the defaults, which a
+  // restoring scheduler treats as "no extra state".
+  std::int32_t next_task_id = -1;
+  std::vector<StragglerStat> stragglers;
 };
 
 /// CRC-32 of a framebuffer region's RGB bytes in row-major order — the

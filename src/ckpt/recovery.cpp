@@ -5,6 +5,31 @@
 #include "src/image/image_io.h"
 
 namespace now {
+namespace {
+
+/// Load frame `f` back from disk and verify it against the digest its
+/// kFrameComplete record promised. Failure means re-render, never trust.
+bool load_verified_frame(Framebuffer* fb, const JournalReplay& rep,
+                         const std::string& frames_dir,
+                         const std::string& prefix, int f, int width,
+                         int height) {
+  const auto digest_it = rep.frame_digest.find(f);
+  return read_tga(fb, frame_file_path(frames_dir, prefix, f)) &&
+         fb->width() == width && fb->height() == height &&
+         digest_it != rep.frame_digest.end() &&
+         digest_frame(*fb) == digest_it->second;
+}
+
+void bucket_commits(std::vector<std::vector<RegionCommitRecord>>* by_frame,
+                    const JournalReplay& rep, int frame_count) {
+  for (const RegionCommitRecord& rec : rep.commits) {
+    if (rec.frame >= 0 && rec.frame < frame_count) {
+      (*by_frame)[rec.frame].push_back(rec);
+    }
+  }
+}
+
+}  // namespace
 
 std::string frame_file_path(const std::string& dir, const std::string& prefix,
                             int frame) {
@@ -49,21 +74,19 @@ RecoveryState build_recovery(const std::string& journal_path,
   state.journal_truncated = replay.truncated_tail;
   state.journal_valid_bytes = replay.valid_bytes;
   state.frames.assign(static_cast<std::size_t>(frame_count), std::nullopt);
+  state.frame_commits.assign(static_cast<std::size_t>(frame_count), {});
+  state.last_checkpoint = replay.last_checkpoint;
 
   const auto load_completed = [&](const JournalReplay& rep) {
+    bucket_commits(&state.frame_commits, rep, frame_count);
     for (int f = 0; f < frame_count; ++f) {
       if (f >= static_cast<int>(rep.frame_complete.size()) ||
           !rep.frame_complete[f] || state.frames[f].has_value()) {
         continue;
       }
-      const auto digest_it = rep.frame_digest.find(f);
       Framebuffer fb;
-      const bool loaded =
-          read_tga(&fb, frame_file_path(frames_dir, prefix, f)) &&
-          fb.width() == width && fb.height() == height &&
-          digest_it != rep.frame_digest.end() &&
-          digest_frame(fb) == digest_it->second;
-      if (loaded) {
+      if (load_verified_frame(&fb, rep, frames_dir, prefix, f, width,
+                              height)) {
         state.frames[f] = std::move(fb);
         ++state.frames_restored;
       } else {
@@ -101,6 +124,48 @@ RecoveryState build_recovery(const std::string& journal_path,
   }
   state.frames_to_render = frame_count - state.frames_restored;
   return state;
+}
+
+ShardRebuild rebuild_shard_segment(const std::string& segment_path,
+                                   const std::string& frames_dir,
+                                   const std::string& prefix, int width,
+                                   int height, int frame_count,
+                                   int shard_count, int shard_index) {
+  ShardRebuild out;
+  out.frames.assign(static_cast<std::size_t>(frame_count), std::nullopt);
+  out.frame_commits.assign(static_cast<std::size_t>(frame_count), {});
+
+  const JournalReplay seg = replay_journal(segment_path);
+  if (!seg.ok) {
+    // No segment (or no valid header): the shard restarts from nothing —
+    // safe, everything it owned re-renders.
+    out.ok = true;
+    return out;
+  }
+  if (seg.header.width != width || seg.header.height != height ||
+      seg.header.frame_count != frame_count ||
+      seg.header.shard_count != shard_count ||
+      (shard_count > 1 && seg.header.shard_index != shard_index)) {
+    out.error = "journal segment belongs to a different run";
+    return out;
+  }
+  out.ok = true;
+  out.valid_bytes = seg.valid_bytes;
+  bucket_commits(&out.frame_commits, seg, frame_count);
+  for (int f = 0; f < frame_count; ++f) {
+    if (f >= static_cast<int>(seg.frame_complete.size()) ||
+        !seg.frame_complete[f]) {
+      continue;
+    }
+    Framebuffer fb;
+    if (load_verified_frame(&fb, seg, frames_dir, prefix, f, width, height)) {
+      out.frames[f] = std::move(fb);
+      ++out.frames_restored;
+    } else {
+      ++out.frames_demoted;
+    }
+  }
+  return out;
 }
 
 }  // namespace now

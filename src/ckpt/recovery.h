@@ -46,6 +46,17 @@ struct RecoveryState {
   /// shard starts a fresh segment and its frames re-render.
   int shard_count = 1;
   std::vector<std::size_t> shard_valid_bytes;
+
+  /// Last kCheckpoint in the scheduler journal's valid prefix (the compacted
+  /// task table + straggler stats), if any — a restarting scheduler resumes
+  /// its task structure from here instead of re-partitioning from scratch.
+  std::optional<CheckpointRecord> last_checkpoint;
+  /// Region commits folded from every valid journal prefix, bucketed by
+  /// frame. Two consumers: a restarting scheduler re-covers committed-but-
+  /// lost cells of incomplete frames (their pixels died with the process),
+  /// and a rebuilt shard re-arms its idempotent commit gate for completed
+  /// frames so late duplicates cannot double-apply.
+  std::vector<std::vector<RegionCommitRecord>> frame_commits;
 };
 
 /// Name of frame `frame`'s targa file under `dir` with `prefix` — the single
@@ -68,5 +79,33 @@ RecoveryState build_recovery(const std::string& journal_path,
                              const std::string& frames_dir,
                              const std::string& prefix, int width, int height,
                              int frame_count, int shard_count = 1);
+
+/// What a replacement shard rebuilds from its own journal segment: the
+/// durable (digest-verified) frames it had completed, the commit records to
+/// re-arm its duplicate gate with, and the segment prefix to truncate to
+/// before appending. Used by in-process shard failover (kTagRejoin) — the
+/// same fold build_recovery() does at process start, scoped to one segment.
+struct ShardRebuild {
+  bool ok = false;
+  std::string error;
+  /// Indexed by GLOBAL frame number; only the shard's owned completed
+  /// frames are populated.
+  std::vector<std::optional<Framebuffer>> frames;
+  std::vector<std::vector<RegionCommitRecord>> frame_commits;
+  int frames_restored = 0;
+  int frames_demoted = 0;
+  std::size_t valid_bytes = 0;
+};
+
+/// Replay the journal segment at `segment_path` (the shard's own file, as
+/// named by shard_journal_path(); a single-master run passes its journal
+/// directly) and reload its completed frames from `frames_dir`. A missing or
+/// headerless segment comes back ok with zero valid bytes: the shard
+/// restarts empty and its frames re-render, which is always safe.
+ShardRebuild rebuild_shard_segment(const std::string& segment_path,
+                                   const std::string& frames_dir,
+                                   const std::string& prefix, int width,
+                                   int height, int frame_count,
+                                   int shard_count, int shard_index);
 
 }  // namespace now

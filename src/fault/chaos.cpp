@@ -1,0 +1,107 @@
+#include "src/fault/chaos.h"
+
+#include <cassert>
+
+namespace now {
+
+std::uint64_t ChaosRng::next() {
+  std::uint64_t x = (state += 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+int ChaosRng::below(int n) {
+  assert(n >= 1);
+  return static_cast<int>(next() % static_cast<std::uint64_t>(n));
+}
+
+double ChaosRng::unit() {
+  // 53 uniform bits → [0, 1), the same mapping the backoff jitter uses.
+  return static_cast<double>(next() >> 11) / 9007199254740992.0;
+}
+
+double ChaosRng::range(double lo, double hi) { return lo + (hi - lo) * unit(); }
+
+FaultPlan make_chaos_plan(const ChaosConfig& config) {
+  assert(config.worker_count >= 1);
+  ChaosRng rng{config.seed};
+  // Burn a few draws so adjacent seeds do not share a prefix of decisions.
+  for (int i = 0; i < 3; ++i) rng.next();
+
+  FaultPlan plan;
+  const bool sharded = config.shard_count > 1;
+  const int first_shard_rank = config.worker_count + 1;
+
+  // One worker kill+rejoin in roughly two plans out of three. The crash is
+  // progress-triggered (after N frame results) so it always lands mid-render
+  // regardless of scene size; the rejoin is relative so the revived rank
+  // comes back while recovery is still interesting.
+  if (config.worker_count >= 1 && rng.below(3) != 0) {
+    const int rank = 1 + rng.below(config.worker_count);
+    plan.events.push_back(
+        FaultPlan::crash_after_frames(rank, 1 + rng.below(3)));
+    plan.events.push_back(
+        FaultPlan::rejoin_after_crash(rank, rng.range(0.5, 4.0)));
+  }
+
+  // One shard kill+rejoin in half of the journaled sharded plans. Never the
+  // same rank class twice: a shard rank is disjoint from the worker ranks,
+  // so the one-crash-per-rank rule holds by construction.
+  if (sharded && config.journaled && rng.below(2) == 0) {
+    const int rank = first_shard_rank + rng.below(config.shard_count);
+    plan.events.push_back(
+        FaultPlan::crash_after_frames(rank, 1 + rng.below(4)));
+    plan.events.push_back(
+        FaultPlan::rejoin_after_crash(rank, rng.range(0.5, 4.0)));
+  }
+
+  // Message and window faults on top.
+  const int extras = config.max_events > 0 ? rng.below(config.max_events + 1)
+                                           : 0;
+  for (int i = 0; i < extras; ++i) {
+    const int worker = 1 + rng.below(config.worker_count);
+    switch (rng.below(config.sim ? 5 : 4)) {
+      case 0:
+        if (config.result_tag < 0) break;
+        plan.events.push_back(FaultPlan::drop_nth(worker, 1 + rng.below(6),
+                                                  config.result_tag));
+        break;
+      case 1:
+        if (config.result_tag < 0) break;
+        plan.events.push_back(FaultPlan::duplicate_nth(
+            worker, 1 + rng.below(6), config.result_tag));
+        break;
+      case 2:
+        if (config.result_tag < 0) break;
+        plan.events.push_back(FaultPlan::reorder_nth(
+            worker, 1 + rng.below(6), config.result_tag));
+        break;
+      case 3: {
+        // Delay spike into any non-zero rank's mailbox — worker or shard;
+        // delivery delay is survivable everywhere.
+        const int faultable = config.worker_count +
+                              (sharded ? config.shard_count : 0);
+        const int rank = 1 + rng.below(faultable);
+        const double begin = rng.range(0.0, config.horizon_seconds * 0.75);
+        plan.events.push_back(FaultPlan::delay_window(
+            rank, begin, begin + rng.range(0.5, config.horizon_seconds * 0.25),
+            rng.range(0.05, 1.0)));
+        break;
+      }
+      case 4: {
+        const double begin = rng.range(0.0, config.horizon_seconds * 0.5);
+        plan.events.push_back(FaultPlan::slowdown_window(
+            worker, begin, begin + rng.range(1.0, config.horizon_seconds * 0.5),
+            rng.range(0.3, 0.9)));
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace now

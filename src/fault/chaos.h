@@ -1,0 +1,68 @@
+// Seeded chaos schedules for the soak harness.
+//
+// make_chaos_plan() expands one 64-bit seed into a randomized-but-legal
+// FaultPlan: worker and shard kills with rejoins, message drops /
+// duplications / reorders on the frame-result path, delivery-delay spikes
+// and (sim-only) compute slowdowns. The generator owns its PRNG (a
+// splitmix64 walk — std::minstd/mt19937 distributions are not bit-stable
+// across standard libraries) so a seed names exactly one schedule on every
+// platform: a failing soak iteration prints its seed and anyone can replay
+// the identical run with --chaos-seed.
+//
+// Every plan the generator emits passes validate_fault_plan() and respects
+// the farm's recovery envelope:
+//   - at most one crash (+ its rejoin) per rank;
+//   - shard kills only when the run is journaled (the replacement rebuilds
+//     from its journal segment);
+//   - scheduler kills are never generated — rank 0 cannot rejoin in-process
+//     and is exercised by the dedicated checkpoint/restart tests instead;
+//   - message faults target the frame-result tag, whose loss the lease /
+//     gap-reclaim machinery is designed to absorb (dropping e.g. a Hello
+//     models a failure the protocol does not claim to survive).
+#pragma once
+
+#include <cstdint>
+
+#include "src/fault/fault_plan.h"
+
+namespace now {
+
+/// Deterministic splitmix64 stream. Public because the soak tests also draw
+/// per-iteration seeds from it.
+struct ChaosRng {
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+
+  std::uint64_t next();
+  /// Uniform in [0, n); n must be >= 1.
+  int below(int n);
+  /// Uniform in [0, 1).
+  double unit();
+  /// Uniform in [lo, hi).
+  double range(double lo, double hi);
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  int worker_count = 3;
+  /// FarmConfig::shards. <= 1 means unsharded: no shard ranks exist and no
+  /// shard kills are generated.
+  int shard_count = 1;
+  /// The run writes a journal: shard kills become legal.
+  bool journaled = false;
+  /// The plan targets the sim backend: slowdown windows may be generated.
+  bool sim = true;
+  /// Upper bound for window placement (virtual seconds under kSim).
+  double horizon_seconds = 20.0;
+  /// Soft cap on message/window faults (crashes and rejoins are extra).
+  int max_events = 5;
+  /// Tag whose messages may be dropped/duplicated/reordered — wire this to
+  /// kTagFrameResult. < 0 disables message faults.
+  int result_tag = -1;
+};
+
+/// Expands `config.seed` into a legal fault schedule (see file comment).
+/// The returned plan still needs the farm's tag wiring (progress/rejoin
+/// tags), which render_farm() applies to every plan it is handed.
+FaultPlan make_chaos_plan(const ChaosConfig& config);
+
+}  // namespace now

@@ -16,8 +16,13 @@ FaultInjector::FaultInjector(FaultPlan plan, int world_size,
 }
 
 bool FaultInjector::crashed(int rank, double now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return crashed_locked(rank, now);
+  bool out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = crashed_locked(rank, now);
+  }
+  drain_rejoin_queue();
+  return out;
 }
 
 bool FaultInjector::crashed_locked(int rank, double now) {
@@ -33,6 +38,7 @@ bool FaultInjector::crashed_locked(int rank, double now) {
       ++crashes_;
       if (tracer_) tracer_->instant(rank, "fault", "fault.crash", now);
       flush_flight_locked(rank);
+      queue_relative_rejoin_locked(rank, now);
       return true;
     }
   }
@@ -55,54 +61,67 @@ void FaultInjector::revive(int rank, double now) {
 
 FaultInjector::SendFaults FaultInjector::on_send(int src, int /*dest*/,
                                                  int tag, double now) {
-  std::lock_guard<std::mutex> lock(mu_);
   SendFaults out;
-  if (src < 0 || src >= static_cast<int>(ranks_.size())) return out;
-  RankState& state = ranks_[src];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (src < 0 || src >= static_cast<int>(ranks_.size())) return out;
+    RankState& state = ranks_[src];
 
-  if (tag == plan_.progress_tag) {
-    ++state.progress_sends;
-    // after_frames crash: the N-th result is delivered, then the rank dies.
-    if (!state.crashed) {
-      for (std::size_t i = 0; i < plan_.events.size(); ++i) {
-        const FaultEvent& e = plan_.events[i];
-        if (e.kind == FaultKind::kCrash && e.rank == src && !event_fired_[i] &&
-            e.after_frames >= 0 && state.progress_sends >= e.after_frames) {
-          event_fired_[i] = true;
-          state.crashed = true;
-          ++crashes_;
-          if (tracer_) tracer_->instant(src, "fault", "fault.crash", now);
-          flush_flight_locked(src);
-          break;
+    if (tag == plan_.progress_tag_for(src)) {
+      ++state.progress_sends;
+      // after_frames crash: the N-th result is delivered, then the rank dies.
+      if (!state.crashed) {
+        for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+          const FaultEvent& e = plan_.events[i];
+          if (e.kind == FaultKind::kCrash && e.rank == src &&
+              !event_fired_[i] && e.after_frames >= 0 &&
+              state.progress_sends >= e.after_frames) {
+            event_fired_[i] = true;
+            state.crashed = true;
+            ++crashes_;
+            if (tracer_) tracer_->instant(src, "fault", "fault.crash", now);
+            flush_flight_locked(src);
+            queue_relative_rejoin_locked(src, now);
+            break;
+          }
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+      const FaultEvent& e = plan_.events[i];
+      if (e.rank != src || event_fired_[i]) continue;
+      if (e.kind != FaultKind::kDropMessage &&
+          e.kind != FaultKind::kDuplicateMessage &&
+          e.kind != FaultKind::kReorderMessage) {
+        continue;
+      }
+      if (e.tag >= 0 && e.tag != tag) continue;
+      if (++event_matches_[i] < e.nth_message) continue;
+      event_fired_[i] = true;
+      if (e.kind == FaultKind::kDropMessage) {
+        out.drop = true;
+        ++dropped_;
+        if (tracer_) {
+          tracer_->instant(src, "fault", "fault.drop", now, {{"tag", tag}});
+        }
+      } else if (e.kind == FaultKind::kDuplicateMessage) {
+        out.duplicate = true;
+        ++duplicated_;
+        if (tracer_) {
+          tracer_->instant(src, "fault", "fault.duplicate", now,
+                           {{"tag", tag}});
+        }
+      } else {
+        out.hold = true;
+        ++reordered_;
+        if (tracer_) {
+          tracer_->instant(src, "fault", "fault.reorder", now, {{"tag", tag}});
         }
       }
     }
   }
-
-  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
-    const FaultEvent& e = plan_.events[i];
-    if (e.rank != src || event_fired_[i]) continue;
-    if (e.kind != FaultKind::kDropMessage &&
-        e.kind != FaultKind::kDuplicateMessage) {
-      continue;
-    }
-    if (e.tag >= 0 && e.tag != tag) continue;
-    if (++event_matches_[i] < e.nth_message) continue;
-    event_fired_[i] = true;
-    if (e.kind == FaultKind::kDropMessage) {
-      out.drop = true;
-      ++dropped_;
-      if (tracer_) {
-        tracer_->instant(src, "fault", "fault.drop", now, {{"tag", tag}});
-      }
-    } else {
-      out.duplicate = true;
-      ++duplicated_;
-      if (tracer_) {
-        tracer_->instant(src, "fault", "fault.duplicate", now, {{"tag", tag}});
-      }
-    }
-  }
+  drain_rejoin_queue();
   return out;
 }
 
@@ -128,6 +147,32 @@ double FaultInjector::charge_scale(int rank, double now) const {
     }
   }
   return scale;
+}
+
+void FaultInjector::set_rejoin_hook(RejoinHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rejoin_hook_ = std::move(hook);
+}
+
+void FaultInjector::queue_relative_rejoin_locked(int rank, double now) {
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kRejoin && e.rank == rank &&
+        e.after_crash_seconds > 0.0) {
+      rejoin_queue_.emplace_back(rank, now + e.after_crash_seconds);
+    }
+  }
+}
+
+void FaultInjector::drain_rejoin_queue() {
+  std::vector<std::pair<int, double>> fire;
+  RejoinHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rejoin_queue_.empty() || !rejoin_hook_) return;
+    fire.swap(rejoin_queue_);
+    hook = rejoin_hook_;
+  }
+  for (const auto& f : fire) hook(f.first, f.second);
 }
 
 void FaultInjector::flush_flight_locked(int rank) {
@@ -163,6 +208,11 @@ std::int64_t FaultInjector::messages_duplicated() const {
   return duplicated_;
 }
 
+std::int64_t FaultInjector::messages_reordered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reordered_;
+}
+
 void FaultInjector::export_metrics(MetricsRegistry* registry) const {
   if (registry == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -172,6 +222,8 @@ void FaultInjector::export_metrics(MetricsRegistry* registry) const {
       .inc(static_cast<std::uint64_t>(dropped_));
   registry->counter("fault.messages_duplicated")
       .inc(static_cast<std::uint64_t>(duplicated_));
+  registry->counter("fault.messages_reordered")
+      .inc(static_cast<std::uint64_t>(reordered_));
 }
 
 }  // namespace now

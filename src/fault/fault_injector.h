@@ -9,7 +9,10 @@
 //   - on_send(src, dest, tag, now): consulted once per cross-rank send by a
 //     live rank; counts the rank's sends and frame-result progress (arming
 //     after_frames crash triggers) and reports whether this particular
-//     message must be dropped or duplicated.
+//     message must be dropped, duplicated, or held for reordering. A held
+//     message is buffered by the runtime and delivered right after the
+//     rank's next send to the same destination (degrading to a drop when no
+//     later send comes — the lease machinery recovers either way).
 //   - delivery_delay(dest, now): extra latency for deliveries into `dest`
 //     while inside a kDelaySpike window.
 //   - charge_scale(rank, now): compute-time multiplier (>= 1 when slowed)
@@ -22,7 +25,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/fault/fault_plan.h"
@@ -36,7 +41,15 @@ class FaultInjector {
   struct SendFaults {
     bool drop = false;
     bool duplicate = false;
+    /// Hold this message and release it after the rank's next send to the
+    /// same destination (kReorderMessage).
+    bool hold = false;
   };
+
+  /// Called (outside the injector lock) when a crash fires for a rank whose
+  /// kRejoin uses after_crash_seconds: the runtime must arrange the rejoin
+  /// delivery at the resolved absolute time.
+  using RejoinHook = std::function<void(int rank, double at_time)>;
 
   /// `tracer` (optional) receives an instant event for every injected fault
   /// — crash, drop, duplicate — on the affected rank's timeline.
@@ -59,11 +72,16 @@ class FaultInjector {
   double delivery_delay(int dest, double now) const;
   double charge_scale(int rank, double now) const;
 
+  /// Installs the relative-rejoin scheduler. Invoked at most once per rank,
+  /// the moment its crash fires, from whichever thread observed the crash.
+  void set_rejoin_hook(RejoinHook hook);
+
   // -- counters (for stats/tests) -----------------------------------------
   int crashes_triggered() const;
   int rejoins_triggered() const;
   std::int64_t messages_dropped() const;
   std::int64_t messages_duplicated() const;
+  std::int64_t messages_reordered() const;
 
   /// Publishes the fault counters (fault.crashes, fault.messages_dropped,
   /// fault.messages_duplicated) into `registry`.
@@ -74,21 +92,29 @@ class FaultInjector {
   /// Crash fired for `rank`: if the tracer carries a FlightRecorder with a
   /// flush directory configured, write the rank's crash trace now.
   void flush_flight_locked(int rank);
+  /// Crash fired for `rank`: queue its relative rejoin (if any) for the
+  /// hook, resolved against the crash time.
+  void queue_relative_rejoin_locked(int rank, double now);
+  /// Invoke the rejoin hook for queued resolutions. Call WITHOUT mu_ held.
+  void drain_rejoin_queue();
 
   mutable std::mutex mu_;
   FaultPlan plan_;
   EventTracer* tracer_;
+  RejoinHook rejoin_hook_;
+  std::vector<std::pair<int, double>> rejoin_queue_;  // (rank, at_time)
   struct RankState {
     bool crashed = false;
-    std::int64_t progress_sends = 0;  // messages with plan_.progress_tag
+    std::int64_t progress_sends = 0;  // messages with the rank's progress tag
   };
   std::vector<RankState> ranks_;
-  std::vector<std::int64_t> event_matches_;  // per drop/dup event
-  std::vector<bool> event_fired_;            // drop/dup/crash: consumed
+  std::vector<std::int64_t> event_matches_;  // per drop/dup/reorder event
+  std::vector<bool> event_fired_;            // drop/dup/reorder/crash
   int crashes_ = 0;
   int rejoins_ = 0;
   std::int64_t dropped_ = 0;
   std::int64_t duplicated_ = 0;
+  std::int64_t reordered_ = 0;
 };
 
 }  // namespace now

@@ -38,6 +38,17 @@ struct FaultReport {
   /// dead rank clears its death sentence; the rank starts fresh and pays a
   /// full first-frame coherence restart on its next assignment.
   int workers_rejoined = 0;
+  // -- shard failover -------------------------------------------------------
+  /// Framebuffer shards declared dead (liveness lease expired, ping
+  /// unanswered). The scheduler rolls the dead shard's incomplete frames
+  /// back to uncommitted and holds their work until a replacement re-admits.
+  int shards_failed = 0;
+  /// Shards re-admitted after rebuilding committed state from their journal
+  /// segment (a Hello from a shard rank).
+  int shards_rejoined = 0;
+  /// Region-frame commits rolled back because their shard died before the
+  /// frame reached durable completion.
+  std::int64_t shard_commits_rolled_back = 0;
   // -- end-game speculation -----------------------------------------------
   /// Tasks cloned to idle workers when the pending queue ran dry.
   int speculations_launched = 0;

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -125,6 +126,13 @@ int connect_loopback(std::uint16_t port, const TcpOptions& options, int rank,
                            std::strerror(last_errno));
 }
 
+/// kReorderMessage parking shared by every sender thread: at most one held
+/// message per (src, dest) edge, released behind the edge's next send.
+struct HeldFrames {
+  std::mutex mu;
+  std::map<std::pair<int, int>, Message> held;
+};
+
 class TcpContext final : public Context {
  public:
   TcpContext(int rank, int world_size, Mailbox* own_mailbox,
@@ -137,7 +145,8 @@ class TcpContext final : public Context {
              FaultInjector* injector, TimerQueue* timers,
              const std::function<void(int)>* kill_rank, EventTracer* tracer,
              const std::vector<int>* endpoint_index,
-             std::vector<std::atomic<int>>* peer_sockets, int num_endpoints)
+             std::vector<std::atomic<int>>* peer_sockets, int num_endpoints,
+             HeldFrames* held)
       : rank_(rank),
         world_size_(world_size),
         own_mailbox_(own_mailbox),
@@ -154,7 +163,8 @@ class TcpContext final : public Context {
         tracer_(tracer),
         endpoint_index_(endpoint_index),
         peer_sockets_(peer_sockets),
-        num_endpoints_(num_endpoints) {}
+        num_endpoints_(num_endpoints),
+        held_(held) {}
 
   int rank() const override { return rank_; }
   int world_size() const override { return world_size_; }
@@ -177,16 +187,18 @@ class TcpContext final : public Context {
     if (injector_ != nullptr) {
       const FaultInjector::SendFaults f =
           injector_->on_send(rank_, dest, tag, t);
-      if (!f.drop) {
-        if (f.duplicate) copies = 2;
-      } else {
+      if (f.drop) {
         copies = 0;
+      } else if (f.hold && held_ != nullptr) {
+        // Reorder: park the frame; the edge's next send releases it below.
+        std::lock_guard<std::mutex> lock(held_->mu);
+        held_->held[{rank_, dest}] = Message{rank_, tag, std::move(payload)};
+        copies = 0;
+      } else if (f.duplicate) {
+        copies = 2;
       }
     }
     if (copies > 0) {
-      messages_->fetch_add(copies, std::memory_order_relaxed);
-      bytes_->fetch_add(copies * static_cast<std::int64_t>(payload.size()),
-                        std::memory_order_relaxed);
       // Master: socket to `dest`. Worker → master: its own socket to the
       // master. Worker → endpoint: its dialed peer socket to that endpoint.
       // Table entries are atomic because a rejoin replaces them mid-run.
@@ -202,6 +214,26 @@ class TcpContext final : public Context {
                               static_cast<std::size_t>(ep)]
                  .load(std::memory_order_acquire);
       }
+      // A parked reorder victim for this edge rides out right behind the
+      // frame being sent, under the same writer lock so nothing interleaves.
+      Message parked;
+      bool have_parked = false;
+      if (held_ != nullptr) {
+        std::lock_guard<std::mutex> lock(held_->mu);
+        const auto it = held_->held.find({rank_, dest});
+        if (it != held_->held.end()) {
+          parked = std::move(it->second);
+          held_->held.erase(it);
+          have_parked = true;
+        }
+      }
+      messages_->fetch_add(copies + (have_parked ? 1 : 0),
+                           std::memory_order_relaxed);
+      bytes_->fetch_add(
+          copies * static_cast<std::int64_t>(payload.size()) +
+              (have_parked ? static_cast<std::int64_t>(parked.payload.size())
+                           : 0),
+          std::memory_order_relaxed);
       const Message msg{rank_, tag, std::move(payload)};
       const std::int64_t frame_bytes =
           static_cast<std::int64_t>(msg.payload.size());
@@ -211,6 +243,7 @@ class TcpContext final : public Context {
         // is deliberately ignored: the lease protocol owns recovery.
         std::lock_guard<std::mutex> lock(*send_mu_);
         for (int c = 0; c < copies; ++c) tcp_write_message(fd, msg);
+        if (have_parked) tcp_write_message(fd, parked);
       }
       if (tracer_ != nullptr) {
         // Duration = time spent in the locked write path (queueing behind
@@ -263,6 +296,7 @@ class TcpContext final : public Context {
   const std::vector<int>* endpoint_index_;       // rank → endpoint slot or -1
   std::vector<std::atomic<int>>* peer_sockets_;  // [rank * E + slot] → fd
   int num_endpoints_;
+  HeldFrames* held_;
 };
 
 }  // namespace
@@ -629,9 +663,15 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   timers_ptr = &timers;
   if (injector != nullptr && plan_.rejoin_tag >= 0) {
     for (const FaultEvent& e : plan_.events) {
-      if (e.kind != FaultKind::kRejoin) continue;
+      if (e.kind != FaultKind::kRejoin || e.at_time < 0.0) continue;
       timers.schedule(e.at_time, e.rank, Message{e.rank, plan_.rejoin_tag, {}});
     }
+    // Relative rejoins (after_crash_seconds) are resolved by the injector
+    // the moment the crash fires and handed to us here to ride the timer.
+    injector->set_rejoin_hook([&](int rank, double at) {
+      timers.schedule(std::max(0.0, at - wall_now()), rank,
+                      Message{rank, plan_.rejoin_tag, {}});
+    });
   }
 
   // Persistent accept loop: initial connections and mid-run rejoins both
@@ -738,6 +778,7 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
   }
 
   std::vector<std::mutex> send_mus(n);
+  HeldFrames held;
   std::vector<std::thread> threads;
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([&, rank] {
@@ -746,7 +787,7 @@ RuntimeStats TcpRuntime::run(const std::vector<Actor*>& actors) {
       TcpContext ctx(rank, n, &mailboxes[rank], &table, &send_mus[rank],
                      &stop_flag, &mailboxes, &messages, &bytes, epoch,
                      injector.get(), &timers, &kill_rank, tracer,
-                     &endpoint_index, &peer_sockets, num_endpoints);
+                     &endpoint_index, &peer_sockets, num_endpoints, &held);
       actors[rank]->on_start(ctx);
       Message msg;
       while (mailboxes[rank].pop(&msg)) {

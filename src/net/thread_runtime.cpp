@@ -1,6 +1,9 @@
 #include "src/net/thread_runtime.h"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
+#include <utility>
 
 namespace now {
 
@@ -77,6 +80,13 @@ void TimerQueue::run() {
 
 namespace {
 
+/// kReorderMessage parking shared by every sender thread: at most one held
+/// message per (src, dest) edge, released behind the edge's next send.
+struct HeldMessages {
+  std::mutex mu;
+  std::map<std::pair<int, int>, Message> held;
+};
+
 class ThreadContext final : public Context {
  public:
   ThreadContext(int rank, int world_size, std::vector<Mailbox>* mailboxes,
@@ -84,7 +94,7 @@ class ThreadContext final : public Context {
                 std::atomic<std::int64_t>* bytes,
                 std::chrono::steady_clock::time_point epoch,
                 FaultInjector* injector, TimerQueue* timers,
-                EventTracer* tracer)
+                EventTracer* tracer, HeldMessages* held)
       : rank_(rank),
         world_size_(world_size),
         mailboxes_(mailboxes),
@@ -94,7 +104,8 @@ class ThreadContext final : public Context {
         epoch_(epoch),
         injector_(injector),
         timers_(timers),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        held_(held) {}
 
   int rank() const override { return rank_; }
   int world_size() const override { return world_size_; }
@@ -107,6 +118,11 @@ class ThreadContext final : public Context {
       const FaultInjector::SendFaults f =
           injector_->on_send(rank_, dest, tag, t);
       if (f.drop) return;
+      if (f.hold && held_ != nullptr) {
+        std::lock_guard<std::mutex> lock(held_->mu);
+        held_->held[{rank_, dest}] = Message{rank_, tag, std::move(payload)};
+        return;
+      }
       if (f.duplicate) copies = 2;
       if (injector_->crashed(dest, t)) return;  // deliveries to the dead die
     }
@@ -132,6 +148,26 @@ class ThreadContext final : public Context {
         timers_->schedule(delay, dest, std::move(msg));
       } else {
         (*mailboxes_)[dest].push(std::move(msg));
+      }
+    }
+    if (held_ != nullptr && dest != rank_) {
+      // Release a parked reorder victim behind the message just sent.
+      Message parked;
+      bool have = false;
+      {
+        std::lock_guard<std::mutex> lock(held_->mu);
+        const auto it = held_->held.find({rank_, dest});
+        if (it != held_->held.end()) {
+          parked = std::move(it->second);
+          held_->held.erase(it);
+          have = true;
+        }
+      }
+      if (have) {
+        messages_->fetch_add(1, std::memory_order_relaxed);
+        bytes_->fetch_add(static_cast<std::int64_t>(parked.payload.size()),
+                          std::memory_order_relaxed);
+        (*mailboxes_)[dest].push(std::move(parked));
       }
     }
   }
@@ -165,6 +201,7 @@ class ThreadContext final : public Context {
   FaultInjector* injector_;
   TimerQueue* timers_;
   EventTracer* tracer_;
+  HeldMessages* held_;
 };
 
 }  // namespace
@@ -203,20 +240,30 @@ RuntimeStats ThreadRuntime::run(const std::vector<Actor*>& actors) {
     mailboxes[dest].push(std::move(msg));
   });
   // Rejoin events ride the timer: at their scheduled wall time the rank is
-  // revived and handed the rejoin tag so it re-announces itself.
+  // revived and handed the rejoin tag so it re-announces itself. Relative
+  // rejoins (after_crash_seconds) are scheduled by the injector's hook the
+  // moment the crash fires.
   if (injector != nullptr && plan_.rejoin_tag >= 0) {
     for (const FaultEvent& e : plan_.events) {
-      if (e.kind != FaultKind::kRejoin) continue;
+      if (e.kind != FaultKind::kRejoin || e.at_time < 0.0) continue;
       timers.schedule(e.at_time, e.rank, Message{e.rank, plan_.rejoin_tag, {}});
     }
+    injector->set_rejoin_hook([&, epoch](int rank, double at) {
+      const double t = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - epoch)
+                           .count();
+      timers.schedule(std::max(0.0, at - t), rank,
+                      Message{rank, plan_.rejoin_tag, {}});
+    });
   }
+  HeldMessages held;
 
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([&, rank] {
       ThreadContext ctx(rank, n, &mailboxes, &stop_flag, &messages, &bytes,
-                        epoch, injector.get(), &timers, tracer);
+                        epoch, injector.get(), &timers, tracer, &held);
       actors[rank]->on_start(ctx);
       Message msg;
       while (mailboxes[rank].pop(&msg)) {

@@ -82,4 +82,19 @@ int StragglerDetector::samples(int worker) const {
   return it == stats_.end() ? 0 : it->second.n;
 }
 
+std::vector<StragglerDetector::Snapshot> StragglerDetector::snapshot() const {
+  std::vector<Snapshot> out;
+  out.reserve(stats_.size());
+  for (const auto& [worker, s] : stats_) {
+    out.push_back(Snapshot{worker, s.ewma, s.dev, s.n, s.flagged});
+  }
+  return out;
+}
+
+void StragglerDetector::restore(const std::vector<Snapshot>& snapshots) {
+  for (const Snapshot& s : snapshots) {
+    stats_[s.worker] = Stats{s.ewma, s.dev, s.n, s.flagged};
+  }
+}
+
 }  // namespace now

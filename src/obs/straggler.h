@@ -52,6 +52,19 @@ class StragglerDetector {
   std::int64_t flag_transitions() const { return transitions_; }
   int samples(int worker) const;
 
+  /// Serializable per-worker state, for scheduler checkpoints: a restarted
+  /// scheduler restores these so speculation ranking continues from the
+  /// dead run's knowledge instead of cold EWMAs.
+  struct Snapshot {
+    int worker = -1;
+    double ewma = 0.0;
+    double dev = 0.0;
+    int n = 0;
+    bool flagged = false;
+  };
+  std::vector<Snapshot> snapshot() const;
+  void restore(const std::vector<Snapshot>& snapshots);
+
  private:
   struct Stats {
     double ewma = 0.0;

@@ -97,30 +97,40 @@ void RenderMaster::on_start(Context& ctx) {
       pending_.push_back(task);
     }
   };
-  if (report_.frames_restored == 0) {
-    enqueue(make_initial_tasks(partition, w, h, frames, worker_count), 0);
+  if (config_.recovery != nullptr &&
+      config_.recovery->last_checkpoint.has_value()) {
+    // A scheduler checkpoint survived: resume the compacted task table
+    // instead of re-partitioning. Its tasks cover the incomplete remainder
+    // as a superset (reclaim overlap is gated away at commit), so the exact
+    // tiling assertion below does not apply to this path.
+    restore_from_checkpoint(ctx, restored);
   } else {
-    // Partition each maximal run of incomplete frames independently; cuts
-    // are shifted into run-local frame numbers. A task's first frame is a
-    // dense render anyway, so restored frames are free task boundaries.
-    int f = 0;
-    while (f < frames) {
-      if (restored[f]) {
-        ++f;
-        continue;
+    if (report_.frames_restored == 0) {
+      enqueue(make_initial_tasks(partition, w, h, frames, worker_count), 0);
+    } else {
+      // Partition each maximal run of incomplete frames independently; cuts
+      // are shifted into run-local frame numbers. A task's first frame is a
+      // dense render anyway, so restored frames are free task boundaries.
+      int f = 0;
+      while (f < frames) {
+        if (restored[f]) {
+          ++f;
+          continue;
+        }
+        int b = f;
+        while (b < frames && !restored[b]) ++b;
+        PartitionConfig run = partition;
+        run.sequence_cuts.clear();
+        for (const int cut : partition.sequence_cuts) {
+          if (cut > f && cut < b) run.sequence_cuts.push_back(cut - f);
+        }
+        enqueue(make_initial_tasks(run, w, h, b - f, worker_count), f);
+        f = b;
       }
-      int b = f;
-      while (b < frames && !restored[b]) ++b;
-      PartitionConfig run = partition;
-      run.sequence_cuts.clear();
-      for (const int cut : partition.sequence_cuts) {
-        if (cut > f && cut < b) run.sequence_cuts.push_back(cut - f);
-      }
-      enqueue(make_initial_tasks(run, w, h, b - f, worker_count), f);
-      f = b;
     }
+    assert(covered == area_frames_missing_ &&
+           "tasks must tile area × frames");
   }
-  assert(covered == area_frames_missing_ && "tasks must tile area × frames");
 
   FrameSinkConfig sink;
   if (!sharded) {
@@ -146,6 +156,18 @@ void RenderMaster::on_start(Context& ctx) {
     report_.journal_ok = sink_->journal_ok();
     sync_journal_stats();
   }
+  // Shard liveness: shards are failure domains too. Each one holds a
+  // rolling liveness lease (any message renews; silence draws a ping, then
+  // a grace period, then death + rollback). Progress leases make no sense
+  // for shards — one whose owned range is complete commits nothing forever.
+  if (sharded && config_.fault.enabled) {
+    shard_states_.assign(
+        static_cast<std::size_t>(config_.shards.shard_count), {});
+    for (int i = 0; i < config_.shards.shard_count; ++i) {
+      shard_states_[i].last_heard = ctx.now();
+      arm_shard_lease(ctx, i, config_.fault.lease_base_seconds, 0);
+    }
+  }
   // Everything restored: stop before any worker is put to work.
   maybe_finish(ctx);
   if (!stopping_ && config_.sample_interval_seconds > 0.0 &&
@@ -169,10 +191,27 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
   if (msg.source >= 1 && msg.source < static_cast<int>(workers_.size())) {
     WorkerState& s = workers_[msg.source];
     if (!s.dead) s.last_heard = ctx.now();
+  } else if (!shard_states_.empty() &&
+             msg.source >= static_cast<int>(workers_.size())) {
+    // Same for shard ranks: any message (digest, pong, hello) renews the
+    // shard's liveness lease. A declared-dead shard earns nothing until it
+    // re-admits through handle_shard_hello.
+    const int shard = msg.source - static_cast<int>(workers_.size());
+    if (shard < static_cast<int>(shard_states_.size()) &&
+        !shard_states_[shard].dead) {
+      shard_states_[shard].last_heard = ctx.now();
+    }
   }
   switch (msg.tag) {
     case kTagHello:
-      handle_idle(ctx, msg.source, /*hello=*/true);
+      if (config_.shards.sharded() &&
+          msg.source >= static_cast<int>(workers_.size())) {
+        // A shard rank announcing itself: failover re-admission, never an
+        // idle worker (handle_idle would index workers_ out of range).
+        handle_shard_hello(ctx, msg.source);
+      } else {
+        handle_idle(ctx, msg.source, /*hello=*/true);
+      }
       break;
     case kTagRequest:
       handle_idle(ctx, msg.source, /*hello=*/false);
@@ -193,6 +232,9 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
       break;  // the heartbeat update above is the whole point
     case kTagLeaseCheck:
       handle_lease_check(ctx, msg);
+      break;
+    case kTagShardCheck:
+      handle_shard_check(ctx, msg);
       break;
     default:
       assert(false && "master received unexpected tag");
@@ -313,20 +355,33 @@ void RenderMaster::try_dispatch(Context& ctx) {
       workers_[worker].queued = false;
       continue;
     }
-    if (!pending_.empty()) {
-      // A speculation winner (or an overlap from reclaim) may have covered
-      // this task entirely while it waited: drop it instead of paying a
-      // worker to render duplicates.
-      if (task_fully_committed(pending_.front())) {
-        pending_.pop_front();
+    // Scan for the first dispatchable task. A speculation winner (or an
+    // overlap from reclaim) may have covered a task entirely while it
+    // waited: drop it instead of paying a worker to render duplicates. A
+    // task touching a dead shard's frames stays queued — its results would
+    // be lost — until the replacement shard re-admits.
+    bool dispatched = false;
+    bool held = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (task_fully_committed(*it)) {
+        it = pending_.erase(it);
         continue;
       }
+      if (task_blocked_by_dead_shard(*it)) {
+        held = true;
+        ++it;
+        continue;
+      }
+      const RenderTask task = *it;
+      pending_.erase(it);
       idle_.pop_front();
       workers_[worker].queued = false;
-      assign(ctx, worker, pending_.front());
-      pending_.pop_front();
-      continue;
+      assign(ctx, worker, task);
+      dispatched = true;
+      break;
     }
+    if (dispatched) continue;
+    if (held) break;  // work exists, but its shard is down: wait for rejoin
     if (config_.partition.adaptive && try_adaptive_split(ctx)) {
       // A split is in flight; idle workers wait for the ack.
       break;
@@ -721,6 +776,22 @@ void RenderMaster::handle_commit_digest(Context& ctx, const Message& msg) {
     assert(false && "malformed commit digest from shard");
     return;
   }
+  if (!shard_states_.empty()) {
+    const int shard = msg.source - static_cast<int>(workers_.size());
+    if (shard >= 0 && shard < static_cast<int>(shard_states_.size()) &&
+        shard_states_[shard].dead) {
+      // A declared-dead incarnation is still talking. Its commits were
+      // rolled back here, so its digests mean nothing anymore — and its
+      // in-memory chain state is poison for future results. Fence it: force
+      // a rebuild from the journal segment, exactly once per death.
+      ++fault_report_.results_ignored;
+      if (!shard_states_[shard].reset_sent) {
+        shard_states_[shard].reset_sent = true;
+        ctx.send(msg.source, kTagShardReset, {});
+      }
+      return;
+    }
+  }
   // The digest vouches for a worker message the shard received: credit the
   // worker's heartbeat even though the bytes came from the shard's rank.
   const bool known_worker =
@@ -905,6 +976,19 @@ void RenderMaster::write_checkpoint() {
     view.end_frame = s.end_frame;
     cp.in_flight.push_back(view);
   }
+  // v2 trailer: enough to make a restarted scheduler byte-identical in its
+  // decisions — fresh task ids never collide with pre-crash ones, and the
+  // straggler EWMAs (which steer speculation victims) survive the restart.
+  cp.next_task_id = next_task_id_;
+  for (const StragglerDetector::Snapshot& s : straggler_.snapshot()) {
+    CheckpointRecord::StragglerStat stat;
+    stat.worker = s.worker;
+    stat.ewma = s.ewma;
+    stat.dev = s.dev;
+    stat.n = s.n;
+    stat.flagged = s.flagged;
+    cp.stragglers.push_back(stat);
+  }
   sink_->checkpoint(cp);
   digests_since_checkpoint_ = 0;
 }
@@ -1057,6 +1141,339 @@ void RenderMaster::handle_lease_check(Context& ctx, const Message& msg) {
   declare_dead(ctx, check.worker);
 }
 
+void RenderMaster::arm_shard_lease(Context& ctx, int shard, double delay,
+                                   int phase) {
+  LeaseCheck check;
+  check.worker = shard;  // shard index, not a worker rank
+  check.task_id = -1;
+  check.phase = static_cast<std::uint8_t>(phase);
+  ctx.send_after(delay, kTagShardCheck, encode_lease_check(check));
+}
+
+void RenderMaster::handle_shard_check(Context& ctx, const Message& msg) {
+  LeaseCheck check;
+  const bool ok = decode_lease_check(&check, msg.payload);
+  assert(ok);
+  if (!ok || stopping_ || shard_states_.empty()) return;
+  const int shard = check.worker;
+  if (shard < 0 || shard >= static_cast<int>(shard_states_.size())) return;
+  ShardState& s = shard_states_[shard];
+  if (s.dead) return;  // chain ends at death; re-admission restarts it
+
+  const double now = ctx.now();
+  // Liveness, not progress: a shard whose owned range is complete commits
+  // nothing forever, so any message at all renews its lease.
+  const double expiry = s.last_heard + config_.fault.lease_base_seconds;
+  if (now < expiry) {
+    s.ping_time = -1.0;
+    arm_shard_lease(ctx, shard, expiry - now, 0);
+    return;
+  }
+  if (check.phase == 0 || s.ping_time < 0.0) {
+    s.ping_time = now;
+    ++fault_report_.pings_sent;
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(ctx.rank(), "sched", "shard.ping", now,
+                              {{"shard", shard}});
+    }
+    ctx.send(static_cast<int>(workers_.size()) + shard, kTagPing, {});
+    arm_shard_lease(ctx, shard, config_.fault.ping_grace_seconds, 1);
+    return;
+  }
+  if (s.last_heard >= s.ping_time) {
+    // Answered the ping: alive. Back to a normal lease.
+    s.ping_time = -1.0;
+    arm_shard_lease(ctx, shard, config_.fault.lease_base_seconds, 0);
+    return;
+  }
+  declare_shard_dead(ctx, shard);
+}
+
+void RenderMaster::declare_shard_dead(Context& ctx, int shard) {
+  ShardState& st = shard_states_[shard];
+  if (st.dead) return;
+  st.dead = true;
+  st.reset_sent = false;
+  st.ping_time = -1.0;
+  ++fault_report_.shards_failed;
+  fault_report_.detection_latency_seconds += ctx.now() - st.last_heard;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "shard.dead", ctx.now(),
+                            {{"shard", shard}});
+  }
+  rollback_dead_shard(ctx, shard);
+  try_dispatch(ctx);
+  maybe_finish(ctx);
+}
+
+void RenderMaster::rollback_dead_shard(Context& ctx, int shard) {
+  const auto range = config_.shards.range_of(shard);
+  const std::int64_t full = std::int64_t{scene_.width()} * scene_.height();
+  // Completed frames are durable (TGA renamed into place before the
+  // kFrameComplete record, which precedes the digest that completed our
+  // area count): the replacement reloads them from disk. Everything else
+  // the shard held was memory, and memory is gone — the mirror's committed
+  // cells for those frames revert to missing and come back as reclaim
+  // tasks, one per (rect, contiguous frame run).
+  std::map<std::uint64_t, std::pair<PixelRect, std::set<int>>> lost;
+  std::int64_t rolled = 0;
+  for (int f = range.first; f < range.second; ++f) {
+    if (frame_area_missing_[f] == 0) continue;
+    for (const std::uint64_t key : committed_rects_[f]) {
+      auto& entry = lost[key];
+      entry.first = rect_from_key(key);
+      entry.second.insert(f);
+      ++rolled;
+    }
+    area_frames_missing_ += full - frame_area_missing_[f];
+    frame_area_missing_[f] = full;
+    committed_rects_[f].clear();
+  }
+  fault_report_.shard_commits_rolled_back += rolled;
+  enqueue_lost_cells(ctx, lost);
+  // Workers mid-task on the dead range are rendering into the void: write
+  // their tasks off now instead of waiting out progress leases that can
+  // only expire.
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    WorkerState& s = workers_[w];
+    if (s.dead || !s.active || s.cancelled) continue;
+    if (s.next_expected < range.second && s.end_frame > range.first) {
+      cancel_and_reclaim(ctx, w);
+      if (s.active && !s.awaiting_ack) {
+        ShrinkRequest req;
+        req.task_id = s.task.task_id;
+        req.new_end_frame = s.next_expected;
+        s.awaiting_ack = true;
+        ctx.send(w, kTagShrink, encode_shrink(req));
+      }
+    }
+  }
+}
+
+void RenderMaster::enqueue_lost_cells(
+    Context& ctx,
+    const std::map<std::uint64_t, std::pair<PixelRect, std::set<int>>>&
+        lost) {
+  for (const auto& kv : lost) {
+    const PixelRect& rect = kv.second.first;
+    const std::set<int>& frames = kv.second.second;
+    auto it = frames.begin();
+    while (it != frames.end()) {
+      const int first = *it;
+      int last = first;
+      auto run_end = it;
+      ++run_end;
+      while (run_end != frames.end() && *run_end == last + 1) {
+        last = *run_end;
+        ++run_end;
+      }
+      RenderTask reclaim;
+      reclaim.task_id = next_task_id_++;
+      reclaim.region = rect;
+      reclaim.first_frame = first;
+      reclaim.frame_count = last - first + 1;
+      reassigned_tasks_.insert(reclaim.task_id);
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant(ctx.rank(), "sched", "task.reclaim",
+                                ctx.now(),
+                                {{"task", reclaim.task_id},
+                                 {"first_frame", reclaim.first_frame},
+                                 {"frames", reclaim.frame_count}});
+      }
+      pending_.push_back(reclaim);
+      ++fault_report_.tasks_reassigned;
+      fault_report_.frames_reassigned += reclaim.frame_count;
+      it = run_end;
+    }
+  }
+}
+
+bool RenderMaster::task_blocked_by_dead_shard(const RenderTask& task) const {
+  if (shard_states_.empty()) return false;
+  for (std::size_t i = 0; i < shard_states_.size(); ++i) {
+    if (!shard_states_[i].dead) continue;
+    const auto range = config_.shards.range_of(static_cast<int>(i));
+    if (task.first_frame < range.second && task.end_frame() > range.first) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RenderMaster::handle_shard_hello(Context& ctx, int source) {
+  if (shard_states_.empty()) return;  // liveness off: nothing to re-admit
+  const int shard = source - static_cast<int>(workers_.size());
+  if (shard < 0 || shard >= static_cast<int>(shard_states_.size())) return;
+  ShardState& st = shard_states_[shard];
+  const bool was_dead = st.dead;
+  if (!was_dead) {
+    // The shard restarted before its lease even expired (revival raced
+    // detection). Its partial frames died with its memory all the same, so
+    // the death rollback runs now — the mirror and the rebuilt shard agree
+    // again before any new work dispatches.
+    rollback_dead_shard(ctx, shard);
+  }
+  st.dead = false;
+  st.reset_sent = false;
+  st.ping_time = -1.0;
+  st.last_heard = ctx.now();
+  ++fault_report_.shards_rejoined;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "shard.rejoin", ctx.now(),
+                            {{"shard", shard}});
+  }
+  if (was_dead) {
+    // Death ended the lease chain; re-admission restarts it. (A shard never
+    // declared dead still has its chain running — don't stack a second.)
+    arm_shard_lease(ctx, shard, config_.fault.lease_base_seconds, 0);
+  }
+  try_dispatch(ctx);
+  maybe_finish(ctx);
+}
+
+void RenderMaster::restore_from_checkpoint(Context& ctx,
+                                           const std::vector<char>& restored) {
+  const RecoveryState& rec = *config_.recovery;
+  const CheckpointRecord& ck = *rec.last_checkpoint;
+  const int frames = scene_.frame_count();
+  // Fresh ids start above everything the dead scheduler ever minted, so a
+  // late journal record can never be confused with new work.
+  if (ck.next_task_id > next_task_id_) next_task_id_ = ck.next_task_id;
+  std::vector<StragglerDetector::Snapshot> snaps;
+  for (const CheckpointRecord::StragglerStat& s : ck.stragglers) {
+    StragglerDetector::Snapshot snap;
+    snap.worker = s.worker;
+    snap.ewma = s.ewma;
+    snap.dev = s.dev;
+    snap.n = s.n;
+    snap.flagged = s.flagged;
+    snaps.push_back(snap);
+  }
+  straggler_.restore(snaps);
+
+  // What will cover each incomplete frame: checkpoint tasks (pending plus
+  // in-flight remainders), trimmed around frames that completed after the
+  // checkpoint, plus reclaims rebuilt from the journal's own commit records
+  // — cells that were committed when the checkpoint was written lost their
+  // pixels with the process and no table task covers them. Every rect
+  // descends from the one partition tiling, so distinct rects never
+  // partially overlap and a frame's covered area is the sum of its distinct
+  // rect areas. A frame whose reconstruction falls short of the full image
+  // (a shard's journal segment vanished, or was torn past what the
+  // checkpoint had already seen) cannot be patched cell by cell: it
+  // re-renders wholesale. Over-coverage is gated at commit; under-coverage
+  // would hang the run one cell short of completion.
+  const std::int64_t full_area =
+      std::int64_t{scene_.width()} * scene_.height();
+  std::vector<std::set<std::uint64_t>> cover(
+      static_cast<std::size_t>(frames));
+  const auto cover_range = [&](const PixelRect& rect, int first, int end) {
+    const std::uint64_t key = rect_key(rect);
+    for (int f = std::max(first, 0); f < std::min(end, frames); ++f) {
+      if (!restored[f]) cover[f].insert(key);
+    }
+  };
+  for (const CheckpointRecord::Task& t : ck.pending) {
+    cover_range(t.rect, t.first_frame, t.first_frame + t.frame_count);
+  }
+  for (const CheckpointRecord::WorkerView& v : ck.in_flight) {
+    cover_range(v.rect, v.next_expected, v.end_frame);
+  }
+  for (int f = 0; f < frames; ++f) {
+    if (restored[f] || f >= static_cast<int>(rec.frame_commits.size())) {
+      continue;
+    }
+    for (const RegionCommitRecord& c : rec.frame_commits[f]) {
+      cover[f].insert(rect_key(c.rect));
+    }
+  }
+  std::vector<char> wholesale(static_cast<std::size_t>(frames), 0);
+  for (int f = 0; f < frames; ++f) {
+    if (restored[f]) continue;
+    std::int64_t area = 0;
+    for (const std::uint64_t key : cover[f]) {
+      area += rect_from_key(key).area();
+    }
+    if (area < full_area) wholesale[f] = 1;
+  }
+
+  int tasks_restored = 0;
+  const auto enqueue_trimmed = [&](const PixelRect& rect, int first, int end,
+                                   bool recovery_restart) {
+    int f = std::max(first, 0);
+    end = std::min(end, frames);
+    while (f < end) {
+      if (restored[f] || wholesale[f]) {
+        ++f;
+        continue;
+      }
+      int b = f;
+      while (b < end && !restored[b] && !wholesale[b]) ++b;
+      RenderTask task;
+      task.task_id = next_task_id_++;
+      task.region = rect;
+      task.first_frame = f;
+      task.frame_count = b - f;
+      if (recovery_restart) reassigned_tasks_.insert(task.task_id);
+      pending_.push_back(task);
+      ++tasks_restored;
+      f = b;
+    }
+  };
+  for (const CheckpointRecord::Task& t : ck.pending) {
+    enqueue_trimmed(t.rect, t.first_frame, t.first_frame + t.frame_count,
+                    /*recovery_restart=*/false);
+  }
+  for (const CheckpointRecord::WorkerView& v : ck.in_flight) {
+    enqueue_trimmed(v.rect, v.next_expected, v.end_frame,
+                    /*recovery_restart=*/true);
+  }
+  std::map<std::uint64_t, std::pair<PixelRect, std::set<int>>> lost;
+  for (int f = 0; f < frames; ++f) {
+    if (restored[f] || wholesale[f] ||
+        f >= static_cast<int>(rec.frame_commits.size())) {
+      continue;
+    }
+    for (const RegionCommitRecord& c : rec.frame_commits[f]) {
+      auto& entry = lost[rect_key(c.rect)];
+      entry.first = c.rect;
+      entry.second.insert(f);
+    }
+  }
+  enqueue_lost_cells(ctx, lost);
+  // Wholesale frames re-render as full-image tasks over contiguous runs;
+  // their first frame is a dense coherence restart like any fresh task.
+  PixelRect whole;
+  whole.x0 = 0;
+  whole.y0 = 0;
+  whole.width = scene_.width();
+  whole.height = scene_.height();
+  int wf = 0;
+  while (wf < frames) {
+    if (!wholesale[wf]) {
+      ++wf;
+      continue;
+    }
+    int b = wf;
+    while (b < frames && wholesale[b]) ++b;
+    RenderTask task;
+    task.task_id = next_task_id_++;
+    task.region = whole;
+    task.first_frame = wf;
+    task.frame_count = b - wf;
+    reassigned_tasks_.insert(task.task_id);
+    pending_.push_back(task);
+    ++tasks_restored;
+    wf = b;
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "resume.checkpoint",
+                            ctx.now(),
+                            {{"tasks", tasks_restored},
+                             {"next_task_id", next_task_id_}});
+  }
+}
+
 void RenderMaster::handle_sample_tick(Context& ctx) {
   // A tick racing the shutdown broadcast is dropped and not re-armed; the
   // runtime abandons anything still queued once the scheduler stops.
@@ -1145,6 +1562,9 @@ std::string RenderMaster::render_status_json(Context& ctx) const {
       j += ", \"first_frame\": " + std::to_string(range.first);
       j += ", \"end_frame\": " + std::to_string(range.second);
       j += ", \"frames_done\": " + std::to_string(done);
+      j += ", \"dead\": ";
+      j += (!shard_states_.empty() && shard_states_[i].dead) ? "true"
+                                                             : "false";
       j += "}";
     }
     j += "]";

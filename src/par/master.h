@@ -169,6 +169,17 @@ class RenderMaster final : public Actor {
     std::set<std::int32_t> deferred_frames;
   };
 
+  /// Liveness state of one FrameShard rank (sharded mode with
+  /// fault.enabled; empty otherwise). Shards hold *liveness* leases, not
+  /// progress leases: a shard whose owned range is already complete
+  /// legitimately commits nothing, but it must keep answering.
+  struct ShardState {
+    bool dead = false;       // lease expired; commits rolled back
+    bool reset_sent = false; // fenced a still-talking dead incarnation
+    double last_heard = 0.0; // any message from the shard rank
+    double ping_time = -1.0; // outstanding liveness ping (-1 none)
+  };
+
   void handle_frame_result(Context& ctx, const Message& msg);
   /// Sharded mode: one CommitDigest from a shard, the scheduler's only view
   /// of a worker's result. Order-independent accounting (commit totals,
@@ -186,6 +197,39 @@ class RenderMaster final : public Actor {
   /// letting it sit on the refusing worker until its lease expires.
   void handle_task_nack(Context& ctx, const Message& msg);
   void handle_lease_check(Context& ctx, const Message& msg);
+  /// Shard liveness lease (kTagShardCheck self-timer): silent shard gets
+  /// pinged, a pinged shard that stays silent through the grace period is
+  /// declared dead and its uncommitted frames rolled back.
+  void handle_shard_check(Context& ctx, const Message& msg);
+  /// Hello from a shard rank: a replacement incarnation rebuilt from its
+  /// journal segment and is re-announcing. Re-admit it — and if its death
+  /// was never detected (restart raced the lease), perform the rollback now,
+  /// because its partial frames died with its memory either way.
+  void handle_shard_hello(Context& ctx, int source);
+  void arm_shard_lease(Context& ctx, int shard, double delay, int phase);
+  void declare_shard_dead(Context& ctx, int shard);
+  /// The shard-death rollback: every incomplete frame the shard owned loses
+  /// its committed cells (area returns to full, the mirror is cleared), the
+  /// lost cells come back as reclaim tasks, and workers mid-task on the dead
+  /// range are cancelled rather than left rendering into the void.
+  void rollback_dead_shard(Context& ctx, int shard);
+  /// Turn (rect → frame set) of lost committed cells into one reclaim task
+  /// per contiguous frame run. Shared by shard rollback and checkpoint
+  /// restore; over-coverage is safe (idempotent gates), under-coverage
+  /// hangs the run.
+  void enqueue_lost_cells(
+      Context& ctx,
+      const std::map<std::uint64_t, std::pair<PixelRect, std::set<int>>>&
+          lost);
+  /// Dispatch gate: the task touches a frame owned by a declared-dead shard
+  /// (results for it would be lost); hold it until the shard re-admits.
+  bool task_blocked_by_dead_shard(const RenderTask& task) const;
+  /// Resume with a scheduler checkpoint: restore the task table (pending +
+  /// in-flight remainders), task-id counter, and straggler statistics, plus
+  /// reclaim tasks for cells the journal committed into frames that never
+  /// completed — their pixels died with the process.
+  void restore_from_checkpoint(Context& ctx,
+                               const std::vector<char>& restored);
   /// Telemetry self-timer: snapshot metrics into the sampler, publish the
   /// /status JSON, re-arm. Never charges compute, never sends cross-rank.
   void handle_sample_tick(Context& ctx);
@@ -229,6 +273,9 @@ class RenderMaster final : public Actor {
   std::deque<RenderTask> pending_;
   std::vector<WorkerState> workers_;
   std::deque<int> idle_;
+  /// One entry per shard in sharded mode with fault.enabled; empty when
+  /// shard liveness is off.
+  std::vector<ShardState> shard_states_;
 
   std::vector<Framebuffer> frames_;
   std::vector<std::int64_t> frame_area_missing_;

@@ -40,6 +40,8 @@ enum MsgTag : int {
   kTagTaskNack = 13,    // worker → master: busy with another task, requeue
   kTagCommitDigest = 14,  // shard → scheduler: CommitDigest for one result
   kTagSampleTick = 15,  // master → itself (timer): take a telemetry sample
+  kTagShardCheck = 16,  // master → itself (timer): evaluate a shard's lease
+  kTagShardReset = 17,  // master → shard: rebuild from your journal, re-Hello
 };
 
 struct RenderTask {
@@ -81,6 +83,8 @@ bool decode_shrink_ack(ShrinkAck* ack, const std::string& payload);
 /// Deferred self-message the master schedules (Context::send_after) when it
 /// assigns a task: fires at the lease deadline and names the worker and the
 /// assignment it covers, so checks for superseded assignments are dropped.
+/// Shard liveness leases (kTagShardCheck) reuse the same encoding with
+/// `worker` holding the shard index and task_id unused (-1).
 struct LeaseCheck {
   std::int32_t worker = -1;
   std::int32_t task_id = -1;

@@ -101,6 +101,12 @@ void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
       .set(faults.detection_latency_seconds);
   reg.counter("recovery.workers_rejoined")
       .inc(static_cast<std::uint64_t>(faults.workers_rejoined));
+  reg.counter("recovery.shards_failed")
+      .inc(static_cast<std::uint64_t>(faults.shards_failed));
+  reg.counter("recovery.shards_rejoined")
+      .inc(static_cast<std::uint64_t>(faults.shards_rejoined));
+  reg.counter("recovery.shard_commits_rolled_back")
+      .inc(static_cast<std::uint64_t>(faults.shard_commits_rolled_back));
   reg.counter("recovery.speculations_launched")
       .inc(static_cast<std::uint64_t>(faults.speculations_launched));
   reg.counter("recovery.speculations_won")
@@ -144,6 +150,8 @@ void publish_reports(MetricsRegistry& reg, const RuntimeStats& runtime,
         .inc(static_cast<std::uint64_t>(s.journal_records));
     reg.counter(prefix + "journal_bytes")
         .inc(static_cast<std::uint64_t>(s.journal_bytes));
+    reg.counter(prefix + "rebuilds")
+        .inc(static_cast<std::uint64_t>(s.rebuilds));
   }
 
   reg.counter("ckpt.frames_restored")
@@ -239,18 +247,51 @@ void validate_farm_config(const AnimatedScene& scene,
     }
   }
   if (!config.fault_plan.empty()) {
-    validate_fault_plan(config.fault_plan, worker_count + 1);
-    if (config.fault_plan.has_crashes() && !config.fault.enabled) {
-      // A crashed rank that rejoins re-announces itself, which lets the
-      // master recover even without lease-based detection; a crash with no
-      // rejoin needs the detector.
-      for (const FaultEvent& ev : config.fault_plan.events) {
-        if (ev.kind == FaultKind::kCrash &&
-            !config.fault_plan.rank_rejoins(ev.rank)) {
-          fail("fault_plan contains a crash without a rejoin but "
-               "fault.enabled is false; the master would wait forever on "
-               "the crashed rank");
+    const int world_size =
+        1 + worker_count + (config.shards > 1 ? config.shards : 0);
+    // A scheduler kill is only recoverable by restarting the run from the
+    // journal (--resume); in-process it just ends the render early, which
+    // is only meaningful (and deterministic) under the sim backend.
+    const bool scheduler_crash_ok = config.backend == FarmBackend::kSim &&
+                                    !config.journal_path.empty();
+    validate_fault_plan(config.fault_plan, world_size, scheduler_crash_ok);
+    // Shard ranks sit above the workers; with shards == 1 there are none
+    // and every crashable rank in [1, world_size) is a worker.
+    const int first_shard_rank =
+        config.shards > 1 ? worker_count + 1 : world_size;
+    for (const FaultEvent& ev : config.fault_plan.events) {
+      if (ev.kind != FaultKind::kCrash) continue;
+      if (ev.rank == 0) {
+        if (config.fault_plan.rank_rejoins(0)) {
+          fail("the scheduler cannot rejoin in-process (its task table died "
+               "with it); recover a scheduler kill by rerunning with "
+               "resume");
         }
+        continue;
+      }
+      if (ev.rank >= first_shard_rank) {
+        if (config.journal_path.empty()) {
+          fail("a shard crash requires journal_path; the replacement shard "
+               "rebuilds its committed frames from its journal segment");
+        }
+        if (!config.fault.enabled) {
+          fail("a shard crash requires fault.enabled; only the scheduler's "
+               "shard liveness lease detects the death and rolls back its "
+               "lost commits");
+        }
+        if (!config.fault_plan.rank_rejoins(ev.rank)) {
+          fail("a shard crash requires a rejoin for the same rank; without "
+               "a replacement the shard's owned frames can never complete");
+        }
+        continue;
+      }
+      // Worker crash. A crashed rank that rejoins re-announces itself,
+      // which lets the master recover even without lease-based detection; a
+      // crash with no rejoin needs the detector.
+      if (!config.fault.enabled && !config.fault_plan.rank_rejoins(ev.rank)) {
+        fail("fault_plan contains a crash without a rejoin but "
+             "fault.enabled is false; the master would wait forever on "
+             "the crashed rank");
       }
     }
     if (config.backend != FarmBackend::kSim) {
@@ -359,6 +400,7 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
     resume_report.frames_demoted = recovery.frames_demoted;
     resume_report.records_replayed = recovery.records_replayed;
     resume_report.journal_truncated = recovery.journal_truncated;
+    resume_report.scheduler_checkpoint = recovery.last_checkpoint.has_value();
   }
   RenderMaster master(scene, master_config);
 
@@ -420,6 +462,12 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   // rejoin events are delivered to the revived rank under kTagRejoin.
   FaultPlan fault_plan = config.fault_plan;
   fault_plan.progress_tag = kTagFrameResult;
+  // Progress means different things per rank class: a shard's unit of work
+  // is the digest it answers, the scheduler's is the assignment it hands
+  // out. after_frames triggers count the right one automatically.
+  fault_plan.shard_progress_tag = kTagCommitDigest;
+  fault_plan.scheduler_progress_tag = kTagTask;
+  fault_plan.first_shard_rank = sharded ? worker_count + 1 : -1;
   fault_plan.rejoin_tag = kTagRejoin;
 
   FarmResult result;

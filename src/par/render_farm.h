@@ -131,6 +131,10 @@ struct ResumeReport {
   int frames_demoted = 0;
   std::int64_t records_replayed = 0;
   bool journal_truncated = false;  // the crash left a torn tail
+  /// The journal's valid prefix held a scheduler checkpoint: the task
+  /// table, task-id counter, and straggler statistics were restored from it
+  /// instead of re-partitioning the incomplete remainder.
+  bool scheduler_checkpoint = false;
 };
 
 struct FarmResult {

@@ -12,6 +12,15 @@ std::uint64_t rect_key(const PixelRect& r) {
          static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.height));
 }
 
+PixelRect rect_from_key(std::uint64_t key) {
+  PixelRect r;
+  r.x0 = static_cast<int>((key >> 48) & 0xffff);
+  r.y0 = static_cast<int>((key >> 32) & 0xffff);
+  r.width = static_cast<int>((key >> 16) & 0xffff);
+  r.height = static_cast<int>(key & 0xffff);
+  return r;
+}
+
 std::string encode_commit_digest(const CommitDigest& d) {
   WireWriter w;
   w.i32(d.worker);

@@ -64,4 +64,9 @@ bool decode_commit_digest(CommitDigest* d, const std::string& payload);
 /// mirror and each shard's authoritative gate.
 std::uint64_t rect_key(const PixelRect& r);
 
+/// Inverse of rect_key(). The packing is lossless for rect dimensions below
+/// 65536, so the scheduler can recover the rect of every mirror entry it
+/// rolls back when a shard dies and turn it back into a render task.
+PixelRect rect_from_key(std::uint64_t key);
+
 }  // namespace now

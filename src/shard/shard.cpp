@@ -36,16 +36,24 @@ FrameShard::FrameShard(const ShardConfig& config) : config_(config) {
   }
 
   // Resume: owned frames the previous run completed (segment record +
-  // verified targa) are restored wholesale; the scheduler never schedules
-  // them, so no commit can reference them except as a sparse predecessor.
+  // verified targa) are restored wholesale, and their idempotent gates are
+  // re-armed from the replayed commit records so a duplicate commit (an
+  // overlapping reclaim, a speculation loser from the dead run) can never
+  // double-apply into a frame whose area is already zero.
   std::size_t resume_valid_bytes = 0;
   if (config_.recovery != nullptr) {
     const RecoveryState& rec = *config_.recovery;
     for (int f = first_; f < end_; ++f) {
       if (f < static_cast<int>(rec.frames.size()) &&
           rec.frames[f].has_value()) {
-        frames_[f - first_] = *rec.frames[f];
-        area_missing_[f - first_] = 0;
+        const int local = f - first_;
+        frames_[local] = *rec.frames[f];
+        area_missing_[local] = 0;
+        if (f < static_cast<int>(rec.frame_commits.size())) {
+          for (const RegionCommitRecord& c : rec.frame_commits[f]) {
+            committed_rects_[local].insert(rect_key(c.rect));
+          }
+        }
         ++report_.frames_restored;
       }
     }
@@ -54,22 +62,26 @@ FrameShard::FrameShard(const ShardConfig& config) : config_(config) {
     }
   }
 
+  open_sink(config_.recovery != nullptr, resume_valid_bytes);
+  sync_journal_stats();
+}
+
+void FrameShard::open_sink(bool resume, std::size_t valid_bytes) {
   FrameSinkConfig sink;
   sink.output_dir = config_.output_dir;
   sink.output_prefix = config_.output_prefix;
   sink.journal_path = config_.journal_path;
   sink.journal_fsync = config_.journal_fsync;
-  sink.header.width = w;
-  sink.header.height = h;
+  sink.header.width = config_.width;
+  sink.header.height = config_.height;
   sink.header.frame_count = config_.map.frame_count;
   sink.header.shard_count = config_.map.shard_count;
   sink.header.shard_index = config_.shard_index;
-  sink.resume = config_.recovery != nullptr;
-  sink.resume_valid_bytes = resume_valid_bytes;
+  sink.resume = resume;
+  sink.resume_valid_bytes = valid_bytes;
   sink.metrics = config_.metrics;
-  sink.endpoint_rank = rank;
+  sink.endpoint_rank = config_.map.rank_of_shard(config_.shard_index);
   sink_ = std::make_unique<FrameSink>(sink);
-  sync_journal_stats();
 }
 
 void FrameShard::on_start(Context& ctx) {
@@ -85,6 +97,15 @@ void FrameShard::on_message(Context& ctx, const Message& msg) {
     case kTagFrameResult:
       handle_frame_result(ctx, msg);
       break;
+    case kTagPing:
+      // Liveness probe from the scheduler's shard lease: any answer renews
+      // the lease (the pong itself is the heartbeat).
+      ctx.send(0, kTagPong, {});
+      break;
+    case kTagRejoin:   // runtime revived this rank after a crash
+    case kTagShardReset:  // scheduler fenced a falsely-declared incarnation
+      handle_rebuild(ctx);
+      break;
     case kTagStop:
       // The scheduler broadcasts kTagStop at run end; shards have no
       // shutdown work (the runtime drains them when the scheduler stops).
@@ -93,6 +114,55 @@ void FrameShard::on_message(Context& ctx, const Message& msg) {
       assert(false && "unexpected message tag at shard");
       break;
   }
+}
+
+void FrameShard::handle_rebuild(Context& ctx) {
+  // The previous incarnation's memory is gone (or declared gone): rebuild
+  // from the journal segment, the only durable truth. Completed frames come
+  // back verified from disk with their gates re-armed; partially-committed
+  // frames are lost and revert to full area — the scheduler performs the
+  // matching rollback on its digest mirror and re-covers those cells.
+  const int w = config_.width;
+  const int h = config_.height;
+  const int owned = end_ - first_;
+  frames_.assign(static_cast<std::size_t>(owned), Framebuffer(w, h));
+  area_missing_.assign(static_cast<std::size_t>(owned), std::int64_t{w} * h);
+  committed_rects_.assign(static_cast<std::size_t>(owned), {});
+  chains_.clear();
+  sink_.reset();  // release the dead incarnation's journal fd before reopening
+
+  std::size_t valid_bytes = 0;
+  int restored = 0;
+  if (!config_.journal_path.empty()) {
+    const ShardRebuild rb = rebuild_shard_segment(
+        config_.journal_path, config_.output_dir, config_.output_prefix, w, h,
+        config_.map.frame_count, config_.map.shard_count, config_.shard_index);
+    if (rb.ok) {
+      valid_bytes = rb.valid_bytes;
+      for (int f = first_; f < end_; ++f) {
+        if (!rb.frames[f].has_value()) continue;
+        const int local = f - first_;
+        frames_[local] = *rb.frames[f];
+        area_missing_[local] = 0;
+        for (const RegionCommitRecord& c : rb.frame_commits[f]) {
+          committed_rects_[local].insert(rect_key(c.rect));
+        }
+        ++restored;
+      }
+    }
+  }
+  open_sink(/*resume=*/true, valid_bytes);
+  ++report_.rebuilds;
+  report_.frames_restored += restored;
+  sync_journal_stats();
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "shard", "shard.rebuild", ctx.now(),
+                            {{"frames", restored}});
+  }
+  // Re-admission: the scheduler treats a Hello from a shard rank as "this
+  // shard is (back) alive with exactly its durable state".
+  ctx.send(0, kTagHello, {});
 }
 
 void FrameShard::send_digest(Context& ctx, const CommitDigest& d) {

@@ -69,6 +69,9 @@ struct ShardReport {
   std::int64_t journal_records = 0;
   std::int64_t journal_bytes = 0;
   bool journal_ok = true;
+  /// Failover rebuilds: the shard rank died (or was fenced by the
+  /// scheduler), replayed its journal segment, and re-announced itself.
+  std::int64_t rebuilds = 0;
 };
 
 class FrameShard final : public Actor {
@@ -94,7 +97,17 @@ class FrameShard final : public Actor {
   };
 
   void handle_frame_result(Context& ctx, const Message& msg);
+  /// Failover restart (kTagRejoin from the runtime, or kTagShardReset from
+  /// a scheduler that declared this incarnation dead): forget all in-memory
+  /// state, rebuild committed frames + the idempotent gate from the journal
+  /// segment, reopen the sink on the segment's valid prefix, and re-Hello
+  /// the scheduler.
+  void handle_rebuild(Context& ctx);
   void send_digest(Context& ctx, const CommitDigest& d);
+  /// (Re)open the FrameSink on the journal segment: `resume` appends after
+  /// `valid_bytes` (0 starts a fresh segment), false truncates and starts
+  /// over. Shared by the constructor and failover rebuild.
+  void open_sink(bool resume, std::size_t valid_bytes);
   void sync_journal_stats();
 
   ShardConfig config_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "src/fault/fault_injector.h"
 
@@ -63,7 +65,11 @@ class SimState {
     busy_.assign(n, 0.0);
     for (int rank = 0; rank < n; ++rank) contexts_.emplace_back(this, rank);
     if (!config_.fault_plan.empty()) {
-      validate_fault_plan(config_.fault_plan, n);
+      // The sim tolerates a rank-0 crash (the schedule just drains without a
+      // stop broadcast); whether the farm can *recover* from one is checked
+      // upstream in validate_farm_config.
+      validate_fault_plan(config_.fault_plan, n,
+                          /*allow_scheduler_crash=*/true);
       injector_ = std::make_unique<FaultInjector>(config_.fault_plan, n,
                                                   config_.obs.tracer);
     }
@@ -78,12 +84,21 @@ class SimState {
     // re-announce itself (elastic membership).
     if (injector_ && config_.fault_plan.rejoin_tag >= 0) {
       for (const FaultEvent& e : config_.fault_plan.events) {
-        if (e.kind != FaultKind::kRejoin) continue;
+        if (e.kind != FaultKind::kRejoin || e.at_time < 0.0) continue;
         queue_.push(SimEvent{e.at_time, next_seq_++, SimEvent::kDelivery,
                              e.rank,
                              Message{e.rank, config_.fault_plan.rejoin_tag,
                                      {}}});
       }
+      // Relative rejoins (after_crash_seconds) resolve only when the crash
+      // fires; the injector hands the resolved time back through this hook,
+      // always inside the sequential event loop — pushing mid-drain is safe
+      // and keeps the schedule deterministic.
+      injector_->set_rejoin_hook([this](int rank, double at) {
+        queue_.push(SimEvent{at, next_seq_++, SimEvent::kDelivery, rank,
+                             Message{rank, config_.fault_plan.rejoin_tag,
+                                     {}}});
+      });
     }
     for (int rank = 0; rank < n; ++rank) {
       invoke_start(rank);
@@ -160,6 +175,7 @@ class SimState {
       stats.fault_crashes = injector_->crashes_triggered();
       stats.fault_dropped_messages = injector_->messages_dropped();
       stats.fault_duplicated_messages = injector_->messages_duplicated();
+      stats.fault_reordered_messages = injector_->messages_reordered();
     }
     if (MetricsRegistry* metrics = config_.obs.metrics) {
       metrics->gauge("sim.ethernet_busy_seconds")
@@ -192,6 +208,14 @@ class SimState {
       const FaultInjector::SendFaults f =
           injector_->on_send(src, dest, tag, send_time);
       if (f.drop) return;
+      if (f.hold) {
+        // kReorderMessage: park this message; the rank's next send to the
+        // same destination releases it behind itself (adjacent swap). If no
+        // later send comes the hold degrades to a drop, which the lease /
+        // chain machinery already recovers.
+        held_[{src, dest}] = Message{src, tag, std::move(payload)};
+        return;
+      }
       if (f.duplicate) copies = 2;
     }
     // Two-phase network hop: a handler may have advanced its local clock far
@@ -204,6 +228,14 @@ class SimState {
       ++cross_messages_;
       queue_.push(SimEvent{send_time, next_seq_++, SimEvent::kNetworkEntry,
                            dest, Message{src, tag, payload}});
+    }
+    const auto held = held_.find({src, dest});
+    if (held != held_.end()) {
+      cross_bytes_ += static_cast<std::int64_t>(held->second.payload.size());
+      ++cross_messages_;
+      queue_.push(SimEvent{send_time, next_seq_++, SimEvent::kNetworkEntry,
+                           dest, std::move(held->second)});
+      held_.erase(held);
     }
   }
 
@@ -256,6 +288,7 @@ class SimState {
   EthernetModel ethernet_;
   EventTracer* tracer_ = nullptr;  // null when absent or disabled
   std::unique_ptr<FaultInjector> injector_;
+  std::map<std::pair<int, int>, Message> held_;  // kReorderMessage parking
   std::priority_queue<SimEvent, std::vector<SimEvent>, EventLater> queue_;
   std::vector<SimContext> contexts_;
   std::vector<double> local_time_;

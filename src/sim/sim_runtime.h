@@ -46,6 +46,7 @@ struct SimRuntimeStats : RuntimeStats {
   int fault_crashes = 0;
   std::int64_t fault_dropped_messages = 0;
   std::int64_t fault_duplicated_messages = 0;
+  std::int64_t fault_reordered_messages = 0;
 };
 
 class SimRuntime final : public Runtime {

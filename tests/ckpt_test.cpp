@@ -145,6 +145,46 @@ TEST(Journal, RoundTripAllRecordTypes) {
   std::remove(path.c_str());
 }
 
+TEST(Journal, CheckpointV2TrailerRoundTripsSchedulerState) {
+  const std::string path = unique_path("journal_ckpt_v2");
+  JournalOptions opts;
+  opts.fsync = false;
+  {
+    auto w = JournalWriter::create(path, small_header(), opts);
+    ASSERT_NE(w, nullptr);
+    CheckpointRecord cp;
+    cp.completed = {false, false, false};
+    cp.next_task_id = 1234;
+    CheckpointRecord::StragglerStat s;
+    s.worker = 1;
+    s.ewma = 0.75;
+    s.dev = 0.125;
+    s.n = 9;
+    s.flagged = true;
+    cp.stragglers.push_back(s);
+    s.worker = 2;
+    s.ewma = 1.5;
+    s.flagged = false;
+    cp.stragglers.push_back(s);
+    w->checkpoint(cp);
+    EXPECT_TRUE(w->good());
+  }
+
+  const JournalReplay r = replay_journal(path);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.last_checkpoint.has_value());
+  EXPECT_EQ(r.last_checkpoint->next_task_id, 1234);
+  ASSERT_EQ(r.last_checkpoint->stragglers.size(), 2u);
+  EXPECT_EQ(r.last_checkpoint->stragglers[0].worker, 1);
+  EXPECT_DOUBLE_EQ(r.last_checkpoint->stragglers[0].ewma, 0.75);
+  EXPECT_DOUBLE_EQ(r.last_checkpoint->stragglers[0].dev, 0.125);
+  EXPECT_EQ(r.last_checkpoint->stragglers[0].n, 9);
+  EXPECT_TRUE(r.last_checkpoint->stragglers[0].flagged);
+  EXPECT_EQ(r.last_checkpoint->stragglers[1].worker, 2);
+  EXPECT_FALSE(r.last_checkpoint->stragglers[1].flagged);
+  std::remove(path.c_str());
+}
+
 TEST(Journal, TornTailIsIgnoredAtEveryTruncationPoint) {
   const std::string path = unique_path("journal_torn");
   JournalOptions opts;

@@ -109,6 +109,57 @@ TEST(FaultInjector, DelayWindowAndSlowdownScale) {
   EXPECT_DOUBLE_EQ(inj.charge_scale(1, 5.0), 1.0);
 }
 
+TEST(FaultInjector, ReorderHoldsTheNthMatchingMessage) {
+  FaultPlan plan;
+  plan.events.push_back(FaultPlan::reorder_nth(1, 2, /*tag=*/5));
+  FaultInjector inj(plan, 3);
+
+  EXPECT_FALSE(inj.on_send(1, 0, 5, 0.0).hold);  // 1st match passes
+  const FaultInjector::SendFaults f = inj.on_send(1, 0, 5, 0.0);
+  EXPECT_TRUE(f.hold);  // 2nd match parked
+  EXPECT_FALSE(f.drop);
+  EXPECT_FALSE(inj.on_send(1, 0, 5, 0.0).hold);  // one-shot
+  EXPECT_EQ(inj.messages_reordered(), 1);
+  EXPECT_EQ(inj.messages_dropped(), 0);
+}
+
+TEST(FaultPlan, ProgressTagRoutesByRankClass) {
+  FaultPlan plan;
+  plan.progress_tag = 5;
+  plan.shard_progress_tag = 14;
+  plan.scheduler_progress_tag = 2;
+  plan.first_shard_rank = 4;  // workers 1..3, shards 4..
+  EXPECT_EQ(plan.progress_tag_for(0), 2);
+  EXPECT_EQ(plan.progress_tag_for(1), 5);
+  EXPECT_EQ(plan.progress_tag_for(3), 5);
+  EXPECT_EQ(plan.progress_tag_for(4), 14);
+  EXPECT_EQ(plan.progress_tag_for(5), 14);
+
+  // Unsharded: every non-zero rank is a worker.
+  FaultPlan flat;
+  flat.progress_tag = 5;
+  EXPECT_EQ(flat.progress_tag_for(0), 5);
+  EXPECT_EQ(flat.progress_tag_for(2), 5);
+}
+
+TEST(FaultPlan, DescribeListsEveryEventAndTheTagWiring) {
+  FaultPlan plan;
+  plan.progress_tag = 5;
+  plan.events.push_back(FaultPlan::crash_after_frames(1, 2));
+  plan.events.push_back(FaultPlan::rejoin_after_crash(1, 3.5));
+  plan.events.push_back(FaultPlan::reorder_nth(2, 4, 5));
+  const std::string text = describe_fault_plan(plan);
+  EXPECT_NE(text.find("3 event(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("crash rank 1 after 2 progress message(s)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rejoin rank 1 3.500s after its crash"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reorder rank 2 message #4 (tag 5)"), std::string::npos)
+      << text;
+}
+
 TEST(FaultPlan, ValidateRejectsMalformedEvents) {
   FaultPlan plan;
   plan.events.push_back(FaultPlan::crash_at(1, 5.0));
@@ -128,6 +179,32 @@ TEST(FaultPlan, ValidateRejectsMalformedEvents) {
 
   plan.events[0] = FaultPlan::slowdown_window(1, 0.0, 1.0, 0.0);
   EXPECT_THROW(validate_fault_plan(plan, 3), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateGatesSchedulerCrashesAndRejoinPairing) {
+  // Rank 0 may crash only when the caller vouches for a restart path.
+  FaultPlan plan;
+  plan.events.push_back(FaultPlan::crash_at(0, 5.0));
+  EXPECT_THROW(validate_fault_plan(plan, 3), std::invalid_argument);
+  EXPECT_NO_THROW(
+      validate_fault_plan(plan, 3, /*allow_scheduler_crash=*/true));
+
+  // A rejoin needs exactly one crash on the same rank...
+  FaultPlan orphan;
+  orphan.events.push_back(FaultPlan::rejoin_at(1, 5.0));
+  EXPECT_THROW(validate_fault_plan(orphan, 3), std::invalid_argument);
+
+  // ...and a time-triggered rejoin must come after a time-triggered crash.
+  FaultPlan early;
+  early.events.push_back(FaultPlan::crash_at(1, 5.0));
+  early.events.push_back(FaultPlan::rejoin_at(1, 4.0));
+  EXPECT_THROW(validate_fault_plan(early, 3), std::invalid_argument);
+
+  // Relative rejoins are ordered by construction, whatever the trigger.
+  FaultPlan relative;
+  relative.events.push_back(FaultPlan::crash_after_frames(1, 2));
+  relative.events.push_back(FaultPlan::rejoin_after_crash(1, 1.0));
+  EXPECT_NO_THROW(validate_fault_plan(relative, 3));
 }
 
 // -- End-to-end: simulated NOW ---------------------------------------------
@@ -260,6 +337,38 @@ TEST(FaultSim, LostFinalFrameResultIsReclaimedAtTaskEnd) {
   EXPECT_EQ(result.master.frames_completed, scene.frame_count());
   const auto ref = reference_frames(scene, config.coherence.trace);
   expect_frames_equal(result.frames, ref, "lost-final-result");
+}
+
+TEST(FaultSim, ReorderedFrameResultIsAbsorbedPixelExact) {
+  const AnimatedScene scene = orbit_scene(3, 12, 48, 36);
+  FarmConfig config = sim_fault_config();
+  // Worker 1's second result is held and delivered behind its third: the
+  // master sees a gap, writes off the remainder, then discards the
+  // out-of-order late arrival — and the reclaim restores every pixel.
+  config.fault_plan.events.push_back(
+      FaultPlan::reorder_nth(1, 2, kTagFrameResult));
+
+  const FarmResult result = render_farm(scene, config);
+  EXPECT_EQ(result.metrics.counter("fault.messages_reordered"), 1u);
+  EXPECT_EQ(result.master.frames_completed, scene.frame_count());
+  const auto ref = reference_frames(scene, config.coherence.trace);
+  expect_frames_equal(result.frames, ref, "reorder");
+}
+
+TEST(FaultSim, ReorderedRunReplaysBitIdentically) {
+  const AnimatedScene scene = orbit_scene(3, 12, 48, 36);
+  FarmConfig config = sim_fault_config();
+  config.fault_plan.events.push_back(
+      FaultPlan::reorder_nth(1, 2, kTagFrameResult));
+  config.fault_plan.events.push_back(
+      FaultPlan::reorder_nth(2, 3, kTagFrameResult));
+
+  const FarmResult a = render_farm(scene, config);
+  const FarmResult b = render_farm(scene, config);
+  EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.runtime.messages, b.runtime.messages);
+  EXPECT_EQ(a.runtime.bytes, b.runtime.bytes);
+  expect_frames_equal(a.frames, b.frames, "reorder-replay");
 }
 
 TEST(FaultSim, DuplicatedFrameResultIsIgnoredExactlyOnce) {

@@ -154,6 +154,18 @@ TEST(CommitDigest, RoundTripsEveryKind) {
   }
 }
 
+TEST(CommitDigest, RectKeyRoundTripsEveryRect) {
+  // The scheduler rolls a dead shard's mirror back into render tasks by
+  // inverting the commit-gate key, so the packing must be lossless for any
+  // rect a partition can produce (16-bit lanes).
+  for (const PixelRect rect :
+       {PixelRect{0, 0, 1, 1}, PixelRect{4, 8, 32, 16},
+        PixelRect{65535, 65535, 65535, 65535}, PixelRect{640, 480, 17, 3}}) {
+    const PixelRect back = rect_from_key(rect_key(rect));
+    EXPECT_EQ(back, rect);
+  }
+}
+
 TEST(CommitDigest, RejectsTruncatedAndGarbagePayloads) {
   CommitDigest d;
   d.kind = CommitKind::kFresh;

@@ -1,0 +1,351 @@
+// Multi-tenant service benchmark: what does slicing the farm between many
+// tenants cost, and does the weighted-fair scheduler actually deliver the
+// shares it promises?
+//
+// Scenarios (sim backend, deterministic):
+//   single — one tenant submits N short shots (the baseline: same work,
+//            same task shapes, no multi-tenancy in play)
+//   multi  — 50 tenants submit the same N shots, one each
+//   long   — one tenant, one N×4-frame shot (informational: how much the
+//            long-lived coherence state amortizes the full first-frames)
+//   2:1    — two tenants with 2:1 weights contend for two workers
+//
+// Gates (exit code):
+//   * no throughput cliff: multi-tenant elapsed <= 1.20x the single-tenant
+//     baseline for identical work
+//   * fairness: over the contended window of the grant log, the heavy
+//     tenant's pixel-frame share is within [1.4, 3.0]x the light one's
+//   * byte-identity: every shot's frames equal a solo serial render
+//   * determinism: re-running the multi scenario reproduces the grant log
+//     and every frame byte-for-byte
+//
+// --tcp-smoke runs the CI scenario instead: two tenants over loopback TCP,
+// several short shots, one cancelled mid-flight; every shot that reports
+// done must be byte-identical to the serial reference. Wall-clock timing
+// decides whether the cancel lands before completion, so the cancelled
+// shot may legitimately finish — the gate accepts either terminal phase.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/par/render_farm.h"
+#include "src/scene/builtin_scenes.h"
+#include "src/trace/render.h"
+
+namespace now {
+namespace {
+
+constexpr int kShotFrames = 4;
+
+ClientAction submit_at(double t, const std::string& tenant, double weight,
+                       int first, int count) {
+  ClientAction a;
+  a.at_seconds = t;
+  a.kind = ClientActionKind::kSubmit;
+  a.submit.tenant = tenant;
+  a.submit.weight = weight;
+  a.submit.first_frame = first;
+  a.submit.frame_count = count;
+  return a;
+}
+
+FarmConfig base_config(int workers) {
+  FarmConfig config;
+  config.backend = FarmBackend::kSim;
+  config.worker_speeds.assign(static_cast<std::size_t>(workers), 1.0);
+  // Spatial tiles spanning each shot's whole frame range: short shots keep
+  // frame coherence within the shot, the long shot amortizes further.
+  config.partition.scheme = PartitionScheme::kFrameDivision;
+  config.partition.block_size = 16;
+  // Static tasks: adaptive shrink/steal reacts to grant order, which would
+  // fold re-render cost into the tenancy-overhead comparison. With the same
+  // fixed task set in every scenario, the elapsed delta is pure scheduling.
+  config.partition.adaptive = false;
+  config.service.enabled = true;
+  return config;
+}
+
+std::vector<Framebuffer> reference_range(const AnimatedScene& scene,
+                                         int first, int count,
+                                         const TraceOptions& trace) {
+  std::vector<Framebuffer> out;
+  for (int f = first; f < first + count; ++f) {
+    out.push_back(
+        render_world(scene.world_at(f), scene.width(), scene.height(), trace));
+  }
+  return out;
+}
+
+/// Every done shot must match the serial render of its scene range.
+/// `reference` holds the solo render of the whole scene, indexed by frame.
+bool shots_match_reference(const FarmResult& result,
+                           const std::vector<Framebuffer>& reference,
+                           const char* scenario) {
+  for (const auto& shot : result.shots) {
+    if (shot.summary.phase != ShotPhase::kDone) continue;
+    if (shot.frames.size() != static_cast<std::size_t>(
+                                  shot.summary.frame_count)) {
+      std::fprintf(stderr, "%s: shot %d frame count %zu != %d\n", scenario,
+                   shot.summary.shot_id, shot.frames.size(),
+                   shot.summary.frame_count);
+      return false;
+    }
+    for (std::size_t f = 0; f < shot.frames.size(); ++f) {
+      const std::size_t scene_frame =
+          static_cast<std::size_t>(shot.summary.scene_first_frame) + f;
+      if (scene_frame >= reference.size() ||
+          !(shot.frames[f] == reference[scene_frame])) {
+        std::fprintf(stderr, "%s: shot %d frame %zu differs from solo\n",
+                     scenario, shot.summary.shot_id, f);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Heavy/light pixel-frame unit ratio over the contended prefix of the
+/// grant log (up to the last grant of whichever tenant drains first).
+double contended_ratio(const FarmResult& result, const std::string& heavy,
+                       const std::string& light) {
+  int heavy_id = -1;
+  int light_id = -1;
+  for (int t = 0; t < static_cast<int>(result.tenants.size()); ++t) {
+    if (result.tenants[t].name == heavy) heavy_id = t;
+    if (result.tenants[t].name == light) light_id = t;
+  }
+  if (heavy_id < 0 || light_id < 0) return 0.0;
+  int last_heavy = -1;
+  int last_light = -1;
+  for (int i = 0; i < static_cast<int>(result.assignment_log.size()); ++i) {
+    if (result.assignment_log[i].tenant == heavy_id) last_heavy = i;
+    if (result.assignment_log[i].tenant == light_id) last_light = i;
+  }
+  const int window_end = std::min(last_heavy, last_light);
+  double heavy_units = 0.0;
+  double light_units = 0.0;
+  for (int i = 0; i <= window_end; ++i) {
+    const ServiceAssignment& grant = result.assignment_log[i];
+    if (grant.tenant == heavy_id) heavy_units += grant.units;
+    if (grant.tenant == light_id) light_units += grant.units;
+  }
+  return light_units > 0.0 ? heavy_units / light_units : 0.0;
+}
+
+int run_tcp_smoke() {
+  // Big enough that the run takes a couple of wall seconds on two workers:
+  // the mid-flight cancel below must have something to interrupt.
+  const AnimatedScene scene = orbit_scene(6, 8, 128, 96);
+  FarmConfig config;
+  config.backend = FarmBackend::kTcp;
+  config.workers = 2;
+  config.partition.scheme = PartitionScheme::kFrameDivision;
+  config.partition.block_size = 16;
+  config.service.enabled = true;
+  ClientScript a, b;
+  for (int i = 0; i < 3; ++i) {
+    a.actions.push_back(submit_at(0.0, "alpha", 2.0, 0, kShotFrames));
+    b.actions.push_back(submit_at(0.0, "beta", 1.0, 0, kShotFrames));
+  }
+  ClientAction cancel;
+  cancel.at_seconds = 0.05;  // wall clock: may race completion (idempotent)
+  cancel.kind = ClientActionKind::kCancel;
+  cancel.submit_index = 2;
+  b.actions.push_back(cancel);
+  config.service.clients.push_back(a);
+  config.service.clients.push_back(b);
+
+  const FarmResult result = render_farm(scene, config);
+  const auto reference =
+      reference_range(scene, 0, kShotFrames, config.coherence.trace);
+
+  int done = 0;
+  int cancelled = 0;
+  for (const auto& shot : result.shots) {
+    if (shot.summary.phase == ShotPhase::kDone) ++done;
+    if (shot.summary.phase == ShotPhase::kCancelled) ++cancelled;
+  }
+  std::printf("tcp smoke: %zu shots admitted, %d done, %d cancelled\n",
+              result.shots.size(), done, cancelled);
+  bool ok = true;
+  if (result.shots.size() != 6) {
+    std::fprintf(stderr, "tcp smoke: expected 6 admitted shots\n");
+    ok = false;
+  }
+  if (done + cancelled != static_cast<int>(result.shots.size())) {
+    std::fprintf(stderr, "tcp smoke: shot left non-terminal\n");
+    ok = false;
+  }
+  if (done < 5) {  // at most the cancel target may be missing
+    std::fprintf(stderr, "tcp smoke: too few completed shots\n");
+    ok = false;
+  }
+  if (!shots_match_reference(result, reference, "tcp")) ok = false;
+
+  MetricsRegistry& reg = bench::bench_registry();
+  reg.gauge("multitenant.tcp.shots_done").set(done);
+  reg.gauge("multitenant.tcp.shots_cancelled").set(cancelled);
+  reg.gauge("multitenant.tcp.elapsed_seconds").set(result.elapsed_seconds);
+  reg.gauge("multitenant.tcp.fairness_ratio")
+      .set(contended_ratio(result, "alpha", "beta"));
+  for (const TenantSummary& t : result.tenants) {
+    reg.gauge("multitenant.tcp.tenant." + t.name + ".units")
+        .set(static_cast<double>(t.units_assigned));
+    reg.gauge("multitenant.tcp.tenant." + t.name + ".frames")
+        .set(static_cast<double>(t.frames_committed));
+  }
+  std::printf("tcp smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int run(const bench::BenchOptions& opts) {
+  const int shots = opts.quick ? 12 : 50;
+  const int workers = opts.quick ? 4 : 8;
+  const AnimatedScene scene =
+      orbit_scene(3, shots * kShotFrames, opts.quick ? 48 : 64,
+                  opts.quick ? 36 : 48);
+  const double pixel_frames = static_cast<double>(scene.width()) *
+                              scene.height() * shots * kShotFrames;
+
+  std::printf("multi-tenant service — %d shots x %d frames at %dx%d, "
+              "%d sim workers\n\n",
+              shots, kShotFrames, scene.width(), scene.height(), workers);
+
+  // Baseline: the same shots, one tenant. Identical task shapes, so the
+  // delta to the multi-tenant run is pure tenancy overhead.
+  FarmConfig single = base_config(workers);
+  ClientScript solo_script;
+  for (int i = 0; i < shots; ++i) {
+    solo_script.actions.push_back(
+        submit_at(0.0, "solo", 1.0, i * kShotFrames, kShotFrames));
+  }
+  single.service.clients.push_back(solo_script);
+  const FarmResult single_result = render_farm(scene, single);
+
+  // 50 tenants, one shot each — each its own segment of the animation —
+  // split over two client ranks.
+  FarmConfig multi = base_config(workers);
+  ClientScript c0, c1;
+  for (int i = 0; i < shots; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "t%02d", i);
+    (i % 2 == 0 ? c0 : c1).actions.push_back(
+        submit_at(0.0, name, 1.0, i * kShotFrames, kShotFrames));
+  }
+  multi.service.clients.push_back(c0);
+  multi.service.clients.push_back(c1);
+  const FarmResult multi_result = render_farm(scene, multi);
+
+  // One long shot with the same total pixel-frames.
+  FarmConfig longshot = base_config(workers);
+  ClientScript long_script;
+  long_script.actions.push_back(
+      submit_at(0.0, "epic", 1.0, 0, shots * kShotFrames));
+  longshot.service.clients.push_back(long_script);
+  const FarmResult long_result = render_farm(scene, longshot);
+
+  std::printf("%10s %12s %14s %10s\n", "scenario", "elapsed", "pixfr/s",
+              "tenants");
+  bench::print_rule(52);
+  const auto row = [&](const char* name, const FarmResult& r) {
+    std::printf("%10s %12s %14.0f %10zu\n", name,
+                bench::hms(r.elapsed_seconds).c_str(),
+                pixel_frames / r.elapsed_seconds, r.tenants.size());
+  };
+  row("single", single_result);
+  row("multi", multi_result);
+  row("long", long_result);
+  std::printf("\n");
+
+  bool ok = true;
+
+  // Gate: no throughput cliff from multi-tenancy.
+  const double cliff = multi_result.elapsed_seconds /
+                       single_result.elapsed_seconds;
+  std::printf("multi/single elapsed ratio: %.3f (gate <= 1.20)\n", cliff);
+  if (cliff > 1.20) {
+    std::fprintf(stderr, "FAIL: multi-tenant throughput cliff\n");
+    ok = false;
+  }
+
+  // Gate: byte-identity of every shot against the serial reference.
+  const auto reference =
+      reference_range(scene, 0, shots * kShotFrames, multi.coherence.trace);
+  const bool identity =
+      shots_match_reference(single_result, reference, "single") &&
+      shots_match_reference(multi_result, reference, "multi");
+  std::printf("byte-identity vs solo render: %s\n",
+              identity ? "ok" : "FAILED");
+  if (!identity) ok = false;
+
+  // Gate: 2:1 weights over two contended workers.
+  FarmConfig weighted = base_config(2);
+  ClientScript heavy, light;
+  for (int i = 0; i < 6; ++i) {
+    heavy.actions.push_back(submit_at(0.0, "heavy", 2.0, 0, kShotFrames));
+    light.actions.push_back(submit_at(0.0, "light", 1.0, 0, kShotFrames));
+  }
+  weighted.service.clients.push_back(heavy);
+  weighted.service.clients.push_back(light);
+  const FarmResult weighted_result = render_farm(scene, weighted);
+  const double ratio = contended_ratio(weighted_result, "heavy", "light");
+  std::printf("2:1 contended-window unit ratio: %.2f (gate 1.4 - 3.0)\n",
+              ratio);
+  if (ratio < 1.4 || ratio > 3.0) {
+    std::fprintf(stderr, "FAIL: weighted-fair share out of tolerance\n");
+    ok = false;
+  }
+
+  // Gate: determinism — the multi scenario replays grant-for-grant.
+  const FarmResult rerun = render_farm(scene, multi);
+  bool same = rerun.elapsed_seconds == multi_result.elapsed_seconds &&
+              rerun.assignment_log.size() == multi_result.assignment_log.size();
+  for (std::size_t i = 0; same && i < rerun.assignment_log.size(); ++i) {
+    same = rerun.assignment_log[i].tenant ==
+               multi_result.assignment_log[i].tenant &&
+           rerun.assignment_log[i].shot_id ==
+               multi_result.assignment_log[i].shot_id &&
+           rerun.assignment_log[i].units ==
+               multi_result.assignment_log[i].units;
+  }
+  for (std::size_t s = 0; same && s < rerun.shots.size(); ++s) {
+    same = rerun.shots[s].frames == multi_result.shots[s].frames;
+  }
+  std::printf("sim determinism (rerun): %s\n", same ? "ok" : "FAILED");
+  if (!same) ok = false;
+
+  MetricsRegistry& reg = bench::bench_registry();
+  reg.gauge("multitenant.single.elapsed_seconds")
+      .set(single_result.elapsed_seconds);
+  reg.gauge("multitenant.multi.elapsed_seconds")
+      .set(multi_result.elapsed_seconds);
+  reg.gauge("multitenant.long.elapsed_seconds")
+      .set(long_result.elapsed_seconds);
+  reg.gauge("multitenant.cliff_ratio").set(cliff);
+  reg.gauge("multitenant.fairness_ratio").set(ratio);
+  reg.gauge("multitenant.multi.grants")
+      .set(static_cast<double>(multi_result.assignment_log.size()));
+  reg.gauge("multitenant.multi.preemptions")
+      .set(static_cast<double>(multi_result.master.preemptions));
+
+  std::printf("\n%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace now
+
+int main(int argc, char** argv) {
+  const now::bench::BenchOptions opts =
+      now::bench::parse_bench_options(argc, argv);
+  bool tcp_smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tcp-smoke") == 0) tcp_smoke = true;
+  }
+  const int rc = tcp_smoke ? now::run_tcp_smoke() : now::run(opts);
+  const int finish = now::bench::finish_bench(opts);
+  return rc != 0 ? rc : finish;
+}

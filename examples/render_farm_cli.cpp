@@ -10,6 +10,20 @@
 //        [--status-port P] [--sample-interval S] [--flight-recorder [DIR]]
 //        [--kill-worker R] [--kill-shard S] [--kill-scheduler]
 //        [--chaos-seed N]
+//        [--submit TENANT:WEIGHT:FIRST:COUNT[:QUOTA]] [--poll AT:INDEX]
+//        [--cancel AT:INDEX]
+//
+// Every numeric flag is parsed with a validating helper: junk, trailing
+// garbage, or out-of-range values print a message and exit 2 instead of
+// silently becoming 0.
+//
+// Multi-tenant service: one or more --submit flags switch the farm into
+// service mode — each SPEC submits frames [FIRST, FIRST+COUNT) of the scene
+// as one shot for TENANT with the given weight (and optional in-flight
+// quota), all at t = 0 through a scripted client. --poll AT:INDEX requests
+// a status of the INDEX-th submit (0-based) AT seconds in; --cancel
+// AT:INDEX cancels it. The run ends when every admitted shot is terminal;
+// the CLI prints the shot table and per-tenant fairness accounting.
 //
 // --threads sets the render threads *inside* each worker (0 = one per
 // hardware thread, the default; output is byte-identical for any value).
@@ -81,7 +95,10 @@
 // Camera cuts in the scene are reported up front; the coherence renderer
 // restarts automatically at each cut (a stationary camera per shot is the
 // algorithm's requirement, Section 3 of the paper).
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -99,16 +116,113 @@ using namespace now;
 
 namespace {
 
-std::vector<double> parse_speeds(const std::string& csv) {
-  std::vector<double> out;
+// -- validated numeric parsing ---------------------------------------------
+// Every numeric operand goes through one of these: junk ("banana"), trailing
+// garbage ("3x"), and out-of-range values all die with a message and exit 2
+// instead of atoi's silent 0.
+
+[[noreturn]] void flag_die(const char* flag, const std::string& text,
+                           const std::string& why) {
+  std::fprintf(stderr, "%s: invalid value '%s' (%s)\n", flag, text.c_str(),
+               why.c_str());
+  std::exit(2);
+}
+
+long long parse_int_flag(const char* flag, const std::string& text,
+                         long long min, long long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    flag_die(flag, text, "expected an integer");
+  }
+  if (errno == ERANGE || v < min || v > max) {
+    flag_die(flag, text, "expected an integer in [" + std::to_string(min) +
+                             ", " + std::to_string(max) + "]");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64_flag(const char* flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  if (!text.empty() && text[0] == '-') {
+    flag_die(flag, text, "expected a non-negative integer");
+  }
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    flag_die(flag, text, "expected a non-negative integer");
+  }
+  if (errno == ERANGE) flag_die(flag, text, "out of range");
+  return v;
+}
+
+double parse_double_flag(const char* flag, const std::string& text,
+                         double min, double max) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v)) {
+    flag_die(flag, text, "expected a number");
+  }
+  if (errno == ERANGE || v < min || v > max) {
+    flag_die(flag, text, "expected a number in [" + std::to_string(min) +
+                             ", " + std::to_string(max) + "]");
+  }
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
   std::size_t pos = 0;
-  while (pos < csv.size()) {
-    const std::size_t comma = csv.find(',', pos);
-    out.push_back(std::stod(csv.substr(pos, comma - pos)));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+  while (true) {
+    const std::size_t next = s.find(sep, pos);
+    out.push_back(s.substr(pos, next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
   }
   return out;
+}
+
+std::vector<double> parse_speeds(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& part : split(csv, ',')) {
+    out.push_back(parse_double_flag("--speeds", part, 1e-6, 1e6));
+  }
+  return out;
+}
+
+/// TENANT:WEIGHT:FIRST:COUNT[:QUOTA] → one t=0 submit action.
+ClientAction parse_submit_spec(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.size() < 4 || parts.size() > 5 || parts[0].empty()) {
+    flag_die("--submit", spec, "expected TENANT:WEIGHT:FIRST:COUNT[:QUOTA]");
+  }
+  ClientAction a;
+  a.kind = ClientActionKind::kSubmit;
+  a.submit.tenant = parts[0];
+  a.submit.weight = parse_double_flag("--submit", parts[1], 1e-6, 1e6);
+  a.submit.first_frame = static_cast<std::int32_t>(
+      parse_int_flag("--submit", parts[2], 0, 1 << 24));
+  a.submit.frame_count = static_cast<std::int32_t>(
+      parse_int_flag("--submit", parts[3], 1, 1 << 24));
+  if (parts.size() == 5) {
+    a.submit.quota = static_cast<std::int32_t>(
+        parse_int_flag("--submit", parts[4], 0, 1 << 20));
+  }
+  return a;
+}
+
+/// AT:INDEX → a status poll / cancel of the INDEX-th submit at AT seconds.
+ClientAction parse_shot_ref(const char* flag, const std::string& spec,
+                            ClientActionKind kind) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.size() != 2) flag_die(flag, spec, "expected AT:INDEX");
+  ClientAction a;
+  a.kind = kind;
+  a.at_seconds = parse_double_flag(flag, parts[0], 0.0, 1e9);
+  a.submit_index = static_cast<int>(parse_int_flag(flag, parts[1], 0, 1 << 20));
+  return a;
 }
 
 bool write_file(const std::string& path, const std::string& contents) {
@@ -137,6 +251,7 @@ int main(int argc, char** argv) {
   bool kill_scheduler = false;
   bool chaos = false;
   std::uint64_t chaos_seed = 0;
+  ClientScript service_script;  // --submit/--poll/--cancel actions
   // Shared by every failure drill. Progress leases must outlast an honest
   // frame render or healthy workers get written off as dead: under sim a
   // demo frame costs minutes of *virtual* time (which is free to wait out),
@@ -170,13 +285,16 @@ int main(int argc, char** argv) {
       else if (v == "hybrid") config.partition.scheme = PartitionScheme::kHybrid;
       else { std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str()); return 2; }
     } else if (arg == "--workers" && i + 1 < argc) {
-      config.workers = std::atoi(argv[++i]);
+      config.workers =
+          static_cast<int>(parse_int_flag("--workers", argv[++i], 1, 4096));
     } else if (arg == "--speeds" && i + 1 < argc) {
       config.worker_speeds = parse_speeds(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
-      config.coherence.threads = std::atoi(argv[++i]);
+      config.coherence.threads =
+          static_cast<int>(parse_int_flag("--threads", argv[++i], 0, 4096));
     } else if (arg == "--block" && i + 1 < argc) {
-      config.partition.block_size = std::atoi(argv[++i]);
+      config.partition.block_size =
+          static_cast<int>(parse_int_flag("--block", argv[++i], 1, 65536));
     } else if (arg == "--no-coherence") {
       config.coherence.enabled = false;
     } else if (arg == "--frame-codec" && i + 1 < argc) {
@@ -196,7 +314,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--speculate") {
       config.speculation = true;
     } else if (arg == "--shards" && i + 1 < argc) {
-      config.shards = std::atoi(argv[++i]);
+      config.shards =
+          static_cast<int>(parse_int_flag("--shards", argv[++i], 1, 1024));
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -204,9 +323,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--status-port" && i + 1 < argc) {
-      config.obs.status_port = std::atoi(argv[++i]);
+      config.obs.status_port = static_cast<int>(
+          parse_int_flag("--status-port", argv[++i], -1, 65535));
     } else if (arg == "--sample-interval" && i + 1 < argc) {
-      config.obs.sample_interval_seconds = std::atof(argv[++i]);
+      config.obs.sample_interval_seconds =
+          parse_double_flag("--sample-interval", argv[++i], 0.0, 86400.0);
     } else if (arg == "--flight-recorder") {
       config.obs.flight_recorder = true;
       // Optional directory operand (next arg not starting with --).
@@ -220,19 +341,29 @@ int main(int argc, char** argv) {
       // rank's crash trace) without external process surgery.
       FaultEvent ev;
       ev.kind = FaultKind::kCrash;
-      ev.rank = std::atoi(argv[++i]);
+      ev.rank =
+          static_cast<int>(parse_int_flag("--kill-worker", argv[++i], 1, 4096));
       ev.after_frames = 2;
       config.fault_plan.events.push_back(ev);
       kill_worker = true;
     } else if (arg == "--kill-shard" && i + 1 < argc) {
       // Shard index, resolved to its world rank after all flags are parsed
       // (the rank depends on --workers/--speeds and --shards).
-      kill_shard = std::atoi(argv[++i]);
+      kill_shard =
+          static_cast<int>(parse_int_flag("--kill-shard", argv[++i], 0, 1023));
     } else if (arg == "--kill-scheduler") {
       kill_scheduler = true;
     } else if (arg == "--chaos-seed" && i + 1 < argc) {
       chaos = true;
-      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+      chaos_seed = parse_u64_flag("--chaos-seed", argv[++i]);
+    } else if (arg == "--submit" && i + 1 < argc) {
+      service_script.actions.push_back(parse_submit_spec(argv[++i]));
+    } else if (arg == "--poll" && i + 1 < argc) {
+      service_script.actions.push_back(
+          parse_shot_ref("--poll", argv[++i], ClientActionKind::kStatus));
+    } else if (arg == "--cancel" && i + 1 < argc) {
+      service_script.actions.push_back(
+          parse_shot_ref("--cancel", argv[++i], ClientActionKind::kCancel));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -242,6 +373,20 @@ int main(int argc, char** argv) {
   const int worker_count = config.worker_speeds.empty()
                                ? config.workers
                                : static_cast<int>(config.worker_speeds.size());
+  const bool service = !service_script.actions.empty();
+  if (service) {
+    bool any_submit = false;
+    for (const ClientAction& a : service_script.actions) {
+      if (a.kind == ClientActionKind::kSubmit) any_submit = true;
+    }
+    if (!any_submit) {
+      std::fprintf(stderr,
+                   "--poll/--cancel need at least one --submit to target\n");
+      return 2;
+    }
+    config.service.enabled = true;
+    config.service.clients.push_back(service_script);
+  }
   if (kill_worker) arm_drill_leases();
   if (kill_shard >= 0) {
     if (config.shards <= 1 || kill_shard >= config.shards) {
@@ -357,15 +502,57 @@ int main(int argc, char** argv) {
                 result.faults.shards_failed, result.faults.shards_rejoined,
                 static_cast<long long>(result.faults.frames_reassigned));
   }
+  bool service_failed = false;
+  if (service) {
+    // Service mode renders the admitted shots, not the whole scene: report
+    // the shot table + per-tenant accounting instead of the frame count.
+    std::printf("\n%5s %-12s %-10s %10s %8s\n", "shot", "tenant", "phase",
+                "frames", "range");
+    bool all_terminal = true;
+    for (const FarmResult::ShotResult& shot : result.shots) {
+      const ShotSummary& s = shot.summary;
+      if (s.phase == ShotPhase::kActive) all_terminal = false;
+      std::printf("%5d %-12s %-10s %6d/%-3d [%d..%d]\n", s.shot_id,
+                  s.tenant.c_str(), to_string(s.phase), s.frames_done,
+                  s.frame_count, s.scene_first_frame,
+                  s.scene_first_frame + s.frame_count - 1);
+    }
+    std::printf("%5s %-12s %8s %12s %10s %8s\n", "", "tenant", "weight",
+                "units", "frames", "peak");
+    for (const TenantSummary& t : result.tenants) {
+      std::printf("%5s %-12s %8.2f %12lld %10lld %8d\n", "", t.name.c_str(),
+                  t.weight, static_cast<long long>(t.units_assigned),
+                  static_cast<long long>(t.frames_committed),
+                  t.peak_inflight);
+    }
+    int rejects = 0;
+    for (const ClientReport& c : result.clients) rejects += c.rejects;
+    if (rejects > 0) {
+      for (const ClientReport& c : result.clients) {
+        for (std::size_t s = 0; s < c.errors.size(); ++s) {
+          if (!c.errors[s].empty()) {
+            std::fprintf(stderr, "submit %zu rejected: %s\n", s,
+                         c.errors[s].c_str());
+          }
+        }
+      }
+    }
+    if (!all_terminal) {
+      std::fprintf(stderr, "INCOMPLETE: a shot never reached a terminal "
+                           "phase\n");
+    }
+    service_failed = !all_terminal || rejects > 0;
+  }
   const long long frames_done = result.master.frames_completed +
                                 result.resume.frames_restored;
-  const bool incomplete = frames_done < scene.frame_count();
+  const bool incomplete =
+      !service && frames_done < scene.frame_count();
   if (incomplete && !kill_scheduler) {
     std::fprintf(stderr,
                  "INCOMPLETE: %lld of %d frame(s) finished — the farm "
                  "stopped before the render was done\n",
                  frames_done, scene.frame_count());
-  } else if (!incomplete) {
+  } else if (!incomplete && !service) {
     std::printf("frames written to %s/farm_NNNN.tga\n", out_dir.c_str());
   }
   if (kill_scheduler) {
@@ -417,5 +604,6 @@ int main(int argc, char** argv) {
   }
   // A scheduler-kill drill is *supposed* to end partial (the restart is a
   // --resume rerun); every other incomplete render is a failure.
+  if (service) return service_failed ? 1 : 0;
   return (incomplete && !kill_scheduler) ? 1 : 0;
 }

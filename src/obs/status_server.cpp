@@ -120,11 +120,13 @@ void send_all(int fd, const std::string& data) {
 
 void serve_one(int fd, StatusServer::Impl* impl) {
   set_rcv_timeout(fd, 2.0);
-  // Read until the request line is complete; HTTP/1.0, no keep-alive, so
-  // the first line is all we need.
+  // Read until the blank line ending the header block: a request arrives in
+  // as many TCP segments as it likes, and answering before the client has
+  // finished sending risks a reset that kills the response in flight. The
+  // 2s receive timeout and the 8 KiB cap bound a slow or hostile peer.
   std::string req;
   char buf[1024];
-  while (req.find("\r\n") == std::string::npos && req.size() < 8192) {
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     req.append(buf, static_cast<std::size_t>(n));

@@ -1,0 +1,129 @@
+#include "src/par/jobqueue.h"
+
+namespace now {
+namespace {
+
+bool get_phase(WireReader* r, ShotPhase* phase) {
+  std::uint8_t raw = 0;
+  if (!r->u8(&raw) || raw > static_cast<std::uint8_t>(ShotPhase::kCancelled)) {
+    return false;
+  }
+  *phase = static_cast<ShotPhase>(raw);
+  return true;
+}
+
+bool get_version(WireReader* r) {
+  std::uint8_t version = 0;
+  return r->u8(&version) && version == kJobQueueVersion;
+}
+
+}  // namespace
+
+const char* to_string(ShotPhase phase) {
+  switch (phase) {
+    case ShotPhase::kActive: return "active";
+    case ShotPhase::kDone: return "done";
+    case ShotPhase::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string encode_shot_submit(const ShotSubmit& sub) {
+  WireWriter w;
+  w.u8(kJobQueueVersion);
+  w.i32(sub.client_ref);
+  w.str(sub.tenant);
+  w.f64(sub.weight);
+  w.i32(sub.quota);
+  w.i32(sub.scene_id);
+  w.i32(sub.first_frame);
+  w.i32(sub.frame_count);
+  w.str(sub.label);
+  return w.take();
+}
+
+bool decode_shot_submit(ShotSubmit* sub, const std::string& payload) {
+  WireReader r(payload);
+  return get_version(&r) && r.i32(&sub->client_ref) && r.str(&sub->tenant) &&
+         r.f64(&sub->weight) && r.i32(&sub->quota) && r.i32(&sub->scene_id) &&
+         r.i32(&sub->first_frame) && r.i32(&sub->frame_count) &&
+         r.str(&sub->label) && r.done();
+}
+
+std::string encode_shot_accept(const ShotAccept& acc) {
+  WireWriter w;
+  w.u8(kJobQueueVersion);
+  w.i32(acc.client_ref);
+  w.i32(acc.shot_id);
+  w.i32(acc.base_frame);
+  w.str(acc.error);
+  return w.take();
+}
+
+bool decode_shot_accept(ShotAccept* acc, const std::string& payload) {
+  WireReader r(payload);
+  return get_version(&r) && r.i32(&acc->client_ref) && r.i32(&acc->shot_id) &&
+         r.i32(&acc->base_frame) && r.str(&acc->error) && r.done();
+}
+
+std::string encode_shot_status_request(const ShotStatusRequest& req) {
+  WireWriter w;
+  w.u8(kJobQueueVersion);
+  w.i32(req.shot_id);
+  return w.take();
+}
+
+bool decode_shot_status_request(ShotStatusRequest* req,
+                                const std::string& payload) {
+  WireReader r(payload);
+  return get_version(&r) && r.i32(&req->shot_id) && r.done();
+}
+
+std::string encode_shot_status_reply(const ShotStatusReply& reply) {
+  WireWriter w;
+  w.u8(kJobQueueVersion);
+  w.i32(reply.shot_id);
+  w.u8(reply.known);
+  w.u8(static_cast<std::uint8_t>(reply.phase));
+  w.i32(reply.frames_done);
+  w.i32(reply.frame_count);
+  return w.take();
+}
+
+bool decode_shot_status_reply(ShotStatusReply* reply,
+                              const std::string& payload) {
+  WireReader r(payload);
+  return get_version(&r) && r.i32(&reply->shot_id) && r.u8(&reply->known) &&
+         get_phase(&r, &reply->phase) && r.i32(&reply->frames_done) &&
+         r.i32(&reply->frame_count) && r.done();
+}
+
+std::string encode_shot_cancel(const ShotCancel& cancel) {
+  WireWriter w;
+  w.u8(kJobQueueVersion);
+  w.i32(cancel.shot_id);
+  return w.take();
+}
+
+bool decode_shot_cancel(ShotCancel* cancel, const std::string& payload) {
+  WireReader r(payload);
+  return get_version(&r) && r.i32(&cancel->shot_id) && r.done();
+}
+
+std::string encode_shot_update(const ShotUpdate& update) {
+  WireWriter w;
+  w.u8(kJobQueueVersion);
+  w.i32(update.shot_id);
+  w.u8(static_cast<std::uint8_t>(update.phase));
+  w.i32(update.frames_done);
+  return w.take();
+}
+
+bool decode_shot_update(ShotUpdate* update, const std::string& payload) {
+  WireReader r(payload);
+  return get_version(&r) && r.i32(&update->shot_id) &&
+         get_phase(&r, &update->phase) && r.i32(&update->frames_done) &&
+         r.done();
+}
+
+}  // namespace now

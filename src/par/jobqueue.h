@@ -1,0 +1,128 @@
+// Job-queue front end of the multi-tenant render service: the messages
+// clients use to submit, poll, and cancel *shots* — per-tenant animation
+// segments, the unit of admission — against the scheduler's persistent
+// listener. One version byte leads every message; a decoder refuses any
+// other version, a truncated body, trailing bytes, or an out-of-range
+// phase, so a malformed request is dropped (and counted) instead of
+// misinterpreted.
+//
+// The message flow (tags in src/par/protocol.h):
+//
+//   client                         master
+//     | -- kTagShotSubmit ---------> |   admit, partition, enqueue
+//     | <-- kTagShotAccept --------- |   shot_id (or error)
+//     | -- kTagShotStatus ---------> |
+//     | <-- kTagShotStatusReply ---- |
+//     | -- kTagShotCancel ---------> |   drop queue, shrink in-flight work
+//     | <-- kTagShotUpdate --------- |   terminal phase (done / cancelled)
+//     | -- kTagClientDone ---------> |   no further requests from this client
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/message.h"
+
+namespace now {
+
+inline constexpr std::uint8_t kJobQueueVersion = 1;
+
+/// Lifecycle of an admitted shot, as the scheduler reports it to clients.
+enum class ShotPhase : std::uint8_t {
+  kActive = 0,     // admitted; tasks queued or in flight
+  kDone = 1,       // every frame committed
+  kCancelled = 2,  // cancelled before completion; remaining work dropped
+};
+
+const char* to_string(ShotPhase phase);
+
+struct ShotSubmit {
+  /// Client-side correlation id echoed in the ShotAccept: a client may have
+  /// several submits in flight and replies carry no other handle yet.
+  std::int32_t client_ref = 0;
+  /// Tenant name ([A-Za-z0-9._-], non-empty). The first submit naming a
+  /// tenant fixes its weight and quota for the run.
+  std::string tenant;
+  /// Weighted-fair share (stride scheduling): finite, > 0.
+  double weight = 1.0;
+  /// Max in-flight tasks for the tenant (0 = unlimited).
+  std::int32_t quota = 0;
+  /// Scene table index (0 = the primary scene) and the shot's frame range
+  /// within that scene.
+  std::int32_t scene_id = 0;
+  std::int32_t first_frame = 0;
+  std::int32_t frame_count = 0;
+  /// Optional shot label ([A-Za-z0-9._-] or empty); feeds output file names.
+  std::string label;
+
+  bool operator==(const ShotSubmit&) const = default;
+};
+
+std::string encode_shot_submit(const ShotSubmit& sub);
+bool decode_shot_submit(ShotSubmit* sub, const std::string& payload);
+
+struct ShotAccept {
+  std::int32_t client_ref = 0;
+  /// Admitted shot id, or -1 when the submit was rejected.
+  std::int32_t shot_id = -1;
+  /// First global frame of the shot in the scheduler's concatenated frame
+  /// space (informational; clients address shots by shot_id).
+  std::int32_t base_frame = 0;
+  /// Empty on admission; the rejection reason otherwise.
+  std::string error;
+
+  bool accepted() const { return shot_id >= 0; }
+  bool operator==(const ShotAccept&) const = default;
+};
+
+std::string encode_shot_accept(const ShotAccept& acc);
+bool decode_shot_accept(ShotAccept* acc, const std::string& payload);
+
+struct ShotStatusRequest {
+  std::int32_t shot_id = -1;
+
+  bool operator==(const ShotStatusRequest&) const = default;
+};
+
+std::string encode_shot_status_request(const ShotStatusRequest& req);
+bool decode_shot_status_request(ShotStatusRequest* req,
+                                const std::string& payload);
+
+struct ShotStatusReply {
+  std::int32_t shot_id = -1;
+  /// 0 when the shot id names nothing (the remaining fields are zero).
+  std::uint8_t known = 0;
+  ShotPhase phase = ShotPhase::kActive;
+  std::int32_t frames_done = 0;
+  std::int32_t frame_count = 0;
+
+  bool operator==(const ShotStatusReply&) const = default;
+};
+
+std::string encode_shot_status_reply(const ShotStatusReply& reply);
+bool decode_shot_status_reply(ShotStatusReply* reply,
+                              const std::string& payload);
+
+struct ShotCancel {
+  std::int32_t shot_id = -1;
+
+  bool operator==(const ShotCancel&) const = default;
+};
+
+std::string encode_shot_cancel(const ShotCancel& cancel);
+bool decode_shot_cancel(ShotCancel* cancel, const std::string& payload);
+
+/// Unsolicited terminal notification to the submitting client: the shot
+/// completed or was cancelled. Also the direct reply to a kTagShotCancel.
+struct ShotUpdate {
+  std::int32_t shot_id = -1;
+  ShotPhase phase = ShotPhase::kActive;
+  std::int32_t frames_done = 0;
+
+  bool operator==(const ShotUpdate&) const = default;
+};
+
+std::string encode_shot_update(const ShotUpdate& update);
+bool decode_shot_update(ShotUpdate* update, const std::string& payload);
+
+}  // namespace now

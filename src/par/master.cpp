@@ -9,7 +9,10 @@ namespace now {
 
 RenderMaster::RenderMaster(const AnimatedScene& scene,
                            const MasterConfig& config)
-    : scene_(scene), config_(config), straggler_(config.straggler) {
+    : scene_(scene),
+      config_(config),
+      straggler_(config.straggler),
+      service_(config.service.enabled) {
   if (config_.tracer != nullptr && !config_.tracer->enabled()) {
     config_.tracer = nullptr;
   }
@@ -27,18 +30,24 @@ RenderMaster::RenderMaster(const AnimatedScene& scene,
 }
 
 void RenderMaster::on_start(Context& ctx) {
-  const int frames = scene_.frame_count();
+  // Service mode starts with an *empty* frame space: shots grow it at
+  // admission time, so there is nothing to partition or restore here.
+  const int frames = service_ ? 0 : scene_.frame_count();
   const int w = scene_.width();
   const int h = scene_.height();
   const bool sharded = config_.shards.sharded();
   // In sharded mode the trailing ranks are FrameShard actors, not workers:
   // every `w < workers_.size()` loop (dispatch, leases, speculation,
   // checkpoints, liveness) must exclude them, so the bookkeeping vector
-  // stops at the last worker rank.
+  // stops at the last worker rank. In service mode the trailing ranks are
+  // ShotClient actors instead, excluded the same way.
   const int worker_count =
-      sharded ? config_.shards.worker_count : ctx.world_size() - 1;
+      sharded ? config_.shards.worker_count
+              : ctx.world_size() - 1 -
+                    (service_ ? config_.service.client_count : 0);
   assert(worker_count >= 1);
   assert(!sharded || ctx.world_size() == config_.shards.world_size());
+  assert(!service_ || (!sharded && config_.recovery == nullptr));
   workers_.assign(static_cast<std::size_t>(worker_count) + 1, {});
   report_.frames_by_worker.assign(static_cast<std::size_t>(worker_count) + 1,
                                   0);
@@ -97,8 +106,11 @@ void RenderMaster::on_start(Context& ctx) {
       pending_.push_back(task);
     }
   };
-  if (config_.recovery != nullptr &&
-      config_.recovery->last_checkpoint.has_value()) {
+  if (service_) {
+    // Shots arrive over the job queue; each admission partitions its own
+    // frame range into the shot's private queue (handle_shot_submit).
+  } else if (config_.recovery != nullptr &&
+             config_.recovery->last_checkpoint.has_value()) {
     // A scheduler checkpoint survived: resume the compacted task table
     // instead of re-partitioning. Its tasks cover the incomplete remainder
     // as a superset (reclaim overlap is gated away at commit), so the exact
@@ -138,6 +150,13 @@ void RenderMaster::on_start(Context& ctx) {
     // journal-only (header + checkpoint records).
     sink.output_dir = config_.output_dir;
     sink.output_prefix = config_.output_prefix;
+  }
+  if (service_ && !config_.output_dir.empty()) {
+    // Per-shot output namespacing: a tenant's frames land under its own
+    // name, numbered in the shot's scene-local frame space.
+    sink.frame_path = [this](std::int32_t frame) {
+      return service_frame_path(frame);
+    };
   }
   sink.journal_path = config_.journal_path;
   sink.journal_fsync = config_.journal_fsync;
@@ -236,12 +255,27 @@ void RenderMaster::on_message(Context& ctx, const Message& msg) {
     case kTagShardCheck:
       handle_shard_check(ctx, msg);
       break;
+    case kTagShotSubmit:
+      handle_shot_submit(ctx, msg);
+      break;
+    case kTagShotStatus:
+      handle_shot_status(ctx, msg);
+      break;
+    case kTagShotCancel:
+      handle_shot_cancel(ctx, msg);
+      break;
+    case kTagClientDone:
+      handle_client_done(ctx, msg.source);
+      break;
     default:
       assert(false && "master received unexpected tag");
   }
 }
 
 void RenderMaster::handle_idle(Context& ctx, int worker, bool hello) {
+  if (worker < 1 || worker >= static_cast<int>(workers_.size())) {
+    return;  // not a worker rank (e.g. a confused service client)
+  }
   WorkerState& state = workers_[worker];
   if (state.dead) {
     if (!hello) return;
@@ -278,6 +312,7 @@ void RenderMaster::handle_idle(Context& ctx, int worker, bool hello) {
     // (e.g. the task's final frame result): write it off and re-enqueue.
     cancel_and_reclaim(ctx, worker);
   }
+  release_assignment(worker);
   state.active = false;
   state.cancelled = false;
   state.request_pending = false;
@@ -348,6 +383,10 @@ bool RenderMaster::task_fully_committed(const RenderTask& task) const {
 }
 
 void RenderMaster::try_dispatch(Context& ctx) {
+  if (service_) {
+    service_dispatch(ctx);
+    return;
+  }
   while (!idle_.empty()) {
     const int worker = idle_.front();
     if (workers_[worker].dead) {
@@ -440,6 +479,18 @@ bool RenderMaster::try_speculate(Context& ctx) {
   clone.region = vs.task.region;
   clone.first_frame = vs.next_expected;
   clone.frame_count = vs.end_frame - vs.next_expected;
+  clone.scene_id = vs.task.scene_id;
+  clone.frame_delta = vs.task.frame_delta;
+  if (service_) {
+    // Clones are speculative, not admitted work: they stay uncharged
+    // against the tenant's quota and are the first thing backlog
+    // preemption dissolves.
+    const auto shot_it = task_shot_.find(vs.task.task_id);
+    if (shot_it != task_shot_.end()) {
+      task_shot_[clone.task_id] = shot_it->second;
+    }
+    spec_clone_tasks_.insert(clone.task_id);
+  }
   spec_partner_[clone.task_id] = vs.task.task_id;
   spec_partner_[vs.task.task_id] = clone.task_id;
   spec_tasks_.insert(clone.task_id);
@@ -526,6 +577,9 @@ void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
   const bool ok = decode_shrink_ack(&ack, msg.payload);
   assert(ok);
   if (!ok) return;
+  if (msg.source < 1 || msg.source >= static_cast<int>(workers_.size())) {
+    return;
+  }
   WorkerState& s = workers_[msg.source];
   if (s.dead) return;
   s.awaiting_ack = false;
@@ -539,6 +593,8 @@ void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
     stolen.region = s.task.region;
     stolen.first_frame = ack.honored_end_frame;
     stolen.frame_count = s.end_frame - ack.honored_end_frame;
+    stolen.scene_id = s.task.scene_id;
+    stolen.frame_delta = s.task.frame_delta;
     s.end_frame = ack.honored_end_frame;
     if (config_.tracer != nullptr) {
       config_.tracer->instant(ctx.rank(), "sched", "task.split", ctx.now(),
@@ -547,8 +603,20 @@ void RenderMaster::handle_shrink_ack(Context& ctx, const Message& msg) {
                                {"first_frame", stolen.first_frame},
                                {"frames", stolen.frame_count}});
     }
-    pending_.push_back(stolen);
-    ++report_.adaptive_splits;
+    if (service_) {
+      // Stolen work stays in its shot's queue; a shot cancelled while the
+      // shrink was in flight drops the range (its area is written off).
+      const auto shot_it = task_shot_.find(s.task.task_id);
+      const int sid = shot_it != task_shot_.end() ? shot_it->second : -1;
+      if (sid >= 0 && shots_[sid].phase == ShotPhase::kActive) {
+        task_shot_[stolen.task_id] = sid;
+        shots_[sid].queue.push_back(stolen);
+        ++report_.adaptive_splits;
+      }
+    } else {
+      pending_.push_back(stolen);
+      ++report_.adaptive_splits;
+    }
   }
   try_dispatch(ctx);
   maybe_finish(ctx);
@@ -559,6 +627,9 @@ void RenderMaster::handle_task_nack(Context& ctx, const Message& msg) {
   const bool ok = decode_task_nack(&nack, msg.payload);
   assert(ok);
   if (!ok) return;
+  if (msg.source < 1 || msg.source >= static_cast<int>(workers_.size())) {
+    return;
+  }
   WorkerState& s = workers_[msg.source];
   if (s.dead || !s.active || s.cancelled || s.task.task_id != nack.task_id) {
     return;  // stale refusal: the assignment it covers is already gone
@@ -567,6 +638,7 @@ void RenderMaster::handle_task_nack(Context& ctx, const Message& msg) {
   // run. Free the slot and requeue the task verbatim: the worker refused
   // before rendering any frame of it, so it keeps its id, owes no results,
   // and pays no coherence-restart accounting.
+  release_assignment(msg.source);
   s.active = false;
   ++fault_report_.tasks_nacked;
   if (config_.tracer != nullptr) {
@@ -577,7 +649,15 @@ void RenderMaster::handle_task_nack(Context& ctx, const Message& msg) {
   if (s.end_frame > s.task.first_frame) {
     RenderTask requeue = s.task;
     requeue.frame_count = s.end_frame - s.task.first_frame;
-    pending_.push_back(requeue);
+    if (service_) {
+      const auto shot_it = task_shot_.find(requeue.task_id);
+      const int sid = shot_it != task_shot_.end() ? shot_it->second : -1;
+      if (sid >= 0 && shots_[sid].phase == ShotPhase::kActive) {
+        shots_[sid].queue.push_back(requeue);
+      }
+    } else {
+      pending_.push_back(requeue);
+    }
   }
   try_dispatch(ctx);
   maybe_finish(ctx);
@@ -612,6 +692,10 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
     return;
   }
 
+  if (msg.source < 1 || msg.source >= static_cast<int>(workers_.size())) {
+    ++fault_report_.results_ignored;
+    return;
+  }
   WorkerState& s = workers_[msg.source];
   if (s.dead || cancelled_tasks_.count(result.task_id) > 0) {
     // A falsely-declared-dead worker keeps rendering into the void, and a
@@ -733,6 +817,21 @@ void RenderMaster::handle_frame_result(Context& ctx, const Message& msg) {
     // place (temp file + rename) before the record that declares it
     // durable, so a resume never trusts a frame that isn't wholly on disk.
     sink_->complete_frame(frame, frames_[frame]);
+    if (service_) {
+      const int sid = shot_of_frame(frame);
+      assert(sid >= 0 && "completed frame belongs to no shot");
+      if (sid >= 0) {
+        Shot& shot = shots_[sid];
+        ++shot.frames_done;
+        Tenant& tenant = tenants_[shot.tenant];
+        ++tenant.frames_committed;
+        if (tenant.frames_counter != nullptr) tenant.frames_counter->inc();
+        if (shot.phase == ShotPhase::kActive &&
+            shot.frames_done >= shot.frame_count) {
+          finish_shot(ctx, shot);
+        }
+      }
+    }
   }
   if (sink_->journaling() &&
       sink_->commits_since_checkpoint() >=
@@ -1004,6 +1103,7 @@ void RenderMaster::sync_journal_stats() {
 void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
   WorkerState& s = workers_[worker];
   if (!s.active || s.cancelled) return;
+  release_assignment(worker);
   s.cancelled = true;
   cancelled_tasks_.insert(s.task.task_id);
   // A cancelled half of a speculated pair just dissolves the pair: the
@@ -1015,22 +1115,41 @@ void RenderMaster::cancel_and_reclaim(Context& ctx, int worker) {
     spec_partner_.erase(s.task.task_id);
   }
   if (s.end_frame > s.next_expected) {
-    RenderTask reclaim;
-    reclaim.task_id = next_task_id_++;
-    reclaim.region = s.task.region;
-    reclaim.first_frame = s.next_expected;
-    reclaim.frame_count = s.end_frame - s.next_expected;
-    reassigned_tasks_.insert(reclaim.task_id);
-    if (config_.tracer != nullptr) {
-      config_.tracer->instant(ctx.rank(), "sched", "task.reclaim", ctx.now(),
-                              {{"worker", worker},
-                               {"task", reclaim.task_id},
-                               {"first_frame", reclaim.first_frame},
-                               {"frames", reclaim.frame_count}});
+    // Service mode: a reclaim belongs to the owning shot's queue, and a
+    // shot already past kActive has had its remaining area written off —
+    // reclaiming it would enqueue work nobody is waiting for.
+    int sid = -1;
+    if (service_) {
+      const auto shot_it = task_shot_.find(s.task.task_id);
+      sid = shot_it != task_shot_.end() ? shot_it->second : -1;
+      if (sid >= 0 && shots_[sid].phase != ShotPhase::kActive) sid = -1;
     }
-    pending_.push_back(reclaim);
-    ++fault_report_.tasks_reassigned;
-    fault_report_.frames_reassigned += reclaim.frame_count;
+    if (!service_ || sid >= 0) {
+      RenderTask reclaim;
+      reclaim.task_id = next_task_id_++;
+      reclaim.region = s.task.region;
+      reclaim.first_frame = s.next_expected;
+      reclaim.frame_count = s.end_frame - s.next_expected;
+      reclaim.scene_id = s.task.scene_id;
+      reclaim.frame_delta = s.task.frame_delta;
+      reassigned_tasks_.insert(reclaim.task_id);
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant(ctx.rank(), "sched", "task.reclaim",
+                                ctx.now(),
+                                {{"worker", worker},
+                                 {"task", reclaim.task_id},
+                                 {"first_frame", reclaim.first_frame},
+                                 {"frames", reclaim.frame_count}});
+      }
+      if (service_) {
+        task_shot_[reclaim.task_id] = sid;
+        shots_[sid].queue.push_back(reclaim);
+      } else {
+        pending_.push_back(reclaim);
+      }
+      ++fault_report_.tasks_reassigned;
+      fault_report_.frames_reassigned += reclaim.frame_count;
+    }
   }
   // Digests for the written-off range are moot; a parked request completes
   // its idle transition now (every caller follows with try_dispatch, and a
@@ -1569,6 +1688,37 @@ std::string RenderMaster::render_status_json(Context& ctx) const {
     }
     j += "]";
   }
+  if (service_) {
+    j += ", \"tenants\": [";
+    first = true;
+    for (const Tenant& t : tenants_) {
+      if (!first) j += ", ";
+      first = false;
+      j += "{\"name\": \"" + t.name + "\"";
+      j += ", \"weight\": ";
+      append_json_double(&j, t.weight);
+      j += ", \"quota\": " + std::to_string(t.quota);
+      j += ", \"inflight\": " + std::to_string(t.inflight);
+      j += ", \"tasks_assigned\": " + std::to_string(t.tasks_assigned);
+      j += ", \"units_assigned\": " + std::to_string(t.units_assigned);
+      j += ", \"frames_committed\": " + std::to_string(t.frames_committed);
+      j += "}";
+    }
+    j += "], \"shots\": [";
+    first = true;
+    for (const Shot& s : shots_) {
+      if (!first) j += ", ";
+      first = false;
+      j += "{\"shot\": " + std::to_string(s.shot_id);
+      j += ", \"tenant\": \"" + tenants_[s.tenant].name + "\"";
+      j += ", \"phase\": \"" + std::string(to_string(s.phase)) + "\"";
+      j += ", \"frames_done\": " + std::to_string(s.frames_done);
+      j += ", \"frame_count\": " + std::to_string(s.frame_count);
+      j += ", \"queued_tasks\": " + std::to_string(s.queue.size());
+      j += "}";
+    }
+    j += "]";
+  }
   j += "}\n";
   return j;
 }
@@ -1598,6 +1748,34 @@ void RenderMaster::note_commit(Context& ctx, int worker, std::int32_t task_id,
 }
 
 void RenderMaster::maybe_finish(Context& ctx) {
+  if (service_) {
+    if (stopping_) return;
+    // The service run ends only when every client has declared itself done
+    // (no further submits can arrive), every admitted pixel is committed or
+    // written off, and no active shot still queues real work.
+    if (static_cast<int>(done_clients_.size()) <
+        config_.service.client_count) {
+      return;
+    }
+    if (area_frames_missing_ != 0) return;
+    for (Shot& shot : shots_) {
+      if (shot.phase != ShotPhase::kActive) continue;
+      while (!shot.queue.empty() &&
+             task_fully_committed(shot.queue.front())) {
+        shot.queue.pop_front();
+      }
+      if (!shot.queue.empty()) return;
+    }
+    stopping_ = true;
+    for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+      if (!workers_[w].dead) ctx.send(w, kTagStop, {});
+    }
+    for (int c = 0; c < config_.service.client_count; ++c) {
+      ctx.send(static_cast<int>(workers_.size()) + c, kTagStop, {});
+    }
+    ctx.stop();
+    return;
+  }
   if (stopping_ || area_frames_missing_ != 0) return;
   // Every pixel is committed, so anything still pending (speculation
   // leftovers, reclaim overlap) is duplicate work by definition.
@@ -1618,6 +1796,513 @@ void RenderMaster::maybe_finish(Context& ctx) {
     }
   }
   ctx.stop();
+}
+
+// ---- Multi-tenant service ----------------------------------------------
+
+namespace {
+
+/// Shared charset rule for tenant and label names: path-safe, so they can
+/// feed output file names verbatim.
+bool valid_service_name(const std::string& s) {
+  for (const char c : s) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Stride-scheduling scale: pass advances by units * kStrideScale / weight
+/// per grant, so a tenant with twice the weight accrues pass half as fast
+/// and receives twice the units over any contended window.
+constexpr double kStrideScale = 65536.0;
+
+}  // namespace
+
+bool RenderMaster::is_client_rank(Context& ctx, int rank) const {
+  (void)ctx;
+  const int first = static_cast<int>(workers_.size());
+  return rank >= first && rank < first + config_.service.client_count;
+}
+
+int RenderMaster::tenant_for(const std::string& name, double weight,
+                             std::int32_t quota) {
+  const auto it = tenant_ids_.find(name);
+  if (it != tenant_ids_.end()) return it->second;
+  Tenant t;
+  t.name = name;
+  t.weight = weight;
+  t.quota = quota;
+  // A late-arriving tenant starts at the minimum live pass: stride fairness
+  // is forward-looking, never a back-payment that would let a newcomer
+  // monopolize the farm to "catch up" on time before it existed.
+  bool any = false;
+  double min_pass = 0.0;
+  for (const Tenant& other : tenants_) {
+    if (!any || other.pass < min_pass) min_pass = other.pass;
+    any = true;
+  }
+  t.pass = any ? min_pass : 0.0;
+  if (config_.metrics != nullptr) {
+    t.frames_counter =
+        &config_.metrics->counter("tenant." + name + ".frames_committed");
+    t.assigns_counter =
+        &config_.metrics->counter("tenant." + name + ".tasks_assigned");
+  }
+  const int id = static_cast<int>(tenants_.size());
+  tenants_.push_back(std::move(t));
+  tenant_ids_[name] = id;
+  return id;
+}
+
+void RenderMaster::handle_shot_submit(Context& ctx, const Message& msg) {
+  if (!service_ || !is_client_rank(ctx, msg.source) || stopping_) return;
+  const auto reject = [&](std::int32_t ref, const std::string& why) {
+    ++report_.shots_rejected;
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(ctx.rank(), "sched", "shot.reject", ctx.now(),
+                              {{"client", msg.source}});
+    }
+    ShotAccept acc;
+    acc.client_ref = ref;
+    acc.shot_id = -1;
+    acc.error = why;
+    ctx.send(msg.source, kTagShotAccept, encode_shot_accept(acc));
+  };
+  ShotSubmit sub;
+  if (!decode_shot_submit(&sub, msg.payload)) {
+    reject(-1, "malformed ShotSubmit");
+    return;
+  }
+  if (sub.tenant.empty() || sub.tenant.size() > 64 ||
+      !valid_service_name(sub.tenant)) {
+    reject(sub.client_ref, "invalid tenant name");
+    return;
+  }
+  if (sub.label.size() > 64 || !valid_service_name(sub.label)) {
+    reject(sub.client_ref, "invalid shot label");
+    return;
+  }
+  if (!std::isfinite(sub.weight) || sub.weight <= 0.0) {
+    reject(sub.client_ref, "weight must be finite and > 0");
+    return;
+  }
+  if (sub.quota < 0) {
+    reject(sub.client_ref, "quota must be >= 0");
+    return;
+  }
+  const int scene_count = config_.service.scenes.empty()
+                              ? 1
+                              : static_cast<int>(config_.service.scenes.size());
+  if (sub.scene_id < 0 || sub.scene_id >= scene_count) {
+    reject(sub.client_ref, "unknown scene_id");
+    return;
+  }
+  const AnimatedScene& scene = config_.service.scenes.empty()
+                                   ? scene_
+                                   : *config_.service.scenes[sub.scene_id];
+  if (sub.first_frame < 0 || sub.frame_count < 1 ||
+      static_cast<std::int64_t>(sub.first_frame) + sub.frame_count >
+          scene.frame_count()) {
+    reject(sub.client_ref, "frame range outside scene");
+    return;
+  }
+
+  const int w = scene_.width();
+  const int h = scene_.height();
+  const int shot_id = static_cast<int>(shots_.size());
+  const std::int32_t base =
+      static_cast<std::int32_t>(frame_area_missing_.size());
+  Shot shot;
+  shot.shot_id = shot_id;
+  shot.tenant = tenant_for(sub.tenant, sub.weight, sub.quota);
+  shot.client_rank = msg.source;
+  shot.label = sub.label;
+  shot.scene_id = sub.scene_id;
+  shot.scene_first_frame = sub.first_frame;
+  shot.frame_count = sub.frame_count;
+  shot.base_frame = base;
+
+  // Grow the global frame space: the shot's frames live at
+  // [base, base + frame_count) and map back to the scene through
+  // frame_delta (scene_frame = global_frame + frame_delta).
+  frames_.resize(frames_.size() + static_cast<std::size_t>(sub.frame_count),
+                 Framebuffer(w, h));
+  frame_area_missing_.resize(
+      frame_area_missing_.size() + static_cast<std::size_t>(sub.frame_count),
+      std::int64_t{w} * h);
+  committed_rects_.resize(committed_rects_.size() +
+                          static_cast<std::size_t>(sub.frame_count));
+  area_frames_missing_ += std::int64_t{w} * h * sub.frame_count;
+
+  // Partition the shot on its own: camera cuts inside the shot's range are
+  // free task boundaries, shifted into shot-local frame numbers.
+  PartitionConfig partition = config_.partition;
+  if (partition.scheme == PartitionScheme::kSequenceDivision &&
+      partition.sequence_cuts.empty()) {
+    for (const AnimatedScene::Shot& cut : scene.split_shots()) {
+      if (cut.first_frame > sub.first_frame &&
+          cut.first_frame < sub.first_frame + sub.frame_count) {
+        partition.sequence_cuts.push_back(cut.first_frame - sub.first_frame);
+      }
+    }
+  }
+  const int worker_count = static_cast<int>(workers_.size()) - 1;
+  std::int64_t covered = 0;
+  for (RenderTask& task :
+       make_initial_tasks(partition, w, h, sub.frame_count, worker_count)) {
+    task.task_id = next_task_id_++;
+    task.first_frame += base;
+    task.scene_id = sub.scene_id;
+    task.frame_delta = sub.first_frame - base;
+    covered +=
+        static_cast<std::int64_t>(task.region.area()) * task.frame_count;
+    task_shot_[task.task_id] = shot_id;
+    shot.queue.push_back(task);
+  }
+  assert(covered == std::int64_t{w} * h * sub.frame_count &&
+         "shot tasks must tile area × frames");
+  shot.units_total = covered;
+  shots_.push_back(std::move(shot));
+  ++report_.shots_submitted;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "shot.admit", ctx.now(),
+                            {{"shot", shot_id},
+                             {"client", msg.source},
+                             {"base_frame", base},
+                             {"frames", sub.frame_count}});
+  }
+  ShotAccept acc;
+  acc.client_ref = sub.client_ref;
+  acc.shot_id = shot_id;
+  acc.base_frame = base;
+  ctx.send(msg.source, kTagShotAccept, encode_shot_accept(acc));
+  try_dispatch(ctx);
+}
+
+void RenderMaster::handle_shot_status(Context& ctx, const Message& msg) {
+  if (!service_ || !is_client_rank(ctx, msg.source)) return;
+  ShotStatusRequest req;
+  if (!decode_shot_status_request(&req, msg.payload)) return;
+  ShotStatusReply reply;
+  reply.shot_id = req.shot_id;
+  if (req.shot_id >= 0 && req.shot_id < static_cast<int>(shots_.size())) {
+    const Shot& shot = shots_[req.shot_id];
+    reply.known = 1;
+    reply.phase = shot.phase;
+    reply.frames_done = shot.frames_done;
+    reply.frame_count = shot.frame_count;
+  }
+  ctx.send(msg.source, kTagShotStatusReply, encode_shot_status_reply(reply));
+}
+
+void RenderMaster::handle_shot_cancel(Context& ctx, const Message& msg) {
+  if (!service_ || !is_client_rank(ctx, msg.source)) return;
+  ShotCancel cancel;
+  if (!decode_shot_cancel(&cancel, msg.payload)) return;
+  if (cancel.shot_id < 0 ||
+      cancel.shot_id >= static_cast<int>(shots_.size())) {
+    return;  // unknown id: nothing to cancel, nothing to report
+  }
+  Shot& shot = shots_[cancel.shot_id];
+  if (shot.client_rank != msg.source) return;  // only the submitter
+  if (shot.phase != ShotPhase::kActive) {
+    // Idempotent: a repeated cancel (or one racing completion) reports the
+    // terminal phase the shot already reached.
+    ShotUpdate update;
+    update.shot_id = shot.shot_id;
+    update.phase = shot.phase;
+    update.frames_done = shot.frames_done;
+    ctx.send(msg.source, kTagShotUpdate, encode_shot_update(update));
+    return;
+  }
+  shot.phase = ShotPhase::kCancelled;
+  ++report_.shots_cancelled;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "shot.cancel", ctx.now(),
+                            {{"shot", shot.shot_id},
+                             {"frames_done", shot.frames_done}});
+  }
+  // Queued tasks just vanish; in-flight ones are written off like a lease
+  // expiry — results are discarded and the worker is told to stop.
+  for (const RenderTask& task : shot.queue) {
+    cancelled_tasks_.insert(task.task_id);
+    task_shot_.erase(task.task_id);
+  }
+  shot.queue.clear();
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    WorkerState& s = workers_[w];
+    if (s.dead || !s.active || s.cancelled) continue;
+    const auto it = task_shot_.find(s.task.task_id);
+    if (it == task_shot_.end() || it->second != cancel.shot_id) continue;
+    release_assignment(w);
+    s.cancelled = true;
+    cancelled_tasks_.insert(s.task.task_id);
+    const auto sp = spec_partner_.find(s.task.task_id);
+    if (sp != spec_partner_.end()) {
+      spec_partner_.erase(sp->second);
+      spec_partner_.erase(s.task.task_id);
+    }
+    if (!s.awaiting_ack) {
+      ShrinkRequest req;
+      req.task_id = s.task.task_id;
+      req.new_end_frame = s.next_expected;
+      s.awaiting_ack = true;
+      ctx.send(w, kTagShrink, encode_shrink(req));
+    }
+  }
+  // The dropped pixels will never arrive: write their area off so the run
+  // can finish without them. Not counted as completed frames.
+  for (std::int32_t f = shot.base_frame;
+       f < shot.base_frame + shot.frame_count; ++f) {
+    area_frames_missing_ -= frame_area_missing_[f];
+    frame_area_missing_[f] = 0;
+  }
+  ShotUpdate update;
+  update.shot_id = shot.shot_id;
+  update.phase = ShotPhase::kCancelled;
+  update.frames_done = shot.frames_done;
+  ctx.send(msg.source, kTagShotUpdate, encode_shot_update(update));
+  try_dispatch(ctx);
+  maybe_finish(ctx);
+}
+
+void RenderMaster::handle_client_done(Context& ctx, int source) {
+  if (!service_ || !is_client_rank(ctx, source)) return;
+  done_clients_.insert(source);
+  maybe_finish(ctx);
+}
+
+int RenderMaster::runnable_shot(int tenant) {
+  for (int sid = 0; sid < static_cast<int>(shots_.size()); ++sid) {
+    Shot& shot = shots_[sid];
+    if (shot.tenant != tenant || shot.phase != ShotPhase::kActive) continue;
+    // A speculation winner (or reclaim overlap) may have fully covered the
+    // queue head while it waited: prune rather than pay for duplicates.
+    while (!shot.queue.empty() &&
+           task_fully_committed(shot.queue.front())) {
+      shot.queue.pop_front();
+    }
+    if (!shot.queue.empty()) return sid;
+  }
+  return -1;
+}
+
+int RenderMaster::pick_tenant() {
+  int best = -1;
+  for (int t = 0; t < static_cast<int>(tenants_.size()); ++t) {
+    Tenant& tenant = tenants_[t];
+    if (tenant.quota > 0 && tenant.inflight >= tenant.quota) continue;
+    if (runnable_shot(t) < 0) continue;
+    // Strict < keeps ties on the lowest tenant id: deterministic scan order.
+    if (best < 0 || tenant.pass < tenants_[best].pass) best = t;
+  }
+  // Shot affinity (deficit-round-robin quantum on top of the stride queue):
+  // keep serving the last-served tenant while its pass lead over the
+  // lowest-pass contender stays under one shot's units. Bounded unfairness
+  // — at most one shot's worth of work — in exchange for a shot's tiles
+  // finishing together, so frames complete steadily instead of in waves
+  // that stall dispatch behind the master's frame writes.
+  if (best >= 0 && affinity_tenant_ >= 0 && affinity_tenant_ != best) {
+    Tenant& held = tenants_[affinity_tenant_];
+    if (held.quota <= 0 || held.inflight < held.quota) {
+      const int sid = runnable_shot(affinity_tenant_);
+      if (sid >= 0) {
+        const double lead_cap =
+            static_cast<double>(shots_[sid].units_total) * kStrideScale /
+            held.weight;
+        if (held.pass - tenants_[best].pass < lead_cap) {
+          return affinity_tenant_;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+void RenderMaster::charge_tenant(Context& ctx, int worker, int tenant,
+                                 const RenderTask& task) {
+  Tenant& t = tenants_[tenant];
+  ++t.inflight;
+  t.peak_inflight = std::max(t.peak_inflight, t.inflight);
+  ++t.tasks_assigned;
+  const std::int64_t units =
+      static_cast<std::int64_t>(task.region.area()) * task.frame_count;
+  t.units_assigned += units;
+  t.pass += units * kStrideScale / t.weight;
+  affinity_tenant_ = tenant;
+  if (t.assigns_counter != nullptr) t.assigns_counter->inc();
+  workers_[worker].charged_tenant = tenant;
+  const auto shot_it = task_shot_.find(task.task_id);
+  ServiceAssignment grant;
+  grant.tenant = tenant;
+  grant.shot_id = shot_it != task_shot_.end() ? shot_it->second : -1;
+  grant.units = units;
+  assignment_log_.push_back(grant);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "tenant.grant", ctx.now(),
+                            {{"tenant", tenant},
+                             {"worker", worker},
+                             {"task", task.task_id}});
+  }
+}
+
+void RenderMaster::release_assignment(int worker) {
+  WorkerState& s = workers_[worker];
+  if (s.charged_tenant < 0) return;
+  Tenant& t = tenants_[s.charged_tenant];
+  --t.inflight;
+  assert(t.inflight >= 0);
+  s.charged_tenant = -1;
+}
+
+void RenderMaster::service_dispatch(Context& ctx) {
+  while (!idle_.empty()) {
+    const int worker = idle_.front();
+    if (workers_[worker].dead) {
+      idle_.pop_front();
+      workers_[worker].queued = false;
+      continue;
+    }
+    const int tenant = pick_tenant();
+    if (tenant >= 0) {
+      const int sid = runnable_shot(tenant);
+      assert(sid >= 0);
+      Shot& shot = shots_[sid];
+      const RenderTask task = shot.queue.front();
+      shot.queue.pop_front();
+      idle_.pop_front();
+      workers_[worker].queued = false;
+      charge_tenant(ctx, worker, tenant, task);
+      assign(ctx, worker, task);
+      continue;
+    }
+    // No admitted work is runnable (empty queues or every tenant at quota):
+    // fall back to the classic end-game moves.
+    if (config_.partition.adaptive && try_adaptive_split(ctx)) break;
+    if (config_.speculate && try_speculate(ctx)) continue;
+    break;
+  }
+  service_preempt_if_backlogged(ctx);
+  if (queue_depth_ != nullptr) {
+    std::int64_t depth = 0;
+    for (const Shot& shot : shots_) {
+      depth += static_cast<std::int64_t>(shot.queue.size());
+    }
+    queue_depth_->set(static_cast<double>(depth));
+  }
+}
+
+void RenderMaster::service_preempt_if_backlogged(Context& ctx) {
+  if (!service_ || !config_.speculate || spec_partner_.empty()) return;
+  // Admitted work is waiting and every live worker is busy: speculation
+  // clones are the lowest-value occupants, so dissolve one pair and shrink
+  // the clone away — its worker comes back for the real backlog.
+  if (pick_tenant() < 0) return;
+  for (const int w : idle_) {
+    if (!workers_[w].dead) return;  // an idle worker will take the backlog
+  }
+  for (int w = 1; w < static_cast<int>(workers_.size()); ++w) {
+    WorkerState& s = workers_[w];
+    if (s.dead || !s.active || s.cancelled) continue;
+    if (spec_clone_tasks_.count(s.task.task_id) == 0) continue;
+    const auto it = spec_partner_.find(s.task.task_id);
+    if (it == spec_partner_.end()) continue;  // pair already dissolved
+    spec_partner_.erase(it->second);
+    spec_partner_.erase(s.task.task_id);
+    ++report_.preemptions;
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(ctx.rank(), "sched", "task.preempt", ctx.now(),
+                              {{"worker", w}, {"task", s.task.task_id}});
+    }
+    s.end_frame = std::min(s.end_frame, s.next_expected);
+    if (!s.awaiting_ack) {
+      ShrinkRequest req;
+      req.task_id = s.task.task_id;
+      req.new_end_frame = s.next_expected;
+      s.awaiting_ack = true;
+      ctx.send(w, kTagShrink, encode_shrink(req));
+    }
+    break;  // one preemption per backlog check
+  }
+}
+
+void RenderMaster::finish_shot(Context& ctx, Shot& shot) {
+  shot.phase = ShotPhase::kDone;
+  ++report_.shots_completed;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(ctx.rank(), "sched", "shot.done", ctx.now(),
+                            {{"shot", shot.shot_id},
+                             {"frames", shot.frame_count}});
+  }
+  ShotUpdate update;
+  update.shot_id = shot.shot_id;
+  update.phase = ShotPhase::kDone;
+  update.frames_done = shot.frames_done;
+  ctx.send(shot.client_rank, kTagShotUpdate, encode_shot_update(update));
+}
+
+int RenderMaster::shot_of_frame(std::int32_t frame) const {
+  for (const Shot& shot : shots_) {
+    if (frame >= shot.base_frame &&
+        frame < shot.base_frame + shot.frame_count) {
+      return shot.shot_id;
+    }
+  }
+  return -1;
+}
+
+std::string RenderMaster::service_frame_path(std::int32_t frame) const {
+  const int sid = shot_of_frame(frame);
+  if (sid < 0) {
+    return frame_file_path(config_.output_dir, config_.output_prefix, frame);
+  }
+  const Shot& shot = shots_[sid];
+  const std::int32_t local =
+      frame - shot.base_frame + shot.scene_first_frame;
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "_%04d.tga", local);
+  std::string name = config_.output_prefix + "-" +
+                     tenants_[shot.tenant].name + "-shot" +
+                     std::to_string(shot.shot_id);
+  if (!shot.label.empty()) name += "-" + shot.label;
+  return config_.output_dir + "/" + name + suffix;
+}
+
+std::vector<TenantSummary> RenderMaster::tenant_summaries() const {
+  std::vector<TenantSummary> out;
+  for (const Tenant& t : tenants_) {
+    TenantSummary s;
+    s.name = t.name;
+    s.weight = t.weight;
+    s.quota = t.quota;
+    s.tasks_assigned = t.tasks_assigned;
+    s.units_assigned = t.units_assigned;
+    s.frames_committed = t.frames_committed;
+    s.peak_inflight = t.peak_inflight;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ShotSummary> RenderMaster::shot_summaries() const {
+  std::vector<ShotSummary> out;
+  for (const Shot& shot : shots_) {
+    ShotSummary s;
+    s.shot_id = shot.shot_id;
+    s.tenant = tenants_[shot.tenant].name;
+    s.label = shot.label;
+    s.scene_id = shot.scene_id;
+    s.scene_first_frame = shot.scene_first_frame;
+    s.frame_count = shot.frame_count;
+    s.base_frame = shot.base_frame;
+    s.phase = shot.phase;
+    s.frames_done = shot.frames_done;
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace now

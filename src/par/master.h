@@ -43,6 +43,7 @@
 #include "src/obs/straggler.h"
 #include "src/obs/timeseries.h"
 #include "src/par/cost_model.h"
+#include "src/par/jobqueue.h"
 #include "src/par/partition.h"
 #include "src/par/protocol.h"
 #include "src/scene/animated_scene.h"
@@ -51,6 +52,26 @@
 #include "src/shard/ownership.h"
 
 namespace now {
+
+/// Multi-tenant render service (MasterConfig::service). When enabled the
+/// master admits *shots* at runtime through the job-queue messages
+/// (src/par/jobqueue.h) instead of partitioning one animation up front:
+/// each admitted shot gets a contiguous base in a concatenated global frame
+/// space, its own partition into tasks, and a per-shot queue; a
+/// weighted-fair stride scheduler picks which tenant's shot feeds the next
+/// idle worker; per-tenant quotas cap in-flight tasks; admission backlog
+/// preempts end-game speculation clones first.
+struct MasterServiceConfig {
+  bool enabled = false;
+  /// ShotClient actors ride at ranks [1 + workers, 1 + workers +
+  /// client_count); the run ends when every client said done and every
+  /// admitted shot is terminal.
+  int client_count = 0;
+  /// Scene table addressed by ShotSubmit::scene_id. Entry 0 must be the
+  /// primary scene the master was built with; all entries share its pixel
+  /// dimensions. Pointees must outlive the master.
+  std::vector<const AnimatedScene*> scenes;
+};
 
 struct MasterConfig {
   PartitionConfig partition;
@@ -105,6 +126,47 @@ struct MasterConfig {
   /// checkpoints) from the per-result CommitDigests the shards send back.
   /// The default (count 1) is the classic single-master pipeline.
   ShardMap shards;
+  /// Multi-tenant service mode (see MasterServiceConfig). Off by default:
+  /// the classic one-animation-per-process behavior is bit-for-bit
+  /// unchanged.
+  MasterServiceConfig service;
+};
+
+/// Per-tenant accounting of the weighted-fair scheduler (service mode).
+struct TenantSummary {
+  std::string name;
+  double weight = 1.0;
+  std::int32_t quota = 0;  // 0 = unlimited
+  std::int64_t tasks_assigned = 0;
+  /// Pixel-frames granted — the unit the stride scheduler charges, so
+  /// fairness gates compare units, not task counts.
+  std::int64_t units_assigned = 0;
+  std::int64_t frames_committed = 0;
+  /// High-water mark of concurrently in-flight tasks (gate: <= quota).
+  std::int32_t peak_inflight = 0;
+};
+
+/// One admitted shot's final state (service mode).
+struct ShotSummary {
+  std::int32_t shot_id = -1;
+  std::string tenant;
+  std::string label;
+  std::int32_t scene_id = 0;
+  std::int32_t scene_first_frame = 0;
+  std::int32_t frame_count = 0;
+  /// First global frame in the scheduler's concatenated frame space.
+  std::int32_t base_frame = 0;
+  ShotPhase phase = ShotPhase::kActive;
+  std::int32_t frames_done = 0;
+};
+
+/// One weighted-fair grant, in order (service mode; bounded log for
+/// fairness gates: the contended-window share of each tenant's units must
+/// track its weight).
+struct ServiceAssignment {
+  std::int32_t tenant = -1;
+  std::int32_t shot_id = -1;
+  std::int64_t units = 0;  // pixel-frames granted
 };
 
 struct MasterReport {
@@ -127,6 +189,13 @@ struct MasterReport {
   // -- live telemetry ---------------------------------------------------
   std::int64_t straggler_flags = 0;     // worker → straggler transitions
   std::int64_t telemetry_samples = 0;   // sample ticks taken
+  // -- multi-tenant service ---------------------------------------------
+  std::int64_t shots_submitted = 0;     // admitted shots
+  std::int64_t shots_completed = 0;
+  std::int64_t shots_cancelled = 0;
+  std::int64_t shots_rejected = 0;      // malformed or invalid submits
+  /// Speculation clones dissolved to make room for admitted backlog.
+  std::int64_t preemptions = 0;
 };
 
 class RenderMaster final : public Actor {
@@ -136,10 +205,19 @@ class RenderMaster final : public Actor {
   void on_start(Context& ctx) override;
   void on_message(Context& ctx, const Message& msg) override;
 
-  /// Assembled animation (valid after the runtime finishes).
+  /// Assembled animation (valid after the runtime finishes). In service
+  /// mode this is the concatenated global frame space; slice per shot with
+  /// shot_summaries()'s base_frame/frame_count.
   const std::vector<Framebuffer>& frames() const { return frames_; }
   const MasterReport& report() const { return report_; }
   const FaultReport& fault_report() const { return fault_report_; }
+
+  // -- multi-tenant service results (empty in classic mode) --------------
+  std::vector<TenantSummary> tenant_summaries() const;
+  std::vector<ShotSummary> shot_summaries() const;
+  const std::vector<ServiceAssignment>& assignment_log() const {
+    return assignment_log_;
+  }
 
  private:
   struct WorkerState {
@@ -167,6 +245,11 @@ class RenderMaster final : public Actor {
     /// them. A gap within one shard's digests is genuine loss (per-sender
     /// FIFO), never reordering.
     std::set<std::int32_t> deferred_frames;
+    // -- service mode only -----------------------------------------------
+    /// Tenant whose quota this worker's assignment is charged against
+    /// (-1 = none). Speculation clones stay uncharged so the quota gate
+    /// (peak_inflight <= quota) holds for admitted work.
+    int charged_tenant = -1;
   };
 
   /// Liveness state of one FrameShard rank (sharded mode with
@@ -267,6 +350,80 @@ class RenderMaster final : public Actor {
   void declare_dead(Context& ctx, int worker);
   void discard_result(const FrameResult& result, bool wasted_work);
 
+  // -- multi-tenant service ----------------------------------------------
+  /// Weighted-fair admission state for one tenant (stride scheduling: each
+  /// grant advances pass by units * kStrideScale / weight, the runnable
+  /// tenant with the lowest pass goes next).
+  struct Tenant {
+    std::string name;
+    double weight = 1.0;
+    std::int32_t quota = 0;  // max in-flight tasks, 0 = unlimited
+    std::int32_t inflight = 0;
+    std::int32_t peak_inflight = 0;
+    double pass = 0.0;
+    std::int64_t tasks_assigned = 0;
+    std::int64_t units_assigned = 0;  // pixel-frames granted
+    std::int64_t frames_committed = 0;
+    Counter* frames_counter = nullptr;   // tenant.<name>.frames_committed
+    Counter* assigns_counter = nullptr;  // tenant.<name>.tasks_assigned
+  };
+
+  /// One admitted shot: a contiguous [base_frame, base_frame + frame_count)
+  /// slice of the global frame space plus its private task queue.
+  struct Shot {
+    std::int32_t shot_id = -1;
+    int tenant = -1;  // index into tenants_
+    int client_rank = -1;
+    std::string label;
+    std::int32_t scene_id = 0;
+    std::int32_t scene_first_frame = 0;
+    std::int32_t frame_count = 0;
+    std::int32_t base_frame = 0;
+    ShotPhase phase = ShotPhase::kActive;
+    std::int32_t frames_done = 0;
+    /// Pixel-frames across the initial task queue (the shot's total work —
+    /// the affinity quantum in pick_tenant).
+    std::int64_t units_total = 0;
+    std::deque<RenderTask> queue;
+  };
+
+  bool is_client_rank(Context& ctx, int rank) const;
+  void handle_shot_submit(Context& ctx, const Message& msg);
+  void handle_shot_status(Context& ctx, const Message& msg);
+  void handle_shot_cancel(Context& ctx, const Message& msg);
+  void handle_client_done(Context& ctx, int source);
+  /// Find-or-create the tenant named in a submit. The first submit fixes
+  /// the tenant's weight and quota; its stride pass starts at the minimum
+  /// existing pass so a late arrival cannot monopolize the farm back-paying
+  /// "missed" grants.
+  int tenant_for(const std::string& name, double weight, std::int32_t quota);
+  /// Lowest-pass tenant with a runnable shot and quota headroom (-1: none),
+  /// with shot affinity: the last-served tenant keeps the grant while its
+  /// stride lead stays under one shot's worth of units, so a shot's tasks
+  /// finish near each other and its frames complete (and flush) promptly.
+  /// Pure per-task rotation would scatter each shot's tiles across the
+  /// whole schedule, bunching frame completions into master-side write
+  /// stalls exactly when every worker is asking for its next task.
+  int pick_tenant();
+  /// First active shot of `tenant` (admission order) whose queue still has
+  /// an uncommitted task; prunes committed queue heads as a side effect.
+  int runnable_shot(int tenant);
+  /// Service-mode half of try_dispatch: feed idle workers via the
+  /// weighted-fair queue, then preempt speculation if backlog remains.
+  void service_dispatch(Context& ctx);
+  void charge_tenant(Context& ctx, int worker, int tenant,
+                     const RenderTask& task);
+  /// Un-charge the quota slot once (idempotent: resets charged_tenant).
+  void release_assignment(int worker);
+  /// Runnable admitted work, no idle live worker: dissolve one speculation
+  /// pair and shrink the clone away so its worker returns for real work.
+  void service_preempt_if_backlogged(Context& ctx);
+  void finish_shot(Context& ctx, Shot& shot);
+  /// Shot owning a global frame (-1 when none — cannot happen for frames
+  /// in [0, frames_.size()) once admitted).
+  int shot_of_frame(std::int32_t frame) const;
+  std::string service_frame_path(std::int32_t frame) const;
+
   const AnimatedScene& scene_;
   MasterConfig config_;
 
@@ -315,6 +472,20 @@ class RenderMaster final : public Actor {
   Gauge* queue_depth_ = nullptr;              // sched.queue_depth
 
   StragglerDetector straggler_;
+
+  // -- multi-tenant service (all empty/false in classic mode) ------------
+  bool service_ = false;
+  std::vector<Tenant> tenants_;
+  std::map<std::string, int> tenant_ids_;   // name → index into tenants_
+  /// Last tenant granted work (shot affinity in pick_tenant); -1 = none.
+  int affinity_tenant_ = -1;
+  std::vector<Shot> shots_;                 // shot_id == index, base order
+  std::map<std::int32_t, std::int32_t> task_shot_;  // task_id → shot_id
+  /// Task ids that are speculation *clones* (uncharged): the pool the
+  /// backlog preemption drains first.
+  std::set<std::int32_t> spec_clone_tasks_;
+  std::set<int> done_clients_;              // client ranks that sent done
+  std::vector<ServiceAssignment> assignment_log_;
 
   MasterReport report_;
   FaultReport fault_report_;

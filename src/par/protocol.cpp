@@ -24,6 +24,8 @@ std::string encode_task(const RenderTask& task) {
   w.i32(task.first_frame);
   w.i32(task.frame_count);
   w.u64(task.trace_ctx);
+  w.i32(task.scene_id);
+  w.i32(task.frame_delta);
   return w.take();
 }
 
@@ -31,7 +33,8 @@ bool decode_task(RenderTask* task, const std::string& payload) {
   WireReader r(payload);
   return r.i32(&task->task_id) && get_rect(&r, &task->region) &&
          r.i32(&task->first_frame) && r.i32(&task->frame_count) &&
-         r.u64(&task->trace_ctx) && r.done();
+         r.u64(&task->trace_ctx) && r.i32(&task->scene_id) &&
+         r.i32(&task->frame_delta) && r.done();
 }
 
 std::string encode_shrink(const ShrinkRequest& req) {

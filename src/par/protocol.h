@@ -42,6 +42,15 @@ enum MsgTag : int {
   kTagSampleTick = 15,  // master → itself (timer): take a telemetry sample
   kTagShardCheck = 16,  // master → itself (timer): evaluate a shard's lease
   kTagShardReset = 17,  // master → shard: rebuild from your journal, re-Hello
+  // -- multi-tenant job queue (src/par/jobqueue.h) ----------------------
+  kTagShotSubmit = 18,  // client → master: admit a shot (ShotSubmit)
+  kTagShotAccept = 19,  // master → client: admission verdict (ShotAccept)
+  kTagShotStatus = 20,  // client → master: poll a shot (ShotStatusRequest)
+  kTagShotStatusReply = 21,  // master → client: ShotStatusReply
+  kTagShotCancel = 22,  // client → master: cancel a shot (ShotCancel)
+  kTagShotUpdate = 23,  // master → client: terminal phase change (ShotUpdate)
+  kTagClientDone = 24,  // client → master: no further requests coming
+  kTagClientTick = 25,  // client → itself (timer): run the next script action
 };
 
 struct RenderTask {
@@ -54,6 +63,13 @@ struct RenderTask {
   /// frame's whole life into one cross-rank flow chain. Always on the wire
   /// — telemetry settings never change message bytes.
   std::uint64_t trace_ctx = 0;
+  /// Multi-tenant service mode: which scene of the farm's scene table this
+  /// task renders (0 = the primary scene) and the offset mapping the task's
+  /// global frame numbers into that scene's own frames
+  /// (scene_frame = global_frame + frame_delta). Classic runs leave both 0,
+  /// which reproduces the old single-animation behavior exactly.
+  std::int32_t scene_id = 0;
+  std::int32_t frame_delta = 0;
 
   std::int32_t end_frame() const { return first_frame + frame_count; }
   bool operator==(const RenderTask&) const = default;

@@ -228,6 +228,45 @@ void validate_farm_config(const AnimatedScene& scene,
   if (config.obs.flight_capacity < 1) {
     fail("obs.flight_capacity must be >= 1");
   }
+  if (config.service.enabled) {
+    if (config.shards > 1) {
+      fail("service mode requires shards == 1; per-shot output namespacing "
+           "and the global frame space are single-sink for now");
+    }
+    if (!config.journal_path.empty() || config.resume) {
+      fail("service mode does not support journaling or resume; shots are "
+           "admitted at runtime and have no stable frame space to replay");
+    }
+    if (!config.fault_plan.empty()) {
+      fail("service mode does not yet support fault injection");
+    }
+    if (config.service.clients.empty()) {
+      fail("service mode needs at least one client script");
+    }
+    for (const AnimatedScene* extra : config.service.extra_scenes) {
+      if (extra == nullptr) fail("service extra_scenes must be non-null");
+      if (extra->width() != scene.width() ||
+          extra->height() != scene.height()) {
+        fail("service extra_scenes must match the primary scene's pixel "
+             "dimensions");
+      }
+      if (extra->frame_count() < 1) {
+        fail("service extra_scenes must have at least 1 frame");
+      }
+    }
+    for (const ClientScript& script : config.service.clients) {
+      for (const ClientAction& action : script.actions) {
+        if (!std::isfinite(action.at_seconds) || action.at_seconds < 0.0) {
+          fail("client action at_seconds must be finite and >= 0");
+        }
+        if ((action.kind == ClientActionKind::kStatus ||
+             action.kind == ClientActionKind::kCancel) &&
+            action.submit_index < 0) {
+          fail("client action submit_index must be >= 0");
+        }
+      }
+    }
+  }
   if (config.shards < 1) fail("shards must be >= 1");
   if (config.shards > scene.frame_count()) {
     fail("shards must not exceed the frame count (a shard with no owned "
@@ -363,6 +402,17 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   master_config.metrics = &registry;
   master_config.shards = shard_map;
   master_config.straggler = config.obs.straggler;
+  const bool service = config.service.enabled;
+  const int client_count =
+      service ? static_cast<int>(config.service.clients.size()) : 0;
+  if (service) {
+    master_config.service.enabled = true;
+    master_config.service.client_count = client_count;
+    master_config.service.scenes.push_back(&scene);
+    for (const AnimatedScene* extra : config.service.extra_scenes) {
+      master_config.service.scenes.push_back(extra);
+    }
+  }
 
   // Live telemetry plane. The sampler runs on every backend (under kSim the
   // tick is a deterministic self-message on virtual time); the HTTP server
@@ -423,6 +473,7 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   worker_config.tracer = &tracer;
   worker_config.metrics = &registry;
   worker_config.shards = shard_map;
+  if (service) worker_config.extra_scenes = config.service.extra_scenes;
   std::vector<std::unique_ptr<RenderWorker>> workers;
   workers.reserve(static_cast<std::size_t>(worker_count));
   for (int i = 0; i < worker_count; ++i) {
@@ -453,10 +504,20 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
     }
   }
 
+  // Service clients ride at the tail of the rank space (after the workers;
+  // service mode excludes shards).
+  std::vector<std::unique_ptr<ShotClient>> clients;
+  if (service) {
+    for (const ClientScript& script : config.service.clients) {
+      clients.push_back(std::make_unique<ShotClient>(script));
+    }
+  }
+
   std::vector<Actor*> actors;
   actors.push_back(&master);
   for (auto& w : workers) actors.push_back(w.get());
   for (auto& s : shards) actors.push_back(s.get());
+  for (auto& c : clients) actors.push_back(c.get());
 
   // Crash-after-N-frames triggers count the rank's frame-result sends;
   // rejoin events are delivered to the revived rank under kTagRejoin.
@@ -489,8 +550,12 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
       sim_config.speeds.push_back(config.master_speed);
       sim_config.speeds.insert(sim_config.speeds.end(), speeds.begin(),
                                speeds.end());
-      // Shards are IO machines of the master's class, not renderers.
+      // Shards are IO machines of the master's class, not renderers — and
+      // service clients charge no compute at all, so their speed is moot.
       for (int i = 0; i < static_cast<int>(shards.size()); ++i) {
+        sim_config.speeds.push_back(config.master_speed);
+      }
+      for (int i = 0; i < static_cast<int>(clients.size()); ++i) {
         sim_config.speeds.push_back(config.master_speed);
       }
       sim_config.ethernet = config.ethernet;
@@ -537,9 +602,39 @@ FarmResult render_farm(const AnimatedScene& scene, const FarmConfig& config) {
   for (auto& w : workers) result.workers.push_back(w->report());
   result.faults = master.fault_report();
   result.resume = resume_report;
+  if (service) {
+    result.tenants = master.tenant_summaries();
+    result.assignment_log = master.assignment_log();
+    for (auto& c : clients) result.clients.push_back(c->report());
+    // Slice each shot's frames back out of the global frame space.
+    for (const ShotSummary& summary : master.shot_summaries()) {
+      FarmResult::ShotResult shot;
+      shot.summary = summary;
+      for (int f = 0; f < summary.frame_count; ++f) {
+        const std::size_t global =
+            static_cast<std::size_t>(summary.base_frame + f);
+        if (global < result.frames.size()) {
+          shot.frames.push_back(result.frames[global]);
+        }
+      }
+      result.shots.push_back(std::move(shot));
+    }
+  }
 
   publish_reports(registry, result.runtime, result.master, result.workers,
                   result.faults, result.shards);
+  if (service) {
+    registry.counter("master.shots_submitted")
+        .inc(static_cast<std::uint64_t>(result.master.shots_submitted));
+    registry.counter("master.shots_completed")
+        .inc(static_cast<std::uint64_t>(result.master.shots_completed));
+    registry.counter("master.shots_cancelled")
+        .inc(static_cast<std::uint64_t>(result.master.shots_cancelled));
+    registry.counter("master.shots_rejected")
+        .inc(static_cast<std::uint64_t>(result.master.shots_rejected));
+    registry.counter("master.preemptions")
+        .inc(static_cast<std::uint64_t>(result.master.preemptions));
+  }
   if (status_server != nullptr) {
     result.status_requests = status_server->requests_served();
     status_server->stop();

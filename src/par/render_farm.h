@@ -18,6 +18,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/report.h"
 #include "src/par/master.h"
+#include "src/par/service_client.h"
 #include "src/par/worker.h"
 #include "src/shard/shard.h"
 #include "src/sim/sim_runtime.h"
@@ -63,6 +64,22 @@ struct FarmObsConfig {
   /// Straggler-detection thresholds (always-on commit bookkeeping; feeds
   /// sched.stragglers and the speculation victim ranking).
   StragglerConfig straggler;
+};
+
+/// Multi-tenant service mode: the farm runs as a shot-queue service.
+/// Scripted ShotClient actors (one rank each, after the workers) submit,
+/// poll, and cancel shots against the master's job queue; the weighted-fair
+/// scheduler divides the workers between tenants. Requires shards == 1 and
+/// no journal/resume; the run ends when every client is done and every
+/// admitted shot is terminal.
+struct ServiceConfig {
+  bool enabled = false;
+  /// One scripted client per entry; at least one when enabled.
+  std::vector<ClientScript> clients;
+  /// Scenes addressable by ShotSubmit::scene_id beyond the primary (id 0 is
+  /// the scene passed to render_farm, ids 1.. are these, in order). All
+  /// must share the primary's pixel dimensions and outlive the call.
+  std::vector<const AnimatedScene*> extra_scenes;
 };
 
 struct FarmConfig {
@@ -119,6 +136,8 @@ struct FarmConfig {
   /// byte-identical to shards == 1 on every backend. A journaled sharded
   /// run must resume with the same shard count.
   int shards = 1;
+  /// Multi-tenant render service (see ServiceConfig). Off by default.
+  ServiceConfig service;
   FarmObsConfig obs;
 };
 
@@ -162,6 +181,22 @@ struct FarmResult {
   /// the number of HTTP requests it answered.
   int status_port = -1;
   std::int64_t status_requests = 0;
+  // -- multi-tenant service (empty unless service.enabled) ---------------
+  /// One entry per admitted shot, in shot-id order. `frames` is the shot's
+  /// slice of the global frame space (cancelled shots carry whatever
+  /// completed before the cancel; unfinished frames are black).
+  struct ShotResult {
+    ShotSummary summary;
+    std::vector<Framebuffer> frames;
+  };
+  std::vector<ShotResult> shots;
+  std::vector<TenantSummary> tenants;
+  /// Per-client replay of admission verdicts, status replies, and terminal
+  /// updates, in ServiceConfig::clients order.
+  std::vector<ClientReport> clients;
+  /// Every weighted-fair grant in dispatch order (fairness gates window
+  /// over the contended prefix).
+  std::vector<ServiceAssignment> assignment_log;
 };
 
 /// Validates `config` against `scene` and throws std::invalid_argument with

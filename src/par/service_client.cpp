@@ -1,0 +1,189 @@
+#include "src/par/service_client.h"
+
+#include <cassert>
+
+namespace now {
+
+ShotClient::ShotClient(const ClientScript& script) : script_(script) {
+  for (int i = 0; i < static_cast<int>(script_.actions.size()); ++i) {
+    const ClientActionKind kind = script_.actions[i].kind;
+    if (kind == ClientActionKind::kSubmit ||
+        kind == ClientActionKind::kMalformed) {
+      submit_action_indices_.push_back(i);
+    }
+  }
+  report_.shot_ids.assign(submit_action_indices_.size(), -1);
+  report_.errors.assign(submit_action_indices_.size(), "");
+  accept_seen_.assign(submit_action_indices_.size(), 0);
+}
+
+void ShotClient::on_start(Context& ctx) {
+  for (int i = 0; i < static_cast<int>(script_.actions.size()); ++i) {
+    WireWriter w;
+    w.i32(i);
+    ctx.send_after(script_.actions[i].at_seconds, kTagClientTick, w.take());
+  }
+  maybe_done(ctx);  // an empty script is done immediately
+}
+
+int ShotClient::submit_slot(int submit_index) const {
+  if (submit_index < 0 ||
+      submit_index >= static_cast<int>(submit_action_indices_.size())) {
+    return -1;
+  }
+  return submit_index;
+}
+
+void ShotClient::run_action(Context& ctx, int index) {
+  const ClientAction& action = script_.actions[index];
+  switch (action.kind) {
+    case ClientActionKind::kSubmit: {
+      // client_ref carries the submit slot: the accept echoes it back and
+      // resolves exactly this submit, even with several in flight.
+      int slot = -1;
+      for (int s = 0; s < static_cast<int>(submit_action_indices_.size());
+           ++s) {
+        if (submit_action_indices_[s] == index) slot = s;
+      }
+      assert(slot >= 0);
+      ShotSubmit sub = action.submit;
+      sub.client_ref = slot;
+      ++accepts_outstanding_;
+      ctx.send(0, kTagShotSubmit, encode_shot_submit(sub));
+      break;
+    }
+    case ClientActionKind::kMalformed:
+      // The master must reject this without crashing; its reply (ref -1)
+      // still settles the outstanding-accept count.
+      ++accepts_outstanding_;
+      ctx.send(0, kTagShotSubmit, action.raw);
+      break;
+    case ClientActionKind::kStatus:
+    case ClientActionKind::kCancel: {
+      const int slot = submit_slot(action.submit_index);
+      if (slot < 0) break;  // script bug: points past the last submit
+      if (!accept_seen_[slot]) {
+        // Fired before the admission verdict: park until it arrives.
+        parked_.push_back(index);
+        break;
+      }
+      const std::int32_t shot_id = report_.shot_ids[slot];
+      if (shot_id < 0) break;  // the submit was rejected: nothing to address
+      if (action.kind == ClientActionKind::kStatus) {
+        ShotStatusRequest req;
+        req.shot_id = shot_id;
+        ++statuses_outstanding_;
+        ctx.send(0, kTagShotStatus, encode_shot_status_request(req));
+      } else {
+        ShotCancel cancel;
+        cancel.shot_id = shot_id;
+        ctx.send(0, kTagShotCancel, encode_shot_cancel(cancel));
+      }
+      break;
+    }
+  }
+}
+
+void ShotClient::on_message(Context& ctx, const Message& msg) {
+  switch (msg.tag) {
+    case kTagClientTick: {
+      WireReader r(msg.payload);
+      std::int32_t index = -1;
+      const bool ok = r.i32(&index) && r.done() && index >= 0 &&
+                      index < static_cast<int>(script_.actions.size());
+      assert(ok);
+      ++ticks_fired_;
+      if (ok) run_action(ctx, index);
+      maybe_done(ctx);
+      break;
+    }
+    case kTagShotAccept: {
+      ShotAccept acc;
+      if (!decode_shot_accept(&acc, msg.payload)) break;
+      int slot = submit_slot(acc.client_ref);
+      if (slot < 0 || accept_seen_[slot]) {
+        // A reply the master could not tie to a submit (ref -1: the
+        // malformed-submit rejection). Settle it against the first
+        // unresolved malformed slot — per-sender FIFO keeps that in order.
+        slot = -1;
+        for (int s = 0; s < static_cast<int>(submit_action_indices_.size());
+             ++s) {
+          if (!accept_seen_[s] &&
+              script_.actions[submit_action_indices_[s]].kind ==
+                  ClientActionKind::kMalformed) {
+            slot = s;
+            break;
+          }
+        }
+      }
+      if (slot >= 0) {
+        accept_seen_[slot] = 1;
+        report_.shot_ids[slot] = acc.shot_id;
+        report_.errors[slot] = acc.error;
+      }
+      if (!acc.accepted()) ++report_.rejects;
+      if (accepts_outstanding_ > 0) --accepts_outstanding_;
+      // Flush anything parked on this verdict (rejected targets drop).
+      if (slot >= 0) {
+        std::vector<int> parked;
+        parked.swap(parked_);
+        for (const int index : parked) {
+          const int target =
+              submit_slot(script_.actions[index].submit_index);
+          if (target == slot) {
+            run_action(ctx, index);
+          } else {
+            parked_.push_back(index);
+          }
+        }
+      }
+      maybe_done(ctx);
+      break;
+    }
+    case kTagShotStatusReply: {
+      ShotStatusReply reply;
+      if (decode_shot_status_reply(&reply, msg.payload)) {
+        report_.statuses.push_back(reply);
+      }
+      if (statuses_outstanding_ > 0) --statuses_outstanding_;
+      maybe_done(ctx);
+      break;
+    }
+    case kTagShotUpdate: {
+      ShotUpdate update;
+      if (decode_shot_update(&update, msg.payload)) {
+        report_.updates.push_back(update);
+        if (update.phase != ShotPhase::kActive) {
+          terminal_seen_.insert(update.shot_id);
+        }
+      }
+      maybe_done(ctx);
+      break;
+    }
+    case kTagStop:
+      break;  // the runtime winds down after the master's stop()
+    default:
+      assert(false && "client received unexpected tag");
+  }
+}
+
+void ShotClient::maybe_done(Context& ctx) {
+  if (report_.done_sent) return;
+  if (ticks_fired_ < static_cast<int>(script_.actions.size())) return;
+  if (accepts_outstanding_ > 0 || statuses_outstanding_ > 0) return;
+  if (!parked_.empty()) {
+    // Parked actions whose verdict already landed rejected were dropped at
+    // flush time; anything left is waiting on an accept that is still due.
+    return;
+  }
+  // Every admitted shot must have reported done/cancelled: the runtimes
+  // drop in-flight messages at stop, so declaring done while an update is
+  // still owed would let the master cut it off.
+  for (const std::int32_t shot_id : report_.shot_ids) {
+    if (shot_id >= 0 && terminal_seen_.count(shot_id) == 0) return;
+  }
+  report_.done_sent = true;
+  ctx.send(0, kTagClientDone, {});
+}
+
+}  // namespace now

@@ -1,0 +1,93 @@
+// ShotClient: a scripted tenant of the multi-tenant render service.
+//
+// Each client actor rides at a rank after the workers and replays a
+// ClientScript against the master's job queue: timed submits, status polls,
+// cancels, and (for protocol tests) deliberately malformed submits. Replies
+// are recorded verbatim in the ClientReport so tests and benches can gate
+// admission verdicts, observed progress, and terminal phases.
+//
+// A client declares itself done (kTagClientDone) once every scripted action
+// has fired, every submit has its admission verdict, every status poll has
+// its reply, and every admitted shot has reported a terminal phase. The
+// master ends the run only after all clients are done, so the runtimes
+// (which drop in-flight messages at stop) never cut off an answer a script
+// is still owed.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/runtime.h"
+#include "src/par/jobqueue.h"
+#include "src/par/protocol.h"
+
+namespace now {
+
+enum class ClientActionKind {
+  kSubmit,     // send `submit` as a ShotSubmit
+  kStatus,     // poll the shot admitted for submit #submit_index
+  kCancel,     // cancel the shot admitted for submit #submit_index
+  kMalformed,  // send `raw` bytes as a kTagShotSubmit (decoder must reject)
+};
+
+struct ClientAction {
+  /// Virtual seconds after start when the action fires (send_after timer,
+  /// so scripts are deterministic under SimRuntime).
+  double at_seconds = 0.0;
+  ClientActionKind kind = ClientActionKind::kSubmit;
+  ShotSubmit submit;
+  /// For kStatus / kCancel: which of this client's submits (by script
+  /// order) the request targets. Fired before the accept arrives, the
+  /// request parks until it does; targeting a rejected submit drops it.
+  int submit_index = 0;
+  /// For kMalformed: the raw payload to send.
+  std::string raw;
+};
+
+struct ClientScript {
+  std::vector<ClientAction> actions;
+};
+
+struct ClientReport {
+  /// Admitted shot id per kSubmit/kMalformed action in script order
+  /// (-1 = rejected).
+  std::vector<std::int32_t> shot_ids;
+  /// Rejection reasons, aligned with shot_ids ("" = admitted).
+  std::vector<std::string> errors;
+  std::vector<ShotStatusReply> statuses;  // every status reply, in order
+  std::vector<ShotUpdate> updates;        // every terminal update, in order
+  int rejects = 0;                        // replies with shot_id == -1
+  bool done_sent = false;
+};
+
+class ShotClient final : public Actor {
+ public:
+  explicit ShotClient(const ClientScript& script);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& msg) override;
+
+  const ClientReport& report() const { return report_; }
+
+ private:
+  void run_action(Context& ctx, int index);
+  void maybe_done(Context& ctx);
+  /// Map a submit_index (over kSubmit/kMalformed actions) to its slot in
+  /// report_.shot_ids, or -1 when the script never makes that many submits.
+  int submit_slot(int submit_index) const;
+
+  ClientScript script_;
+  std::vector<int> submit_action_indices_;  // action index per submit slot
+  std::vector<char> accept_seen_;           // per submit slot
+  /// Actions (by index) parked until their target submit's accept arrives.
+  std::vector<int> parked_;
+  int ticks_fired_ = 0;
+  int accepts_outstanding_ = 0;
+  int statuses_outstanding_ = 0;
+  /// Shots that reported a terminal ShotUpdate (done or cancelled).
+  std::set<std::int32_t> terminal_seen_;
+  ClientReport report_;
+};
+
+}  // namespace now

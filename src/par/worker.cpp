@@ -21,6 +21,11 @@ SendPipelineOptions pipeline_options(const WorkerConfig& config) {
 RenderWorker::RenderWorker(const AnimatedScene& scene,
                            const WorkerConfig& config)
     : scene_(scene), config_(config), pipeline_(pipeline_options(config)) {
+  scenes_.push_back(&scene_);
+  for (const AnimatedScene* extra : config_.extra_scenes) {
+    assert(extra != nullptr);
+    scenes_.push_back(extra);
+  }
   if (config_.tracer != nullptr && !config_.tracer->enabled()) {
     config_.tracer = nullptr;
   }
@@ -100,16 +105,22 @@ void RenderWorker::on_message(Context& ctx, const Message& msg) {
 
 void RenderWorker::start_task(Context& ctx, const RenderTask& task) {
   assert(!task_.has_value() && "worker already busy");
+  assert(task.scene_id >= 0 &&
+         task.scene_id < static_cast<std::int32_t>(scenes_.size()) &&
+         "task names a scene this worker does not hold");
   task_ = task;
   next_frame_ = task.first_frame;
   end_frame_ = task.end_frame();
+  const AnimatedScene& scene = *scenes_[static_cast<std::size_t>(
+      task.scene_id < static_cast<std::int32_t>(scenes_.size()) ? task.scene_id
+                                                                : 0)];
   // Fresh coherence state per task: the first frame of every task is a full
   // render (the cost that separates the partitioning schemes) and therefore
   // a dense key frame on the wire — reassigned, speculative, and
   // post-resume tasks never reference a predecessor they did not render.
-  renderer_ = std::make_unique<CoherentRenderer>(scene_, task.region,
+  renderer_ = std::make_unique<CoherentRenderer>(scene, task.region,
                                                  config_.coherence);
-  fb_ = Framebuffer(scene_.width(), scene_.height());
+  fb_ = Framebuffer(scene.width(), scene.height());
   prev_region_.clear();
   ctx.send(ctx.rank(), kTagContinue, {});
 }
@@ -137,7 +148,11 @@ void RenderWorker::render_next_frame(Context& ctx) {
                            {"task", task_->task_id}});
   }
 
-  const FrameRenderResult r = renderer_->render_frame(next_frame_, &fb_);
+  // Multi-tenant tasks address frames in the scheduler's concatenated global
+  // space; the renderer wants the owning scene's own frame number. Classic
+  // tasks carry delta 0 and the two coincide.
+  const FrameRenderResult r =
+      renderer_->render_frame(next_frame_ + task_->frame_delta, &fb_);
   const double cost = config_.cost.frame_compute_seconds(r);
   ctx.charge(cost);
 

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/core/coherent_renderer.h"
 #include "src/net/runtime.h"
@@ -50,6 +51,11 @@ struct WorkerConfig {
   /// predecessor pixels to decode against). Default: single master, no
   /// promotion.
   ShardMap shards;
+  /// Multi-tenant service mode: scenes addressable by RenderTask::scene_id
+  /// beyond the primary one (id 0 = the scene the worker was built with,
+  /// ids 1.. = these, in order). All must share the primary's dimensions.
+  /// Pointees must outlive the worker. Empty for classic runs.
+  std::vector<const AnimatedScene*> extra_scenes;
 };
 
 struct WorkerReport {
@@ -84,6 +90,8 @@ class RenderWorker final : public Actor {
   void handle_shrink(Context& ctx, const ShrinkRequest& req);
 
   const AnimatedScene& scene_;
+  /// Scene table: entry 0 is scene_, the rest are config_.extra_scenes.
+  std::vector<const AnimatedScene*> scenes_;
   WorkerConfig config_;
   SendPipeline pipeline_;
 

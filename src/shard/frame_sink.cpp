@@ -42,8 +42,10 @@ void FrameSink::commit_region(std::int32_t task_id, const PixelRect& rect,
 void FrameSink::complete_frame(std::int32_t frame, const Framebuffer& fb) {
   if (frames_completed_ != nullptr) frames_completed_->inc();
   if (!config_.output_dir.empty()) {
-    write_tga_atomic(fb, frame_file_path(config_.output_dir,
-                                         config_.output_prefix, frame));
+    write_tga_atomic(fb, config_.frame_path
+                             ? config_.frame_path(frame)
+                             : frame_file_path(config_.output_dir,
+                                               config_.output_prefix, frame));
   }
   if (journal_ != nullptr) {
     FrameCompleteRecord fc;

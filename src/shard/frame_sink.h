@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -29,6 +30,11 @@ struct FrameSinkConfig {
   /// Directory for per-frame targa output ("" disables file writing).
   std::string output_dir;
   std::string output_prefix = "frame";
+  /// Optional naming override: maps a frame index to the full file path of
+  /// its targa. The multi-tenant service namespaces output per shot with
+  /// this (<prefix>-<tenant>-shot<id>_<local>.tga); unset keeps the classic
+  /// frame_file_path(dir, prefix, frame) layout every resume path expects.
+  std::function<std::string(std::int32_t)> frame_path;
   /// Journal (segment) path ("" disables journaling).
   std::string journal_path;
   bool journal_fsync = true;

@@ -16,6 +16,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <chrono>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -319,6 +321,43 @@ TEST(StatusServer, ServesMetricsAndStatusOverARealSocket) {
   EXPECT_GE(server.requests_served(), 3);
   server.stop();
   EXPECT_FALSE(server.ok());
+}
+
+TEST(StatusServer, ParsesARequestSplitAcrossTcpSegments) {
+  StatusBoard board;
+  board.publish("{\"alive\": true}\n");
+  StatusServer server(
+      0, [] { return std::string("metrics\n"); },
+      [&board] { return board.latest(); });
+  ASSERT_TRUE(server.ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // Dribble the request in three segments with pauses: the server must keep
+  // reading until the \r\n\r\n header terminator before answering.
+  const char* parts[] = {"GET /sta", "tus HTTP/1.0\r\nHost: x\r", "\n\r\n"};
+  for (const char* part : parts) {
+    ASSERT_GT(::send(fd, part, std::strlen(part), 0), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(http_body(resp).find("\"alive\""), std::string::npos);
+  server.stop();
 }
 
 // -- Flight recorder --------------------------------------------------------
